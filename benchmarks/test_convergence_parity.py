@@ -1,0 +1,101 @@
+"""CONV: the paper's "no loss in accuracy" claim plus second-order
+quality, on real (scaled-down) synthetic speech.
+
+* distributed HF (threaded backend) reproduces the serial reference
+  trajectory to float tolerance at several worker counts — the headline
+  parity claim;
+* HF makes monotone held-out progress with zero learning-rate tuning and
+  lands in the same quality regime as a tuned serial SGD at matched
+  passes (the paper never claims HF beats serial SGD per pass — Section
+  II concedes the opposite can hold; HF's win is parallelizability);
+* the curvature-fraction knob (paper: "about 1% to 3%") is swept to show
+  convergence is insensitive within that band (the design-choice
+  ablation DESIGN.md calls out).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from repro.dist import make_frame_shards, train_threaded_hf
+from repro.harness import render_table
+from repro.hf import FrameSource, HFConfig, HessianFreeOptimizer
+from repro.nn import DNN, CrossEntropyLoss, SGDConfig, frame_error_count, sgd_train
+from repro.speech import CorpusConfig, build_corpus
+
+CFG = CorpusConfig(hours=50, scale=2e-4, context=2, seed=33)
+HF_CFG = HFConfig(max_iterations=6)
+
+
+def run_conv():
+    corpus = build_corpus(CFG)
+    x, y = corpus.frame_data()
+    hx, hy = corpus.heldout_frame_data()
+    net = DNN([CFG.input_dim, 48, corpus.n_states])
+    theta0 = net.init_params(0)
+    ce = CrossEntropyLoss()
+
+    serial = HessianFreeOptimizer(
+        FrameSource(net, ce, x, y, hx, hy, curvature_fraction=0.02, seed=7), HF_CFG
+    ).run(theta0)
+
+    lens = [u.n_frames for u in corpus.train_utts]
+    dist_runs = {}
+    for workers in (2, 4):
+        shards = make_frame_shards(x, y, hx, hy, lens, workers)
+        dist_runs[workers] = train_threaded_hf(
+            net, ce, shards, theta0, HF_CFG, curvature_fraction=0.02, seed=7
+        )
+
+    sgd = sgd_train(
+        net, theta0, x, y, ce,
+        SGDConfig(epochs=6, batch_size=256, learning_rate=0.05),
+        heldout=(hx, hy),
+    )
+
+    sweep = {}
+    for frac in (0.01, 0.03, 0.10):
+        res = HessianFreeOptimizer(
+            FrameSource(net, ce, x, y, hx, hy, curvature_fraction=frac, seed=7),
+            HF_CFG,
+        ).run(theta0)
+        sweep[frac] = res.heldout_trajectory[-1]
+
+    err = frame_error_count(net.logits(serial.theta, hx), hy) / len(hy)
+    err0 = frame_error_count(net.logits(theta0, hx), hy) / len(hy)
+    return serial, dist_runs, sgd, sweep, err0, err
+
+
+def test_convergence_parity(benchmark):
+    serial, dist_runs, sgd, sweep, err0, err = benchmark.pedantic(
+        run_conv, rounds=1, iterations=1
+    )
+    print()
+    rows = [["serial HF", f"{serial.heldout_trajectory[-1]:.4f}"]]
+    for w, res in dist_runs.items():
+        rows.append([f"distributed HF ({w} workers)", f"{res.heldout_trajectory[-1]:.4f}"])
+    rows.append(["SGD (budget-matched)", f"{sgd.heldout_losses[-1]:.4f}"])
+    for frac, v in sweep.items():
+        rows.append([f"HF curvature fraction {frac:g}", f"{v:.4f}"])
+    print(render_table(["trainer", "final held-out loss"], rows, title="CONV"))
+    print(f"frame error: {err0:.3f} (init) -> {err:.3f} (HF)")
+
+    # "no loss in accuracy": distributed == serial to float tolerance
+    for res in dist_runs.values():
+        assert np.allclose(
+            serial.heldout_trajectory, res.heldout_trajectory, rtol=1e-8
+        )
+    # HF makes monotone progress without any tuning...
+    traj = serial.heldout_trajectory
+    assert all(b < a for a, b in zip(traj, traj[1:]))
+    # ...and lands in the same quality regime as tuned SGD at matched
+    # passes (within 2x; serial SGD *can* win per pass, per Section II)
+    assert traj[-1] < 2.0 * sgd.heldout_losses[-1]
+    # accuracy improves
+    assert err < err0
+    # curvature fraction in the paper's 1-3% band is not critical
+    vals = list(sweep.values())
+    assert max(vals) - min(vals) < 0.3 * serial.heldout_trajectory[0]

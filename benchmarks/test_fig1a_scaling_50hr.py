@@ -1,0 +1,44 @@
+"""Figure 1(a): execution time per configuration, 50-hour data, 1 rack.
+
+Paper shapes asserted:
+
+* more OpenMP threads per node helps (1024-1-16 > 1024-1-32 > 1024-1-64);
+* at full 64-thread node occupancy, "2048-2-32 is slightly better than
+  4096-4-16 which is better than 1024-1-64".
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import PAPER_SCRIPT
+
+from repro.harness import FIG1A_CONFIGS, render_series, run_fig1a
+
+
+def test_fig1a(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_fig1a(PAPER_SCRIPT), rounds=1, iterations=1
+    )
+    hours = {p.label: p.hours for p in points}
+    print()
+    print(
+        render_series(
+            [p.label for p in points],
+            [p.hours for p in points],
+            title="Fig 1(a): 50-hour training time by configuration (hours)",
+            unit="h",
+        )
+    )
+    print(
+        "paper ordering: 1024-1-16 > 1024-1-32 > 1024-1-64 > 4096-4-16 "
+        ">~ 2048-2-32"
+    )
+    # thread scaling within a rank
+    assert hours["1024-1-16"] > hours["1024-1-32"] > hours["1024-1-64"]
+    # full-occupancy configuration ordering (Fig 1a's headline)
+    assert hours["2048-2-32"] < hours["4096-4-16"] < hours["1024-1-64"]
+    # "slightly better": the 2048/4096 gap is small
+    assert hours["4096-4-16"] / hours["2048-2-32"] < 1.10
+    assert set(hours) == set(FIG1A_CONFIGS)

@@ -1,0 +1,54 @@
+"""Figure 1(b): execution time per configuration, 400-hour data, up to
+two racks (the ~123 M-parameter model).
+
+Paper shapes asserted:
+
+* the one-rack configuration ordering carries over from Fig 1(a);
+* adding the second rack (8192-4-16) yields a further speedup over
+  4096-4-16;
+* the end-to-end 400-hour training lands in single-digit hours
+  ("A DNN on 400 hours can be trained ... in 6.3 hours").
+
+Known deviation (documented in EXPERIMENTS.md): the paper reports only
+~22 % gain from the second rack, implying a large non-scaling component
+in their implementation that our cleaner reproduction does not have —
+our 4096 -> 8192 step is closer to linear, so we assert gain > 15 %
+without an upper bound.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import PAPER_SCRIPT
+
+from repro.harness import render_series, run_fig1b
+
+CONFIGS = ("1024-1-64", "2048-2-32", "4096-4-16", "8192-4-16")
+
+
+def test_fig1b(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_fig1b(PAPER_SCRIPT, configs=CONFIGS), rounds=1, iterations=1
+    )
+    hours = {p.label: p.hours for p in points}
+    print()
+    print(
+        render_series(
+            [p.label for p in points],
+            [p.hours for p in points],
+            title="Fig 1(b): 400-hour training time by configuration (hours)",
+            unit="h",
+        )
+    )
+    gain = (hours["4096-4-16"] / hours["8192-4-16"] - 1.0) * 100
+    print(f"second-rack speedup: {gain:.0f}% (paper: ~22%)")
+    print(f"400-hour wall time on 8192-4-16: {hours['8192-4-16']:.1f}h (paper: 6.3h)")
+    # one-rack ordering persists on the big model
+    assert hours["2048-2-32"] < hours["1024-1-64"]
+    # the second rack helps
+    assert hours["8192-4-16"] < hours["4096-4-16"]
+    assert gain > 15.0
+    # single-digit hours for the full 400-hour training
+    assert hours["8192-4-16"] < 10.0

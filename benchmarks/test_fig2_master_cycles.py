@@ -1,0 +1,41 @@
+"""Figure 2: master-process cycle breakdown per function, for the three
+one-rack configurations.
+
+Paper shapes asserted:
+
+* as MPI ranks increase, the master "needs to spend more time
+  distributing the data (load_data) ... and synchronizing the weights
+  (sync_weights_master)";
+* time spent waiting in MPI shows up overwhelmingly as IU-empty cycles
+  (the instruction unit idles while the library polls).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import breakdown_runs
+
+from repro.harness import render_cycles
+
+
+def test_fig2_master_cycles(benchmark):
+    runs = benchmark.pedantic(breakdown_runs, rounds=1, iterations=1)
+    print()
+    for cb in runs:
+        print(render_cycles(cb.master_cycles, title=f"Fig 2 [{cb.label}] master cycles"))
+        print()
+
+    by_label = {cb.label: cb for cb in runs}
+    # master load_data (p2p) grows with rank count
+    load = [by_label[l].master.p2p["load_data"] for l in ("1024-1-64", "2048-2-32", "4096-4-16")]
+    assert load[0] < load[1] < load[2]
+    # MPI-wait cycles are dominated by IU_empty
+    for cb in runs:
+        for fn, cats in cb.master_cycles.items():
+            if fn.startswith("mpi:"):
+                assert cats.iu_empty > 0.5 * cats.total
+    # the master performs no gradient math (workers do)
+    for cb in runs:
+        assert "gradient_loss" not in cb.master.compute

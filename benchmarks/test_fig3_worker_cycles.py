@@ -1,0 +1,45 @@
+"""Figure 3: worker-process cycle breakdown per function, three configs.
+
+Paper shapes asserted:
+
+* "as the MPI ranks increase, the computation time decreases (such as
+  gradient_loss)";
+* "for other functions such as worker_curvature_product, the computation
+  time can vary ... the algorithm randomly selects a small percentage of
+  the data" — the across-worker spread of curvature time is visible;
+* compute cycles are mostly committed + pipeline stalls (GEMM class),
+  not IU-empty.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import breakdown_runs
+
+from repro.harness import render_cycles
+
+
+def test_fig3_worker_cycles(benchmark):
+    runs = benchmark.pedantic(breakdown_runs, rounds=1, iterations=1)
+    print()
+    for cb in runs:
+        print(render_cycles(cb.worker_cycles, title=f"Fig 3 [{cb.label}] worker cycles"))
+        lo, hi = cb.worker_spread["worker_curvature_product"]
+        print(f"  worker_curvature_product spread across workers: {lo:.2f}s .. {hi:.2f}s")
+        print()
+
+    by_label = {cb.label: cb for cb in runs}
+    ordered = [by_label[l] for l in ("1024-1-64", "2048-2-32", "4096-4-16")]
+    # per-worker gradient compute shrinks as ranks grow
+    grads = [cb.worker_mean.compute["gradient_loss"] for cb in ordered]
+    assert grads[0] > grads[1] > grads[2]
+    # curvature-product variance across workers is nonzero in every config
+    for cb in runs:
+        lo, hi = cb.worker_spread["worker_curvature_product"]
+        assert hi > lo > 0
+    # worker compute is GEMM-class: committed dominates IU-empty
+    for cb in runs:
+        g = cb.worker_cycles["gradient_loss"]
+        assert g.committed > 3 * g.iu_empty

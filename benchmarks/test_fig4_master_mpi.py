@@ -1,0 +1,45 @@
+"""Figure 4: master MPI time, split into collective and point-to-point,
+per function, three configurations.
+
+Paper shapes asserted:
+
+* the master's point-to-point time is the load_data distribution and
+  grows with rank count;
+* the master's collective time (weight sync + gradient/curvature
+  reductions) dominates its p2p time per iteration — the master spends
+  most of its MPI life waiting on data-parallel reductions.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import breakdown_runs
+
+from repro.harness import render_mpi_split
+
+
+def test_fig4_master_mpi(benchmark):
+    runs = benchmark.pedantic(breakdown_runs, rounds=1, iterations=1)
+    print()
+    for cb in runs:
+        print(
+            render_mpi_split(
+                cb.master.collective,
+                cb.master.p2p,
+                title=f"Fig 4 [{cb.label}] master MPI time (s)",
+            )
+        )
+        print()
+
+    by_label = {cb.label: cb for cb in runs}
+    ordered = [by_label[l] for l in ("1024-1-64", "2048-2-32", "4096-4-16")]
+    # p2p (load_data) grows with ranks
+    p2p = [cb.master_p2p_total for cb in ordered]
+    assert p2p[0] < p2p[1] < p2p[2]
+    # collective categories present and substantial
+    for cb in runs:
+        assert cb.master.collective["sync_weights_master"] > 0
+        assert cb.master.collective["reduce_gradient"] > 0
+        assert cb.master_collective_total > cb.master_p2p_total

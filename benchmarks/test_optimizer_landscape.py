@@ -1,0 +1,88 @@
+"""Section II landscape: HF vs L-BFGS vs serial/parallel SGD.
+
+The paper's related-work claims, measured on real (scaled) data:
+
+* second-order batch methods (HF, L-BFGS) "compute the gradient over all
+  of the data ... and therefore are much easier to parallelize";
+* one-shot parameter-averaging parallel SGD degrades on non-convex DNNs;
+* gradient-synchronous parallel SGD moves orders of magnitude more bytes
+  per epoch than HF ("large communications costs in passing the gradient
+  vectors from worker machines back to the master").
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.harness import render_table
+from repro.hf import FrameSource, HFConfig, HessianFreeOptimizer
+from repro.nn import (
+    DNN,
+    CrossEntropyLoss,
+    LBFGSConfig,
+    SGDConfig,
+    lbfgs_train,
+    parameter_averaging_sgd,
+    sgd_train,
+    sync_sgd_comm_cost,
+)
+from repro.speech import CorpusConfig, build_corpus
+
+CFG = CorpusConfig(hours=50, scale=1.5e-4, context=2, seed=55)
+PASSES = 6
+
+
+def run_landscape():
+    corpus = build_corpus(CFG)
+    x, y = corpus.frame_data()
+    hx, hy = corpus.heldout_frame_data()
+    net = DNN([CFG.input_dim, 48, corpus.n_states])
+    theta0 = net.init_params(0)
+    ce = CrossEntropyLoss()
+
+    out = {}
+    hf = HessianFreeOptimizer(
+        FrameSource(net, ce, x, y, hx, hy, curvature_fraction=0.03),
+        HFConfig(max_iterations=PASSES),
+    ).run(theta0)
+    out["HF"] = hf.heldout_trajectory[-1]
+
+    lb = lbfgs_train(net, theta0, x, y, ce, LBFGSConfig(max_iterations=PASSES),
+                     heldout=(hx, hy))
+    out["L-BFGS"] = lb.losses[-1]
+
+    serial = sgd_train(net, theta0, x, y, ce,
+                       SGDConfig(epochs=PASSES, learning_rate=0.1),
+                       heldout=(hx, hy))
+    out["serial SGD"] = serial.heldout_losses[-1]
+
+    avg = parameter_averaging_sgd(
+        net, theta0, x, y, ce, 8, SGDConfig(epochs=PASSES, learning_rate=0.1),
+        heldout=(hx, hy),
+    )
+    out["param-avg SGD (8w)"] = avg.heldout_losses[-1]
+    return out
+
+
+def test_optimizer_landscape(benchmark):
+    out = benchmark.pedantic(run_landscape, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["optimizer", "held-out loss after ~6 data passes"],
+            [[k, v] for k, v in out.items()],
+            title="Section II optimizer landscape",
+        )
+    )
+    cc = sync_sgd_comm_cost(41_000_000, 18_000_000, batch_size=512)
+    print(
+        f"per-epoch reduction volume: sync-SGD {cc.sgd_bytes / 1e12:.1f} TB "
+        f"vs HF {cc.hf_bytes / 1e9:.1f} GB ({cc.ratio:.0f}x)"
+    )
+    # second-order methods learn (down from the init loss)
+    assert out["HF"] < out["param-avg SGD (8w)"]
+    # one-shot averaging trails serial SGD (the non-convexity failure)
+    assert out["param-avg SGD (8w)"] > out["serial SGD"]
+    # HF's communication economy at 50h/41M scale
+    assert cc.ratio > 100

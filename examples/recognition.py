@@ -1,0 +1,51 @@
+"""Recognition: decode held-out utterances with the trained model.
+
+The paper evaluates by word-error-rate; our synthetic analogue is
+state-sequence error: Viterbi-decode the DNN's posteriors through the
+generating HMM's transition graph (hybrid DNN/HMM decoding) and score
+the decoded path against the true one with WER's edit-distance
+machinery.
+
+    python examples/recognition.py
+"""
+
+import numpy as np
+
+from repro.hf import FrameSource, HFConfig, HessianFreeOptimizer
+from repro.nn import DNN, CrossEntropyLoss
+from repro.speech import CorpusConfig, build_corpus, state_error_rate, viterbi_decode
+
+
+def main() -> None:
+    config = CorpusConfig(hours=50, scale=2e-4, context=2, seed=20)
+    corpus = build_corpus(config)
+    x, y = corpus.frame_data()
+    hx, hy = corpus.heldout_frame_data()
+    net = DNN([config.input_dim, 64, corpus.n_states])
+    theta0 = net.init_params(0)
+
+    source = FrameSource(
+        net, CrossEntropyLoss(), x, y, hx, hy, curvature_fraction=0.03
+    )
+    result = HessianFreeOptimizer(source, HFConfig(max_iterations=8)).run(theta0)
+
+    lt = corpus.sampler.log_transitions()
+    li = corpus.sampler.log_initial()
+
+    def evaluate(theta, label):
+        rates = []
+        for utt in corpus.heldout_utts:
+            feats = corpus._prep(utt)
+            decoded = viterbi_decode(net.logits(theta, feats), lt, log_initial=li)
+            rates.append(state_error_rate(utt.states, decoded.path))
+        print(f"{label}: state error rate {np.mean(rates):.1%} "
+              f"over {len(rates)} held-out utterances")
+        return float(np.mean(rates))
+
+    before = evaluate(theta0, "random init ")
+    after = evaluate(result.theta, "after HF    ")
+    print(f"\nrelative error reduction: {(before - after) / before:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Simulate paper-scale training on the virtual Blue Gene/Q.
+
+Runs the master/worker protocol at 1024-4096 MPI ranks on the
+discrete-event simulator: real collective algorithms on the 5-D torus
+cost model, worker compute charged through the tuned-SGEMM performance
+model, per-function time breakdowns a la Figures 2-5.  Takes a couple of
+minutes (it is simulating a rack of Blue Gene/Q on your laptop).
+
+    python examples/simulate_bgq.py
+"""
+
+from repro.bgq import RunShape
+from repro.dist import IterationScript, SimJobConfig, simulate_training
+from repro.harness import default_workload, render_mpi_split, render_series
+
+CONFIGS = ("1024-1-64", "2048-2-32", "4096-4-16")
+
+
+def main() -> None:
+    workload = default_workload(50.0)
+    script = IterationScript(
+        cg_iters=(15,), heldout_evals=(5,), represented_iterations=30
+    )
+    print(
+        f"workload: {workload.train_frames / 1e6:.0f}M frames, "
+        f"{workload.geometry.n_params / 1e6:.0f}M parameters, "
+        f"theta broadcast = {workload.theta_bytes / 1e6:.0f} MB"
+    )
+
+    points = []
+    for spec in CONFIGS:
+        cfg = SimJobConfig(
+            shape=RunShape.parse(spec), workload=workload, script=script
+        )
+        res = simulate_training(cfg)
+        points.append((spec, res))
+        print(
+            f"{spec}: {res.represented_total_hours:.2f} h projected "
+            f"({res.per_iteration_seconds:.0f} s/iteration, "
+            f"{res.total_messages} simulated messages)"
+        )
+
+    print()
+    print(
+        render_series(
+            [s for s, _ in points],
+            [r.represented_total_hours for _, r in points],
+            title="Fig 1(a)-style: projected 50-hour training time",
+            unit="h",
+        )
+    )
+
+    spec, res = points[-1]
+    print()
+    mb = res.master_breakdown()
+    print(render_mpi_split(mb.collective, mb.p2p, title=f"master MPI time [{spec}]"))
+    print()
+    wb = res.mean_worker_breakdown()
+    print(
+        render_mpi_split(
+            wb.collective, wb.p2p, title=f"mean worker MPI time [{spec}]"
+        )
+    )
+    print("\nworker compute (s):", {k: round(v, 1) for k, v in wb.compute.items()})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — Parallel Deep Neural Network Training for Big Data on Blue Gene/Q.
+
+A from-scratch Python reproduction of Chung et al., SC 2014: distributed
+Hessian-free second-order DNN training in a master/worker MPI layout,
+with every substrate the paper depends on built in-package —
+
+* :mod:`repro.hf` — the Hessian-free optimizer (Algorithm 1);
+* :mod:`repro.nn` — feedforward DNNs, backprop, Gauss–Newton products,
+  cross-entropy and sequence-MMI criteria, SGD baseline;
+* :mod:`repro.dist` — the master/worker trainer on real threads (real
+  math) and on a discrete-event simulator (paper-scale timing);
+* :mod:`repro.sim` / :mod:`repro.vmpi` — discrete-event engine and a
+  virtual MPI with real collective algorithms;
+* :mod:`repro.bgq` — the Blue Gene/Q machine model (A2 cores, 5-D
+  torus, CNK, cycle counters);
+* :mod:`repro.gemm` — blocked GEMM and the tuned-kernel performance
+  model of Section V-A;
+* :mod:`repro.speech` — synthetic HMM-GMM speech corpora;
+* :mod:`repro.cluster` — the Intel Xeon / Ethernet / Linux comparator;
+* :mod:`repro.harness` — one driver per paper table/figure.
+
+Quickstart::
+
+    from repro.speech import build_corpus, CorpusConfig
+    from repro.nn import DNN, CrossEntropyLoss
+    from repro.hf import FrameSource, HessianFreeOptimizer, HFConfig
+
+    corpus = build_corpus(CorpusConfig(hours=50, scale=2e-4))
+    x, y = corpus.frame_data()
+    hx, hy = corpus.heldout_frame_data()
+    net = DNN([corpus.config.input_dim, 64, 64, corpus.n_states])
+    source = FrameSource(net, CrossEntropyLoss(), x, y, hx, hy)
+    result = HessianFreeOptimizer(source, HFConfig(max_iterations=10)).run(
+        net.init_params(0)
+    )
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,139 @@
+"""Hardware cycle accounting (the paper's Figures 2-3 categories).
+
+BG/Q's A2 core exposes performance counters that the paper groups into:
+
+* **Committed Instructions** — cycles retiring useful work;
+* **IU_Empty** — instruction unit empty (I-cache / IERAT misses, and the
+  idle spin of a thread waiting in the MPI library);
+* **AXU_Dep_Stalls** — floating-point pipeline dependency stalls;
+* **FXU_Dep_Stalls** — fixed-point/load-store dependency stalls.
+
+We reproduce the breakdown by classifying every timed span on a rank into
+a *kernel class* and applying per-class category fractions.  Fractions
+depend on threads/core exactly the way Section V-A argues: more threads
+per core hide dependency latency (fewer AXU/FXU stalls) and fill issue
+slots (fewer IU-empty cycles) for compute kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.bgq.a2 import A2Core, BGQ_CORE
+
+__all__ = ["CycleCategories", "CycleModel", "KERNEL_CLASSES"]
+
+KERNEL_CLASSES = ("gemm", "elementwise", "control", "mpi_wait", "io")
+
+
+@dataclass(frozen=True)
+class CycleCategories:
+    """Cycles split across the four counter groups."""
+
+    committed: float
+    iu_empty: float
+    axu_dep_stall: float
+    fxu_dep_stall: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.committed
+            + self.iu_empty
+            + self.axu_dep_stall
+            + self.fxu_dep_stall
+        )
+
+    def __add__(self, other: "CycleCategories") -> "CycleCategories":
+        return CycleCategories(
+            self.committed + other.committed,
+            self.iu_empty + other.iu_empty,
+            self.axu_dep_stall + other.axu_dep_stall,
+            self.fxu_dep_stall + other.fxu_dep_stall,
+        )
+
+    @classmethod
+    def zero(cls) -> "CycleCategories":
+        return cls(0.0, 0.0, 0.0, 0.0)
+
+
+# fractions[(kernel_class, threads_per_core)] -> (committed, iu, axu, fxu)
+_FRACTIONS: Mapping[tuple[str, int], tuple[float, float, float, float]] = {
+    # GEMM: tuned kernel; thread count drives stall hiding (Sec. V-A3).
+    ("gemm", 1): (0.52, 0.10, 0.26, 0.12),
+    ("gemm", 2): (0.72, 0.06, 0.15, 0.07),
+    ("gemm", 3): (0.78, 0.05, 0.11, 0.06),
+    ("gemm", 4): (0.84, 0.04, 0.08, 0.04),
+    # Elementwise (activations, bias adds): memory bound, more FXU stalls.
+    ("elementwise", 1): (0.40, 0.15, 0.15, 0.30),
+    ("elementwise", 2): (0.52, 0.12, 0.12, 0.24),
+    ("elementwise", 3): (0.56, 0.11, 0.11, 0.22),
+    ("elementwise", 4): (0.60, 0.10, 0.10, 0.20),
+    # Control/bookkeeping: scalar code, little FP.
+    ("control", 1): (0.45, 0.35, 0.02, 0.18),
+    ("control", 2): (0.50, 0.30, 0.02, 0.18),
+    ("control", 3): (0.52, 0.29, 0.02, 0.17),
+    ("control", 4): (0.55, 0.27, 0.02, 0.16),
+    # Spinning in the MPI library: issue unit mostly empty.
+    ("mpi_wait", 1): (0.08, 0.85, 0.01, 0.06),
+    ("mpi_wait", 2): (0.08, 0.85, 0.01, 0.06),
+    ("mpi_wait", 3): (0.08, 0.85, 0.01, 0.06),
+    ("mpi_wait", 4): (0.08, 0.85, 0.01, 0.06),
+    # I/O offload wait (CNK function-ships to I/O nodes).
+    ("io", 1): (0.05, 0.90, 0.00, 0.05),
+    ("io", 2): (0.05, 0.90, 0.00, 0.05),
+    ("io", 3): (0.05, 0.90, 0.00, 0.05),
+    ("io", 4): (0.05, 0.90, 0.00, 0.05),
+}
+
+
+@dataclass(frozen=True)
+class CycleModel:
+    """Maps (seconds, kernel class, threads/core) to counter categories."""
+
+    core: A2Core = BGQ_CORE
+
+    def split(
+        self, seconds: float, kernel_class: str, threads_per_core: int
+    ) -> CycleCategories:
+        """Cycle categories for ``seconds`` of one core running
+        ``kernel_class`` with ``threads_per_core`` active threads."""
+        if kernel_class not in KERNEL_CLASSES:
+            raise ValueError(
+                f"unknown kernel class {kernel_class!r}; "
+                f"expected one of {KERNEL_CLASSES}"
+            )
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds}")
+        key = (kernel_class, threads_per_core)
+        if key not in _FRACTIONS:
+            raise ValueError(
+                f"no fractions for {threads_per_core} threads/core "
+                f"(valid: 1..4)"
+            )
+        c, iu, axu, fxu = _FRACTIONS[key]
+        cycles = self.core.cycles_for_seconds(seconds)
+        return CycleCategories(
+            committed=cycles * c,
+            iu_empty=cycles * iu,
+            axu_dep_stall=cycles * axu,
+            fxu_dep_stall=cycles * fxu,
+        )
+
+    def split_ledger(
+        self,
+        ledger_seconds: Mapping[str, float],
+        classify: Mapping[str, str],
+        threads_per_core: int,
+    ) -> dict[str, CycleCategories]:
+        """Split a per-function-label time ledger into categories.
+
+        ``classify`` maps function labels (e.g. ``gradient_loss``) to
+        kernel classes; unlisted labels default to ``control``.
+        """
+        out: dict[str, CycleCategories] = {}
+        for label, secs in ledger_seconds.items():
+            kclass = classify.get(label, "control")
+            out[label] = self.split(secs, kclass, threads_per_core)
+        return out

@@ -1,0 +1,58 @@
+"""BG/Q node memory-hierarchy parameters.
+
+Capacities and bandwidth ceilings from the BG/Q compute-chip paper
+(Haring et al., IEEE Micro 2012) as summarized in Section III of the
+reproduced paper.  The GEMM performance model uses these to decide which
+blocking level a given problem sits in and to cap streaming kernels at
+memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryHierarchy", "BGQ_MEMORY"]
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """Per-node capacities (bytes) and bandwidths (bytes/second)."""
+
+    l1d_bytes: int = 16 * 1024  # per core, private
+    l1p_bytes: int = 2 * 1024  # per core prefetch buffer
+    l2_bytes: int = 32 * 1024 * 1024  # shared across the 16 cores
+    ddr_bytes: int = 16 * 1024**3  # 16 GB per node
+
+    l1_bandwidth: float = 51.2e9  # per core: 32 B/cycle at 1.6 GHz
+    l1p_latency_cycles: int = 20  # covered by the inner kernel (Sec. V-A2)
+    l2_bandwidth: float = 185e9  # aggregate node L2 read bandwidth
+    l2_latency_cycles: int = 82
+    ddr_bandwidth: float = 28e9  # 2 x DDR3-1333 channels, aggregate
+    ddr_latency_cycles: int = 350
+    intranode_copy_bandwidth: float = 12e9  # rank-to-rank on-node copy
+
+    def level_for_working_set(self, nbytes: int) -> str:
+        """Name of the smallest level that holds a working set of ``nbytes``
+        (per core for L1, per node for L2/DDR)."""
+        if nbytes < 0:
+            raise ValueError(f"negative working set {nbytes}")
+        if nbytes <= self.l1d_bytes:
+            return "L1"
+        if nbytes <= self.l2_bytes:
+            return "L2"
+        return "DDR"
+
+    def stream_bandwidth(self, level: str) -> float:
+        """Sustainable streaming bandwidth at a hierarchy level."""
+        try:
+            return {
+                "L1": self.l1_bandwidth,
+                "L2": self.l2_bandwidth,
+                "DDR": self.ddr_bandwidth,
+            }[level]
+        except KeyError:
+            raise ValueError(f"unknown memory level {level!r}") from None
+
+
+BGQ_MEMORY = MemoryHierarchy()
+"""The production BG/Q node hierarchy."""

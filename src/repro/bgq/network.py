@@ -1,0 +1,125 @@
+"""Torus network cost model for virtual MPI on BG/Q.
+
+Implements the :class:`~repro.vmpi.costmodel.NetworkModel` protocol:
+consecutive MPI ranks are packed onto nodes ``ranks_per_node`` at a time
+(the default BG/Q mapping), intra-node messages move at memory-copy
+bandwidth, and inter-node messages pay per-hop router latency plus
+serialization on 2 GB/s links along the dimension-ordered route.
+
+A light congestion term grows with the machine's *bisection load*:
+when many ranks communicate simultaneously (as in the trainer's gradient
+reductions), effective per-message bandwidth degrades slightly with
+partition size.  The coefficient is small — BG/Q's torus is famously
+uncongested — but it is what bends the paper's scaling curve past 4096
+ranks (Figs 1b / Section VIII "beyond 4096, sub-linear").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgq.memory import BGQ_MEMORY, MemoryHierarchy
+from repro.bgq.torus import TorusShape, torus_shape_for_nodes
+
+__all__ = ["TorusNetworkModel"]
+
+
+@dataclass(frozen=True)
+class TorusNetworkModel:
+    """p2p message costs on a BG/Q partition.
+
+    Parameters
+    ----------
+    nodes:
+        Partition size in nodes; the production torus shape is looked up.
+    ranks_per_node:
+        MPI ranks packed per node (block mapping: ranks ``[k*rpn,
+        (k+1)*rpn)`` live on node ``k``).
+    link_bandwidth:
+        Bytes/second per link direction (2 GB/s on BG/Q).
+    hop_latency:
+        Router traversal seconds per hop (~40 ns on BG/Q).
+    base_latency:
+        Fixed software/messaging-unit overhead per message (~600 ns MPI).
+    congestion_per_node:
+        Fractional bandwidth derating per node of partition size,
+        modeling background traffic on shared links during dense
+        communication phases.
+    """
+
+    nodes: int
+    ranks_per_node: int = 1
+    link_bandwidth: float = 2e9
+    hop_latency: float = 40e-9
+    base_latency: float = 600e-9
+    congestion_per_node: float = 6e-6
+    memory: MemoryHierarchy = BGQ_MEMORY
+    torus: TorusShape = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"need >= 1 node, got {self.nodes}")
+        if self.ranks_per_node < 1:
+            raise ValueError(f"ranks_per_node must be >= 1")
+        if self.torus is None:
+            object.__setattr__(self, "torus", torus_shape_for_nodes(self.nodes))
+        if self.torus.nodes != self.nodes:
+            raise ValueError(
+                f"torus shape {self.torus.dims} has {self.torus.nodes} nodes, "
+                f"expected {self.nodes}"
+            )
+
+    # ---------------------------------------------------------------- mapping
+    @property
+    def size(self) -> int:
+        """Total MPI ranks the model covers."""
+        return self.nodes * self.ranks_per_node
+
+    def node_of(self, rank: int) -> int:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range 0..{self.size - 1}")
+        return rank // self.ranks_per_node
+
+    # ---------------------------------------------------------------- costs
+    def _effective_bandwidth(self) -> float:
+        derate = 1.0 + self.congestion_per_node * self.nodes
+        return self.link_bandwidth / derate
+
+    def p2p_time(self, src: int, dst: int, nbytes: int, now: float = 0.0) -> float:
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        if src == dst:
+            return 0.0
+        nsrc, ndst = self.node_of(src), self.node_of(dst)
+        if nsrc == ndst:
+            # on-node: shared-memory copy through L2/DDR
+            return 200e-9 + nbytes / self.memory.intranode_copy_bandwidth
+        hops = self.torus.hops(nsrc, ndst)
+        return (
+            self.base_latency
+            + hops * self.hop_latency
+            + nbytes / self._effective_bandwidth()
+        )
+
+    def injection_time(self, nbytes: int) -> float:
+        """Sender-side occupancy: the messaging unit DMA-offloads, so the
+        core only pays descriptor setup plus a copy capped by injection
+        bandwidth (aggregate 2 GB/s x 10 links shared by on-node ranks)."""
+        inj_bw = self.link_bandwidth * 10 / self.ranks_per_node
+        return 250e-9 + nbytes / inj_bw
+
+    def wire_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Per-pair wire occupancy: link serialization off-node, memory
+        copy occupancy on-node."""
+        if src == dst:
+            return 0.0
+        if self.node_of(src) == self.node_of(dst):
+            return nbytes / self.memory.intranode_copy_bandwidth
+        return nbytes / self._effective_bandwidth()
+
+    def collective_params(self) -> tuple[float, float]:
+        """(alpha, bandwidth) for the closed-form collective fast path:
+        per-step latency is base latency plus an average-distance hop
+        charge; bandwidth is the congestion-derated link rate."""
+        alpha = self.base_latency + self.torus.mean_hops_estimate() * self.hop_latency
+        return alpha, self._effective_bandwidth()

@@ -1,0 +1,117 @@
+"""BG/Q node and run-configuration model.
+
+A run configuration in the paper is written ``R-rpn-t``: total MPI ranks,
+ranks per node, OpenMP threads per rank (e.g. ``4096-4-16`` = 4096 ranks,
+4 per node, 16 threads each).  :class:`RunShape` validates these against
+the node's 16 cores x 4 hardware threads and exposes derived quantities
+(cores per rank, threads per core, node count) that the compute model
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgq.a2 import A2Core, BGQ_CORE
+
+__all__ = ["NodeSpec", "RunShape", "BGQ_NODE"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node: cores plus their shared envelope."""
+
+    cores: int = 16
+    core: A2Core = BGQ_CORE
+
+    @property
+    def hw_threads(self) -> int:
+        return self.cores * self.core.hw_threads
+
+    @property
+    def peak_gflops(self) -> float:
+        """Node peak DP GFLOPS (204.8 for production BG/Q)."""
+        return self.cores * self.core.peak_gflops
+
+
+BGQ_NODE = NodeSpec()
+
+
+@dataclass(frozen=True)
+class RunShape:
+    """A validated ``ranks - ranks/node - threads/rank`` configuration."""
+
+    ranks: int
+    ranks_per_node: int
+    threads_per_rank: int
+    node: NodeSpec = BGQ_NODE
+
+    def __post_init__(self) -> None:
+        if self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+        if self.ranks_per_node < 1:
+            raise ValueError(
+                f"ranks_per_node must be >= 1, got {self.ranks_per_node}"
+            )
+        if self.ranks % self.ranks_per_node != 0:
+            raise ValueError(
+                f"ranks ({self.ranks}) not divisible by ranks_per_node "
+                f"({self.ranks_per_node})"
+            )
+        if self.threads_per_rank < 1:
+            raise ValueError(
+                f"threads_per_rank must be >= 1, got {self.threads_per_rank}"
+            )
+        total_threads = self.ranks_per_node * self.threads_per_rank
+        if total_threads > self.node.hw_threads:
+            raise ValueError(
+                f"{self.ranks_per_node} ranks x {self.threads_per_rank} threads "
+                f"= {total_threads} oversubscribes the node's "
+                f"{self.node.hw_threads} hardware threads"
+            )
+
+    # ------------------------------------------------------------- derived
+    @property
+    def nodes(self) -> int:
+        return self.ranks // self.ranks_per_node
+
+    @property
+    def threads_per_node(self) -> int:
+        return self.ranks_per_node * self.threads_per_rank
+
+    @property
+    def cores_per_rank(self) -> float:
+        return self.node.cores / self.ranks_per_node
+
+    @property
+    def threads_per_core(self) -> int:
+        """Hardware threads in use per core (rounded up to a valid level)."""
+        raw = self.threads_per_node / self.node.cores
+        for level in (1, 2, 3, 4):
+            if raw <= level:
+                return level
+        raise ValueError(f"thread load {raw} exceeds 4 threads/core")
+
+    @property
+    def node_utilization(self) -> float:
+        """Fraction of the node's hardware threads occupied."""
+        return self.threads_per_node / self.node.hw_threads
+
+    # ------------------------------------------------------------- parsing
+    @classmethod
+    def parse(cls, spec: str, node: NodeSpec = BGQ_NODE) -> "RunShape":
+        """Parse the paper's ``"4096-4-16"`` notation."""
+        parts = spec.split("-")
+        if len(parts) != 3:
+            raise ValueError(
+                f"expected 'ranks-ranksPerNode-threads', got {spec!r}"
+            )
+        try:
+            ranks, rpn, tpr = (int(p) for p in parts)
+        except ValueError:
+            raise ValueError(f"non-integer field in config {spec!r}") from None
+        return cls(ranks, rpn, tpr, node=node)
+
+    def label(self) -> str:
+        """Inverse of :meth:`parse`."""
+        return f"{self.ranks}-{self.ranks_per_node}-{self.threads_per_rank}"

@@ -1,0 +1,71 @@
+"""Rack / midplane / partition bookkeeping.
+
+BG/Q machines allocate compute in power-of-two partitions built from
+midplanes (512 nodes); a rack is two midplanes (1024 nodes).  The paper
+uses one rack (Fig 1a) and two racks (Fig 1b, config 8192-4-16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgq.node import BGQ_NODE, NodeSpec, RunShape
+from repro.bgq.torus import KNOWN_SHAPES, TorusShape, torus_shape_for_nodes
+
+__all__ = ["Partition", "NODES_PER_MIDPLANE", "NODES_PER_RACK"]
+
+NODES_PER_MIDPLANE = 512
+NODES_PER_RACK = 1024
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A booked set of nodes with its torus shape."""
+
+    nodes: int
+    node_spec: NodeSpec = BGQ_NODE
+
+    def __post_init__(self) -> None:
+        if self.nodes < 32 or self.nodes & (self.nodes - 1) != 0:
+            raise ValueError(
+                f"BG/Q partitions are powers of two >= 32 nodes, got {self.nodes}"
+            )
+
+    @property
+    def racks(self) -> float:
+        return self.nodes / NODES_PER_RACK
+
+    @property
+    def midplanes(self) -> float:
+        return self.nodes / NODES_PER_MIDPLANE
+
+    @property
+    def torus(self) -> TorusShape:
+        return torus_shape_for_nodes(self.nodes)
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.nodes * self.node_spec.peak_gflops
+
+    def shape_for(self, ranks_per_node: int, threads_per_rank: int) -> RunShape:
+        """Fully-populated :class:`RunShape` on this partition."""
+        return RunShape(
+            ranks=self.nodes * ranks_per_node,
+            ranks_per_node=ranks_per_node,
+            threads_per_rank=threads_per_rank,
+            node=self.node_spec,
+        )
+
+    @classmethod
+    def for_run(cls, shape: RunShape) -> "Partition":
+        """Smallest valid partition hosting ``shape``."""
+        nodes = shape.nodes
+        size = 32
+        while size < nodes:
+            size *= 2
+        return cls(size)
+
+    @classmethod
+    def standard_sizes(cls) -> list[int]:
+        """Partition sizes with production torus shapes."""
+        return sorted(KNOWN_SHAPES)

@@ -1,0 +1,161 @@
+"""The BG/Q 5-D torus interconnect.
+
+Nodes sit at integer coordinates of a 5-dimensional torus (dimensions
+conventionally named A, B, C, D, E; E is always 2 on production
+machines).  Each node drives 10 bidirectional links (2 per dimension) at
+2 GB/s per direction — 40 GB/s aggregate plus the I/O link, matching the
+paper's "44 GB/s per node" figure.  Routing is dimension-ordered and
+minimal (shortest way around each ring).
+
+This module provides partition shapes for the node counts used in the
+paper (a midplane is 512 nodes = 4x4x4x4x2; racks stack midplanes), a
+coordinate <-> index mapping, and hop-count computation that the network
+cost model (:mod:`repro.bgq.network`) charges per message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+__all__ = ["TorusShape", "torus_shape_for_nodes", "KNOWN_SHAPES"]
+
+# Production BG/Q partition shapes (A, B, C, D, E).
+KNOWN_SHAPES: dict[int, tuple[int, int, int, int, int]] = {
+    32: (2, 2, 2, 2, 2),  # node board
+    64: (2, 2, 4, 2, 2),
+    128: (2, 2, 4, 4, 2),
+    256: (4, 2, 4, 4, 2),
+    512: (4, 4, 4, 4, 2),  # midplane
+    1024: (4, 4, 4, 8, 2),  # 1 rack
+    2048: (4, 4, 8, 8, 2),  # 2 racks
+    4096: (4, 8, 8, 8, 2),  # 4 racks
+    8192: (8, 8, 8, 8, 2),
+    16384: (8, 8, 8, 16, 2),
+}
+
+
+@dataclass(frozen=True)
+class TorusShape:
+    """A concrete 5-D torus with helper geometry methods."""
+
+    dims: tuple[int, int, int, int, int]
+
+    def __post_init__(self) -> None:
+        if len(self.dims) != 5:
+            raise ValueError(f"expected 5 dimensions, got {len(self.dims)}")
+        if any(d < 1 for d in self.dims):
+            raise ValueError(f"all dimensions must be >= 1: {self.dims}")
+
+    @property
+    def nodes(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    # ------------------------------------------------------------- coords
+    def coords(self, node: int) -> tuple[int, int, int, int, int]:
+        """Coordinates of node index ``node`` (row-major A..E)."""
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node {node} out of range 0..{self.nodes - 1}")
+        out = []
+        rem = node
+        for d in reversed(self.dims):
+            out.append(rem % d)
+            rem //= d
+        return tuple(reversed(out))  # type: ignore[return-value]
+
+    def index(self, coords: tuple[int, int, int, int, int]) -> int:
+        """Inverse of :meth:`coords`."""
+        if len(coords) != 5:
+            raise ValueError(f"expected 5 coordinates, got {len(coords)}")
+        idx = 0
+        for c, d in zip(coords, self.dims):
+            if not 0 <= c < d:
+                raise ValueError(f"coordinate {c} out of range for dim {d}")
+            idx = idx * d + c
+        return idx
+
+    # -------------------------------------------------------------- routing
+    def ring_distance(self, a: int, b: int, dim_size: int) -> int:
+        """Minimal hops between positions ``a`` and ``b`` on a ring."""
+        delta = abs(a - b)
+        return min(delta, dim_size - delta)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Dimension-ordered minimal hop count between two node indices."""
+        ca, cb = self.coords(src), self.coords(dst)
+        return sum(
+            self.ring_distance(x, y, d) for x, y, d in zip(ca, cb, self.dims)
+        )
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Node indices along the dimension-ordered minimal route
+        (inclusive of both endpoints)."""
+        cur = list(self.coords(src))
+        target = self.coords(dst)
+        path = [self.index(tuple(cur))]
+        for dim in range(5):
+            size = self.dims[dim]
+            while cur[dim] != target[dim]:
+                fwd = (target[dim] - cur[dim]) % size
+                back = (cur[dim] - target[dim]) % size
+                step = 1 if fwd <= back else -1
+                cur[dim] = (cur[dim] + step) % size
+                path.append(self.index(tuple(cur)))
+        return path
+
+    @property
+    def max_hops(self) -> int:
+        """Torus diameter (max over node pairs of minimal hops)."""
+        return sum(d // 2 for d in self.dims)
+
+    def mean_hops_estimate(self) -> float:
+        """Expected hops between uniform-random distinct nodes.
+
+        Per-ring expectation of minimal distance, summed over dimensions
+        (rings are independent under uniform placement).
+        """
+        total = 0.0
+        for d in self.dims:
+            dists = [min(k, d - k) for k in range(d)]
+            total += sum(dists) / d
+        return total
+
+
+def torus_shape_for_nodes(nodes: int) -> TorusShape:
+    """Return the production partition shape for ``nodes`` nodes.
+
+    Falls back to a balanced 5-factor decomposition (E fixed at 2 when
+    divisible) for node counts that are not standard partitions.
+    """
+    if nodes < 1:
+        raise ValueError(f"need >= 1 node, got {nodes}")
+    if nodes in KNOWN_SHAPES:
+        return TorusShape(KNOWN_SHAPES[nodes])
+    return TorusShape(_balanced_factorization(nodes))
+
+
+def _balanced_factorization(n: int) -> tuple[int, int, int, int, int]:
+    """Most-balanced 5-factor decomposition of ``n`` (E preferring 2)."""
+    best: tuple[int, ...] | None = None
+    best_spread = None
+    # factor n into 5 parts by recursive divisor search, bounded for sanity
+    divisors = [d for d in range(1, n + 1) if n % d == 0]
+
+    def rec(remaining: int, parts: list[int]) -> None:
+        nonlocal best, best_spread
+        if len(parts) == 4:
+            full = sorted(parts + [remaining], reverse=True)
+            spread = full[0] - full[-1]
+            if best_spread is None or spread < best_spread:
+                best, best_spread = tuple(full), spread
+            return
+        for d in divisors:
+            if remaining % d == 0 and d <= remaining:
+                rec(remaining // d, parts + [d])
+
+    rec(n, [])
+    assert best is not None
+    return best  # type: ignore[return-value]

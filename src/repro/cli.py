@@ -1,0 +1,183 @@
+"""Command-line entry points: run paper experiments from the shell.
+
+    python -m repro.cli train            # quick HF training on synthetic speech
+    python -m repro.cli fig1a            # Figure 1(a) configuration sweep
+    python -m repro.cli fig1b            # Figure 1(b) with the second rack
+    python -m repro.cli breakdown        # Figures 2-5 per-function views
+    python -m repro.cli table1           # Table I speedups
+    python -m repro.cli scaling          # the linear-to-4096 claim
+    python -m repro.cli calibrate        # extract an IterationScript from a real run
+
+Flags of general interest: ``--hours`` (corpus size), ``--iters``
+(simulated HF iterations), ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.dist import IterationScript
+
+
+def _script(args: argparse.Namespace) -> IterationScript:
+    from repro.util.rng import spawn
+
+    rng = spawn(args.seed, "cli-script")
+    n = max(1, args.iters)
+    return IterationScript(
+        cg_iters=tuple(int(c) for c in rng.integers(12, 20, size=n)),
+        heldout_evals=tuple(int(h) for h in rng.integers(4, 7, size=n)),
+        represented_iterations=30,
+    )
+
+
+def cmd_train(args: argparse.Namespace) -> None:
+    from repro.hf import FrameSource, HFConfig, HessianFreeOptimizer
+    from repro.nn import DNN, CrossEntropyLoss, frame_error_count
+    from repro.speech import CorpusConfig, build_corpus
+    from repro.util import RunLog
+
+    config = CorpusConfig(hours=args.hours, scale=args.scale, context=2, seed=args.seed)
+    corpus = build_corpus(config)
+    x, y = corpus.frame_data()
+    hx, hy = corpus.heldout_frame_data()
+    net = DNN([config.input_dim, args.hidden, args.hidden, corpus.n_states])
+    print(net.describe())
+    source = FrameSource(net, CrossEntropyLoss(), x, y, hx, hy, curvature_fraction=0.03)
+    result = HessianFreeOptimizer(
+        source, HFConfig(max_iterations=args.iters), log=RunLog.to_stdout()
+    ).run(net.init_params(args.seed))
+    err = frame_error_count(net.logits(result.theta, hx), hy) / len(hy)
+    print(f"final held-out loss {result.heldout_trajectory[-1]:.4f}, frame error {err:.1%}")
+
+
+def cmd_fig1a(args: argparse.Namespace) -> None:
+    from repro.harness import render_series, run_fig1a
+
+    points = run_fig1a(_script(args), hours=args.hours)
+    print(
+        render_series(
+            [p.label for p in points],
+            [p.hours for p in points],
+            title=f"Fig 1(a): {args.hours:g}-hour training time",
+            unit="h",
+        )
+    )
+
+
+def cmd_fig1b(args: argparse.Namespace) -> None:
+    from repro.harness import render_series, run_fig1b
+
+    hours = args.hours if args.hours != 50.0 else 400.0
+    points = run_fig1b(_script(args), hours=hours)
+    print(
+        render_series(
+            [p.label for p in points],
+            [p.hours for p in points],
+            title=f"Fig 1(b): {hours:g}-hour training time",
+            unit="h",
+        )
+    )
+
+
+def cmd_breakdown(args: argparse.Namespace) -> None:
+    from repro.harness import (
+        default_workload,
+        render_cycles,
+        render_mpi_split,
+        run_breakdowns,
+    )
+
+    for cb in run_breakdowns(default_workload(args.hours), _script(args)):
+        print(render_cycles(cb.master_cycles, title=f"Fig 2 [{cb.label}] master cycles"))
+        print()
+        print(render_cycles(cb.worker_cycles, title=f"Fig 3 [{cb.label}] worker cycles"))
+        print()
+        print(render_mpi_split(cb.master.collective, cb.master.p2p,
+                               title=f"Fig 4 [{cb.label}] master MPI (s)"))
+        print()
+        print(render_mpi_split(cb.worker_mean.collective, cb.worker_mean.p2p,
+                               title=f"Fig 5 [{cb.label}] worker MPI (s)"))
+        print()
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    from repro.harness import render_table, run_table1
+
+    rows = run_table1(_script(args), hours=args.hours)
+    print(
+        render_table(
+            ["Training data", "Xeon 96 (hrs)", "BG/Q 4096 (hrs)", "Speed Up", "Freq Adj"],
+            [[r.criterion, r.xeon_hours, r.bgq_hours, r.speedup, r.frequency_adjusted]
+             for r in rows],
+            title="Table I",
+        )
+    )
+
+
+def cmd_scaling(args: argparse.Namespace) -> None:
+    from repro.harness import efficiencies, render_table, run_scaling_claim
+
+    points = run_scaling_claim(_script(args), hours=args.hours)
+    effs = efficiencies(points)
+    print(
+        render_table(
+            ["config", "per-iter (s)", "efficiency"],
+            [[p.label, p.per_iteration_seconds, e] for p, e in zip(points, effs)],
+            title="Scaling: linear to 4096, sub-linear beyond",
+        )
+    )
+
+
+def cmd_calibrate(args: argparse.Namespace) -> None:
+    from repro.harness import calibrated_script
+
+    run = calibrated_script(iterations=args.iters, seed=args.seed)
+    s = run.script
+    print(f"calibrated script from a real {args.iters}-iteration HF run:")
+    print(f"  cg_iters        = {s.cg_iters}")
+    print(f"  heldout_evals   = {s.heldout_evals}")
+    print(f"  represented     = {s.represented_iterations}")
+    print("held-out trajectory of the calibration run:",
+          [f"{v:.4f}" for v in run.hf_result.heldout_trajectory])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    shared = argparse.ArgumentParser(add_help=False)
+    shared.add_argument("--hours", type=float, default=50.0, help="corpus hours")
+    shared.add_argument("--scale", type=float, default=2e-4,
+                        help="materialized fraction for real-math commands")
+    shared.add_argument("--iters", type=int, default=2,
+                        help="HF iterations (real or simulated)")
+    shared.add_argument("--hidden", type=int, default=48, help="hidden width (train)")
+    shared.add_argument("--seed", type=int, default=0)
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BG/Q Hessian-free DNN training reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn in COMMANDS.items():
+        p = sub.add_parser(name, help=fn.__doc__, parents=[shared])
+        p.set_defaults(func=fn)
+    return parser
+
+
+COMMANDS = {
+    "train": cmd_train,
+    "fig1a": cmd_fig1a,
+    "fig1b": cmd_fig1b,
+    "breakdown": cmd_breakdown,
+    "table1": cmd_table1,
+    "scaling": cmd_scaling,
+    "calibrate": cmd_calibrate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

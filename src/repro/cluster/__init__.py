@@ -1,0 +1,20 @@
+"""The Intel Xeon / Linux / Ethernet comparison cluster (Table I).
+
+Same trainer, same workload, different machine: Xeon cores
+(:mod:`~repro.cluster.xeon`), a contended Ethernet fabric
+(:mod:`~repro.cluster.ethernet`), OS jitter
+(:class:`repro.bgq.kernel.LinuxJitter`), and socket-style serial
+broadcast.  The Table I harness (:mod:`repro.harness.speedup`) assembles
+these into the 96-process baseline.
+"""
+
+from repro.cluster.ethernet import EthernetNetworkModel
+from repro.cluster.xeon import XEON_CORE, XEON_MEMORY, XeonClusterSpec, xeon_perf_model
+
+__all__ = [
+    "EthernetNetworkModel",
+    "XEON_CORE",
+    "XEON_MEMORY",
+    "XeonClusterSpec",
+    "xeon_perf_model",
+]

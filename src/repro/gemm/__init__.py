@@ -1,0 +1,32 @@
+"""Matrix-multiplication substrate.
+
+Two complementary halves, mirroring Section V-A of the paper:
+
+* :mod:`repro.gemm.blocked` — the blocking *algorithm* (register tiles,
+  packed panels, GotoBLAS loop nest), executable and validated against
+  ``numpy``;
+* :mod:`repro.gemm.kernel_model` / :mod:`repro.gemm.perf` — the
+  *performance* of the tuned BG/Q kernel as an analytic model
+  (threads/core, precision, shape, core scaling, roofline), consumed by
+  the simulated trainer;
+* :mod:`repro.gemm.stats` — flop accounting that links the real
+  workload to the model.
+"""
+
+from repro.gemm.blocked import BlockingPlan, blocked_gemm, microkernel, pack_a_panel, pack_b_panel
+from repro.gemm.kernel_model import InnerKernelModel
+from repro.gemm.perf import GemmPerfModel, GemmProblem
+from repro.gemm.stats import GemmCall, GemmCounter
+
+__all__ = [
+    "BlockingPlan",
+    "blocked_gemm",
+    "microkernel",
+    "pack_a_panel",
+    "pack_b_panel",
+    "InnerKernelModel",
+    "GemmPerfModel",
+    "GemmProblem",
+    "GemmCall",
+    "GemmCounter",
+]

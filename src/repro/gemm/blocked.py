@@ -1,0 +1,139 @@
+"""Cache-blocked matrix multiplication, written out explicitly.
+
+This is the *algorithmic* reproduction of Section V-A: the same
+register-block / cache-block decomposition the BG/Q assembly kernel
+uses, expressed with numpy so the structure is visible and testable.
+
+Hierarchy (mirroring the paper):
+
+* **register block** — an ``MR x NR`` tile of C updated by a sequence of
+  rank-1 outer products (``8 x 8`` per thread on BG/Q; four cooperating
+  threads form the effective ``16 x 16`` tile of Section V-A3);
+* **cache block** — panels of A (``MC x KC``) and B (``KC x NC``) packed
+  contiguously so the inner kernel streams stride-one (the paper's
+  "reformatted so as to allow strictly stride-one access");
+* **outer loops** over cache blocks.
+
+``blocked_gemm`` is numerically identical to ``A @ B`` (up to float
+round-off from the different summation order) and is validated against
+it in the test suite.  It is obviously not *fast* in Python — the point
+is a faithful, inspectable rendering of the blocking scheme whose
+*performance* is modeled by :mod:`repro.gemm.perf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockingPlan", "blocked_gemm", "pack_a_panel", "pack_b_panel", "microkernel"]
+
+
+@dataclass(frozen=True)
+class BlockingPlan:
+    """Blocking parameters (defaults shaped like the BG/Q kernel).
+
+    ``mr x nr`` is the register tile; ``mc/kc/nc`` are the cache-panel
+    dimensions chosen so an A panel fits in L1/L2 per the paper's
+    discussion of keeping operands resident while C streams.
+    """
+
+    mr: int = 8
+    nr: int = 8
+    mc: int = 64
+    kc: int = 64
+    nc: int = 256
+
+    def __post_init__(self) -> None:
+        for name in ("mr", "nr", "mc", "kc", "nc"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.mc % self.mr != 0:
+            raise ValueError(f"mc ({self.mc}) must be a multiple of mr ({self.mr})")
+        if self.nc % self.nr != 0:
+            raise ValueError(f"nc ({self.nc}) must be a multiple of nr ({self.nr})")
+
+    def a_panel_bytes(self, dtype_size: int = 8) -> int:
+        return self.mc * self.kc * dtype_size
+
+    def b_panel_bytes(self, dtype_size: int = 8) -> int:
+        return self.kc * self.nc * dtype_size
+
+
+def pack_a_panel(a: np.ndarray, plan: BlockingPlan) -> np.ndarray:
+    """Pack an ``m x k`` A panel into row-block-major order.
+
+    Rows are grouped in ``mr``-row slabs laid out contiguously along k —
+    the stride-one layout the L1P prefetch engine needs.  Short final
+    slabs are zero-padded (the kernel's "dimensions that do not lend
+    themselves to full SIMDization" case).
+    """
+    m, k = a.shape
+    mr = plan.mr
+    slabs = -(-m // mr)
+    out = np.zeros((slabs, k, mr), dtype=a.dtype)
+    for s in range(slabs):
+        rows = a[s * mr : (s + 1) * mr, :]
+        out[s, :, : rows.shape[0]] = rows.T
+    return out
+
+
+def pack_b_panel(b: np.ndarray, plan: BlockingPlan) -> np.ndarray:
+    """Pack a ``k x n`` B panel into column-block-major order (``nr`` cols
+    per slab, contiguous along k)."""
+    k, n = b.shape
+    nr = plan.nr
+    slabs = -(-n // nr)
+    out = np.zeros((slabs, k, nr), dtype=b.dtype)
+    for s in range(slabs):
+        cols = b[:, s * nr : (s + 1) * nr]
+        out[s, :, : cols.shape[1]] = cols
+    return out
+
+
+def microkernel(
+    a_slab: np.ndarray, b_slab: np.ndarray, c_tile: np.ndarray
+) -> None:
+    """The register-block inner kernel: C_tile += sum_k a_k outer b_k.
+
+    ``a_slab``/``b_slab`` are packed ``(k, mr)`` / ``(k, nr)``; the update
+    is the sequence of rank-1 outer products the paper describes ("an
+    8 x 8 C matrix updated by a sequence of outer products"), fused here
+    into one einsum for sanity of speed while preserving the math.
+    """
+    c_tile += np.einsum("km,kn->mn", a_slab, b_slab)
+
+
+def blocked_gemm(
+    a: np.ndarray, b: np.ndarray, plan: BlockingPlan | None = None
+) -> np.ndarray:
+    """Compute ``a @ b`` via explicit cache/register blocking."""
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("blocked_gemm expects 2-D operands")
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions differ: {k} vs {k2}")
+    plan = plan or BlockingPlan()
+    c = np.zeros((m, n), dtype=np.result_type(a, b))
+    # Loop order: jc (NC) -> pc (KC) -> ic (MC) -> jr (NR) -> ir (MR),
+    # the classic GotoBLAS/BLIS nesting the BG/Q kernel follows.
+    for jc in range(0, n, plan.nc):
+        nb = min(plan.nc, n - jc)
+        for pc in range(0, k, plan.kc):
+            kb = min(plan.kc, k - pc)
+            b_packed = pack_b_panel(b[pc : pc + kb, jc : jc + nb], plan)
+            for ic in range(0, m, plan.mc):
+                mb = min(plan.mc, m - ic)
+                a_packed = pack_a_panel(a[ic : ic + mb, pc : pc + kb], plan)
+                for jr in range(b_packed.shape[0]):
+                    nlo = jc + jr * plan.nr
+                    nhi = min(nlo + plan.nr, jc + nb)
+                    for ir in range(a_packed.shape[0]):
+                        mlo = ic + ir * plan.mr
+                        mhi = min(mlo + plan.mr, ic + mb)
+                        tile = np.zeros((plan.mr, plan.nr), dtype=c.dtype)
+                        microkernel(a_packed[ir], b_packed[jr], tile)
+                        c[mlo:mhi, nlo:nhi] += tile[: mhi - mlo, : nhi - nlo]
+    return c

@@ -1,0 +1,175 @@
+"""Achieved-GFLOPS model for (S/D)GEMM on BG/Q (and generic CPUs).
+
+Converts a matrix-multiply problem ``(m, n, k)`` plus an execution
+context (cores per rank, threads per core, precision) into an achieved
+floating-point rate and hence a duration.  The simulated trainer charges
+every forward/backward/curvature GEMM through this model, which is how
+Figure 1's configuration ordering (64 threads/node best; 2-32 slightly
+better than 4-16 better than 1-64) and Table I's Xeon comparison arise.
+
+Factors, multiplicative on peak:
+
+* **kernel efficiency** — steady-state inner-kernel issue efficiency
+  from :class:`~repro.gemm.kernel_model.InnerKernelModel` (threads/core,
+  precision);
+* **shape efficiency** — fringe losses when ``m``/``n`` are not multiples
+  of the register tile and when ``k`` is too short to amortize tile
+  load/store ("handling small matrices and matrices with dimensions that
+  do not lend themselves to full SIMDization", Section V-A5);
+* **parallel efficiency** — core-count scaling within a rank, slightly
+  sub-linear from shared-L2 bandwidth and OpenMP barrier costs, best
+  when the per-rank core grid is square (the paper's "perfect square"
+  remark);
+* **memory ceiling** — a roofline cap for problems too small or too
+  skinny to live out of cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.bgq.a2 import A2Core, BGQ_CORE
+from repro.bgq.memory import BGQ_MEMORY, MemoryHierarchy
+from repro.gemm.kernel_model import InnerKernelModel
+
+__all__ = ["GemmProblem", "GemmPerfModel"]
+
+
+@dataclass(frozen=True)
+class GemmProblem:
+    """One C(m,n) += A(m,k) B(k,n) instance."""
+
+    m: int
+    n: int
+    k: int
+    precision: str = "sp"  # the trainer runs single precision (Sec. II-B)
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1:
+            raise ValueError(f"all dims must be >= 1: {(self.m, self.n, self.k)}")
+        if self.precision not in ("sp", "dp"):
+            raise ValueError(f"precision must be 'sp' or 'dp': {self.precision!r}")
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+    @property
+    def dtype_size(self) -> int:
+        return 4 if self.precision == "sp" else 8
+
+    @property
+    def operand_bytes(self) -> float:
+        """Minimum traffic: read A and B once, write C once."""
+        return (self.m * self.k + self.k * self.n + self.m * self.n) * self.dtype_size
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flops / self.operand_bytes
+
+
+@dataclass(frozen=True)
+class GemmPerfModel:
+    """Achieved rate model for one MPI rank's GEMMs."""
+
+    core: A2Core = BGQ_CORE
+    memory: MemoryHierarchy = BGQ_MEMORY
+    kernel: InnerKernelModel = field(default_factory=InnerKernelModel)
+    mr: int = 8
+    nr: int = 8
+    sp_speedup: float = 1.15
+    """Single-precision rate relative to the DP kernel.  QPX has no
+    extra SP lanes — SP gains only the halved operand bandwidth (~15 %;
+    the paper notes SGEMM needed dedicated tuning precisely because SP
+    does not get the textbook 2x).  An AVX Xeon sets this to 2.0 (true
+    8-wide SP lanes)."""
+
+    # ------------------------------------------------------------ factors
+    def shape_efficiency(self, p: GemmProblem) -> float:
+        """Fringe + short-k losses.
+
+        m/n fringes waste the zero-padded part of edge tiles; small k
+        cannot amortize the tile setup (C load/store per kernel call).
+        """
+        def fringe(dim: int, tile: int) -> float:
+            full, rem = divmod(dim, tile)
+            if rem == 0:
+                return 1.0
+            used = full * tile + rem
+            padded = (full + 1) * tile
+            return used / padded
+
+        eff = fringe(p.m, self.mr) * fringe(p.n, self.nr)
+        setup_cycles = 2.0 * (self.mr + self.nr)  # C tile load + store
+        work_cycles = self.kernel.fma_cycles_per_update("dp") * p.k
+        eff *= work_cycles / (work_cycles + setup_cycles)
+        return eff
+
+    def parallel_efficiency(self, cores: float) -> float:
+        """Within-rank OpenMP scaling across ``cores`` cores.
+
+        Sub-linear: shared-L2 bandwidth, OpenMP fork/join/barrier costs,
+        and panel-boundary load imbalance all grow with the thread-team
+        size (a 64-thread team over 16 cores synchronizes far more
+        expensively than a 16-thread team over 4 — the reason Fig 1a's
+        1024-1-64 trails the many-rank configurations); square core
+        grids (1, 4, 16) get a small bonus for the paper's square
+        "cookie cutter" task layout.
+        """
+        if cores <= 0:
+            raise ValueError(f"cores must be positive, got {cores}")
+        base = 1.0 / (1.0 + 0.012 * (cores - 1))
+        root = math.isqrt(int(round(cores)))
+        square_bonus = 1.01 if root * root == int(round(cores)) else 1.0
+        return min(1.0, base * square_bonus)
+
+    def node_sharing_derate(self, ranks_per_node: int) -> float:
+        """Throughput derate when several MPI ranks share a chip.
+
+        Concurrent per-rank GEMMs contend for the shared L2 and memory
+        controllers; a couple of percent per extra co-resident rank
+        matches the paper's Fig 1a margin between 2048-2-32 and
+        4096-4-16 (the former "slightly better").
+        """
+        if ranks_per_node < 1:
+            raise ValueError(f"ranks_per_node must be >= 1: {ranks_per_node}")
+        return 1.0 / (1.0 + 0.02 * (ranks_per_node - 1))
+
+    def achieved_gflops(
+        self,
+        p: GemmProblem,
+        cores: float,
+        threads_per_core: int,
+        ranks_per_node: int = 1,
+    ) -> float:
+        """Sustained GFLOPS for problem ``p`` on ``cores`` cores."""
+        peak = self.core.peak_gflops * cores
+        eff = (
+            self.kernel.kernel_efficiency(threads_per_core, p.precision)
+            * self.shape_efficiency(p)
+            * self.parallel_efficiency(cores)
+            * self.node_sharing_derate(ranks_per_node)
+        )
+        if p.precision == "sp":
+            # eff is expressed as a fraction of *DP* peak and may exceed
+            # 1.0 on machines whose SP peak genuinely doubles DP.
+            eff = eff * self.sp_speedup
+        compute_rate = peak * eff
+        # Roofline: problems that stream from L2/DDR are bandwidth-capped.
+        level = self.memory.level_for_working_set(int(p.operand_bytes))
+        bw = self.memory.stream_bandwidth(level)
+        mem_rate = p.arithmetic_intensity * bw / 1e9
+        return min(compute_rate, mem_rate)
+
+    def seconds(
+        self,
+        p: GemmProblem,
+        cores: float,
+        threads_per_core: int,
+        ranks_per_node: int = 1,
+    ) -> float:
+        """Modeled wall seconds for problem ``p``."""
+        return p.flops / (
+            self.achieved_gflops(p, cores, threads_per_core, ranks_per_node) * 1e9
+        )

@@ -1,0 +1,71 @@
+"""Flop/byte/call accounting for GEMM-heavy code paths.
+
+The real-math trainer counts every matrix multiply it performs through a
+:class:`GemmCounter`; the simulated-BG/Q harness replays those counts
+through :class:`~repro.gemm.perf.GemmPerfModel` to obtain modeled
+durations — i.e. *what the measured workload would cost on the modeled
+machine*.  This keeps the timing study anchored to the actual operation
+mix of the algorithm instead of hand-waved totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gemm.perf import GemmPerfModel, GemmProblem
+
+__all__ = ["GemmCall", "GemmCounter"]
+
+
+@dataclass(frozen=True)
+class GemmCall:
+    """One recorded multiply with its label (which trainer phase)."""
+
+    label: str
+    problem: GemmProblem
+    count: int = 1
+
+
+@dataclass
+class GemmCounter:
+    """Accumulates GEMM calls per label."""
+
+    calls: list[GemmCall] = field(default_factory=list)
+
+    def record(self, label: str, m: int, n: int, k: int, precision: str = "sp", count: int = 1) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.calls.append(GemmCall(label, GemmProblem(m, n, k, precision), count))
+
+    def total_flops(self, label: str | None = None) -> float:
+        return sum(
+            c.problem.flops * c.count
+            for c in self.calls
+            if label is None or c.label == label
+        )
+
+    def labels(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for c in self.calls:
+            seen.setdefault(c.label)
+        return list(seen)
+
+    def modeled_seconds(
+        self,
+        model: GemmPerfModel,
+        cores: float,
+        threads_per_core: int,
+        label: str | None = None,
+    ) -> float:
+        """Replay recorded calls through a perf model."""
+        return sum(
+            model.seconds(c.problem, cores, threads_per_core) * c.count
+            for c in self.calls
+            if label is None or c.label == label
+        )
+
+    def merge(self, other: "GemmCounter") -> None:
+        self.calls.extend(other.calls)
+
+    def clear(self) -> None:
+        self.calls.clear()

@@ -1,0 +1,67 @@
+"""Calibration: extract a real HF control-flow profile for the simulator.
+
+The simulated figures replay an :class:`~repro.dist.script.
+IterationScript`; this module produces one honestly — by training a
+*real* DNN with the *real* Hessian-free optimizer on a scaled-down
+synthetic corpus and recording how many CG iterations and held-out
+evaluations each outer iteration actually used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dist.script import IterationScript, calibrate_script
+from repro.hf.optimizer import HessianFreeOptimizer
+from repro.hf.sources import FrameSource
+from repro.hf.types import HFConfig, HFResult
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.network import DNN
+from repro.speech.corpus import CorpusConfig, build_corpus
+
+__all__ = ["CalibrationRun", "calibrated_script"]
+
+
+@dataclass
+class CalibrationRun:
+    """The real run behind a calibrated script."""
+
+    script: IterationScript
+    hf_result: HFResult
+    net: DNN
+
+
+def calibrated_script(
+    iterations: int = 3,
+    represented_iterations: int = 30,
+    hours: float = 50.0,
+    scale: float = 1e-4,
+    hidden: int = 32,
+    seed: int = 0,
+) -> CalibrationRun:
+    """Train a miniature model for ``iterations`` outer iterations and
+    return the extracted script.
+
+    The miniature run keeps every algorithmic knob at its full-scale
+    value (CG tolerance, damping schedule, curvature fraction), so the
+    *counts* it produces — which is all the simulator consumes — are
+    representative even though the model is small.
+    """
+    corpus = build_corpus(
+        CorpusConfig(hours=hours, scale=scale, context=2, seed=seed)
+    )
+    x, y = corpus.frame_data()
+    hx, hy = corpus.heldout_frame_data()
+    net = DNN([corpus.config.input_dim, hidden, hidden, corpus.n_states])
+    source = FrameSource(
+        net, CrossEntropyLoss(), x, y, hx, hy, curvature_fraction=0.02, seed=seed
+    )
+    optimizer = HessianFreeOptimizer(
+        source, HFConfig(max_iterations=iterations, seed=seed)
+    )
+    result = optimizer.run(net.init_params(seed))
+    return CalibrationRun(
+        script=calibrate_script(result, represented_iterations),
+        hf_result=result,
+        net=net,
+    )

@@ -1,0 +1,141 @@
+"""Export regenerated figure/table data to JSON and CSV.
+
+Benchmarks print human-readable tables; downstream plotting (or diffing
+against a stored baseline) wants structured files.  These helpers write
+one JSON document or CSV table per experiment artifact, with a small
+stable schema: ``{"experiment": ..., "series"|"rows": ..., "meta": ...}``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.harness.breakdown import ConfigBreakdown
+from repro.harness.scaling import ScalingPoint
+from repro.harness.speedup import SpeedupRow
+
+__all__ = [
+    "export_scaling_json",
+    "export_scaling_csv",
+    "export_breakdowns_json",
+    "export_table1_json",
+]
+
+
+def _write_json(path: str | Path, payload: dict) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def export_scaling_json(
+    path: str | Path,
+    points: Sequence[ScalingPoint],
+    experiment: str,
+    meta: Mapping[str, object] | None = None,
+) -> Path:
+    """One Figure-1-style series: config label -> hours."""
+    return _write_json(
+        path,
+        {
+            "experiment": experiment,
+            "series": [
+                {
+                    "config": p.label,
+                    "hours": p.hours,
+                    "per_iteration_seconds": p.per_iteration_seconds,
+                    "load_data_seconds": p.load_data_seconds,
+                }
+                for p in points
+            ],
+            "meta": dict(meta or {}),
+        },
+    )
+
+
+def export_scaling_csv(path: str | Path, points: Sequence[ScalingPoint]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(
+            ["config", "hours", "per_iteration_seconds", "load_data_seconds"]
+        )
+        for p in points:
+            writer.writerow(
+                [p.label, p.hours, p.per_iteration_seconds, p.load_data_seconds]
+            )
+    return path
+
+
+def export_breakdowns_json(
+    path: str | Path,
+    breakdowns: Sequence[ConfigBreakdown],
+    experiment: str = "figs2-5",
+) -> Path:
+    """The four figure views (2-5) for every profiled configuration."""
+    payload = {"experiment": experiment, "configs": []}
+    for cb in breakdowns:
+        payload["configs"].append(
+            {
+                "label": cb.label,
+                "master": {
+                    "compute": cb.master.compute,
+                    "collective": cb.master.collective,
+                    "p2p": cb.master.p2p,
+                },
+                "worker_mean": {
+                    "compute": cb.worker_mean.compute,
+                    "collective": cb.worker_mean.collective,
+                    "p2p": cb.worker_mean.p2p,
+                },
+                "worker_spread": {
+                    fn: {"min": lo, "max": hi}
+                    for fn, (lo, hi) in cb.worker_spread.items()
+                },
+                "master_cycles": {
+                    fn: {
+                        "committed": c.committed,
+                        "iu_empty": c.iu_empty,
+                        "axu_dep_stall": c.axu_dep_stall,
+                        "fxu_dep_stall": c.fxu_dep_stall,
+                    }
+                    for fn, c in cb.master_cycles.items()
+                },
+                "worker_cycles": {
+                    fn: {
+                        "committed": c.committed,
+                        "iu_empty": c.iu_empty,
+                        "axu_dep_stall": c.axu_dep_stall,
+                        "fxu_dep_stall": c.fxu_dep_stall,
+                    }
+                    for fn, c in cb.worker_cycles.items()
+                },
+            }
+        )
+    return _write_json(path, payload)
+
+
+def export_table1_json(
+    path: str | Path, rows: Sequence[SpeedupRow], experiment: str = "table1"
+) -> Path:
+    return _write_json(
+        path,
+        {
+            "experiment": experiment,
+            "rows": [
+                {
+                    "criterion": r.criterion,
+                    "xeon_hours": r.xeon_hours,
+                    "bgq_hours": r.bgq_hours,
+                    "speedup": r.speedup,
+                    "frequency_adjusted": r.frequency_adjusted,
+                }
+                for r in rows
+            ],
+        },
+    )

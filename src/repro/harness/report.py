@@ -1,0 +1,92 @@
+"""Text renderers that print the paper's tables and figure series.
+
+Every benchmark ends by printing one of these blocks so the regenerated
+rows/series can be eyeballed against the paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.bgq.cycles import CycleCategories
+
+__all__ = ["render_table", "render_series", "render_cycles", "render_mpi_split"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(c) for c in r] for r in rows]
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"row has {len(r)} cells for {len(headers)} headers"
+            )
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    labels: Sequence[str], values: Sequence[float], title: str = "", unit: str = ""
+) -> str:
+    """A labeled bar series (one Figure-1-style panel)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    vmax = max(values) if values else 1.0
+    lines = [title] if title else []
+    width = max(len(l) for l in labels) if labels else 0
+    for l, v in zip(labels, values):
+        bar = "#" * max(1, int(40 * v / vmax)) if vmax > 0 else ""
+        lines.append(f"{l.ljust(width)}  {v:10.3f}{unit}  {bar}")
+    return "\n".join(lines)
+
+
+def render_cycles(
+    per_function: Mapping[str, CycleCategories], title: str = ""
+) -> str:
+    """A Figure 2/3-style per-function cycle-category table."""
+    rows = []
+    for fn, c in sorted(per_function.items(), key=lambda kv: -kv[1].total):
+        rows.append(
+            [
+                fn,
+                f"{c.committed:.3e}",
+                f"{c.iu_empty:.3e}",
+                f"{c.axu_dep_stall:.3e}",
+                f"{c.fxu_dep_stall:.3e}",
+                f"{c.total:.3e}",
+            ]
+        )
+    return render_table(
+        ["function", "committed", "IU_empty", "AXU_dep", "FXU_dep", "total"],
+        rows,
+        title=title,
+    )
+
+
+def render_mpi_split(
+    collective: Mapping[str, float], p2p: Mapping[str, float], title: str = ""
+) -> str:
+    """A Figure 4/5-style per-function collective/p2p seconds table."""
+    fns = sorted(set(collective) | set(p2p))
+    rows = [
+        [fn, f"{collective.get(fn, 0.0):.3f}", f"{p2p.get(fn, 0.0):.3f}"]
+        for fn in fns
+    ]
+    return render_table(["function", "collective_s", "p2p_s"], rows, title=title)
+
+
+def _fmt(c: object) -> str:
+    if isinstance(c, float):
+        return f"{c:.3f}"
+    return str(c)

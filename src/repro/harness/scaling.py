@@ -1,0 +1,144 @@
+"""Scaling-study drivers: Figure 1(a), Figure 1(b), and the linearity
+claim (Section VIII: "speed-ups that scale linearly up to 4096
+processes; beyond that ... sub-linear").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgq.node import RunShape
+from repro.dist.script import IterationScript
+from repro.dist.simulated import SimJobConfig, SimRunResult, simulate_training
+from repro.dist.workload import GEOMETRY_50HR, GEOMETRY_400HR, ModelGeometry, SimWorkload
+from repro.speech.corpus import FRAMES_PER_HOUR
+
+__all__ = [
+    "ScalingPoint",
+    "FIG1A_CONFIGS",
+    "FIG1B_CONFIGS",
+    "default_workload",
+    "run_config",
+    "run_fig1a",
+    "run_fig1b",
+    "run_scaling_claim",
+]
+
+FIG1A_CONFIGS = ("1024-1-16", "1024-1-32", "1024-1-64", "2048-2-32", "4096-4-16")
+"""One rack (1024 nodes): the thread/rank trade-off sweep of Fig 1(a)."""
+
+FIG1B_CONFIGS = FIG1A_CONFIGS + ("8192-4-16",)
+"""Fig 1(b) adds the second rack."""
+
+
+@dataclass
+class ScalingPoint:
+    """One bar of Figure 1 (or one point of the efficiency curve)."""
+
+    label: str
+    hours: float
+    per_iteration_seconds: float
+    load_data_seconds: float
+    result: SimRunResult = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def default_workload(
+    hours: float,
+    geometry: ModelGeometry | None = None,
+    sequence_states: int = 0,
+) -> SimWorkload:
+    """Paper-sized workload: ``hours`` of audio at 360k frames/hour,
+    10 % held-out, 2 % curvature sample.
+
+    Framework efficiency is per-geometry: the 50-hour model inherits the
+    Table-I-ratio calibration (0.13, see ``SimWorkload``); the 400-hour
+    model's 4096-wide GEMMs amortize framework overheads far better, and
+    0.40 anchors its two-rack training time to the paper's "6.3 hours".
+    The paper's absolute numbers are not mutually consistent under any
+    single efficiency constant — EXPERIMENTS.md discusses this.
+    """
+    if geometry is None:
+        geometry = GEOMETRY_400HR if hours > 100 else GEOMETRY_50HR
+    efficiency = 0.40 if geometry.n_params > 100e6 else 0.13
+    return SimWorkload(
+        geometry=geometry,
+        train_frames=int(hours * FRAMES_PER_HOUR),
+        heldout_frames=max(1, int(hours * FRAMES_PER_HOUR * 0.1)),
+        sequence_states=sequence_states,
+        framework_efficiency=efficiency,
+    )
+
+
+def run_config(
+    spec: str,
+    workload: SimWorkload,
+    script: IterationScript,
+    **overrides: object,
+) -> ScalingPoint:
+    """Simulate one ``ranks-rpn-threads`` configuration."""
+    cfg = SimJobConfig(
+        shape=RunShape.parse(spec), workload=workload, script=script, **overrides  # type: ignore[arg-type]
+    )
+    res = simulate_training(cfg)
+    return ScalingPoint(
+        label=spec,
+        hours=res.represented_total_hours,
+        per_iteration_seconds=res.per_iteration_seconds,
+        load_data_seconds=res.load_data_seconds,
+        result=res,
+    )
+
+
+def run_fig1a(
+    script: IterationScript,
+    hours: float = 50.0,
+    configs: tuple[str, ...] = FIG1A_CONFIGS,
+) -> list[ScalingPoint]:
+    """Figure 1(a): 50-hour corpus on one rack, varying rank/thread mix."""
+    wl = default_workload(hours)
+    return [run_config(c, wl, script) for c in configs]
+
+
+def run_fig1b(
+    script: IterationScript,
+    hours: float = 400.0,
+    configs: tuple[str, ...] = FIG1B_CONFIGS,
+) -> list[ScalingPoint]:
+    """Figure 1(b): 400-hour corpus, scaling to two racks."""
+    wl = default_workload(hours)
+    return [run_config(c, wl, script) for c in configs]
+
+
+def run_scaling_claim(
+    script: IterationScript,
+    hours: float = 50.0,
+    ranks: tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192, 16384),
+    ranks_per_node: int = 4,
+    threads_per_rank: int = 16,
+) -> list[ScalingPoint]:
+    """Efficiency curve over rank count at fixed rank/thread shape.
+
+    The paper's claim shapes: near-linear speedup to ~4096 ranks, then a
+    clearly sub-linear region as fixed communication costs stop
+    shrinking while per-worker compute keeps halving.
+    """
+    wl = default_workload(hours)
+    points = []
+    for r in ranks:
+        spec = f"{r}-{ranks_per_node}-{threads_per_rank}"
+        points.append(run_config(spec, wl, script))
+    return points
+
+
+def efficiencies(points: list[ScalingPoint]) -> list[float]:
+    """Parallel efficiency of each point relative to the first
+    (eff = t0 * r0 / (t_i * r_i) using per-iteration times)."""
+    if not points:
+        return []
+    r0 = RunShape.parse(points[0].label).ranks
+    t0 = points[0].per_iteration_seconds
+    out = []
+    for p in points:
+        r = RunShape.parse(p.label).ranks
+        out.append((t0 * r0) / (p.per_iteration_seconds * r))
+    return out

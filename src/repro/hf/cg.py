@@ -1,0 +1,182 @@
+"""Truncated (preconditioned) conjugate gradient for the HF inner loop.
+
+CG minimizes the damped quadratic model
+
+    q(d) = g^T d + 0.5 d^T (G + lambda I) d
+
+by solving ``(G + lambda I) d = -g`` — accessing the curvature matrix
+only through matrix-vector products (Pearlmutter), which is the whole
+point of "Hessian-free".
+
+Two Martens-specific behaviours (both from [10], followed by the paper):
+
+* **relative-progress stopping** — terminate at iteration ``i`` once the
+  averaged per-iteration decrease of ``phi(d) = 0.5 d^T A d - b^T d``
+  over the last ``k = max(min_lookback, lookback_frac * i)`` iterations
+  falls below ``tol``: ``phi_i < 0`` and
+  ``(phi_i - phi_{i-k}) / phi_i < k * tol``;
+* **iterate snapshots** — CG records intermediate solutions at
+  geometrically spaced iterations; the HF outer loop backtracks over
+  these ``{d_1 ... d_N}`` because early CG iterates often generalize
+  better than the converged solution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["CGConfig", "CGResult", "cg_minimize"]
+
+
+@dataclass(frozen=True)
+class CGConfig:
+    """Knobs for :func:`cg_minimize` (defaults follow Martens 2010)."""
+
+    max_iters: int = 250
+    min_iters: int = 1
+    tol: float = 5e-4
+    """Per-iteration relative progress threshold (epsilon in Martens)."""
+    lookback_frac: float = 0.1
+    min_lookback: int = 10
+    snapshot_gamma: float = 1.3
+    """Snapshots at iterations ceil(gamma^j) (plus the final iterate)."""
+
+    def __post_init__(self) -> None:
+        if self.max_iters < 1:
+            raise ValueError(f"max_iters must be >= 1: {self.max_iters}")
+        if not 1 <= self.min_iters <= self.max_iters:
+            raise ValueError(
+                f"min_iters must be in [1, max_iters]: {self.min_iters}"
+            )
+        if self.tol <= 0:
+            raise ValueError(f"tol must be > 0: {self.tol}")
+        if self.snapshot_gamma <= 1.0:
+            raise ValueError(f"snapshot_gamma must be > 1: {self.snapshot_gamma}")
+
+
+@dataclass
+class CGResult:
+    """Outcome of one truncated-CG run."""
+
+    steps: list[np.ndarray]
+    """Snapshot iterates ``{d_1, ..., d_N}``; the last is the final CG
+    solution (what Algorithm 1 calls ``d_N``)."""
+
+    step_iters: list[int]
+    """CG iteration index of each snapshot."""
+
+    phis: list[float]
+    """``phi`` value after each CG iteration (length = iterations run)."""
+
+    iterations: int
+    stop_reason: str
+
+    @property
+    def final(self) -> np.ndarray:
+        return self.steps[-1]
+
+    def quadratic_value(self, apply_a: Callable[[np.ndarray], np.ndarray], b: np.ndarray) -> float:
+        """phi at the final iterate (callers reuse for the rho ratio)."""
+        d = self.final
+        return 0.5 * float(d @ apply_a(d)) - float(b @ d)
+
+
+def _snapshot_schedule(max_iters: int, gamma: float) -> set[int]:
+    marks: set[int] = set()
+    j = 0
+    while True:
+        i = math.ceil(gamma**j)
+        if i > max_iters:
+            break
+        marks.add(i)
+        j += 1
+    return marks
+
+
+def cg_minimize(
+    apply_a: Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    config: CGConfig = CGConfig(),
+    precond: np.ndarray | None = None,
+) -> CGResult:
+    """Truncated PCG on ``A x = b`` with Martens stopping and snapshots.
+
+    ``apply_a`` must be the action of a symmetric positive-(semi)definite
+    matrix; ``precond``, if given, is the *diagonal* of a preconditioner
+    M (we apply M^{-1} r), e.g. the Martens/Chapelle diagonal.
+    """
+    n = b.shape[0]
+    x = np.zeros_like(b) if x0 is None else x0.copy()
+    if x.shape != b.shape:
+        raise ValueError(f"x0 shape {x.shape} != b shape {b.shape}")
+    if precond is not None:
+        if precond.shape != b.shape:
+            raise ValueError(f"precond shape {precond.shape} != b shape {b.shape}")
+        if np.any(precond <= 0):
+            raise ValueError("preconditioner diagonal must be positive")
+
+    marks = _snapshot_schedule(config.max_iters, config.snapshot_gamma)
+    r = b - apply_a(x)
+    y = r / precond if precond is not None else r
+    p = y.copy()
+    rty = float(r @ y)
+
+    steps: list[np.ndarray] = []
+    step_iters: list[int] = []
+    phis: list[float] = []
+    stop_reason = "max_iters"
+
+    def phi_of(xv: np.ndarray, rv: np.ndarray) -> float:
+        # phi(x) = 0.5 x^T A x - b^T x = -0.5 (x^T r + x^T b)
+        return -0.5 * float(xv @ (rv + b))
+
+    iterations = 0
+    for i in range(1, config.max_iters + 1):
+        ap = apply_a(p)
+        pap = float(p @ ap)
+        if pap <= 0:
+            # Negative/zero curvature along p: A is only PSD numerically.
+            # Stop here; the current iterate is still a descent direction.
+            stop_reason = "nonpositive_curvature"
+            break
+        alpha = rty / pap
+        x += alpha * p
+        r -= alpha * ap
+        iterations = i
+        phis.append(phi_of(x, r))
+        if i in marks:
+            steps.append(x.copy())
+            step_iters.append(i)
+        # Martens relative-progress test
+        k = max(config.min_lookback, int(config.lookback_frac * i))
+        if i > max(k, config.min_iters) and phis[-1] < 0:
+            progress = (phis[-1] - phis[-(k + 1)]) / phis[-1]
+            if progress < k * config.tol:
+                stop_reason = "relative_progress"
+                break
+        y = r / precond if precond is not None else r
+        rty_new = float(r @ y)
+        beta = rty_new / rty
+        p = y + beta * p
+        rty = rty_new
+        if rty_new <= 0 or math.sqrt(abs(rty_new)) < 1e-300:
+            stop_reason = "residual_underflow"
+            break
+
+    if not steps or step_iters[-1] != iterations:
+        steps.append(x.copy())
+        step_iters.append(max(iterations, 1))
+    if not phis:
+        phis.append(phi_of(x, r))
+    return CGResult(
+        steps=steps,
+        step_iters=step_iters,
+        phis=phis,
+        iterations=max(iterations, 1),
+        stop_reason=stop_reason,
+    )

@@ -1,0 +1,93 @@
+"""Levenberg–Marquardt damping schedule for Hessian-free optimization.
+
+The curvature matrix is ``G(theta) + lambda I`` (Section IV): ``lambda``
+trades trust in the quadratic model against step conservatism, adapted
+each outer iteration from the *reduction ratio*
+
+    rho = (L(theta + d) - L(theta)) / q(d)
+
+(actual change over model-predicted change; both are negative for an
+improving step, so rho ~ 1 means the model is trustworthy).  The update
+constants 3/2 and 2/3 are the paper's (Algorithm 1); the transcription
+in the paper writes the ratio with the opposite sign convention but
+implements the same logic — low agreement raises damping, high agreement
+lowers it, and a step that fails to improve at all raises damping and
+resets CG's warm start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DampingSchedule", "DampingDecision"]
+
+
+@dataclass(frozen=True)
+class DampingDecision:
+    """Outcome of one schedule update."""
+
+    lam: float
+    rho: float
+    action: str  # "increase" | "decrease" | "keep" | "reject"
+
+
+@dataclass(frozen=True)
+class DampingSchedule:
+    """The LM lambda controller."""
+
+    lam0: float = 1.0
+    increase: float = 1.5  # the paper's 3/2
+    decrease: float = 2.0 / 3.0
+    low: float = 0.25
+    high: float = 0.75
+    lam_min: float = 1e-10
+    lam_max: float = 1e10
+
+    def __post_init__(self) -> None:
+        if self.lam0 <= 0:
+            raise ValueError(f"lam0 must be > 0: {self.lam0}")
+        if self.increase <= 1.0:
+            raise ValueError(f"increase factor must be > 1: {self.increase}")
+        if not 0 < self.decrease < 1:
+            raise ValueError(f"decrease factor must be in (0,1): {self.decrease}")
+        if not 0 < self.low < self.high:
+            raise ValueError(
+                f"need 0 < low < high, got ({self.low}, {self.high})"
+            )
+        if not self.lam_min < self.lam_max:
+            raise ValueError("lam_min must be < lam_max")
+
+    def _clamp(self, lam: float) -> float:
+        return min(max(lam, self.lam_min), self.lam_max)
+
+    def reject(self, lam: float) -> DampingDecision:
+        """Step failed to improve the loss at all (Algorithm 1's
+        ``L_prev < L_best`` branch): raise damping, caller resets d0."""
+        return DampingDecision(
+            lam=self._clamp(lam * self.increase), rho=float("nan"), action="reject"
+        )
+
+    def update(
+        self, lam: float, actual_change: float, predicted_change: float
+    ) -> DampingDecision:
+        """Adapt lambda from actual vs model-predicted loss change.
+
+        ``actual_change = L(theta + d) - L(theta)`` (negative = improved);
+        ``predicted_change = q(d)`` (negative for any CG-produced step).
+        """
+        if lam <= 0:
+            raise ValueError(f"lambda must be positive: {lam}")
+        if predicted_change >= 0:
+            # CG guarantees q(d) < 0 for a nonzero step off a PSD system;
+            # a non-negative prediction means the step is junk.
+            return self.reject(lam)
+        rho = actual_change / predicted_change
+        if rho < self.low:
+            return DampingDecision(
+                lam=self._clamp(lam * self.increase), rho=rho, action="increase"
+            )
+        if rho > self.high:
+            return DampingDecision(
+                lam=self._clamp(lam * self.decrease), rho=rho, action="decrease"
+            )
+        return DampingDecision(lam=lam, rho=rho, action="keep")

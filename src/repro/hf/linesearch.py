@@ -1,0 +1,83 @@
+"""Armijo backtracking line search (Algorithm 1's parameter update).
+
+After CG backtracking picks the step ``d_i``, the update
+``theta <- theta + alpha * d_i`` uses an Armijo rule: accept the largest
+``alpha`` in a geometric grid such that
+
+    L(theta + alpha d) <= L(theta) + c * alpha * g^T d
+
+with sufficient-decrease constant ``c`` and shrink factor ``rate``.
+Returns ``alpha = 0`` when no grid point qualifies (the caller treats
+that as a rejected step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ArmijoConfig", "ArmijoResult", "armijo_backtrack"]
+
+
+@dataclass(frozen=True)
+class ArmijoConfig:
+    """Armijo rule parameters (Martens-style defaults)."""
+
+    c: float = 1e-2
+    rate: float = 0.8
+    max_steps: int = 60
+    alpha0: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.c < 1:
+            raise ValueError(f"c must be in (0,1): {self.c}")
+        if not 0 < self.rate < 1:
+            raise ValueError(f"rate must be in (0,1): {self.rate}")
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1: {self.max_steps}")
+        if self.alpha0 <= 0:
+            raise ValueError(f"alpha0 must be > 0: {self.alpha0}")
+
+
+@dataclass(frozen=True)
+class ArmijoResult:
+    """Chosen step size and the bookkeeping around it."""
+
+    alpha: float
+    loss: float
+    evaluations: int
+    accepted: bool
+
+
+def armijo_backtrack(
+    loss_at: Callable[[float], float],
+    loss0: float,
+    directional_derivative: float,
+    config: ArmijoConfig = ArmijoConfig(),
+) -> ArmijoResult:
+    """Find an Armijo-acceptable alpha for a descent direction.
+
+    Parameters
+    ----------
+    loss_at:
+        ``alpha -> L(theta + alpha d)`` (the expensive oracle).
+    loss0:
+        ``L(theta)``.
+    directional_derivative:
+        ``g^T d``; must be negative for a descent direction — if it is
+        not (can happen with a stale gradient and a strongly damped
+        step), the search still runs but the sufficient-decrease bound
+        degenerates to plain improvement.
+    """
+    slope = min(directional_derivative, 0.0)
+    alpha = config.alpha0
+    evals = 0
+    for _ in range(config.max_steps):
+        value = loss_at(alpha)
+        evals += 1
+        if np.isfinite(value) and value <= loss0 + config.c * alpha * slope:
+            return ArmijoResult(alpha=alpha, loss=value, evaluations=evals, accepted=True)
+        alpha *= config.rate
+    return ArmijoResult(alpha=0.0, loss=loss0, evaluations=evals, accepted=False)

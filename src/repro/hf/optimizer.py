@@ -1,0 +1,201 @@
+"""Hessian-free optimization — the paper's Algorithm 1.
+
+One outer iteration:
+
+1. ``g <- grad L(theta)`` over **all** training data (per-frame average);
+2. truncated CG minimizes ``q(d) = g^T d + 0.5 d^T (G + lambda I) d``
+   where G is the Gauss–Newton matrix over a fresh 1-3 % curvature
+   sample; CG returns snapshots ``{d_1 ... d_N}``;
+3. **CG backtracking**: evaluate the held-out loss at ``theta + d_N``,
+   then walk backwards through the snapshots while they improve
+   (early iterates often generalize better than converged CG);
+4. if even the best snapshot fails to beat ``L_prev``: raise lambda,
+   reset the CG warm start, and retry (no parameter update);
+5. otherwise adapt lambda from the reduction ratio
+   ``rho = (L_best - L_prev) / q(d_N)`` (Levenberg–Marquardt);
+6. **Armijo backtracking line search** sets the final step size:
+   ``theta <- theta + alpha d_i``;
+7. momentum: next CG warm start is ``d_0 <- beta d_N``.
+
+The loop talks to data exclusively through
+:class:`~repro.hf.types.HFDataSource`, so the identical code drives the
+serial reference and the distributed master (whose source fans work out
+to MPI workers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.hf.cg import cg_minimize
+from repro.hf.linesearch import armijo_backtrack
+from repro.hf.types import HFConfig, HFDataSource, HFIterationStats, HFResult
+from repro.util.logging import RunLog
+from repro.util.timing import TimeLedger, WallTimer
+
+__all__ = ["HessianFreeOptimizer"]
+
+
+class HessianFreeOptimizer:
+    """Algorithm 1, over any :class:`HFDataSource`."""
+
+    def __init__(
+        self,
+        source: HFDataSource,
+        config: HFConfig | None = None,
+        log: RunLog | None = None,
+        ledger: TimeLedger | None = None,
+        precond_builder: Callable[[np.ndarray, float], np.ndarray] | None = None,
+    ) -> None:
+        self.source = source
+        self.config = config or HFConfig()
+        self.log = log or RunLog()
+        self.timer = WallTimer(ledger)
+        self.precond_builder = precond_builder
+        """Optional ``(grad, lam) -> diagonal`` hook (the Martens
+        preconditioner the paper explicitly omits; see
+        :func:`repro.hf.preconditioner.martens_preconditioner`)."""
+
+    # ------------------------------------------------------------------ run
+    def run(self, theta0: np.ndarray) -> HFResult:
+        cfg = self.config
+        theta = theta0.copy()
+        d0 = np.zeros_like(theta)
+        lam = cfg.damping.lam0
+        with self.timer.section("heldout_loss"):
+            l_sum, l_n = self.source.heldout_loss(theta)
+        l_prev = l_sum / l_n
+        result = HFResult(theta=theta)
+        self.log.log("hf_start", heldout=l_prev, lam=lam, params=theta.size)
+
+        iteration = 0
+        attempts = 0
+        max_attempts = cfg.max_iterations * 4  # rejections retry with higher lambda
+        while iteration < cfg.max_iterations and attempts < max_attempts:
+            attempts += 1
+            # (1) full-data gradient
+            with self.timer.section("gradient_loss"):
+                loss_sum, grad_sum, n_frames = self.source.gradient(theta)
+            train_loss = loss_sum / n_frames
+            g = grad_sum / n_frames
+
+            # (2) truncated CG on the damped Gauss-Newton model
+            with self.timer.section("curvature_setup"):
+                op = self.source.curvature_operator(theta, lam, sample_seed=attempts)
+            with self.timer.section("cg_minimize"):
+                cg = cg_minimize(
+                    op,
+                    -g,
+                    x0=d0,
+                    config=cfg.cg,
+                    precond=(
+                        self.precond_builder(g, lam)
+                        if self.precond_builder is not None
+                        else None
+                    ),
+                )
+            d_n = cg.final
+            with self.timer.section("cg_minimize"):
+                q_dn = 0.5 * float(d_n @ op(d_n)) - float((-g) @ d_n)
+
+            # (3) CG backtracking over snapshots (Algorithm 1 inner loop)
+            heldout_evals = 0
+
+            def heldout_at(vec: np.ndarray) -> float:
+                nonlocal heldout_evals
+                with self.timer.section("heldout_loss"):
+                    s, n = self.source.heldout_loss(vec)
+                heldout_evals += 1
+                return s / n
+
+            l_best = heldout_at(theta + cg.steps[-1])
+            best_index = len(cg.steps)
+            for i in range(len(cg.steps) - 2, -1, -1):
+                l_curr = heldout_at(theta + cg.steps[i])
+                if l_prev >= l_best and l_curr >= l_best:
+                    break
+                if l_curr < l_best:
+                    l_best = l_curr
+                    best_index = i + 1
+
+            # (4) rejection: nothing improved -> inflate lambda and retry
+            if l_prev < l_best:
+                decision = cfg.damping.reject(lam)
+                lam = decision.lam
+                d0 = np.zeros_like(theta)
+                self.log.log(
+                    "hf_reject", iteration=iteration, lam=lam, heldout_best=l_best
+                )
+                continue
+
+            # (5) Levenberg-Marquardt damping update
+            decision = cfg.damping.update(lam, l_best - l_prev, q_dn)
+            lam = decision.lam
+
+            # (6) Armijo line search along the chosen snapshot
+            d_i = cg.steps[best_index - 1]
+            slope = float(g @ d_i)
+            with self.timer.section("line_search"):
+                ls = armijo_backtrack(
+                    lambda a: heldout_at(theta + a * d_i),
+                    loss0=l_prev,
+                    directional_derivative=slope,
+                    config=cfg.linesearch,
+                )
+            if ls.accepted:
+                theta = theta + ls.alpha * d_i
+                l_new = ls.loss
+            else:
+                # Armijo failed even though backtracking improved: take
+                # the raw snapshot (it did beat l_prev).
+                theta = theta + d_i
+                l_new = l_best
+
+            # (7) momentum warm start
+            d0 = cfg.momentum * d_n
+
+            iteration += 1
+            stats = HFIterationStats(
+                iteration=iteration,
+                train_loss=train_loss,
+                heldout_loss=l_new,
+                grad_norm=float(np.linalg.norm(g)),
+                lam=lam,
+                rho=decision.rho,
+                cg_iterations=cg.iterations,
+                cg_stop_reason=cg.stop_reason,
+                backtrack_index=best_index,
+                n_steps=len(cg.steps),
+                alpha=ls.alpha if ls.accepted else 1.0,
+                accepted=True,
+                heldout_evals=heldout_evals,
+            )
+            result.iterations.append(stats)
+            self.log.log(
+                "hf_iteration",
+                iteration=iteration,
+                train=train_loss,
+                heldout=l_new,
+                lam=lam,
+                rho=decision.rho,
+                cg_iters=cg.iterations,
+                alpha=stats.alpha,
+            )
+
+            if cfg.tolerance > 0 and l_prev > 0:
+                if (l_prev - l_new) / abs(l_prev) < cfg.tolerance:
+                    result.converged = True
+                    l_prev = l_new
+                    break
+            l_prev = l_new
+
+        result.theta = theta
+        self.log.log(
+            "hf_done",
+            iterations=iteration,
+            heldout=l_prev,
+            converged=result.converged,
+        )
+        return result

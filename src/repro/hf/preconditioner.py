@@ -1,0 +1,75 @@
+"""Diagonal preconditioning for the CG inner loop.
+
+The paper's implementation "currently does not use a preconditioner
+[25]"; Martens 2010 showed the diagonal
+
+    M = (diag(sum_i grad_i^2) + lambda)^xi,   xi ~ 0.75
+
+(an empirical-Fisher diagonal) speeds CG convergence substantially.  We
+implement it as the *optional extension* feature and ablate it in the
+benchmarks — with it, CG needs visibly fewer iterations on the same
+model, quantifying what the paper left on the table.
+
+Computing the exact per-example squared-gradient sum costs an extra
+backward pass per example; :func:`squared_gradient_diagonal` does that
+honestly on a (sub)batch, and :func:`martens_preconditioner` turns it
+into the CG diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import Loss
+from repro.nn.network import DNN
+
+__all__ = ["squared_gradient_diagonal", "martens_preconditioner", "gradient_squared_preconditioner"]
+
+
+def squared_gradient_diagonal(
+    net: DNN,
+    theta: np.ndarray,
+    x: np.ndarray,
+    loss: Loss,
+    targets: np.ndarray,
+    block: int = 32,
+) -> np.ndarray:
+    """``sum_i grad_i(theta)^2`` elementwise over per-frame gradients.
+
+    Frames are processed in blocks; within a block each frame still
+    requires its own backward pass (per-example gradients do not batch),
+    so callers should pass a curvature-sample-sized ``x``, not the full
+    corpus.
+    """
+    acc = np.zeros_like(theta)
+    t = np.asarray(targets)
+    for lo in range(0, x.shape[0], block):
+        hi = min(lo + block, x.shape[0])
+        for i in range(lo, hi):
+            _, gi = net.loss_and_grad(theta, x[i : i + 1], loss, t[i : i + 1])
+            acc += gi * gi
+    return acc
+
+
+def martens_preconditioner(
+    sq_grad_sum: np.ndarray, lam: float, xi: float = 0.75
+) -> np.ndarray:
+    """The Martens diagonal ``(sum grad^2 + lambda)^xi`` (strictly > 0)."""
+    if lam < 0:
+        raise ValueError(f"lambda must be >= 0: {lam}")
+    if not 0 < xi <= 1:
+        raise ValueError(f"xi must be in (0,1]: {xi}")
+    base = sq_grad_sum + lam
+    floor = max(1e-12, float(base.max()) * 1e-12) if base.size else 1e-12
+    return np.maximum(base, floor) ** xi
+
+
+def gradient_squared_preconditioner(lam_floor: float = 1e-4, xi: float = 0.75):
+    """Cheap hook for :class:`~repro.hf.optimizer.HessianFreeOptimizer`:
+    approximates the per-example sum with the squared batch gradient
+    (zero extra passes — the common production shortcut)."""
+
+    def build(grad: np.ndarray, lam: float) -> np.ndarray:
+        return martens_preconditioner(grad * grad, max(lam, lam_floor), xi=xi)
+
+    return build

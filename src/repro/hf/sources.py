@@ -1,0 +1,202 @@
+"""Serial in-memory data sources for the HF optimizer.
+
+These implement :class:`~repro.hf.types.HFDataSource` over arrays held in
+one process — the single-machine reference the distributed engine must
+match bit-for-bit.  Two variants:
+
+* :class:`FrameSource` — frame-level criteria (cross-entropy, squared
+  error): the curvature mini-sample is a random subset of *frames*;
+* :class:`SequenceSource` — utterance-structured criteria (sequence
+  MMI): gradients sweep all utterances, the curvature sample is a random
+  subset of *utterances* (sampling must respect sequence boundaries).
+
+Both chunk their full-data sweeps so peak memory stays bounded
+regardless of corpus size, and both draw curvature samples from
+:func:`repro.util.rng.derive_seed` streams so any backend (serial,
+threaded, simulated) sees the *same* sample for the same seed —
+the precondition for the paper's "no loss in accuracy" parity claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.losses import Loss, SequenceBatchTargets, UtteranceSpan
+from repro.nn.network import DNN
+from repro.nn.gauss_newton import GaussNewtonOperator
+from repro.util.rng import spawn
+
+__all__ = ["FrameSource", "SequenceSource"]
+
+
+@dataclass
+class FrameSource:
+    """HF data source over (frames x dim) arrays with per-frame targets."""
+
+    net: DNN
+    loss: Loss
+    x: np.ndarray
+    targets: np.ndarray
+    heldout_x: np.ndarray
+    heldout_targets: np.ndarray
+    curvature_fraction: float = 0.02
+    chunk_frames: int = 65536
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.x.shape[0] != np.asarray(self.targets).shape[0]:
+            raise ValueError("train targets must align with frames")
+        if self.heldout_x.shape[0] != np.asarray(self.heldout_targets).shape[0]:
+            raise ValueError("heldout targets must align with frames")
+        if not 0 < self.curvature_fraction <= 1:
+            raise ValueError(
+                f"curvature_fraction must be in (0,1]: {self.curvature_fraction}"
+            )
+        if self.chunk_frames < 1:
+            raise ValueError(f"chunk_frames must be >= 1: {self.chunk_frames}")
+
+    # ------------------------------------------------------------- protocol
+    def gradient(self, theta: np.ndarray) -> tuple[float, np.ndarray, int]:
+        total = 0.0
+        grad = np.zeros_like(theta)
+        n = self.x.shape[0]
+        for lo in range(0, n, self.chunk_frames):
+            hi = min(lo + self.chunk_frames, n)
+            value, g = self.net.loss_and_grad(
+                theta, self.x[lo:hi], self.loss, self.targets[lo:hi]
+            )
+            total += value
+            grad += g
+        return total, grad, n
+
+    def curvature_operator(
+        self, theta: np.ndarray, lam: float, sample_seed: int
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        idx = self.curvature_sample_indices(sample_seed)
+        return GaussNewtonOperator(
+            net=self.net,
+            theta=theta,
+            x=self.x[idx],
+            loss=self.loss,
+            targets=np.asarray(self.targets)[idx],
+            lam=lam,
+            normalizer=float(len(idx)),
+        )
+
+    def heldout_loss(self, theta: np.ndarray) -> tuple[float, int]:
+        total = 0.0
+        n = self.heldout_x.shape[0]
+        for lo in range(0, n, self.chunk_frames):
+            hi = min(lo + self.chunk_frames, n)
+            value, _ = self.net.loss_and_grad(
+                theta, self.heldout_x[lo:hi], self.loss, self.heldout_targets[lo:hi]
+            )
+            total += value
+        return total, n
+
+    # -------------------------------------------------------------- helpers
+    def curvature_sample_indices(self, sample_seed: int) -> np.ndarray:
+        """The seeded frame subset for one CG call (sorted for locality)."""
+        n = self.x.shape[0]
+        k = max(1, int(round(self.curvature_fraction * n)))
+        rng = spawn(self.seed, "curvature", sample_seed)
+        return np.sort(rng.choice(n, size=k, replace=False))
+
+
+@dataclass
+class SequenceSource:
+    """HF data source over concatenated utterances for sequence criteria."""
+
+    net: DNN
+    loss: Loss  # a SequenceMMILoss (or anything taking SequenceBatchTargets)
+    x: np.ndarray
+    spans: Sequence[UtteranceSpan]
+    heldout_x: np.ndarray
+    heldout_spans: Sequence[UtteranceSpan]
+    curvature_fraction: float = 0.02
+    chunk_utterances: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.spans:
+            raise ValueError("need at least one training utterance")
+        if self.spans[-1].end != self.x.shape[0]:
+            raise ValueError(
+                f"spans cover {self.spans[-1].end} frames, x has {self.x.shape[0]}"
+            )
+        if not 0 < self.curvature_fraction <= 1:
+            raise ValueError(
+                f"curvature_fraction must be in (0,1]: {self.curvature_fraction}"
+            )
+
+    # ------------------------------------------------------------- protocol
+    def gradient(self, theta: np.ndarray) -> tuple[float, np.ndarray, int]:
+        total = 0.0
+        grad = np.zeros_like(theta)
+        frames = 0
+        for chunk in _utterance_chunks(self.spans, self.chunk_utterances):
+            xb, tb = _slice_batch(self.x, chunk)
+            value, g = self.net.loss_and_grad(theta, xb, self.loss, tb)
+            total += value
+            grad += g
+            frames += tb.n_frames
+        return total, grad, frames
+
+    def curvature_operator(
+        self, theta: np.ndarray, lam: float, sample_seed: int
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        chosen = self.curvature_sample_utterances(sample_seed)
+        xb, tb = _slice_batch(self.x, [self.spans[i] for i in chosen])
+        return GaussNewtonOperator(
+            net=self.net,
+            theta=theta,
+            x=xb,
+            loss=self.loss,
+            targets=tb,
+            lam=lam,
+            normalizer=float(tb.n_frames),
+        )
+
+    def heldout_loss(self, theta: np.ndarray) -> tuple[float, int]:
+        total = 0.0
+        frames = 0
+        for chunk in _utterance_chunks(self.heldout_spans, self.chunk_utterances):
+            xb, tb = _slice_batch(self.heldout_x, chunk)
+            value, _ = self.net.loss_and_grad(theta, xb, self.loss, tb)
+            total += value
+            frames += tb.n_frames
+        return total, frames
+
+    # -------------------------------------------------------------- helpers
+    def curvature_sample_utterances(self, sample_seed: int) -> np.ndarray:
+        n = len(self.spans)
+        k = max(1, int(round(self.curvature_fraction * n)))
+        rng = spawn(self.seed, "curvature", sample_seed)
+        return np.sort(rng.choice(n, size=k, replace=False))
+
+
+def _utterance_chunks(
+    spans: Sequence[UtteranceSpan], per_chunk: int
+) -> list[list[UtteranceSpan]]:
+    return [
+        list(spans[i : i + per_chunk]) for i in range(0, len(spans), per_chunk)
+    ]
+
+
+def _slice_batch(
+    x: np.ndarray, spans: Sequence[UtteranceSpan]
+) -> tuple[np.ndarray, SequenceBatchTargets]:
+    """Extract a contiguous batch for a subset of utterances, rebasing
+    their spans to start at 0."""
+    pieces = [x[s.start : s.end] for s in spans]
+    xb = np.concatenate(pieces, axis=0)
+    rebased = []
+    pos = 0
+    for s in spans:
+        length = s.end - s.start
+        rebased.append(UtteranceSpan(pos, pos + length, s.states))
+        pos += length
+    return xb, SequenceBatchTargets(tuple(rebased))

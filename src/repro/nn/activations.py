@@ -1,0 +1,80 @@
+"""Activation functions with derivatives, numerically stable, vectorized.
+
+Each activation exposes ``f(z)`` and ``df_from_a(a)`` — the derivative
+expressed in terms of the *activation value* (not the pre-activation),
+which is what backprop and the Gauss–Newton R-op both cache.  All
+functions are elementwise over arbitrary-shape numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Activation", "SIGMOID", "TANH", "RELU", "IDENTITY", "get_activation", "softmax", "log_softmax"]
+
+
+@dataclass(frozen=True)
+class Activation:
+    """Named elementwise nonlinearity."""
+
+    name: str
+
+    def f(self, z: np.ndarray) -> np.ndarray:
+        if self.name == "sigmoid":
+            # stable: use tanh identity to avoid overflow in exp
+            return 0.5 * (np.tanh(0.5 * z) + 1.0)
+        if self.name == "tanh":
+            return np.tanh(z)
+        if self.name == "relu":
+            return np.maximum(z, 0.0)
+        if self.name == "identity":
+            return z
+        raise ValueError(f"unknown activation {self.name!r}")
+
+    def df_from_a(self, a: np.ndarray) -> np.ndarray:
+        """Derivative f'(z) computed from a = f(z)."""
+        if self.name == "sigmoid":
+            return a * (1.0 - a)
+        if self.name == "tanh":
+            return 1.0 - a * a
+        if self.name == "relu":
+            return (a > 0.0).astype(a.dtype)
+        if self.name == "identity":
+            return np.ones_like(a)
+        raise ValueError(f"unknown activation {self.name!r}")
+
+
+SIGMOID = Activation("sigmoid")
+TANH = Activation("tanh")
+RELU = Activation("relu")
+IDENTITY = Activation("identity")
+
+_BY_NAME = {a.name: a for a in (SIGMOID, TANH, RELU, IDENTITY)}
+
+
+def get_activation(name: str | Activation) -> Activation:
+    """Look up an activation by name (or pass one through)."""
+    if isinstance(name, Activation):
+        return name
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None
+
+
+def softmax(z: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Row-stable softmax."""
+    zmax = np.max(z, axis=axis, keepdims=True)
+    e = np.exp(z - zmax)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(z: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Row-stable log softmax."""
+    zmax = np.max(z, axis=axis, keepdims=True)
+    shifted = z - zmax
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))

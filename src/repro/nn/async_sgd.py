@@ -1,0 +1,121 @@
+"""Asynchronous SGD (Downpour-style) — the paper's citation [14].
+
+"It is important to note that recently [14] explored a distributed
+asynchronous SGD method to improve DNN training speed."  This is a
+single-process *simulation* of that scheme with real math: W workers
+process mini-batches from their shards round-robin, but each computes
+its gradient against a **stale** snapshot of the parameters — the
+snapshot it took ``staleness`` updates ago — before applying it to the
+shared center variable.  Staleness 0 recovers serial SGD exactly; larger
+staleness reproduces async SGD's characteristic gradient-delay noise,
+letting the trade-off the paper alludes to be measured rather than
+cited.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import Loss
+from repro.nn.network import DNN
+from repro.util.rng import make_rng
+
+__all__ = ["AsyncSGDConfig", "AsyncSGDResult", "async_sgd_train"]
+
+
+@dataclass(frozen=True)
+class AsyncSGDConfig:
+    """Knobs for :func:`async_sgd_train`."""
+
+    n_workers: int = 4
+    staleness: int = 4
+    """How many center updates old each worker's parameter snapshot is
+    (Downpour's fetch period; 0 = fully synchronous/serial)."""
+    learning_rate: float = 0.1
+    batch_size: int = 128
+    epochs: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1: {self.n_workers}")
+        if self.staleness < 0:
+            raise ValueError(f"staleness must be >= 0: {self.staleness}")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0: {self.learning_rate}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1: {self.batch_size}")
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1: {self.epochs}")
+
+
+@dataclass
+class AsyncSGDResult:
+    theta: np.ndarray
+    epoch_losses: list[float] = field(default_factory=list)
+    heldout_losses: list[float] = field(default_factory=list)
+    n_updates: int = 0
+
+
+def async_sgd_train(
+    net: DNN,
+    theta0: np.ndarray,
+    x: np.ndarray,
+    targets: np.ndarray,
+    loss: Loss,
+    config: AsyncSGDConfig = AsyncSGDConfig(),
+    heldout: tuple[np.ndarray, np.ndarray] | None = None,
+) -> AsyncSGDResult:
+    """Stale-gradient asynchronous SGD over worker shards."""
+    n = x.shape[0]
+    t = np.asarray(targets)
+    if t.shape[0] != n:
+        raise ValueError("targets must align with frames")
+    if n < config.n_workers:
+        raise ValueError(f"cannot shard {n} frames over {config.n_workers} workers")
+    rng = make_rng(config.seed)
+    perm = rng.permutation(n)
+    bounds = np.linspace(0, n, config.n_workers + 1).astype(int)
+    shards = [perm[bounds[w] : bounds[w + 1]] for w in range(config.n_workers)]
+
+    theta = theta0.copy()
+    # history of center snapshots; workers read `staleness` steps back
+    history: deque[np.ndarray] = deque(maxlen=config.staleness + 1)
+    history.append(theta.copy())
+    cursors = [0] * config.n_workers
+    result = AsyncSGDResult(theta=theta)
+
+    batches_per_epoch = sum(
+        max(1, len(s) // config.batch_size) for s in shards
+    )
+    for epoch in range(config.epochs):
+        for shard in shards:
+            rng.shuffle(shard)
+        epoch_loss = 0.0
+        frames_seen = 0
+        for _ in range(batches_per_epoch):
+            w = result.n_updates % config.n_workers
+            shard = shards[w]
+            lo = cursors[w]
+            idx = shard[lo : lo + config.batch_size]
+            if idx.size == 0:
+                cursors[w] = 0
+                idx = shard[: config.batch_size]
+            cursors[w] = (lo + config.batch_size) % max(len(shard), 1)
+            stale_theta = history[0]  # oldest snapshot in the window
+            value, grad = net.loss_and_grad(stale_theta, x[idx], loss, t[idx])
+            epoch_loss += value
+            frames_seen += idx.size
+            theta -= config.learning_rate * grad / idx.size
+            history.append(theta.copy())
+            result.n_updates += 1
+        result.epoch_losses.append(epoch_loss / max(frames_seen, 1))
+        if heldout is not None:
+            hx, ht = heldout
+            hv, _ = net.loss_and_grad(theta, hx, loss, ht)
+            result.heldout_losses.append(hv / hx.shape[0])
+    result.theta = theta
+    return result

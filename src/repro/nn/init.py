@@ -1,0 +1,52 @@
+"""Weight initialization schemes.
+
+The paper cites Glorot & Bengio [3] ("better forms of random
+initialization ... made it possible to train deeper networks"); the DNN
+defaults to Glorot-uniform for weights and zero biases.  A plain scaled
+Gaussian is provided for comparison/ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["glorot_uniform", "scaled_gaussian", "initialize_layer"]
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator | int | None
+) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-r, r) with r = sqrt(6 / (fan_in + fan_out))."""
+    if fan_in < 1 or fan_out < 1:
+        raise ValueError(f"fans must be >= 1: ({fan_in}, {fan_out})")
+    gen = make_rng(rng)
+    r = np.sqrt(6.0 / (fan_in + fan_out))
+    return gen.uniform(-r, r, size=(fan_in, fan_out))
+
+
+def scaled_gaussian(
+    fan_in: int, fan_out: int, rng: np.random.Generator | int | None, scale: float = 0.01
+) -> np.ndarray:
+    """N(0, scale^2) weights — the pre-Glorot default."""
+    if fan_in < 1 or fan_out < 1:
+        raise ValueError(f"fans must be >= 1: ({fan_in}, {fan_out})")
+    gen = make_rng(rng)
+    return gen.normal(0.0, scale, size=(fan_in, fan_out))
+
+
+def initialize_layer(
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator | int | None,
+    scheme: str = "glorot",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (W, b) for one affine layer under the named scheme."""
+    if scheme == "glorot":
+        w = glorot_uniform(fan_in, fan_out, rng)
+    elif scheme == "gaussian":
+        w = scaled_gaussian(fan_in, fan_out, rng)
+    else:
+        raise ValueError(f"unknown init scheme {scheme!r}")
+    return w, np.zeros(fan_out)

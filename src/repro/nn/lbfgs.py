@@ -1,0 +1,162 @@
+"""L-BFGS — the other second-order batch method of Section II-A.
+
+"Second-order batch methods, including conjugate gradient (CG) or
+limited-memory BFGS (L-BFGS), generally compute the gradient over all of
+the data rather than a mini-batch, and therefore are much easier to
+parallelize [15]."  This is that baseline: two-loop-recursion L-BFGS
+with an Armijo backtracking line search, over the same full-batch
+loss/gradient oracle the HF optimizer uses — so the two second-order
+families can be compared head-to-head on identical data sources.
+
+Like HF's gradients, every evaluation here is a full-data pass that
+data-parallelizes trivially; unlike HF there is no curvature
+mini-sampling — the Hessian approximation comes from gradient history.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.hf.linesearch import ArmijoConfig, armijo_backtrack
+
+__all__ = ["LBFGSConfig", "LBFGSResult", "lbfgs_minimize", "lbfgs_train"]
+
+
+@dataclass(frozen=True)
+class LBFGSConfig:
+    """Hyper-parameters for :func:`lbfgs_minimize`."""
+
+    max_iterations: int = 20
+    history: int = 10
+    tolerance: float = 1e-8
+    """Stop when the gradient norm falls below this."""
+    linesearch: ArmijoConfig = field(default_factory=lambda: ArmijoConfig(c=1e-4))
+    damping_min_curvature: float = 1e-10
+    """Skip history pairs with ``s.y`` below this (curvature guard)."""
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1: {self.max_iterations}")
+        if self.history < 1:
+            raise ValueError(f"history must be >= 1: {self.history}")
+        if self.tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0: {self.tolerance}")
+
+
+@dataclass
+class LBFGSResult:
+    """Final point and trajectory."""
+
+    theta: np.ndarray
+    losses: list[float] = field(default_factory=list)
+    grad_norms: list[float] = field(default_factory=list)
+    converged: bool = False
+    iterations: int = 0
+
+
+def _two_loop(
+    grad: np.ndarray,
+    s_list: deque[np.ndarray],
+    y_list: deque[np.ndarray],
+    rho_list: deque[float],
+) -> np.ndarray:
+    """Nocedal's two-loop recursion: H_k approx applied to grad."""
+    q = grad.copy()
+    alphas: list[float] = []
+    for s, y, rho in zip(reversed(s_list), reversed(y_list), reversed(rho_list)):
+        a = rho * float(s @ q)
+        alphas.append(a)
+        q -= a * y
+    if s_list:
+        s, y = s_list[-1], y_list[-1]
+        gamma = float(s @ y) / max(float(y @ y), 1e-300)
+        q *= gamma
+    for (s, y, rho), a in zip(zip(s_list, y_list, rho_list), reversed(alphas)):
+        b = rho * float(y @ q)
+        q += (a - b) * s
+    return q
+
+
+def lbfgs_minimize(
+    loss_and_grad: Callable[[np.ndarray], tuple[float, np.ndarray]],
+    theta0: np.ndarray,
+    config: LBFGSConfig = LBFGSConfig(),
+) -> LBFGSResult:
+    """Minimize a smooth function with L-BFGS + Armijo backtracking."""
+    theta = theta0.copy()
+    value, grad = loss_and_grad(theta)
+    result = LBFGSResult(theta=theta, losses=[value], grad_norms=[float(np.linalg.norm(grad))])
+    s_hist: deque[np.ndarray] = deque(maxlen=config.history)
+    y_hist: deque[np.ndarray] = deque(maxlen=config.history)
+    rho_hist: deque[float] = deque(maxlen=config.history)
+
+    for it in range(config.max_iterations):
+        gnorm = float(np.linalg.norm(grad))
+        if gnorm <= config.tolerance:
+            result.converged = True
+            break
+        direction = -_two_loop(grad, s_hist, y_hist, rho_hist)
+        slope = float(grad @ direction)
+        if slope >= 0:  # history gone bad: fall back to steepest descent
+            direction = -grad
+            slope = -gnorm**2
+            s_hist.clear()
+            y_hist.clear()
+            rho_hist.clear()
+
+        ls = armijo_backtrack(
+            lambda a: loss_and_grad(theta + a * direction)[0],
+            loss0=value,
+            directional_derivative=slope,
+            config=config.linesearch,
+        )
+        if not ls.accepted:
+            break  # no progress possible along any tested step
+        theta_new = theta + ls.alpha * direction
+        value_new, grad_new = loss_and_grad(theta_new)
+        s = theta_new - theta
+        y = grad_new - grad
+        sy = float(s @ y)
+        if sy > config.damping_min_curvature:
+            s_hist.append(s)
+            y_hist.append(y)
+            rho_hist.append(1.0 / sy)
+        theta, value, grad = theta_new, value_new, grad_new
+        result.iterations = it + 1
+        result.losses.append(value)
+        result.grad_norms.append(float(np.linalg.norm(grad)))
+
+    result.theta = theta
+    return result
+
+
+def lbfgs_train(
+    net,
+    theta0: np.ndarray,
+    x: np.ndarray,
+    targets,
+    loss,
+    config: LBFGSConfig = LBFGSConfig(),
+    heldout: tuple[np.ndarray, np.ndarray] | None = None,
+) -> LBFGSResult:
+    """Full-batch L-BFGS training of a :class:`~repro.nn.network.DNN`.
+
+    Loss values in the trajectory are per-frame averages (comparable to
+    the HF optimizer's reporting).
+    """
+    n = x.shape[0]
+
+    def oracle(theta: np.ndarray) -> tuple[float, np.ndarray]:
+        value, grad = net.loss_and_grad(theta, x, loss, targets)
+        return value / n, grad / n
+
+    result = lbfgs_minimize(oracle, theta0, config)
+    if heldout is not None:
+        hx, ht = heldout
+        hv, _ = net.loss_and_grad(result.theta, hx, loss, ht)
+        result.losses.append(hv / hx.shape[0])
+    return result

@@ -1,0 +1,294 @@
+"""Training criteria: cross-entropy, squared error, and sequence MMI.
+
+The paper trains with two objectives (Table I): frame-level
+**cross-entropy** and a **sequence-discriminative criterion** ("another
+that uses a discriminative criterion ... extensively applied in speech
+applications").  We implement lattice-free MMI over the synthetic HMM's
+state graph — numerator is the forced-alignment path, denominator the
+forward-algorithm sum over all paths — which has exactly the
+compute/communication profile of the paper's sequence training (a
+forward-backward per utterance on top of the DNN pass, noticeably more
+expensive per frame than CE).
+
+Loss protocol (consumed by :class:`repro.nn.network.DNN`):
+
+* ``value_and_delta(logits, targets)`` -> ``(loss_sum, dLoss/dlogits)``;
+* ``gn_output_hessian_vec(logits, targets, r)`` -> ``H_L r`` where
+  ``H_L`` is the (PSD) loss Hessian w.r.t. logits used in the
+  Gauss–Newton product;
+* ``count(targets)`` -> number of frames (for cross-worker averaging).
+
+All values/gradients are **sums over frames**, so data-parallel partial
+results combine by addition — the invariant the distributed trainer's
+reductions rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.nn.activations import log_softmax, softmax
+
+__all__ = [
+    "Loss",
+    "CrossEntropyLoss",
+    "SquaredErrorLoss",
+    "SequenceMMILoss",
+    "UtteranceSpan",
+    "SequenceBatchTargets",
+    "frame_error_count",
+]
+
+
+@runtime_checkable
+class Loss(Protocol):
+    """Structural protocol for training criteria."""
+
+    def value_and_delta(
+        self, logits: np.ndarray, targets: object
+    ) -> tuple[float, np.ndarray]: ...
+
+    def gn_output_hessian_vec(
+        self, logits: np.ndarray, targets: object, r: np.ndarray
+    ) -> np.ndarray: ...
+
+    def count(self, targets: object) -> int: ...
+
+
+# --------------------------------------------------------------------- CE
+@dataclass(frozen=True)
+class CrossEntropyLoss:
+    """Softmax cross-entropy against integer state labels."""
+
+    def value_and_delta(
+        self, logits: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        t = self._check(logits, targets)
+        logp = log_softmax(logits)
+        idx = np.arange(logits.shape[0])
+        value = -float(logp[idx, t].sum())
+        delta = softmax(logits)
+        delta[idx, t] -= 1.0
+        return value, delta
+
+    def gn_output_hessian_vec(
+        self, logits: np.ndarray, targets: np.ndarray, r: np.ndarray
+    ) -> np.ndarray:
+        """Per-frame ``(diag(p) - p p^T) r`` — PSD by construction."""
+        self._check(logits, targets)
+        p = softmax(logits)
+        pr = np.sum(p * r, axis=1, keepdims=True)
+        return p * r - p * pr
+
+    def count(self, targets: np.ndarray) -> int:
+        return int(np.asarray(targets).shape[0])
+
+    @staticmethod
+    def _check(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        t = np.asarray(targets)
+        if t.ndim != 1 or t.shape[0] != logits.shape[0]:
+            raise ValueError(
+                f"targets shape {t.shape} incompatible with logits {logits.shape}"
+            )
+        if t.size and (t.min() < 0 or t.max() >= logits.shape[1]):
+            raise ValueError(
+                f"label out of range [0, {logits.shape[1]}): "
+                f"[{t.min()}, {t.max()}]"
+            )
+        return t
+
+
+# --------------------------------------------------------------------- MSE
+@dataclass(frozen=True)
+class SquaredErrorLoss:
+    """0.5 ||logits - targets||^2 with a linear output layer."""
+
+    def value_and_delta(
+        self, logits: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        t = np.asarray(targets, dtype=logits.dtype)
+        if t.shape != logits.shape:
+            raise ValueError(
+                f"targets shape {t.shape} != logits shape {logits.shape}"
+            )
+        diff = logits - t
+        return 0.5 * float(np.sum(diff * diff)), diff
+
+    def gn_output_hessian_vec(
+        self, logits: np.ndarray, targets: np.ndarray, r: np.ndarray
+    ) -> np.ndarray:
+        return r  # H_L = I
+
+    def count(self, targets: np.ndarray) -> int:
+        return int(np.asarray(targets).shape[0])
+
+
+# ---------------------------------------------------------------- sequence
+@dataclass(frozen=True)
+class UtteranceSpan:
+    """One utterance inside a concatenated frame batch."""
+
+    start: int
+    end: int
+    states: np.ndarray  # reference (forced-alignment) state per frame
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty utterance span [{self.start}, {self.end})")
+        if len(self.states) != self.end - self.start:
+            raise ValueError(
+                f"span length {self.end - self.start} != states length "
+                f"{len(self.states)}"
+            )
+
+
+@dataclass(frozen=True)
+class SequenceBatchTargets:
+    """Targets for :class:`SequenceMMILoss`: utterance structure over a
+    concatenated ``(frames, states)`` logits matrix."""
+
+    spans: tuple[UtteranceSpan, ...]
+
+    def __post_init__(self) -> None:
+        pos = 0
+        for s in self.spans:
+            if s.start != pos:
+                raise ValueError(
+                    f"spans must tile the batch contiguously; expected start "
+                    f"{pos}, got {s.start}"
+                )
+            pos = s.end
+
+    @property
+    def n_frames(self) -> int:
+        return self.spans[-1].end if self.spans else 0
+
+
+class SequenceMMILoss:
+    """Lattice-free MMI over a state-transition graph.
+
+    ``loss = -sum_u (log P_num(u) - log P_den(u))`` with per-frame
+    acoustic scores ``kappa * log_softmax(logits)``; the numerator scores
+    the reference path, the denominator marginalizes all paths with the
+    forward algorithm over ``log_transitions``.
+
+    Gradient w.r.t. logits is ``kappa * (gamma_den - onehot_ref)`` where
+    ``gamma_den`` are denominator occupancies from forward-backward —
+    the classic discriminative-training posterior difference.
+    """
+
+    def __init__(
+        self,
+        log_transitions: np.ndarray,
+        log_initial: np.ndarray | None = None,
+        kappa: float = 1.0,
+    ) -> None:
+        lt = np.asarray(log_transitions, dtype=np.float64)
+        if lt.ndim != 2 or lt.shape[0] != lt.shape[1]:
+            raise ValueError(f"log_transitions must be square, got {lt.shape}")
+        if kappa <= 0:
+            raise ValueError(f"kappa must be positive, got {kappa}")
+        self.log_transitions = lt
+        self.n_states = lt.shape[0]
+        if log_initial is None:
+            log_initial = np.full(self.n_states, -np.log(self.n_states))
+        self.log_initial = np.asarray(log_initial, dtype=np.float64)
+        if self.log_initial.shape != (self.n_states,):
+            raise ValueError(
+                f"log_initial shape {self.log_initial.shape} != ({self.n_states},)"
+            )
+        self.kappa = kappa
+
+    # ------------------------------------------------------------- internals
+    def _forward_backward(
+        self, loglik: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Denominator log-prob and occupancies for one utterance.
+
+        ``loglik``: (T, S) per-frame scaled acoustic log-scores.
+        """
+        t_frames, s = loglik.shape
+        trans = self.log_transitions
+        alpha = np.empty((t_frames, s))
+        alpha[0] = self.log_initial + loglik[0]
+        for t in range(1, t_frames):
+            # logsumexp over previous state axis
+            prev = alpha[t - 1][:, None] + trans
+            m = prev.max(axis=0)
+            alpha[t] = m + np.log(np.exp(prev - m).sum(axis=0)) + loglik[t]
+        m_z = alpha[-1].max()
+        log_z = m_z + np.log(np.exp(alpha[-1] - m_z).sum())
+        beta = np.empty_like(alpha)
+        beta[-1] = 0.0
+        for t in range(t_frames - 2, -1, -1):
+            nxt = trans + (beta[t + 1] + loglik[t + 1])[None, :]
+            m = nxt.max(axis=1)
+            beta[t] = m + np.log(np.exp(nxt - m[:, None]).sum(axis=1))
+        gamma = np.exp(alpha + beta - log_z)
+        return float(log_z), gamma
+
+    def _numerator(self, loglik: np.ndarray, states: np.ndarray) -> float:
+        idx = np.arange(loglik.shape[0])
+        score = float(loglik[idx, states].sum()) + float(self.log_initial[states[0]])
+        if len(states) > 1:
+            score += float(self.log_transitions[states[:-1], states[1:]].sum())
+        return score
+
+    # ------------------------------------------------------------- protocol
+    def value_and_delta(
+        self, logits: np.ndarray, targets: SequenceBatchTargets
+    ) -> tuple[float, np.ndarray]:
+        self._check(logits, targets)
+        logp = log_softmax(logits)
+        loglik = self.kappa * logp
+        delta = np.zeros_like(logits)
+        total = 0.0
+        for span in targets.spans:
+            ll = loglik[span.start : span.end]
+            log_z, gamma = self._forward_backward(ll)
+            num = self._numerator(ll, span.states)
+            total += log_z - num  # = -(num - den)
+            d = gamma.copy()
+            d[np.arange(len(span.states)), span.states] -= 1.0
+            delta[span.start : span.end] = self.kappa * d
+        return total, delta
+
+    def gn_output_hessian_vec(
+        self, logits: np.ndarray, targets: SequenceBatchTargets, r: np.ndarray
+    ) -> np.ndarray:
+        """PSD curvature surrogate: per-frame softmax Hessian scaled by
+        kappa^2 (the standard HF sequence-training approximation, after
+        Kingsbury [25])."""
+        self._check(logits, targets)
+        p = softmax(logits)
+        pr = np.sum(p * r, axis=1, keepdims=True)
+        return (self.kappa**2) * (p * r - p * pr)
+
+    def count(self, targets: SequenceBatchTargets) -> int:
+        return targets.n_frames
+
+    def _check(self, logits: np.ndarray, targets: SequenceBatchTargets) -> None:
+        if logits.shape[1] != self.n_states:
+            raise ValueError(
+                f"logits have {logits.shape[1]} columns, transition graph has "
+                f"{self.n_states} states"
+            )
+        if targets.n_frames != logits.shape[0]:
+            raise ValueError(
+                f"targets cover {targets.n_frames} frames, logits have "
+                f"{logits.shape[0]}"
+            )
+
+
+def frame_error_count(logits: np.ndarray, labels: np.ndarray) -> int:
+    """Frames whose argmax differs from the label — the accuracy proxy
+    (stands in for WER, which needs a decoder we do not model)."""
+    labels = np.asarray(labels)
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+        )
+    return int(np.sum(np.argmax(logits, axis=1) != labels))

@@ -1,0 +1,256 @@
+"""Feedforward deep neural network with backprop and Gauss–Newton products.
+
+The acoustic-model DNN of the paper: stacked affine + sigmoid (or tanh/
+relu) hidden layers, a linear output layer feeding a softmax loss.  All
+parameters live in one flat float vector ``theta`` (see
+:mod:`repro.util.vec`), which is what the Hessian-free optimizer and the
+MPI layer pass around — exactly the "weights" the paper broadcasts with
+``MPI_Bcast``.
+
+Three core operations, all batched over a ``(frames, dim)`` design
+matrix:
+
+* :meth:`DNN.forward` — activations for every layer;
+* :meth:`DNN.loss_and_grad` — loss value and flat gradient (backprop);
+* :meth:`DNN.gauss_newton_vec` — the curvature matrix–vector product
+  ``G(theta) v`` via the Pearlmutter R-op forward pass and a standard
+  backward pass seeded with the loss's output-Hessian action
+  (Schraudolph's Gauss–Newton trick) — the paper's
+  ``worker_curvature_product``.
+
+GEMM accounting: every matrix multiply is optionally recorded in a
+:class:`~repro.gemm.stats.GemmCounter` so the simulated-machine harness
+can replay the *actual* operation mix through the BG/Q performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.gemm.stats import GemmCounter
+from repro.nn.activations import Activation, get_activation
+from repro.nn.init import initialize_layer
+from repro.util.rng import make_rng
+from repro.util.vec import pack, shapes_size, unpack
+
+__all__ = ["DNN", "ForwardCache"]
+
+
+@dataclass
+class ForwardCache:
+    """Cached per-layer tensors from one forward pass."""
+
+    activations: list[np.ndarray]
+    """``activations[0]`` is the input; ``activations[i]`` the output of
+    layer ``i`` (post-nonlinearity); the last entry is the output-layer
+    *pre-softmax* logits (the output layer is linear)."""
+
+
+class DNN:
+    """A fully-connected feedforward network over flat parameter vectors.
+
+    Parameters
+    ----------
+    layer_dims:
+        ``[input, hidden..., output]`` sizes, e.g. ``[360, 1024, 1024,
+        1024, 512]`` for a speech model with 360-dim spliced features and
+        512 context-dependent states.
+    hidden_activation:
+        Nonlinearity for the hidden layers (paper-era default: sigmoid).
+    """
+
+    def __init__(
+        self,
+        layer_dims: Sequence[int],
+        hidden_activation: str | Activation = "sigmoid",
+        gemm_counter: GemmCounter | None = None,
+    ) -> None:
+        dims = list(layer_dims)
+        if len(dims) < 2:
+            raise ValueError(f"need at least input and output dims, got {dims}")
+        if any(d < 1 for d in dims):
+            raise ValueError(f"all layer dims must be >= 1: {dims}")
+        self.layer_dims = dims
+        self.hidden_activation = get_activation(hidden_activation)
+        self.gemm_counter = gemm_counter
+        # parameter shapes: (W0, b0, W1, b1, ...)
+        self.param_shapes: list[tuple[int, ...]] = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            self.param_shapes.append((fan_in, fan_out))
+            self.param_shapes.append((fan_out,))
+
+    # ----------------------------------------------------------- properties
+    @property
+    def n_layers(self) -> int:
+        """Number of affine layers (hidden + output)."""
+        return len(self.layer_dims) - 1
+
+    @property
+    def n_params(self) -> int:
+        return shapes_size(self.param_shapes)
+
+    @property
+    def n_outputs(self) -> int:
+        return self.layer_dims[-1]
+
+    def describe(self) -> str:
+        arch = " -> ".join(str(d) for d in self.layer_dims)
+        return (
+            f"DNN[{arch}] ({self.hidden_activation.name} hidden, "
+            f"{self.n_params:,} parameters)"
+        )
+
+    # --------------------------------------------------------------- params
+    def init_params(
+        self, rng: np.random.Generator | int | None = 0, scheme: str = "glorot"
+    ) -> np.ndarray:
+        """Fresh flat parameter vector."""
+        gen = make_rng(rng)
+        arrays: list[np.ndarray] = []
+        for fan_in, fan_out in zip(self.layer_dims[:-1], self.layer_dims[1:]):
+            w, b = initialize_layer(fan_in, fan_out, gen, scheme=scheme)
+            arrays.extend((w, b))
+        return pack(arrays)
+
+    def split_params(self, theta: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Views ``[(W0, b0), (W1, b1), ...]`` into a flat vector."""
+        views = unpack(theta, self.param_shapes)
+        return [(views[2 * i], views[2 * i + 1]) for i in range(self.n_layers)]
+
+    # -------------------------------------------------------------- forward
+    def forward(self, theta: np.ndarray, x: np.ndarray) -> ForwardCache:
+        """Run the network on a ``(frames, input_dim)`` batch."""
+        self._check_input(x)
+        layers = self.split_params(theta)
+        acts = [x]
+        a = x
+        for i, (w, b) in enumerate(layers):
+            z = a @ w + b
+            self._count("forward", a.shape[0], w.shape[1], w.shape[0])
+            if i < self.n_layers - 1:
+                a = self.hidden_activation.f(z)
+            else:
+                a = z  # linear output layer; softmax lives in the loss
+            acts.append(a)
+        return ForwardCache(activations=acts)
+
+    def logits(self, theta: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Output-layer pre-softmax activations."""
+        return self.forward(theta, x).activations[-1]
+
+    # ------------------------------------------------------------- backward
+    def backprop(
+        self,
+        theta: np.ndarray,
+        cache: ForwardCache,
+        output_delta: np.ndarray,
+    ) -> np.ndarray:
+        """Flat gradient given dLoss/dLogits ``output_delta``.
+
+        This single routine serves both the loss gradient (delta from the
+        loss) and the Gauss–Newton product (delta = H_L · (J v), the
+        Schraudolph seed) — structurally they are the same backward pass.
+        """
+        layers = self.split_params(theta)
+        acts = cache.activations
+        if output_delta.shape != acts[-1].shape:
+            raise ValueError(
+                f"output_delta shape {output_delta.shape} != logits shape "
+                f"{acts[-1].shape}"
+            )
+        grads: list[np.ndarray] = [np.empty(0)] * (2 * self.n_layers)
+        delta = output_delta
+        for i in range(self.n_layers - 1, -1, -1):
+            w, _b = layers[i]
+            a_prev = acts[i]
+            grads[2 * i] = a_prev.T @ delta
+            self._count("backward_wgrad", w.shape[0], w.shape[1], delta.shape[0])
+            grads[2 * i + 1] = delta.sum(axis=0)
+            if i > 0:
+                delta = delta @ w.T
+                self._count("backward_delta", delta.shape[0], w.shape[0], w.shape[1])
+                delta = delta * self.hidden_activation.df_from_a(acts[i])
+        return pack(grads)
+
+    def loss_and_grad(
+        self, theta: np.ndarray, x: np.ndarray, loss: "Loss", targets: object
+    ) -> tuple[float, np.ndarray]:
+        """Loss value and flat gradient on a batch.
+
+        ``loss`` is any object from :mod:`repro.nn.losses`; ``targets``
+        is whatever that loss expects (labels, dense targets, utterance
+        structure...).  Loss and gradient are *sums* over frames (not
+        means) so that data-parallel partial results add exactly.
+        """
+        cache = self.forward(theta, x)
+        value, delta = loss.value_and_delta(cache.activations[-1], targets)
+        grad = self.backprop(theta, cache, delta)
+        return value, grad
+
+    # --------------------------------------------------------- Gauss-Newton
+    def r_forward(
+        self, theta: np.ndarray, v: np.ndarray, cache: ForwardCache
+    ) -> np.ndarray:
+        """Pearlmutter R-operator forward pass: returns R(logits) = J_z v.
+
+        With ``z_i = a_{i-1} W_i + b_i`` and ``a_i = f(z_i)``::
+
+            R(z_i) = a_{i-1} V_i + u_i + R(a_{i-1}) W_i
+            R(a_i) = f'(z_i) * R(z_i),   R(a_0) = 0
+
+        where ``(V_i, u_i)`` are the slices of ``v``.
+        """
+        if v.shape != (self.n_params,):
+            raise ValueError(f"v has shape {v.shape}, expected ({self.n_params},)")
+        layers = self.split_params(theta)
+        vlayers = self.split_params(v)
+        acts = cache.activations
+        r_a = None  # R(a_0) = 0
+        for i, ((w, _b), (vw, vb)) in enumerate(zip(layers, vlayers)):
+            a_prev = acts[i]
+            r_z = a_prev @ vw + vb
+            self._count("rop_forward", a_prev.shape[0], vw.shape[1], vw.shape[0])
+            if r_a is not None:
+                r_z = r_z + r_a @ w
+                self._count("rop_forward", r_a.shape[0], w.shape[1], w.shape[0])
+            if i < self.n_layers - 1:
+                r_a = self.hidden_activation.df_from_a(acts[i + 1]) * r_z
+            else:
+                return r_z
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def gauss_newton_vec(
+        self,
+        theta: np.ndarray,
+        x: np.ndarray,
+        loss: "Loss",
+        targets: object,
+        v: np.ndarray,
+        cache: ForwardCache | None = None,
+    ) -> np.ndarray:
+        """The curvature product ``G(theta) v`` (sum over frames).
+
+        ``G = J^T H_L J`` with J the Jacobian of logits w.r.t. parameters
+        and ``H_L`` the loss Hessian w.r.t. logits (PSD for softmax
+        cross-entropy and squared error, hence G is PSD — the property
+        Hessian-free training depends on).
+        """
+        if cache is None:
+            cache = self.forward(theta, x)
+        r_logits = self.r_forward(theta, v, cache)
+        hl_r = loss.gn_output_hessian_vec(cache.activations[-1], targets, r_logits)
+        return self.backprop(theta, cache, hl_r)
+
+    # -------------------------------------------------------------- helpers
+    def _check_input(self, x: np.ndarray) -> None:
+        if x.ndim != 2 or x.shape[1] != self.layer_dims[0]:
+            raise ValueError(
+                f"input must be (frames, {self.layer_dims[0]}), got {x.shape}"
+            )
+
+    def _count(self, label: str, m: int, n: int, k: int) -> None:
+        if self.gemm_counter is not None and min(m, n, k) > 0:
+            self.gemm_counter.record(label, m, n, k)

@@ -1,0 +1,158 @@
+"""Parallel SGD baselines — what Section II-A says is hard.
+
+"While parallel SGD methods have been successfully explored for convex
+problems [11], for non-convex problems such as DNNs it is very difficult
+to parallelize SGD across machines ... it is generally cheaper to
+compute the gradient serially on one machine."
+
+Two classic schemes, implemented so the claim can be *measured* instead
+of cited:
+
+* :func:`parameter_averaging_sgd` — Zinkevich-style one-shot averaging:
+  W independent SGD runs on data shards, parameters averaged at the end.
+  Fine for convex losses, degraded for DNNs (averaging distinct basins).
+* :func:`synchronous_minibatch_sgd` — gradient-synchronous parallel SGD:
+  every update reduces a mini-batch gradient across W workers.  The
+  math equals serial SGD with a W-times-larger batch; the *cost model*
+  (one parameter-sized reduction per tiny step) is exactly the
+  communication pathology the paper describes, which
+  :func:`sync_sgd_comm_cost` quantifies against HF's per-iteration
+  communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.losses import Loss
+from repro.nn.network import DNN
+from repro.nn.sgd import SGDConfig, SGDResult, sgd_train
+from repro.util.rng import make_rng
+
+__all__ = [
+    "parameter_averaging_sgd",
+    "synchronous_minibatch_sgd",
+    "sync_sgd_comm_cost",
+    "CommCostComparison",
+]
+
+
+def parameter_averaging_sgd(
+    net: DNN,
+    theta0: np.ndarray,
+    x: np.ndarray,
+    targets: np.ndarray,
+    loss: Loss,
+    n_workers: int,
+    config: SGDConfig = SGDConfig(),
+    heldout: tuple[np.ndarray, np.ndarray] | None = None,
+) -> SGDResult:
+    """One-shot parameter averaging over ``n_workers`` data shards."""
+    if n_workers < 1:
+        raise ValueError(f"need >= 1 worker: {n_workers}")
+    n = x.shape[0]
+    if n < n_workers:
+        raise ValueError(f"cannot shard {n} frames over {n_workers} workers")
+    rng = make_rng(config.seed)
+    perm = rng.permutation(n)
+    bounds = np.linspace(0, n, n_workers + 1).astype(int)
+    thetas = []
+    total_updates = 0
+    for w in range(n_workers):
+        idx = perm[bounds[w] : bounds[w + 1]]
+        shard_cfg = SGDConfig(
+            learning_rate=config.learning_rate,
+            momentum=config.momentum,
+            batch_size=config.batch_size,
+            epochs=config.epochs,
+            lr_decay=config.lr_decay,
+            seed=config.seed + w + 1,
+        )
+        res = sgd_train(
+            net, theta0, x[idx], np.asarray(targets)[idx], loss, shard_cfg
+        )
+        thetas.append(res.theta)
+        total_updates += res.n_updates
+    theta = np.mean(thetas, axis=0)
+    out = SGDResult(theta=theta, n_updates=total_updates)
+    value, _ = net.loss_and_grad(theta, x, loss, targets)
+    out.epoch_losses.append(value / n)
+    if heldout is not None:
+        hx, ht = heldout
+        hv, _ = net.loss_and_grad(theta, hx, loss, ht)
+        out.heldout_losses.append(hv / hx.shape[0])
+    return out
+
+
+def synchronous_minibatch_sgd(
+    net: DNN,
+    theta0: np.ndarray,
+    x: np.ndarray,
+    targets: np.ndarray,
+    loss: Loss,
+    n_workers: int,
+    config: SGDConfig = SGDConfig(),
+    heldout: tuple[np.ndarray, np.ndarray] | None = None,
+) -> SGDResult:
+    """Gradient-synchronous parallel SGD (mathematically: serial SGD with
+    batch size ``n_workers x batch_size``)."""
+    if n_workers < 1:
+        raise ValueError(f"need >= 1 worker: {n_workers}")
+    big = SGDConfig(
+        learning_rate=config.learning_rate,
+        momentum=config.momentum,
+        batch_size=config.batch_size * n_workers,
+        epochs=config.epochs,
+        lr_decay=config.lr_decay,
+        seed=config.seed,
+    )
+    return sgd_train(net, theta0, x, targets, loss, big, heldout=heldout)
+
+
+@dataclass(frozen=True)
+class CommCostComparison:
+    """Per-epoch communication volume: sync-SGD vs Hessian-free."""
+
+    sgd_reductions: int
+    sgd_bytes: float
+    hf_reductions: int
+    hf_bytes: float
+
+    @property
+    def ratio(self) -> float:
+        """How many times more bytes sync-SGD moves per epoch."""
+        return self.sgd_bytes / self.hf_bytes
+
+
+def sync_sgd_comm_cost(
+    n_params: int,
+    n_frames: int,
+    batch_size: int,
+    cg_iters_per_epoch: int = 15,
+    heldout_evals_per_epoch: int = 5,
+    dtype_bytes: int = 4,
+) -> CommCostComparison:
+    """The paper's Section II argument, quantified.
+
+    Sync-SGD reduces a full parameter-sized gradient every mini-batch —
+    ``n_frames / batch_size`` reductions per epoch.  HF reduces once for
+    the epoch gradient plus once per CG iteration (plus scalar held-out
+    losses).  With speech batch sizes of 100-1000 frames and 10-50 M
+    parameters, the ratio is in the hundreds — "it is generally cheaper
+    to compute the gradient serially on one machine."
+    """
+    if min(n_params, n_frames, batch_size) < 1:
+        raise ValueError("all sizes must be >= 1")
+    sgd_reductions = max(1, n_frames // batch_size)
+    hf_reductions = 1 + cg_iters_per_epoch + heldout_evals_per_epoch
+    theta_bytes = n_params * dtype_bytes
+    return CommCostComparison(
+        sgd_reductions=sgd_reductions,
+        sgd_bytes=float(sgd_reductions) * theta_bytes,
+        hf_reductions=hf_reductions,
+        # held-out evaluations reduce scalars, not parameter vectors
+        hf_bytes=float(1 + cg_iters_per_epoch) * theta_bytes
+        + heldout_evals_per_epoch * 8.0,
+    )

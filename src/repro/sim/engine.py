@@ -1,0 +1,293 @@
+"""Discrete-event simulation engine.
+
+A minimal but complete process-oriented DES in the style of SimPy, used
+as the execution substrate for the virtual MPI layer (:mod:`repro.vmpi`).
+Simulated processes are Python generators that ``yield`` command objects
+(:class:`Timeout`, :class:`Get`, :class:`Put`, :class:`AllOf`); the
+engine advances a virtual clock and resumes processes when their commands
+complete.
+
+Determinism: events at equal virtual time fire in FIFO order of their
+scheduling (a monotone sequence number breaks ties), so a given set of
+rank programs always interleaves identically — essential for reproducible
+simulated-BG/Q figures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+__all__ = [
+    "Engine",
+    "SimProcess",
+    "Timeout",
+    "Get",
+    "Put",
+    "AllOf",
+    "Store",
+    "DeadlockError",
+    "SimError",
+]
+
+
+class SimError(RuntimeError):
+    """Base class for simulation errors."""
+
+
+class DeadlockError(SimError):
+    """Raised when live processes remain but no event can ever fire."""
+
+
+Command = Any
+ProcessBody = Generator[Command, Any, Any]
+
+
+@dataclass
+class Timeout:
+    """Suspend the yielding process for ``delay`` units of virtual time."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"negative timeout {self.delay!r}")
+
+
+class Store:
+    """Unbounded FIFO store with optional item filtering on get.
+
+    The vmpi layer gives every rank an inbox ``Store``; matched receives
+    use ``predicate`` to pull the first message matching (source, tag).
+    """
+
+    def __init__(self, engine: "Engine", name: str = "store") -> None:
+        self.engine = engine
+        self.name = name
+        self.items: deque[Any] = deque()
+        # waiting getters: (process, predicate or None), FIFO
+        self._getters: deque[tuple[SimProcess, Callable[[Any], bool] | None]] = deque()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Store {self.name} items={len(self.items)} waiters={len(self._getters)}>"
+
+
+@dataclass
+class Get:
+    """Take the first item from ``store`` (matching ``predicate`` if given).
+
+    The item becomes the value of the ``yield`` expression.
+    """
+
+    store: Store
+    predicate: Callable[[Any], bool] | None = None
+
+
+@dataclass
+class Put:
+    """Deposit ``item`` into ``store`` (never blocks; stores are unbounded)."""
+
+    store: Store
+    item: Any
+
+
+@dataclass
+class AllOf:
+    """Wait until all child processes (spawned handles) have finished.
+
+    Yields a list of their return values in order.
+    """
+
+    processes: list["SimProcess"]
+
+
+class SimProcess:
+    """A running simulated process wrapping a generator body."""
+
+    __slots__ = (
+        "engine",
+        "name",
+        "body",
+        "finished",
+        "value",
+        "error",
+        "_waiters",
+        "_blocked_on",
+    )
+
+    def __init__(self, engine: "Engine", body: ProcessBody, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self.body = body
+        self.finished = False
+        self.value: Any = None
+        self.error: BaseException | None = None
+        self._waiters: list[tuple[SimProcess, AllOf]] = []
+        self._blocked_on: str | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.finished else (self._blocked_on or "ready")
+        return f"<SimProcess {self.name} {state}>"
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class Engine:
+    """The event loop: virtual clock plus scheduled actions."""
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._processes: list[SimProcess] = []
+        self._live = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds by convention)."""
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heapq.heappush(self._queue, _Event(self._now + delay, self._seq, action))
+        self._seq += 1
+
+    # ------------------------------------------------------------- processes
+    def process(self, body: ProcessBody, name: str = "proc") -> SimProcess:
+        """Register a generator as a simulated process; starts at time now."""
+        proc = SimProcess(self, body, name)
+        self._processes.append(proc)
+        self._live += 1
+        self.schedule(0.0, lambda: self._resume(proc, None))
+        return proc
+
+    def new_store(self, name: str = "store") -> Store:
+        return Store(self, name)
+
+    def put_later(self, delay: float, store: Store, item: Any) -> None:
+        """Deposit ``item`` into ``store`` after ``delay`` virtual seconds.
+
+        Used by the vmpi layer to model in-flight messages: the sender
+        continues once injection completes while the payload arrives at
+        the destination inbox at link-transfer time.
+        """
+        self.schedule(delay, lambda: self._do_put(store, item))
+
+    # -------------------------------------------------------------- stepping
+    def run(self, until: float | None = None) -> float:
+        """Run until no events remain (or virtual time exceeds ``until``).
+
+        Returns the final virtual time.  Raises :class:`DeadlockError` if
+        unfinished processes remain when the event queue drains — this is
+        how mismatched sends/receives in rank programs surface.
+        """
+        while self._queue:
+            ev = self._queue[0]
+            if until is not None and ev.time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = ev.time
+            ev.action()
+        if self._live > 0:
+            blocked = [p for p in self._processes if not p.finished]
+            detail = ", ".join(f"{p.name}({p._blocked_on})" for p in blocked[:8])
+            raise DeadlockError(
+                f"{self._live} process(es) blocked forever: {detail}"
+                + ("..." if len(blocked) > 8 else "")
+            )
+        return self._now
+
+    # -------------------------------------------------------------- internal
+    def _resume(self, proc: SimProcess, send_value: Any) -> None:
+        if proc.finished:
+            raise SimError(f"resuming finished process {proc.name}")
+        proc._blocked_on = None
+        try:
+            command = proc.body.send(send_value)
+        except StopIteration as stop:
+            self._finish(proc, stop.value, None)
+            return
+        except BaseException as exc:  # propagate with process context
+            self._finish(proc, None, exc)
+            raise
+        self._dispatch(proc, command)
+
+    def _finish(self, proc: SimProcess, value: Any, error: BaseException | None) -> None:
+        proc.finished = True
+        proc.value = value
+        proc.error = error
+        self._live -= 1
+        for waiter, allof in proc._waiters:
+            if all(p.finished for p in allof.processes):
+                results = [p.value for p in allof.processes]
+                self.schedule(0.0, lambda w=waiter, r=results: self._resume(w, r))
+        proc._waiters.clear()
+
+    def _dispatch(self, proc: SimProcess, command: Command) -> None:
+        if isinstance(command, Timeout):
+            proc._blocked_on = f"timeout({command.delay:g})"
+            self.schedule(command.delay, lambda: self._resume(proc, None))
+        elif isinstance(command, Put):
+            self._do_put(command.store, command.item)
+            # puts complete immediately (unbounded store)
+            self.schedule(0.0, lambda: self._resume(proc, None))
+        elif isinstance(command, Get):
+            self._do_get(proc, command)
+        elif isinstance(command, AllOf):
+            if all(p.finished for p in command.processes):
+                results = [p.value for p in command.processes]
+                self.schedule(0.0, lambda: self._resume(proc, results))
+            else:
+                proc._blocked_on = f"allof({len(command.processes)})"
+                for p in command.processes:
+                    if not p.finished:
+                        p._waiters.append((proc, command))
+        else:
+            raise SimError(
+                f"process {proc.name} yielded unsupported command {command!r}"
+            )
+
+    def _do_put(self, store: Store, item: Any) -> None:
+        # Try to hand the item straight to a compatible waiting getter (FIFO).
+        for i, (getter, pred) in enumerate(store._getters):
+            if pred is None or pred(item):
+                del store._getters[i]
+                self.schedule(0.0, lambda g=getter, it=item: self._resume(g, it))
+                return
+        store.items.append(item)
+
+    def _do_get(self, proc: SimProcess, command: Get) -> None:
+        pred = command.predicate
+        store = command.store
+        for i, item in enumerate(store.items):
+            if pred is None or pred(item):
+                del store.items[i]
+                self.schedule(0.0, lambda it=item: self._resume(proc, it))
+                return
+        proc._blocked_on = f"get({store.name})"
+        store._getters.append((proc, pred))
+
+
+def run_all(bodies: Iterable[ProcessBody], names: Iterable[str] | None = None) -> tuple[float, list[Any]]:
+    """Convenience: run independent process bodies to completion.
+
+    Returns ``(final_time, [return values])``.
+    """
+    eng = Engine()
+    if names is None:
+        procs = [eng.process(b, f"proc{i}") for i, b in enumerate(bodies)]
+    else:
+        procs = [eng.process(b, n) for b, n in zip(bodies, names)]
+    t = eng.run()
+    return t, [p.value for p in procs]

@@ -1,0 +1,61 @@
+"""Per-process timeline tracing for the DES.
+
+Rank programs record labelled spans ``(label, t_start, t_end)`` against a
+:class:`Tracer`; the breakdown harness turns these into the per-function
+cycle/communication splits of the paper's Figures 2-5.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One labelled interval of virtual time on one process."""
+
+    process: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Tracer:
+    """Collects spans; queryable by process and by label."""
+
+    spans: list[Span] = field(default_factory=list)
+
+    def record(self, process: str, label: str, start: float, end: float) -> Span:
+        if end < start:
+            raise ValueError(f"span ends before it starts: {label} [{start}, {end}]")
+        span = Span(process, label, start, end)
+        self.spans.append(span)
+        return span
+
+    def totals(self, process: str | None = None) -> dict[str, float]:
+        """Total duration per label, optionally restricted to one process."""
+        out: dict[str, float] = defaultdict(float)
+        for s in self.spans:
+            if process is None or s.process == process:
+                out[s.label] += s.duration
+        return dict(out)
+
+    def by_process(self) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = defaultdict(lambda: defaultdict(float))
+        for s in self.spans:
+            out[s.process][s.label] += s.duration
+        return {p: dict(d) for p, d in out.items()}
+
+    def processes(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.process)
+        return list(seen)

@@ -1,0 +1,41 @@
+"""Synthetic speech substrate.
+
+Stands in for the paper's 50/400-hour corpora: an HMM-GMM generator
+produces variable-length utterances with forced-alignment state targets
+(:mod:`~repro.speech.hmm`), context splicing and normalization build the
+DNN inputs (:mod:`~repro.speech.features`), and
+:func:`~repro.speech.corpus.build_corpus` assembles hour-denominated
+training sets at configurable scale.
+"""
+
+from repro.speech.corpus import (
+    FRAMES_PER_HOUR,
+    CorpusConfig,
+    SpeechCorpus,
+    build_corpus,
+)
+from repro.speech.decoder import (
+    DecodeResult,
+    edit_distance,
+    state_error_rate,
+    viterbi_decode,
+)
+from repro.speech.features import Normalizer, splice, spliced_dim
+from repro.speech.hmm import HmmSampler, HmmSpec, Utterance
+
+__all__ = [
+    "DecodeResult",
+    "edit_distance",
+    "state_error_rate",
+    "viterbi_decode",
+    "FRAMES_PER_HOUR",
+    "CorpusConfig",
+    "SpeechCorpus",
+    "build_corpus",
+    "Normalizer",
+    "splice",
+    "spliced_dim",
+    "HmmSampler",
+    "HmmSpec",
+    "Utterance",
+]

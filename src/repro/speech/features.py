@@ -1,0 +1,76 @@
+"""Feature post-processing: context splicing and normalization.
+
+Speech DNN front ends feed the network a *context window* — the current
+frame concatenated with +/- k neighbours — which is why the paper's
+models have wide input layers.  :func:`splice` implements that (edge
+frames replicate), and :class:`Normalizer` applies corpus-level
+mean/variance normalization estimated once on training data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["splice", "spliced_dim", "Normalizer"]
+
+
+def spliced_dim(feature_dim: int, context: int) -> int:
+    """Input width after splicing +/- ``context`` frames."""
+    if feature_dim < 1 or context < 0:
+        raise ValueError(f"bad dims: feature_dim={feature_dim}, context={context}")
+    return feature_dim * (2 * context + 1)
+
+
+def splice(features: np.ndarray, context: int) -> np.ndarray:
+    """Concatenate each frame with its +/- ``context`` neighbours.
+
+    Frames past the utterance edges are replicated (standard practice),
+    so output length equals input length.
+    """
+    if features.ndim != 2:
+        raise ValueError(f"features must be (frames, dim), got {features.shape}")
+    if context < 0:
+        raise ValueError(f"context must be >= 0: {context}")
+    if context == 0:
+        return features
+    t = features.shape[0]
+    pieces = []
+    for off in range(-context, context + 1):
+        idx = np.clip(np.arange(t) + off, 0, t - 1)
+        pieces.append(features[idx])
+    return np.concatenate(pieces, axis=1)
+
+
+@dataclass
+class Normalizer:
+    """Global mean/variance normalization fitted on training frames."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.mean.shape != self.std.shape:
+            raise ValueError(
+                f"mean {self.mean.shape} and std {self.std.shape} disagree"
+            )
+        if np.any(self.std <= 0):
+            raise ValueError("std must be strictly positive")
+
+    @classmethod
+    def fit(cls, frames: np.ndarray, floor: float = 1e-6) -> "Normalizer":
+        if frames.ndim != 2 or frames.shape[0] < 2:
+            raise ValueError(
+                f"need a (frames >= 2, dim) matrix to fit, got {frames.shape}"
+            )
+        mean = frames.mean(axis=0)
+        std = np.maximum(frames.std(axis=0), floor)
+        return cls(mean=mean, std=std)
+
+    def apply(self, frames: np.ndarray) -> np.ndarray:
+        if frames.shape[-1] != self.mean.shape[0]:
+            raise ValueError(
+                f"feature dim {frames.shape[-1]} != fitted dim {self.mean.shape[0]}"
+            )
+        return (frames - self.mean) / self.std

@@ -1,0 +1,173 @@
+"""Synthetic speech source: an HMM-GMM utterance generator.
+
+The paper trains on 50-400 hour speech corpora with forced-alignment
+context-dependent-state targets.  We cannot ship those, so this module
+generates the closest synthetic equivalent that exercises identical code
+paths:
+
+* a hidden Markov chain over ``n_states`` "CD states" with self-loop-
+  biased, sparsity-patterned transitions (utterances dwell in states for
+  several frames, like real phones);
+* Gaussian-mixture emissions per state over ``feature_dim`` dimensions
+  ("log-mel-like" features), with optional temporal smoothing to mimic
+  the frame-to-frame correlation of speech;
+* utterance lengths drawn log-normal — the long-tailed length
+  distribution is precisely what makes the paper's Section V-C load
+  balancing matter, so reproducing its *shape* is load-bearing.
+
+The true state sequence doubles as the forced alignment (frame targets
+for cross-entropy) and the reference path (numerator for sequence MMI);
+the transition matrix doubles as the MMI denominator graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import make_rng, spawn
+
+__all__ = ["HmmSpec", "Utterance", "HmmSampler"]
+
+
+@dataclass(frozen=True)
+class Utterance:
+    """One synthetic utterance: frames plus frame-level state alignment."""
+
+    uid: int
+    features: np.ndarray  # (T, feature_dim)
+    states: np.ndarray  # (T,) int
+
+    def __post_init__(self) -> None:
+        if self.features.shape[0] != self.states.shape[0]:
+            raise ValueError(
+                f"features ({self.features.shape[0]} frames) and states "
+                f"({self.states.shape[0]}) disagree"
+            )
+        if self.features.shape[0] == 0:
+            raise ValueError("empty utterance")
+
+    @property
+    def n_frames(self) -> int:
+        return int(self.features.shape[0])
+
+
+@dataclass(frozen=True)
+class HmmSpec:
+    """Parameters of the generating HMM-GMM."""
+
+    n_states: int = 32
+    feature_dim: int = 20
+    mixtures: int = 2
+    self_loop: float = 0.7
+    """Probability mass on the self transition (state dwell ~ 1/(1-p))."""
+    out_degree: int = 4
+    """Non-self successor states reachable from each state."""
+    mean_scale: float = 2.0
+    """Spread of state means; larger = more separable states."""
+    smoothing: float = 0.3
+    """AR(1) temporal smoothing coefficient on emitted features."""
+    mean_length: float = 60.0
+    """Mean utterance length in frames (log-normal median-ish)."""
+    length_sigma: float = 0.5
+    """Log-normal sigma of the length distribution (long tail)."""
+    min_length: int = 8
+    max_length: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.n_states < 2:
+            raise ValueError(f"need >= 2 states: {self.n_states}")
+        if self.feature_dim < 1:
+            raise ValueError(f"feature_dim must be >= 1: {self.feature_dim}")
+        if self.mixtures < 1:
+            raise ValueError(f"mixtures must be >= 1: {self.mixtures}")
+        if not 0 <= self.self_loop < 1:
+            raise ValueError(f"self_loop must be in [0,1): {self.self_loop}")
+        if not 1 <= self.out_degree < self.n_states:
+            raise ValueError(
+                f"out_degree must be in [1, n_states): {self.out_degree}"
+            )
+        if not 0 <= self.smoothing < 1:
+            raise ValueError(f"smoothing must be in [0,1): {self.smoothing}")
+        if not 0 < self.min_length <= self.max_length:
+            raise ValueError("need 0 < min_length <= max_length")
+
+
+class HmmSampler:
+    """Materialized HMM-GMM drawn from an :class:`HmmSpec` and a seed.
+
+    The model parameters (transitions, mixture means/scales) are fixed by
+    ``seed``; individual utterances are drawn from per-utterance derived
+    streams, so utterance ``i`` is identical no matter how many workers
+    generate it or in what order — corpus content is partition-invariant.
+    """
+
+    def __init__(self, spec: HmmSpec = HmmSpec(), seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+        rng = spawn(seed, "hmm-params")
+        s = spec.n_states
+        # transitions: self-loop + uniform mass over out_degree successors
+        trans = np.zeros((s, s))
+        for i in range(s):
+            succ = rng.choice(
+                [j for j in range(s) if j != i], size=spec.out_degree, replace=False
+            )
+            trans[i, i] = spec.self_loop
+            trans[i, succ] = (1.0 - spec.self_loop) / spec.out_degree
+        self.transitions = trans
+        self.initial = np.full(s, 1.0 / s)
+        # GMM emissions
+        self.means = rng.normal(
+            0.0, spec.mean_scale, size=(s, spec.mixtures, spec.feature_dim)
+        )
+        self.scales = rng.uniform(
+            0.5, 1.5, size=(s, spec.mixtures, spec.feature_dim)
+        )
+        self.mix_weights = rng.dirichlet(
+            np.full(spec.mixtures, 5.0), size=s
+        )
+
+    # -------------------------------------------------------------- lengths
+    def sample_length(self, rng: np.random.Generator) -> int:
+        spec = self.spec
+        mu = np.log(spec.mean_length) - 0.5 * spec.length_sigma**2
+        t = int(round(float(rng.lognormal(mu, spec.length_sigma))))
+        return int(np.clip(t, spec.min_length, spec.max_length))
+
+    # ----------------------------------------------------------- utterances
+    def sample_utterance(self, uid: int) -> Utterance:
+        """Draw utterance ``uid`` (deterministic given the sampler seed)."""
+        spec = self.spec
+        rng = spawn(self.seed, "utt", uid)
+        t_frames = self.sample_length(rng)
+        states = np.empty(t_frames, dtype=np.int64)
+        states[0] = rng.choice(spec.n_states, p=self.initial)
+        for t in range(1, t_frames):
+            states[t] = rng.choice(spec.n_states, p=self.transitions[states[t - 1]])
+        # emissions
+        comp = np.empty(t_frames, dtype=np.int64)
+        for t in range(t_frames):
+            comp[t] = rng.choice(spec.mixtures, p=self.mix_weights[states[t]])
+        noise = rng.standard_normal((t_frames, spec.feature_dim))
+        feats = self.means[states, comp] + self.scales[states, comp] * noise
+        if spec.smoothing > 0:
+            a = spec.smoothing
+            for t in range(1, t_frames):
+                feats[t] = a * feats[t - 1] + (1 - a) * feats[t]
+        return Utterance(uid=uid, features=feats, states=states)
+
+    def sample_corpus(self, n_utterances: int, first_uid: int = 0) -> list[Utterance]:
+        """Draw a block of utterances."""
+        if n_utterances < 1:
+            raise ValueError(f"need >= 1 utterance: {n_utterances}")
+        return [self.sample_utterance(first_uid + i) for i in range(n_utterances)]
+
+    # --------------------------------------------------------------- graphs
+    def log_transitions(self, floor: float = 1e-10) -> np.ndarray:
+        """Log-domain transition matrix for the MMI denominator graph."""
+        return np.log(np.maximum(self.transitions, floor))
+
+    def log_initial(self, floor: float = 1e-10) -> np.ndarray:
+        return np.log(np.maximum(self.initial, floor))

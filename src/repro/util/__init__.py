@@ -1,0 +1,25 @@
+"""Shared utilities: seeded RNG streams, packed vectors, timers, run logs."""
+
+from repro.util.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from repro.util.logging import RunLog
+from repro.util.rng import derive_seed, make_rng, spawn
+from repro.util.timing import TimeLedger, WallTimer
+from repro.util.vec import dot, norm, pack, shapes_size, unpack, zeros_like_packed
+
+__all__ = [
+    "Checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "RunLog",
+    "derive_seed",
+    "make_rng",
+    "spawn",
+    "TimeLedger",
+    "WallTimer",
+    "dot",
+    "norm",
+    "pack",
+    "shapes_size",
+    "unpack",
+    "zeros_like_packed",
+]

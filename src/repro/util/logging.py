@@ -1,0 +1,50 @@
+"""Structured run logging.
+
+Minimal, dependency-free structured logger: every record is a dict with a
+monotonically increasing sequence number.  Harness drivers attach a
+:class:`RunLog` and examples print its tail; tests assert on records
+instead of scraping stdout.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, TextIO
+
+__all__ = ["RunLog"]
+
+
+@dataclass
+class RunLog:
+    """Append-only list of structured records, optionally echoed to a stream."""
+
+    echo: TextIO | None = None
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    def log(self, event: str, **fields: Any) -> dict[str, Any]:
+        rec = {"seq": len(self.records), "event": event, **fields}
+        self.records.append(rec)
+        if self.echo is not None:
+            parts = " ".join(f"{k}={_fmt(v)}" for k, v in fields.items())
+            print(f"[{rec['seq']:04d}] {event} {parts}", file=self.echo)
+        return rec
+
+    def filter(self, event: str) -> list[dict[str, Any]]:
+        return [r for r in self.records if r["event"] == event]
+
+    def last(self, event: str) -> dict[str, Any] | None:
+        for r in reversed(self.records):
+            if r["event"] == event:
+                return r
+        return None
+
+    @classmethod
+    def to_stdout(cls) -> "RunLog":
+        return cls(echo=sys.stdout)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)

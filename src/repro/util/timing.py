@@ -1,0 +1,66 @@
+"""Wall-clock and virtual timers.
+
+Real-mode runs time actual numpy work with :class:`WallTimer`.  Simulated
+BG/Q runs instead account time on a virtual clock owned by the
+discrete-event engine; :class:`TimeLedger` is the shared accumulation
+structure both use, so the breakdown harness (Figs 2-5) is agnostic to
+which clock produced the numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["WallTimer", "TimeLedger"]
+
+
+@dataclass
+class TimeLedger:
+    """Accumulates seconds per named category (function label).
+
+    Categories mirror the paper's per-function breakdown labels, e.g.
+    ``gradient_loss``, ``worker_curvature_product``, ``sync_weights_master``,
+    ``load_data``.
+    """
+
+    seconds: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    calls: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def add(self, label: str, dt: float, calls: int = 1) -> None:
+        if dt < 0:
+            raise ValueError(f"negative duration {dt!r} for {label!r}")
+        self.seconds[label] += dt
+        self.calls[label] += calls
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def merge(self, other: "TimeLedger") -> None:
+        for k, v in other.seconds.items():
+            self.seconds[k] += v
+        for k, v in other.calls.items():
+            self.calls[k] += v
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.seconds)
+
+    def __getitem__(self, label: str) -> float:
+        return self.seconds.get(label, 0.0)
+
+
+class WallTimer:
+    """Context-manager timer feeding a :class:`TimeLedger`."""
+
+    def __init__(self, ledger: TimeLedger | None = None) -> None:
+        self.ledger = ledger if ledger is not None else TimeLedger()
+
+    @contextmanager
+    def section(self, label: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.ledger.add(label, time.perf_counter() - t0)

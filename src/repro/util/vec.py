@@ -1,0 +1,79 @@
+"""Packed parameter-vector helpers.
+
+The Hessian-free optimizer treats all network parameters as one flat
+float64 vector ``theta``; layers view slices of it.  These helpers pack
+and unpack lists of arrays into/out of such flat vectors without copies
+where possible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["pack", "unpack", "shapes_size", "zeros_like_packed", "dot", "norm"]
+
+
+def shapes_size(shapes: Iterable[tuple[int, ...]]) -> int:
+    """Total element count across ``shapes``."""
+    total = 0
+    for s in shapes:
+        n = 1
+        for d in s:
+            n *= d
+        total += n
+    return total
+
+
+def pack(arrays: Sequence[np.ndarray], out: np.ndarray | None = None) -> np.ndarray:
+    """Concatenate ``arrays`` (ravelled, C-order) into one flat vector.
+
+    If ``out`` is given it must be a 1-D array of the right size; the data
+    is written in place (useful to avoid allocation in hot loops).
+    """
+    n = sum(a.size for a in arrays)
+    if out is None:
+        out = np.empty(n, dtype=np.float64)
+    elif out.shape != (n,):
+        raise ValueError(f"out has shape {out.shape}, expected ({n},)")
+    pos = 0
+    for a in arrays:
+        out[pos : pos + a.size] = a.ravel()
+        pos += a.size
+    return out
+
+
+def unpack(vec: np.ndarray, shapes: Sequence[tuple[int, ...]]) -> list[np.ndarray]:
+    """Split flat ``vec`` back into views with the given ``shapes``.
+
+    The returned arrays are *views* onto ``vec`` — mutating them mutates
+    the flat vector, which is exactly what the layer classes rely on.
+    """
+    total = shapes_size(shapes)
+    if vec.shape != (total,):
+        raise ValueError(f"vec has shape {vec.shape}, expected ({total},)")
+    out: list[np.ndarray] = []
+    pos = 0
+    for s in shapes:
+        n = 1
+        for d in s:
+            n *= d
+        out.append(vec[pos : pos + n].reshape(s))
+        pos += n
+    return out
+
+
+def zeros_like_packed(shapes: Sequence[tuple[int, ...]]) -> np.ndarray:
+    """Flat zero vector sized for ``shapes``."""
+    return np.zeros(shapes_size(shapes), dtype=np.float64)
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> float:
+    """Float dot product of two flat vectors (order-stable, float64)."""
+    return float(np.dot(a, b))
+
+
+def norm(a: np.ndarray) -> float:
+    """Euclidean norm of a flat vector."""
+    return float(np.linalg.norm(a))

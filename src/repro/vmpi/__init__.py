@@ -1,0 +1,65 @@
+"""Virtual MPI: communicators, point-to-point, and collectives.
+
+Two backends share the package:
+
+* **DES backend** (:mod:`repro.vmpi.comm`, :mod:`repro.vmpi.collectives`)
+  — generator rank programs on the discrete-event engine with a pluggable
+  network cost model; scales to thousands of simulated ranks.
+* **Thread backend** (:mod:`repro.vmpi.inprocess`) — blocking API on real
+  OS threads for genuinely parallel small-scale runs.
+"""
+
+from repro.vmpi.backend import SpmdResult, run_spmd
+from repro.vmpi.collectives import (
+    allgather,
+    allreduce,
+    barrier,
+    bcast,
+    gather,
+    ordered_reduce,
+    reduce,
+    scatter,
+    serial_bcast,
+)
+from repro.vmpi.comm import ANY_SOURCE, ANY_TAG, Message, RankCtx, VComm
+from repro.vmpi.costmodel import (
+    NetworkModel,
+    PayloadStub,
+    UniformNetwork,
+    ZeroCostNetwork,
+    nbytes_of,
+)
+from repro.vmpi.inprocess import ThreadRankComm, WorkerFailure, run_threaded
+from repro.vmpi.ops import CONCAT, MAX, MIN, SUM, ReduceOp
+
+__all__ = [
+    "SpmdResult",
+    "run_spmd",
+    "allgather",
+    "allreduce",
+    "barrier",
+    "bcast",
+    "gather",
+    "ordered_reduce",
+    "reduce",
+    "scatter",
+    "serial_bcast",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "RankCtx",
+    "VComm",
+    "NetworkModel",
+    "PayloadStub",
+    "UniformNetwork",
+    "ZeroCostNetwork",
+    "nbytes_of",
+    "ThreadRankComm",
+    "WorkerFailure",
+    "run_threaded",
+    "CONCAT",
+    "MAX",
+    "MIN",
+    "SUM",
+    "ReduceOp",
+]

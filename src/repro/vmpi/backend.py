@@ -1,0 +1,51 @@
+"""Convenience front-ends for running SPMD rank programs.
+
+:func:`run_spmd` is the one-call entry point used by tests and the
+experiment harness: build a communicator over a given network model, run
+one program per rank on the DES, and return times, results, and traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Sequence
+
+from repro.sim.trace import Tracer
+from repro.vmpi.comm import RankCtx, VComm
+from repro.vmpi.costmodel import NetworkModel, UniformNetwork
+
+__all__ = ["SpmdResult", "run_spmd"]
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one SPMD virtual-MPI run."""
+
+    time: float
+    """Virtual end-to-end time (seconds) — max over ranks."""
+
+    values: list[Any]
+    """Per-rank return values of the rank programs."""
+
+    tracer: Tracer
+    """Per-rank labelled timelines (communication/compute spans)."""
+
+    comm: VComm = field(repr=False, default=None)  # type: ignore[assignment]
+    """The communicator (message/byte counters live here)."""
+
+
+def run_spmd(
+    size: int,
+    program: Callable[[RankCtx], Generator] | Sequence[Callable[[RankCtx], Generator]],
+    network: NetworkModel | None = None,
+    until: float | None = None,
+) -> SpmdResult:
+    """Run ``program`` on ``size`` virtual ranks and return the result.
+
+    ``program`` is either one generator function (replicated SPMD-style)
+    or a sequence of ``size`` distinct programs (e.g. master + workers).
+    """
+    tracer = Tracer()
+    comm = VComm(size, network=network or UniformNetwork(), tracer=tracer)
+    t, values = comm.run(program, until=until)
+    return SpmdResult(time=t, values=values, tracer=tracer, comm=comm)

@@ -1,0 +1,337 @@
+"""Collective algorithms over virtual-MPI point-to-point.
+
+These are the textbook algorithms BG/Q's optimized MPI library (on PAMI)
+uses for medium-size messages: binomial-tree broadcast and reduce,
+recursive-doubling allreduce (with the MPICH fold-in for non-power-of-two
+communicators), tree gather/scatter.  Because they execute as real
+message exchanges on the DES, their cost *emerges* from the network model
+— log(P) depth, link contention on the torus, and so on — and the paper's
+"sockets -> MPI_Bcast" upgrade (Section V-B) can be ablated by swapping
+:func:`bcast` for :func:`serial_bcast`.
+
+All collectives must be invoked by *every* rank of the communicator in
+the same order (SPMD discipline).  A per-rank collective sequence number
+is baked into the message tags, so a rank that skips a collective causes
+a clean :class:`~repro.sim.engine.DeadlockError` instead of silent payload
+cross-talk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import Timeout
+from repro.vmpi.comm import RankCtx
+from repro.vmpi.ops import SUM, CONCAT, ReduceOp
+
+__all__ = [
+    "bcast",
+    "serial_bcast",
+    "reduce",
+    "allreduce",
+    "ordered_reduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "barrier",
+]
+
+_COLL_TAG_BASE = 1_000_000
+_COLL_TAG_STRIDE = 8
+
+
+def _next_tag(ctx: RankCtx) -> int:
+    seq = getattr(ctx, "_coll_seq", 0)
+    ctx._coll_seq = seq + 1  # type: ignore[attr-defined]
+    return _COLL_TAG_BASE + seq * _COLL_TAG_STRIDE
+
+
+def bcast(
+    ctx: RankCtx, value: Any = None, root: int = 0, segment_bytes: int | None = None
+) -> Generator:
+    """Binomial-tree broadcast; returns the root's value on every rank.
+
+    ``segment_bytes`` enables large-message pipelining for
+    :class:`~repro.vmpi.costmodel.PayloadStub` payloads: the stub is
+    split into segments broadcast back-to-back, and because senders block
+    only for injection the segments stream down the tree concurrently —
+    the DES analogue of MPI's pipelined/van-de-Geijn broadcast, without
+    which tree depth would over-charge multi-megabyte weight syncs.
+    """
+    from repro.vmpi.costmodel import PayloadStub
+
+    if segment_bytes is not None and segment_bytes > 0:
+        # Every rank must agree on the segment count, which depends on the
+        # root's payload size — ship it in a tiny header bcast first.
+        nbytes = value.nbytes if isinstance(value, PayloadStub) else None
+        header = yield from _bcast_once(ctx, nbytes, root)
+        if header is not None and header > segment_bytes:
+            nseg = -(-header // segment_bytes)
+            sizes = [segment_bytes] * (nseg - 1) + [
+                header - segment_bytes * (nseg - 1)
+            ]
+            for s in sizes:
+                yield from _bcast_once(ctx, PayloadStub(s, "segment"), root)
+            return PayloadStub(header, "bcast")
+        # small or non-stub payload: fall through to one-shot
+        result = yield from _bcast_once(ctx, value, root)
+        return result
+    result = yield from _bcast_once(ctx, value, root)
+    return result
+
+
+def _bcast_once(ctx: RankCtx, value: Any, root: int) -> Generator:
+    """Single-shot binomial-tree broadcast."""
+    size, rank = ctx.size, ctx.rank
+    tag = _next_tag(ctx)
+    if size == 1:
+        return value
+    rel = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            src = (rel - mask + root) % size
+            msg = yield from ctx.recv(source=src, tag=tag)
+            value = msg.payload
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if rel + mask < size:
+            dst = (rel + mask + root) % size
+            yield from ctx.send(dst, value, tag=tag)
+        mask >>= 1
+    return value
+
+
+def serial_bcast(ctx: RankCtx, value: Any = None, root: int = 0) -> Generator:
+    """Root sends to every rank one at a time.
+
+    This is what a hand-rolled socket layer does (the paper's *before*
+    state); cost is O(P) at the root instead of O(log P) — the COMM
+    ablation benchmark contrasts the two.
+    """
+    size, rank = ctx.size, ctx.rank
+    tag = _next_tag(ctx)
+    if size == 1:
+        return value
+    if rank == root:
+        for dst in range(size):
+            if dst != root:
+                yield from ctx.send(dst, value, tag=tag)
+        return value
+    msg = yield from ctx.recv(source=root, tag=tag)
+    return msg.payload
+
+
+def reduce(
+    ctx: RankCtx,
+    value: Any,
+    op: ReduceOp = SUM,
+    root: int = 0,
+    segment_bytes: int | None = None,
+) -> Generator:
+    """Binomial-tree reduction to ``root``; other ranks return ``None``.
+
+    The operator must be associative and commutative (tree order is not
+    rank order — see :func:`ordered_reduce` for bitwise-reproducible
+    float sums).  ``segment_bytes`` pipelines stub payloads exactly as in
+    :func:`bcast`.
+    """
+    from repro.vmpi.costmodel import PayloadStub
+
+    if (
+        segment_bytes is not None
+        and segment_bytes > 0
+        and isinstance(value, PayloadStub)
+        and value.nbytes > segment_bytes
+    ):
+        total = value.nbytes
+        nseg = -(-total // segment_bytes)
+        sizes = [segment_bytes] * (nseg - 1) + [total - segment_bytes * (nseg - 1)]
+        out = None
+        for s in sizes:
+            out = yield from _reduce_once(ctx, PayloadStub(s, "segment"), op, root)
+        if ctx.rank == root:
+            return PayloadStub(total, "reduced")
+        return None
+    result = yield from _reduce_once(ctx, value, op, root)
+    return result
+
+
+def _reduce_once(
+    ctx: RankCtx, value: Any, op: ReduceOp = SUM, root: int = 0
+) -> Generator:
+    """Single-shot binomial-tree reduction."""
+    size, rank = ctx.size, ctx.rank
+    tag = _next_tag(ctx)
+    if size == 1:
+        return value
+    rel = (rank - root) % size
+    acc = value
+    mask = 1
+    while mask < size:
+        if rel & mask == 0:
+            src_rel = rel | mask
+            if src_rel < size:
+                src = (src_rel + root) % size
+                msg = yield from ctx.recv(source=src, tag=tag)
+                acc = op(acc, msg.payload)
+        else:
+            dst = ((rel & ~mask) + root) % size
+            yield from ctx.send(dst, acc, tag=tag)
+            return None
+        mask <<= 1
+    return acc if rank == root else None
+
+
+def ordered_reduce(
+    ctx: RankCtx, value: Any, op: ReduceOp = SUM, root: int = 0
+) -> Generator:
+    """Gather-then-fold reduction: root combines contributions in rank
+    order, so float sums are bitwise identical to a serial loop over
+    ranks.  Used by parity experiments; costs O(P) messages at the root.
+    """
+    contributions = yield from gather(ctx, value, root=root)
+    if ctx.rank != root:
+        return None
+    acc = contributions[0]
+    for c in contributions[1:]:
+        acc = op(acc, c)
+    return acc
+
+
+def allreduce(ctx: RankCtx, value: Any, op: ReduceOp = SUM) -> Generator:
+    """Recursive-doubling allreduce (MPICH fold-in for non-power-of-2)."""
+    size, rank = ctx.size, ctx.rank
+    tag = _next_tag(ctx)
+    if size == 1:
+        return value
+    pof2 = 1 << (size.bit_length() - 1)
+    if pof2 == size:
+        rem = 0
+    else:
+        rem = size - pof2
+    acc = value
+    # Fold the surplus ranks into the power-of-two core.
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from ctx.send(rank + 1, acc, tag=tag)
+            newrank = -1
+        else:
+            msg = yield from ctx.recv(source=rank - 1, tag=tag)
+            acc = op(msg.payload, acc)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+    # Recursive doubling among the core.
+    if newrank != -1:
+        mask = 1
+        while mask < pof2:
+            partner_new = newrank ^ mask
+            partner = (
+                partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            )
+            msg = yield from ctx.sendrecv(
+                partner, acc, source=partner, tag=tag + 1
+            )
+            acc = op(acc, msg.payload)
+            mask <<= 1
+    # Unfold: push results back to the surplus ranks.
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            yield from ctx.send(rank - 1, acc, tag=tag + 2)
+        else:
+            msg = yield from ctx.recv(source=rank + 1, tag=tag + 2)
+            acc = msg.payload
+    return acc
+
+
+def gather(ctx: RankCtx, value: Any, root: int = 0) -> Generator:
+    """Binomial-tree gather; root returns the rank-ordered list, others None."""
+    size, rank = ctx.size, ctx.rank
+    tag = _next_tag(ctx)
+    if size == 1:
+        return [value]
+    rel = (rank - root) % size
+    # Each subtree accumulates {relrank: value}; dicts merge up the tree.
+    acc: dict[int, Any] = {rel: value}
+    mask = 1
+    while mask < size:
+        if rel & mask == 0:
+            src_rel = rel | mask
+            if src_rel < size:
+                src = (src_rel + root) % size
+                msg = yield from ctx.recv(source=src, tag=tag)
+                acc.update(msg.payload)
+        else:
+            dst = ((rel & ~mask) + root) % size
+            yield from ctx.send(dst, acc, tag=tag)
+            return None
+        mask <<= 1
+    if rank != root:
+        return None
+    return [acc[(r - root) % size] for r in _rank_order(size, root)]
+
+
+def _rank_order(size: int, root: int) -> list[int]:
+    """Absolute ranks in gather output order (0..size-1)."""
+    return list(range(size))
+
+
+def scatter(ctx: RankCtx, values: list[Any] | None, root: int = 0) -> Generator:
+    """Binomial-tree scatter of ``values[r]`` to rank ``r``.
+
+    Only the root's ``values`` list is read; it must have ``size`` items.
+    """
+    size, rank = ctx.size, ctx.rank
+    tag = _next_tag(ctx)
+    if size == 1:
+        if values is None or len(values) != 1:
+            raise ValueError("scatter root needs exactly `size` values")
+        return values[0]
+    rel = (rank - root) % size
+    if rank == root:
+        if values is None or len(values) != size:
+            raise ValueError(
+                f"scatter root needs exactly {size} values, got "
+                f"{None if values is None else len(values)}"
+            )
+        bundle = {(r - root) % size: v for r, v in enumerate(values)}
+    else:
+        bundle = None
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            src = (rel - mask + root) % size
+            msg = yield from ctx.recv(source=src, tag=tag)
+            bundle = msg.payload
+            break
+        mask <<= 1
+    mask >>= 1
+    assert bundle is not None
+    while mask > 0:
+        if rel + mask < size:
+            dst = (rel + mask + root) % size
+            lo = rel + mask
+            sub = {k: v for k, v in bundle.items() if k >= lo}
+            bundle = {k: v for k, v in bundle.items() if k < lo}
+            yield from ctx.send(dst, sub, tag=tag)
+        mask >>= 1
+    return bundle[rel]
+
+
+def allgather(ctx: RankCtx, value: Any) -> Generator:
+    """Gather to rank 0 then broadcast the list (simple, log-depth x2)."""
+    gathered = yield from gather(ctx, value, root=0)
+    result = yield from bcast(ctx, gathered, root=0)
+    return result
+
+
+def barrier(ctx: RankCtx) -> Generator:
+    """Synchronize all ranks (zero-byte allreduce)."""
+    yield from allreduce(ctx, 0, SUM)
+    # A zero-length timeout keeps single-rank barriers well-formed
+    # (every collective must yield at least once to be a generator).
+    yield Timeout(0.0)
+    return None

@@ -1,0 +1,235 @@
+"""Virtual MPI communicator on the discrete-event engine.
+
+Rank programs are generator functions ``def program(ctx): ...`` receiving
+a :class:`RankCtx`.  All communication operations are sub-generators used
+with ``yield from``::
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, np.arange(4), tag=7)
+        else:
+            msg = yield from ctx.recv(source=0, tag=7)
+
+Semantics follow MPI's matched, tagged, per-pair-ordered point-to-point
+model: a receive matches the oldest pending message from the requested
+source (or ``ANY_SOURCE``) with the requested tag (or ``ANY_TAG``).
+Message transfer time is charged by the communicator's
+:class:`~repro.vmpi.costmodel.NetworkModel`; the *sender* blocks only for
+the injection time (eager protocol with DMA offload, as on BG/Q's
+messaging unit), while the payload lands in the destination inbox when
+the network delivers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+from repro.sim.engine import Engine, Get, Store, Timeout
+from repro.sim.trace import Tracer
+from repro.vmpi.costmodel import NetworkModel, UniformNetwork, nbytes_of
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "RankCtx", "VComm"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """One in-flight or delivered message."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    sent_at: float
+
+
+class VComm:
+    """A communicator: ``size`` ranks, each with an inbox, over a network."""
+
+    def __init__(
+        self,
+        size: int,
+        network: NetworkModel | None = None,
+        engine: Engine | None = None,
+        tracer: Tracer | None = None,
+        sizer: Callable[[Any], int] = nbytes_of,
+        trace_p2p: bool = True,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"communicator needs >= 1 rank, got {size}")
+        self.size = size
+        self.engine = engine if engine is not None else Engine()
+        self.network = network if network is not None else UniformNetwork()
+        self.tracer = tracer
+        self.sizer = sizer
+        self.trace_p2p = trace_p2p
+        """When False, per-message mpi_send/mpi_recv spans are suppressed
+        (large simulations record phase-level spans instead; dropping the
+        per-message ones keeps the tracer from dominating memory)."""
+        self._inboxes: list[Store] = [
+            self.engine.new_store(f"inbox[{r}]") for r in range(size)
+        ]
+        self._sends = 0
+        self._bytes_sent = 0
+        self._wire_busy_until: dict[tuple[int, int], float] = {}
+        """Per (src, dst) pair: when the wire frees up.  Back-to-back
+        messages between the same pair serialize at link bandwidth —
+        without this, pipelined segment streams would exceed the link
+        rate."""
+
+    def _delivery_delay(self, src: int, dst: int, nbytes: int, now: float) -> float:
+        """Delay until the message lands in the destination inbox,
+        accounting for wire occupancy of earlier messages on this pair."""
+        transfer = self.network.p2p_time(src, dst, nbytes, now=now)
+        wire_fn = getattr(self.network, "wire_time", None)
+        wire = wire_fn(src, dst, nbytes) if wire_fn is not None else 0.0
+        key = (src, dst)
+        start = max(now, self._wire_busy_until.get(key, 0.0))
+        end_wire = start + wire
+        self._wire_busy_until[key] = end_wire
+        return max(now + transfer, end_wire) - now
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def total_sends(self) -> int:
+        return self._sends
+
+    @property
+    def total_bytes(self) -> int:
+        return self._bytes_sent
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        programs: Iterable[Callable[["RankCtx"], Generator]],
+        until: float | None = None,
+    ) -> tuple[float, list[Any]]:
+        """Instantiate one rank per program and run the DES to completion.
+
+        ``programs`` may be a single callable (replicated across all ranks,
+        SPMD style) or a sequence of exactly ``size`` callables.  Returns
+        ``(virtual end time, per-rank return values)``.
+        """
+        if callable(programs):
+            programs = [programs] * self.size
+        programs = list(programs)
+        if len(programs) != self.size:
+            raise ValueError(
+                f"got {len(programs)} programs for {self.size} ranks"
+            )
+        ctxs = [RankCtx(self, r) for r in range(self.size)]
+        procs = [
+            self.engine.process(prog(ctx), name=f"rank{r}")
+            for r, (prog, ctx) in enumerate(zip(programs, ctxs))
+        ]
+        t = self.engine.run(until=until)
+        return t, [p.value for p in procs]
+
+
+class RankCtx:
+    """Per-rank handle passed to a rank program."""
+
+    def __init__(self, comm: VComm, rank: int) -> None:
+        if not 0 <= rank < comm.size:
+            raise ValueError(f"rank {rank} out of range for size {comm.size}")
+        self.comm = comm
+        self.rank = rank
+
+    # ------------------------------------------------------------- properties
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def now(self) -> float:
+        return self.comm.engine.now
+
+    # ------------------------------------------------------------ time charge
+    def compute(self, seconds: float, label: str = "compute") -> Generator:
+        """Charge ``seconds`` of modeled computation to this rank."""
+        if seconds < 0:
+            raise ValueError(f"negative compute time {seconds}")
+        t0 = self.now
+        yield Timeout(seconds)
+        self.record_span(label, t0)
+
+    # ------------------------------------------------------------------- p2p
+    def send(self, dest: int, payload: Any, tag: int = 0) -> Generator:
+        """Blocking-for-injection send; completes when the NIC takes over."""
+        comm = self.comm
+        if not 0 <= dest < comm.size:
+            raise ValueError(f"send to invalid rank {dest} (size {comm.size})")
+        if tag < 0:
+            raise ValueError(f"send tag must be >= 0, got {tag}")
+        nbytes = comm.sizer(payload)
+        t0 = self.now
+        inj = comm.network.injection_time(nbytes)
+        delay = comm._delivery_delay(self.rank, dest, nbytes, t0)
+        msg = Message(self.rank, dest, tag, payload, nbytes, t0)
+        comm._sends += 1
+        comm._bytes_sent += nbytes
+        comm.engine.put_later(max(delay, inj), comm._inboxes[dest], msg)
+        if inj > 0:
+            yield Timeout(inj)
+        self._trace("mpi_send", t0)
+        return msg
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking matched receive; returns the :class:`Message`."""
+        comm = self.comm
+        if source != ANY_SOURCE and not 0 <= source < comm.size:
+            raise ValueError(f"recv from invalid rank {source}")
+        t0 = self.now
+
+        def match(m: Message) -> bool:
+            return (source == ANY_SOURCE or m.src == source) and (
+                tag == ANY_TAG or m.tag == tag
+            )
+
+        msg = yield Get(comm._inboxes[self.rank], match)
+        self._trace("mpi_recv", t0)
+        return msg
+
+    def sendrecv(
+        self, dest: int, payload: Any, source: int, tag: int = 0
+    ) -> Generator:
+        """Concurrent send+recv (the exchange step of recursive doubling).
+
+        The send's injection and the receive's wait overlap: we post the
+        send (message departs immediately) and then block on the receive;
+        total charged time is max(injection, wait) as on real hardware
+        with independent DMA.
+        """
+        comm = self.comm
+        t0 = self.now
+        nbytes = comm.sizer(payload)
+        inj = comm.network.injection_time(nbytes)
+        delay = comm._delivery_delay(self.rank, dest, nbytes, t0)
+        msg_out = Message(self.rank, dest, tag, payload, nbytes, t0)
+        comm._sends += 1
+        comm._bytes_sent += nbytes
+        comm.engine.put_later(max(delay, inj), comm._inboxes[dest], msg_out)
+        msg_in = yield from self.recv(source=source, tag=tag)
+        # ensure at least injection time elapsed on our side
+        elapsed = self.now - t0
+        if elapsed < inj:
+            yield Timeout(inj - elapsed)
+        return msg_in
+
+    # ----------------------------------------------------------------- trace
+    def _trace(self, label: str, t0: float) -> None:
+        if self.comm.tracer is not None and self.comm.trace_p2p:
+            self.comm.tracer.record(f"rank{self.rank}", label, t0, self.now)
+
+    def record_span(self, label: str, t0: float) -> None:
+        """Record an explicit phase-level span ``[t0, now]`` for this rank.
+
+        Rank programs use this to attribute virtual time to named
+        functions (``gradient_loss``, ``sync_weights_master``, ...) — the
+        raw data behind the paper's Figures 2-5."""
+        if self.comm.tracer is not None:
+            self.comm.tracer.record(f"rank{self.rank}", label, t0, self.now)

@@ -1,0 +1,132 @@
+"""Network cost models for the virtual MPI layer.
+
+A network model answers one question: how long does a point-to-point
+message of ``nbytes`` take from rank ``src`` to rank ``dst``?  Collective
+times then *emerge* from the collective algorithms executed over p2p on
+the DES — they are not closed-form formulas — so algorithmic choices
+(binomial bcast vs. serial sends) show up in the measured virtual time
+exactly as they would on hardware.
+
+Two generic models live here; the Blue Gene/Q torus model
+(:class:`repro.bgq.network.TorusNetworkModel`) and the Ethernet model
+(:class:`repro.cluster.ethernet.EthernetNetworkModel`) implement the same
+protocol with topology-aware costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = ["NetworkModel", "UniformNetwork", "ZeroCostNetwork", "nbytes_of", "PayloadStub"]
+
+
+@runtime_checkable
+class NetworkModel(Protocol):
+    """Protocol all fabric models implement."""
+
+    def p2p_time(self, src: int, dst: int, nbytes: int, now: float = 0.0) -> float:
+        """Seconds for one message ``src -> dst`` of ``nbytes`` starting at ``now``."""
+        ...
+
+    def injection_time(self, nbytes: int) -> float:
+        """Seconds the *sender* is occupied injecting the message (overlap
+        beyond this is free — models eager/rendezvous DMA offload)."""
+        ...
+
+
+@dataclass(frozen=True)
+class UniformNetwork:
+    """Classic alpha-beta (latency + bandwidth) model, topology-blind.
+
+    ``latency`` in seconds, ``bandwidth`` in bytes/second.  Good enough
+    for unit-testing the collective algorithms where only relative shapes
+    matter.
+    """
+
+    latency: float = 2e-6
+    bandwidth: float = 2e9
+    injection_bandwidth: float | None = None
+
+    def p2p_time(self, src: int, dst: int, nbytes: int, now: float = 0.0) -> float:
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        if src == dst:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+    def injection_time(self, nbytes: int) -> float:
+        bw = self.injection_bandwidth or self.bandwidth
+        return self.latency * 0.5 + nbytes / bw
+
+    def wire_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Wire occupancy per message: back-to-back messages on the
+        same (src, dst) pair serialize at this rate."""
+        if src == dst:
+            return 0.0
+        return nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class ZeroCostNetwork:
+    """All communication is free.  Isolates algorithmic/semantic testing
+    (collective correctness, deadlock detection) from timing."""
+
+    def p2p_time(self, src: int, dst: int, nbytes: int, now: float = 0.0) -> float:
+        return 0.0
+
+    def injection_time(self, nbytes: int) -> float:
+        return 0.0
+
+    def wire_time(self, src: int, dst: int, nbytes: int) -> float:
+        return 0.0
+
+    def collective_params(self) -> tuple[float, float]:
+        return 0.0, float("inf")
+
+
+@dataclass(frozen=True)
+class PayloadStub:
+    """Shape-only stand-in for a large payload in modeled-compute runs.
+
+    Carries the byte count (for the network model) and a small tag for
+    debugging; arithmetic combination of stubs (reductions) preserves the
+    byte count, mirroring elementwise reduction of equal-shaped buffers.
+    """
+
+    nbytes: int
+    kind: str = "stub"
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative stub size {self.nbytes}")
+
+
+def nbytes_of(payload: object) -> int:
+    """Best-effort wire size of a payload.
+
+    numpy arrays report exact buffer size; stubs report their declared
+    size; containers sum their elements; scalars count as 8 bytes.
+    """
+    import numpy as np
+
+    if payload is None:
+        return 0
+    if isinstance(payload, PayloadStub):
+        return payload.nbytes
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (int, float, complex, np.generic)):
+        return 8
+    if isinstance(payload, dict):
+        return sum(nbytes_of(k) + nbytes_of(v) for k, v in payload.items())
+    if isinstance(payload, (list, tuple)):
+        return sum(nbytes_of(x) for x in payload)
+    # dataclass-ish objects: sum public attribute payloads
+    if hasattr(payload, "__dict__"):
+        return sum(nbytes_of(v) for k, v in vars(payload).items() if not k.startswith("_"))
+    return 64  # conservative default for opaque objects

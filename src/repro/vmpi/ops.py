@@ -1,0 +1,78 @@
+"""Reduction operators for virtual-MPI collectives.
+
+Operators must be associative; reductions are executed pairwise along
+tree/ring schedules, so the operator sees real payloads (numpy arrays,
+scalars) or :class:`~repro.vmpi.costmodel.PayloadStub` placeholders and
+must handle both.  ``SUM``/``MAX``/``MIN`` cover everything the trainer
+needs (gradient sums, loss sums, frame-count sums, max runtimes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.vmpi.costmodel import PayloadStub
+
+__all__ = ["ReduceOp", "SUM", "MAX", "MIN", "CONCAT"]
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """Named associative binary operator over payloads."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        # Reducing stubs yields a stub of the same size: elementwise
+        # reduction of equal-shaped buffers does not change the wire size.
+        if isinstance(a, PayloadStub) or isinstance(b, PayloadStub):
+            na = a.nbytes if isinstance(a, PayloadStub) else _size(a)
+            nb = b.nbytes if isinstance(b, PayloadStub) else _size(b)
+            if na != nb:
+                raise ValueError(
+                    f"reduction of mismatched sizes: {na} vs {nb} bytes"
+                )
+            return PayloadStub(na, kind=f"{self.name}-reduced")
+        return self.fn(a, b)
+
+
+def _size(x: Any) -> int:
+    if isinstance(x, np.ndarray):
+        return int(x.nbytes)
+    return 8
+
+
+def _sum(a: Any, b: Any) -> Any:
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        if len(a) != len(b):
+            raise ValueError(f"tuple length mismatch in SUM: {len(a)} vs {len(b)}")
+        return tuple(_sum(x, y) for x, y in zip(a, b))
+    return a + b
+
+
+def _max(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def _min(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def _concat(a: Any, b: Any) -> Any:
+    la = a if isinstance(a, list) else [a]
+    lb = b if isinstance(b, list) else [b]
+    return la + lb
+
+
+SUM = ReduceOp("sum", _sum)
+MAX = ReduceOp("max", _max)
+MIN = ReduceOp("min", _min)
+CONCAT = ReduceOp("concat", _concat)

@@ -1,0 +1,109 @@
+"""5-D torus geometry: shapes, coordinates, routing, hop counts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgq import KNOWN_SHAPES, TorusShape, torus_shape_for_nodes
+
+
+@pytest.mark.parametrize("nodes,dims", sorted(KNOWN_SHAPES.items()))
+def test_known_shapes_have_right_node_counts(nodes, dims):
+    shape = TorusShape(dims)
+    assert shape.nodes == nodes
+    assert dims[4] == 2  # production E dimension
+
+
+def test_midplane_and_rack_shapes():
+    assert torus_shape_for_nodes(512).dims == (4, 4, 4, 4, 2)
+    assert torus_shape_for_nodes(1024).dims == (4, 4, 4, 8, 2)
+    assert torus_shape_for_nodes(2048).dims == (4, 4, 8, 8, 2)
+
+
+def test_nonstandard_count_gets_balanced_factorization():
+    shape = torus_shape_for_nodes(60)
+    assert shape.nodes == 60
+    assert len(shape.dims) == 5
+
+
+def test_coords_index_roundtrip():
+    shape = torus_shape_for_nodes(1024)
+    for node in (0, 1, 100, 512, 1023):
+        assert shape.index(shape.coords(node)) == node
+
+
+def test_coords_out_of_range():
+    shape = torus_shape_for_nodes(32)
+    with pytest.raises(ValueError):
+        shape.coords(32)
+    with pytest.raises(ValueError):
+        shape.index((9, 0, 0, 0, 0))
+
+
+def test_hops_zero_for_self():
+    shape = torus_shape_for_nodes(512)
+    assert shape.hops(7, 7) == 0
+
+
+def test_hops_symmetric():
+    shape = torus_shape_for_nodes(256)
+    for a, b in [(0, 100), (3, 200), (17, 255)]:
+        assert shape.hops(a, b) == shape.hops(b, a)
+
+
+def test_ring_wraparound_shortcut():
+    shape = TorusShape((8, 1, 1, 1, 1))
+    # position 0 to 7 should wrap: 1 hop, not 7
+    assert shape.hops(0, 7) == 1
+
+
+def test_route_is_minimal_and_valid():
+    shape = torus_shape_for_nodes(128)
+    for src, dst in [(0, 127), (5, 99), (64, 64)]:
+        route = shape.route(src, dst)
+        assert route[0] == src and route[-1] == dst
+        assert len(route) - 1 == shape.hops(src, dst)
+        # each step moves exactly one hop
+        for a, b in zip(route, route[1:]):
+            assert shape.hops(a, b) == 1
+
+
+def test_max_hops_is_diameter():
+    shape = TorusShape((4, 4, 4, 4, 2))
+    assert shape.max_hops == 2 + 2 + 2 + 2 + 1
+
+
+def test_mean_hops_reasonable():
+    shape = torus_shape_for_nodes(1024)
+    m = shape.mean_hops_estimate()
+    assert 0 < m <= shape.max_hops
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ValueError):
+        TorusShape((4, 4, 4, 4))  # type: ignore[arg-type]
+    with pytest.raises(ValueError):
+        TorusShape((0, 4, 4, 4, 2))
+    with pytest.raises(ValueError):
+        torus_shape_for_nodes(0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    dims=st.tuples(*[st.integers(min_value=1, max_value=5)] * 5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_triangle_inequality(dims, seed):
+    shape = TorusShape(dims)
+    n = shape.nodes
+    a, b, c = seed % n, (seed * 7) % n, (seed * 13) % n
+    assert shape.hops(a, c) <= shape.hops(a, b) + shape.hops(b, c)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dims=st.tuples(*[st.integers(min_value=1, max_value=4)] * 5))
+def test_property_hops_bounded_by_diameter(dims):
+    shape = TorusShape(dims)
+    n = shape.nodes
+    for a, b in [(0, n - 1), (n // 2, n // 3)]:
+        assert shape.hops(a, b) <= shape.max_hops

@@ -1,0 +1,38 @@
+"""CLI entry points (fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_has_all_commands():
+    parser = build_parser()
+    for cmd in ("train", "fig1a", "fig1b", "breakdown", "table1", "scaling", "calibrate"):
+        args = parser.parse_args([cmd])
+        assert args.command == cmd
+        assert callable(args.func)
+
+
+def test_shared_flags_after_subcommand():
+    parser = build_parser()
+    args = parser.parse_args(["train", "--iters", "3", "--hours", "5", "--seed", "9"])
+    assert args.iters == 3 and args.hours == 5.0 and args.seed == 9
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_train_command_runs(capsys):
+    rc = main(["train", "--iters", "1", "--scale", "5e-5", "--hidden", "12"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "final held-out loss" in out
+
+
+def test_calibrate_command_runs(capsys):
+    rc = main(["calibrate", "--iters", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cg_iters" in out

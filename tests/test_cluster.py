@@ -1,0 +1,86 @@
+"""Intel Xeon / Ethernet comparator models."""
+
+import pytest
+
+from repro.cluster import (
+    EthernetNetworkModel,
+    XEON_CORE,
+    XeonClusterSpec,
+    xeon_perf_model,
+)
+from repro.bgq import BGQ_CORE, TorusNetworkModel
+from repro.gemm import GemmProblem
+
+
+class TestXeonModel:
+    def test_clock_and_peak(self):
+        assert XEON_CORE.frequency_hz == 2.9e9
+        assert XEON_CORE.peak_gflops == pytest.approx(23.2)
+
+    def test_frequency_ratio_matches_paper(self):
+        # Table I column: 6.9 x (2.9/1.6) = 12.6
+        ratio = XeonClusterSpec().frequency_ratio()
+        assert ratio == pytest.approx(2.9 / 1.6)
+        assert 6.9 * ratio == pytest.approx(12.5, abs=0.2)
+
+    def test_96_processes(self):
+        assert XeonClusterSpec().processes == 96
+
+    def test_single_thread_gemm_efficient(self):
+        """Out-of-order execution: one Xeon thread sustains most of peak
+        (unlike the A2, which needs SMT)."""
+        pm = xeon_perf_model()
+        p = GemmProblem(1024, 1024, 1024, "dp")
+        g = pm.achieved_gflops(p, cores=1, threads_per_core=1)
+        assert g > 0.85 * XEON_CORE.peak_gflops
+
+    def test_sp_doubles_dp(self):
+        pm = xeon_perf_model()
+        dp = pm.achieved_gflops(GemmProblem(512, 512, 512, "dp"), 1, 1)
+        sp = pm.achieved_gflops(GemmProblem(512, 512, 512, "sp"), 1, 1)
+        assert sp == pytest.approx(2.0 * dp, rel=0.01)
+
+    def test_per_clock_parity_with_bgq_core(self):
+        """A BG/Q core and a Xeon core have the same per-cycle DP SIMD
+        width in this model; the clock difference is the 2.9/1.6 factor."""
+        assert XEON_CORE.peak_flops_per_cycle == BGQ_CORE.peak_flops_per_cycle
+
+
+class TestEthernet:
+    def test_latency_dwarfs_torus(self):
+        eth = EthernetNetworkModel(nodes=8)
+        torus = TorusNetworkModel(nodes=32)
+        assert eth.p2p_time(0, 90, 0) > 20 * torus.p2p_time(0, 31, 0)
+
+    def test_intranode_cheaper(self):
+        eth = EthernetNetworkModel(nodes=8, ranks_per_node=12)
+        assert eth.p2p_time(0, 1, 1 << 20) < eth.p2p_time(0, 13, 1 << 20)
+
+    def test_contention_grows_with_nodes(self):
+        small = EthernetNetworkModel(nodes=2)
+        big = EthernetNetworkModel(nodes=64)
+        assert big.p2p_time(0, 13, 1 << 24) > small.p2p_time(0, 13, 1 << 24)
+
+    def test_injection_is_full_wire_time(self):
+        """No DMA offload: TCP senders burn CPU for the whole transfer,
+        unlike the BG/Q messaging unit."""
+        eth = EthernetNetworkModel(nodes=8)
+        torus = TorusNetworkModel(nodes=32)
+        n = 16 << 20
+        assert eth.injection_time(n) > 5 * torus.injection_time(n)
+
+    def test_collective_params(self):
+        alpha, bw = EthernetNetworkModel(nodes=8).collective_params()
+        assert alpha >= 30e-6
+        assert bw < 1.25e9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EthernetNetworkModel(nodes=0)
+        with pytest.raises(ValueError):
+            EthernetNetworkModel(nodes=8, bisection_factor=0.0)
+        eth = EthernetNetworkModel(nodes=8)
+        with pytest.raises(ValueError):
+            eth.p2p_time(0, 1, -5)
+        with pytest.raises(ValueError):
+            eth.node_of(96 * 2)

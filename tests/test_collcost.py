@@ -1,0 +1,94 @@
+"""Closed-form collective costs validated against *executed* algorithms.
+
+The simulated trainer's large-message fast path charges the formulas in
+:mod:`repro.vmpi.collcost`; these tests run the real tree algorithms on
+the DES over the same network model at small/medium rank counts and
+check the formulas track them — the calibration contract behind the
+shortcut.
+"""
+
+import math
+
+import pytest
+
+from repro.vmpi import PayloadStub, UniformNetwork, bcast, reduce, run_spmd
+from repro.vmpi.collcost import (
+    allreduce_cost,
+    bcast_cost,
+    collective_params,
+    reduce_cost,
+)
+
+
+def _executed_bcast_time(p, nbytes, net, segment=None):
+    payload = PayloadStub(nbytes)
+
+    def prog(ctx):
+        yield from bcast(
+            ctx, payload if ctx.rank == 0 else None, root=0, segment_bytes=segment
+        )
+        return ctx.now
+
+    return run_spmd(p, prog, network=net).time
+
+
+class TestFormulaVsExecution:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32])
+    def test_small_message_bcast_tracks_binomial(self, p):
+        net = UniformNetwork(latency=5e-6, bandwidth=1e9)
+        nbytes = 64 * 1024
+        alpha, bw = collective_params(net)
+        predicted = bcast_cost(p, nbytes, alpha, bw)
+        executed = _executed_bcast_time(p, nbytes, net)
+        assert predicted == pytest.approx(executed, rel=0.6)
+
+    @pytest.mark.parametrize("p", [4, 16])
+    def test_large_message_bcast_within_factor_two(self, p):
+        net = UniformNetwork(
+            latency=5e-6, bandwidth=1e9, injection_bandwidth=2e10
+        )
+        nbytes = 32 << 20
+        alpha, bw = collective_params(net)
+        predicted = bcast_cost(p, nbytes, alpha, bw)
+        executed = _executed_bcast_time(p, nbytes, net, segment=1 << 20)
+        assert 0.5 * executed <= predicted <= 2.0 * executed
+
+
+class TestFormulaShapes:
+    def test_zero_cases(self):
+        assert bcast_cost(1, 100, 1e-6, 1e9) == 0.0
+        assert bcast_cost(8, 0, 1e-6, 1e9) == 0.0
+        assert allreduce_cost(1, 100, 1e-6, 1e9) == 0.0
+
+    def test_log_growth_in_ranks_small_messages(self):
+        t = [bcast_cost(p, 1024, 1e-6, 1e9) for p in (2, 4, 16, 256)]
+        assert t[0] < t[1] < t[2] < t[3]
+        # logarithmic: 256 ranks costs ~8x the 2-rank depth, not 128x
+        assert t[3] < 10 * t[0]
+
+    def test_large_messages_bandwidth_bound(self):
+        """At large n the vdG path caps cost near 2 n/bw regardless of P."""
+        n = 256 << 20
+        bw = 2e9
+        for p in (64, 1024, 8192):
+            c = bcast_cost(p, n, 1e-6, bw)
+            assert c <= 2.1 * n / bw
+
+    def test_reduce_cost_exceeds_bcast(self):
+        assert reduce_cost(64, 1 << 20, 1e-6, 1e9) > bcast_cost(64, 1 << 20, 1e-6, 1e9)
+
+    def test_monotone_in_bytes(self):
+        a = [bcast_cost(64, n, 1e-6, 1e9) for n in (1, 1 << 10, 1 << 20, 1 << 26)]
+        assert a == sorted(a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bcast_cost(0, 10, 1e-6, 1e9)
+        with pytest.raises(ValueError):
+            allreduce_cost(4, -1, 1e-6, 1e9)
+
+    def test_collective_params_fallback_and_error(self):
+        alpha, bw = collective_params(UniformNetwork(latency=2e-6, bandwidth=5e9))
+        assert (alpha, bw) == (2e-6, 5e9)
+        with pytest.raises(TypeError):
+            collective_params(object())

@@ -1,0 +1,106 @@
+"""Load balancing (Section V-C): sorted/LPT vs naive partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import balanced_partition, imbalance, naive_partition
+from repro.speech import HmmSampler, HmmSpec
+
+
+@pytest.mark.parametrize("fn", [naive_partition, balanced_partition])
+class TestPartitionInvariants:
+    def test_conservation(self, fn):
+        lengths = [5, 9, 1, 7, 3, 8, 2, 6]
+        a = fn(lengths, 3)
+        assigned = sorted(u for w in a.workers for u in w)
+        assert assigned == list(range(8))
+
+    def test_every_worker_has_load_when_possible(self, fn):
+        a = fn([10] * 12, 4)
+        assert all(len(w) == 3 for w in a.workers)
+
+    def test_validation(self, fn):
+        with pytest.raises(ValueError):
+            fn([1, 2], 3)  # fewer utterances than workers
+        with pytest.raises(ValueError):
+            fn([1, 0, 2], 2)  # zero-length utterance
+        with pytest.raises(ValueError):
+            fn([1, 2, 3], 0)
+
+
+def test_balanced_beats_naive_on_long_tailed_lengths():
+    """The paper's observation: with log-normal utterance lengths, naive
+    round-robin leaves stragglers; sorting + LPT equalizes frames."""
+    sampler = HmmSampler(HmmSpec(length_sigma=0.7), seed=0)
+    rng = np.random.default_rng(0)
+    mu = np.log(60) - 0.5 * 0.7**2
+    lengths = np.clip(
+        np.round(rng.lognormal(mu, 0.7, size=2000)), 8, 2000
+    ).astype(int).tolist()
+    for workers in (8, 32, 64):
+        r_naive = imbalance(naive_partition(lengths, workers))
+        r_balanced = imbalance(balanced_partition(lengths, workers))
+        assert r_balanced < r_naive
+        assert r_balanced < 1.02  # LPT is near-perfect at these ratios
+
+
+def test_balanced_deterministic():
+    lengths = [3, 1, 4, 1, 5, 9, 2, 6]
+    a1 = balanced_partition(lengths, 3)
+    a2 = balanced_partition(lengths, 3)
+    assert a1.workers == a2.workers
+
+
+def test_lpt_exact_on_simple_case():
+    # LPT places 4 -> w0, 3 -> w1, 3 -> w1, 2 -> w0: perfectly balanced
+    a = balanced_partition([4, 3, 3, 2], 2)
+    assert sorted(a.frames_per_worker().tolist()) == [6, 6]
+
+
+def test_assignment_rejects_duplicates_and_gaps():
+    from repro.dist import Assignment
+
+    with pytest.raises(ValueError, match="twice"):
+        Assignment(workers=((0, 1), (1,)), lengths=(5, 5))
+    with pytest.raises(ValueError, match="unassigned"):
+        Assignment(workers=((0,), ()), lengths=(5, 5))
+
+
+def test_imbalance_of_perfect_split_is_one():
+    a = balanced_partition([4, 4, 4, 4], 2)
+    assert imbalance(a) == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lengths=st.lists(st.integers(1, 500), min_size=4, max_size=60),
+    workers=st.integers(1, 4),
+)
+def test_property_balanced_close_to_perfect(lengths, workers):
+    """Greedy guarantee: the max load exceeds the mean by at most one
+    job (the last one placed on the busiest worker started below the
+    mean)."""
+    if len(lengths) < workers:
+        return
+    loads = balanced_partition(lengths, workers).frames_per_worker()
+    mean = sum(lengths) / workers
+    assert loads.max() <= mean + max(lengths) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lengths=st.lists(st.integers(1, 100), min_size=3, max_size=40),
+    workers=st.integers(1, 5),
+)
+def test_property_lpt_greedy_guarantee(lengths, workers):
+    """List-scheduling guarantee: max load < mean + largest job, and the
+    minimum-loaded worker is never above the mean."""
+    if len(lengths) < workers:
+        return
+    a = balanced_partition(lengths, workers)
+    loads = a.frames_per_worker()
+    mean = sum(lengths) / workers
+    assert loads.max() <= mean + max(lengths) + 1e-9
+    assert loads.min() <= mean + 1e-9

@@ -1,0 +1,285 @@
+"""Simulated distributed training on the virtual BG/Q (small scales, so
+the full DES — including real collective algorithms — executes)."""
+
+import numpy as np
+import pytest
+
+from repro.bgq import LinuxJitter, RunShape
+from repro.dist import (
+    GEOMETRY_50HR,
+    IterationScript,
+    ModelGeometry,
+    SimJobConfig,
+    SimWorkload,
+    calibrate_script,
+    default_script,
+    simulate_training,
+)
+from repro.speech import HmmSpec
+
+SMALL_GEOM = ModelGeometry((40, 128, 128, 50))
+
+
+def small_workload(**kw):
+    defaults = dict(
+        geometry=SMALL_GEOM, train_frames=200_000, heldout_frames=20_000
+    )
+    defaults.update(kw)
+    return SimWorkload(**defaults)
+
+
+def small_config(ranks=8, rpn=1, tpr=16, **kw):
+    defaults = dict(
+        shape=RunShape(ranks, rpn, tpr),
+        workload=small_workload(),
+        script=IterationScript((6, 8), (3, 4), represented_iterations=20),
+        seed=1,
+    )
+    defaults.update(kw)
+    return SimJobConfig(**defaults)
+
+
+class TestSimulateTraining:
+    def test_runs_and_reports(self):
+        res = simulate_training(small_config())
+        assert res.load_data_seconds > 0
+        assert res.iteration_seconds > 0
+        assert res.simulated_iterations == 2
+        assert res.represented_total_seconds > res.iteration_seconds
+        assert res.total_messages > 0
+
+    def test_deterministic(self):
+        a = simulate_training(small_config())
+        b = simulate_training(small_config())
+        assert a.iteration_seconds == b.iteration_seconds
+        assert a.total_messages == b.total_messages
+
+    def test_more_ranks_less_worker_compute(self):
+        t8 = simulate_training(small_config(ranks=8)).mean_worker_breakdown()
+        t32 = simulate_training(small_config(ranks=32)).mean_worker_breakdown()
+        assert t32.compute["gradient_loss"] < t8.compute["gradient_loss"]
+
+    def test_master_breakdown_structure(self):
+        res = simulate_training(small_config())
+        mb = res.master_breakdown()
+        assert "load_data" in mb.p2p
+        assert "sync_weights_master" in mb.collective
+        assert "reduce_gradient" in mb.collective
+        assert "cg_minimize" in mb.compute
+        # the master does no gradient math
+        assert "gradient_loss" not in mb.compute
+
+    def test_worker_breakdown_structure(self):
+        res = simulate_training(small_config())
+        wb = res.worker_breakdown(3)
+        assert "gradient_loss" in wb.compute
+        assert "worker_curvature_product" in wb.compute
+        assert "heldout_loss" in wb.compute
+        assert "load_data" in wb.p2p
+
+    def test_curvature_product_varies_across_workers(self):
+        """The paper's Fig 3 remark: the random curvature sample makes
+        worker_curvature_product vary across workers."""
+        res = simulate_training(small_config(ranks=16))
+        times = [
+            res.worker_breakdown(r).compute["worker_curvature_product"]
+            for r in range(1, 16)
+        ]
+        assert max(times) > min(times)
+
+    def test_utterance_sampling_has_more_variance_than_frame(self):
+        wl = small_workload(curvature_fraction=0.02)
+        kw = dict(ranks=16, workload=wl)
+
+        def spread(mode):
+            res = simulate_training(
+                small_config(curvature_sampling=mode, **kw)
+            )
+            t = np.array(
+                [
+                    res.worker_breakdown(r).compute["worker_curvature_product"]
+                    for r in range(1, 16)
+                ]
+            )
+            return t.max() / max(t.mean(), 1e-12)
+
+        assert spread("utterance") > spread("frame")
+
+    def test_naive_partition_slower_than_balanced(self):
+        """The LB ablation (Section V-C): unbalanced shards inflate the
+        synchronized gradient phase."""
+        hmm = HmmSpec(length_sigma=0.8)
+        t_bal = simulate_training(
+            small_config(ranks=32, partitioner="balanced", hmm=hmm)
+        ).iteration_seconds
+        t_naive = simulate_training(
+            small_config(ranks=32, partitioner="naive", hmm=hmm)
+        ).iteration_seconds
+        assert t_naive > t_bal
+
+    def test_serial_bcast_slower_than_binomial(self):
+        """The COMM ablation (Section V-B): sockets -> MPI_Bcast.  The
+        O(P) root injection penalty needs a real model size to bite, so
+        this uses a ~4 M-parameter geometry."""
+        wl = small_workload(geometry=ModelGeometry((360, 1024, 1024, 1024, 500)))
+        t_tree = simulate_training(
+            small_config(ranks=64, workload=wl, bcast_algorithm="binomial")
+        ).iteration_seconds
+        t_serial = simulate_training(
+            small_config(ranks=64, workload=wl, bcast_algorithm="serial")
+        ).iteration_seconds
+        assert t_serial > t_tree
+
+    def test_jitter_inflates_runtime(self):
+        quiet = simulate_training(small_config(ranks=16)).iteration_seconds
+        noisy = simulate_training(
+            small_config(ranks=16, noise=LinuxJitter(0.02, 0.05))
+        ).iteration_seconds
+        assert noisy > quiet
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="master"):
+            small_config(ranks=1)
+        with pytest.raises(ValueError, match="partitioner"):
+            small_config(partitioner="random")
+        with pytest.raises(ValueError, match="bcast"):
+            small_config(bcast_algorithm="gossip")
+        with pytest.raises(ValueError, match="curvature_sampling"):
+            small_config(curvature_sampling="byte")
+
+
+class TestIterationScript:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IterationScript((), ())
+        with pytest.raises(ValueError):
+            IterationScript((5,), (1, 2))
+        with pytest.raises(ValueError):
+            IterationScript((0,), (1,))
+        with pytest.raises(ValueError):
+            IterationScript((5, 5), (1, 1), represented_iterations=1)
+
+    def test_scale_factor(self):
+        s = IterationScript((5, 5), (2, 2), represented_iterations=30)
+        assert s.scale_factor == 15.0
+
+    def test_truncated(self):
+        s = IterationScript((5, 6, 7), (1, 2, 3), represented_iterations=30)
+        t = s.truncated(2)
+        assert t.cg_iters == (5, 6)
+        assert t.represented_iterations == 30
+        with pytest.raises(ValueError):
+            s.truncated(0)
+
+    def test_default_script_plausible(self):
+        s = default_script(n_iterations=4, seed=3)
+        assert s.n_iterations == 4
+        assert all(5 <= c <= 40 for c in s.cg_iters)
+        assert all(h >= 1 for h in s.heldout_evals)
+
+    def test_calibrate_from_real_run(self):
+        from repro.hf import FrameSource, HFConfig, HessianFreeOptimizer
+        from repro.nn import DNN, CrossEntropyLoss
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((200, 5))
+        y = rng.integers(0, 3, 200)
+        hx, hy = x[:50], y[:50]
+        net = DNN([5, 8, 3])
+        src = FrameSource(net, CrossEntropyLoss(), x, y, hx, hy, curvature_fraction=0.2)
+        result = HessianFreeOptimizer(src, HFConfig(max_iterations=2)).run(
+            net.init_params(0)
+        )
+        script = calibrate_script(result, represented_iterations=25)
+        assert script.n_iterations == 2
+        assert script.cg_iters == tuple(
+            it.cg_iterations for it in result.iterations
+        )
+        assert script.represented_iterations == 25
+
+
+class TestSimWorkload:
+    def test_theta_bytes(self):
+        wl = SimWorkload(GEOMETRY_50HR, 1000, 100)
+        assert wl.theta_bytes == GEOMETRY_50HR.n_params * 4
+
+    def test_geometry_presets_match_paper(self):
+        assert 10e6 < GEOMETRY_50HR.n_params < 50e6
+        from repro.dist import GEOMETRY_400HR
+
+        assert GEOMETRY_400HR.n_params > 100e6  # "over 100M parameters"
+
+    def test_phase_times_scale_with_frames(self):
+        wl = small_workload()
+        assert wl.gradient_seconds(2000, 4, 4) > wl.gradient_seconds(1000, 4, 4)
+        assert wl.gradient_seconds(0, 4, 4) == 0.0
+
+    def test_gradient_costs_more_than_forward(self):
+        wl = small_workload()
+        assert wl.gradient_seconds(1000, 4, 4) > 2.5 * wl.heldout_seconds(1000, 4, 4)
+
+    def test_curvature_product_between(self):
+        wl = small_workload()
+        g = wl.gradient_seconds(1000, 4, 4)
+        c = wl.curvature_product_seconds(1000, 4, 4)
+        f = wl.heldout_seconds(1000, 4, 4)
+        assert f < g < c  # 1 < 3 < 4 GEMMs per layer
+
+    def test_sequence_surcharge(self):
+        plain = small_workload()
+        seq = small_workload(sequence_states=100)
+        assert seq.gradient_seconds(1000, 4, 4) > plain.gradient_seconds(1000, 4, 4)
+
+    def test_framework_efficiency_scales_time(self):
+        fast = small_workload(framework_efficiency=1.0)
+        slow = small_workload(framework_efficiency=0.5)
+        assert slow.gradient_seconds(1000, 4, 4) == pytest.approx(
+            2.0 * fast.gradient_seconds(1000, 4, 4)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimWorkload(SMALL_GEOM, 0, 10)
+        with pytest.raises(ValueError):
+            SimWorkload(SMALL_GEOM, 10, 10, curvature_fraction=2.0)
+        with pytest.raises(ValueError):
+            SimWorkload(SMALL_GEOM, 10, 10, framework_efficiency=0.0)
+        with pytest.raises(ValueError):
+            ModelGeometry((5,))
+
+
+class TestLoadDataModes:
+    def test_staged_does_not_relieve_master_egress(self):
+        """The DATA ablation's negative result at test scale."""
+        direct = simulate_training(small_config(ranks=32, load_data_mode="master"))
+        staged = simulate_training(
+            small_config(ranks=32, load_data_mode="staged", load_data_fanout=8)
+        )
+        m_direct = direct.master_breakdown().p2p["load_data"]
+        m_staged = staged.master_breakdown().p2p["load_data"]
+        assert m_staged > 0.7 * m_direct
+
+    def test_parallel_io_removes_master_p2p(self):
+        res = simulate_training(
+            small_config(ranks=16, load_data_mode="parallel_io")
+        )
+        assert "load_data" not in res.master_breakdown().p2p
+        wb = res.worker_breakdown(3)
+        assert wb.compute["load_data"] > 0
+
+    def test_staged_workers_all_receive(self):
+        """Staged relay must not deadlock and every worker gets data
+        (non-leader workers wait on their leader)."""
+        res = simulate_training(
+            small_config(ranks=16, load_data_mode="staged", load_data_fanout=4)
+        )
+        for r in range(1, 16):
+            assert res.worker_breakdown(r).p2p["load_data"] >= 0
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="load_data_mode"):
+            small_config(load_data_mode="carrier_pigeon")
+        with pytest.raises(ValueError, match="fanout"):
+            small_config(load_data_fanout=1)
+        with pytest.raises(ValueError, match="io_aggregate"):
+            small_config(io_aggregate_bandwidth=0.0)

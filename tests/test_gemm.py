@@ -1,0 +1,197 @@
+"""GEMM substrate: blocked algorithm correctness (vs numpy), kernel and
+performance models (Section V-A behaviours)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm import (
+    BlockingPlan,
+    GemmCounter,
+    GemmPerfModel,
+    GemmProblem,
+    InnerKernelModel,
+    blocked_gemm,
+    pack_a_panel,
+    pack_b_panel,
+)
+
+
+class TestBlockedGemm:
+    @pytest.mark.parametrize(
+        "m,k,n",
+        [(8, 8, 8), (16, 16, 16), (7, 5, 3), (33, 17, 9), (100, 64, 50), (1, 1, 1)],
+    )
+    def test_matches_numpy(self, m, k, n):
+        rng = np.random.default_rng(m * 1000 + k * 10 + n)
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        assert np.allclose(blocked_gemm(a, b), a @ b, atol=1e-10)
+
+    def test_custom_plan(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((20, 30)), rng.standard_normal((30, 10))
+        plan = BlockingPlan(mr=4, nr=4, mc=8, kc=8, nc=8)
+        assert np.allclose(blocked_gemm(a, b, plan), a @ b)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="inner"):
+            blocked_gemm(np.zeros((2, 3)), np.zeros((4, 5)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            blocked_gemm(np.zeros(3), np.zeros((3, 3)))
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            BlockingPlan(mr=8, mc=12)  # mc not multiple of mr
+        with pytest.raises(ValueError):
+            BlockingPlan(nr=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        m=st.integers(1, 40),
+        k=st.integers(1, 40),
+        n=st.integers(1, 40),
+        seed=st.integers(0, 2**16),
+    )
+    def test_property_matches_numpy(self, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        assert np.allclose(blocked_gemm(a, b), a @ b, atol=1e-9)
+
+
+class TestPacking:
+    def test_a_panel_stride_one_layout(self):
+        a = np.arange(12.0).reshape(4, 3)
+        packed = pack_a_panel(a, BlockingPlan(mr=2))
+        assert packed.shape == (2, 3, 2)
+        # slab 0 holds rows 0-1 transposed: packed[0, k, r] == a[r, k]
+        assert packed[0, 1, 0] == a[0, 1]
+        assert packed[0, 1, 1] == a[1, 1]
+
+    def test_b_panel_zero_padding(self):
+        b = np.ones((3, 5))
+        packed = pack_b_panel(b, BlockingPlan(nr=4))
+        assert packed.shape == (2, 3, 4)
+        assert packed[1, :, 1:].sum() == 0  # padded columns
+
+
+class TestInnerKernelModel:
+    def test_threads_ordering_matches_paper(self):
+        km = InnerKernelModel()
+        effs = {t: km.kernel_efficiency(t) for t in (1, 2, 4)}
+        assert effs[1] < effs[2] < effs[4]
+        # 4 threads/core approaches but does not reach peak
+        assert 0.85 < effs[4] < 1.0
+
+    def test_matches_a2_issue_efficiency(self):
+        """The analytic kernel model and the coarse A2 table agree."""
+        from repro.bgq import BGQ_CORE
+
+        km = InnerKernelModel()
+        for t in (1, 2, 4):
+            assert km.kernel_efficiency(t) == pytest.approx(
+                BGQ_CORE.issue_efficiency(t), abs=0.03
+            )
+
+    def test_cooperative_sharing_halves_loads(self):
+        km = InnerKernelModel()
+        assert km.load_cycles_per_update(4) == km.load_cycles_per_update(2) / 2
+
+    def test_out_of_order_beats_in_order_single_thread(self):
+        in_order = InnerKernelModel(out_of_order=False)
+        ooo = InnerKernelModel(out_of_order=True)
+        assert ooo.kernel_efficiency(1) > in_order.kernel_efficiency(1) + 0.2
+
+    def test_invalid_inputs(self):
+        km = InnerKernelModel()
+        with pytest.raises(ValueError):
+            km.kernel_efficiency(5)
+        with pytest.raises(ValueError):
+            km.fma_cycles_per_update("half")
+
+
+class TestGemmPerfModel:
+    def test_big_square_dp_near_tuned_fraction(self):
+        pm = GemmPerfModel()
+        p = GemmProblem(2048, 2048, 2048, "dp")
+        g = pm.achieved_gflops(p, 16, 4)
+        assert 0.75 * 204.8 < g < 204.8
+
+    def test_sp_faster_than_dp_on_bgq(self):
+        pm = GemmPerfModel()
+        dp = pm.achieved_gflops(GemmProblem(1024, 1024, 1024, "dp"), 4, 4)
+        sp = pm.achieved_gflops(GemmProblem(1024, 1024, 1024, "sp"), 4, 4)
+        assert dp < sp < 2.0 * dp  # QPX SP is NOT the textbook 2x
+
+    def test_odd_shapes_lose_efficiency(self):
+        pm = GemmPerfModel()
+        aligned = pm.achieved_gflops(GemmProblem(256, 256, 256, "dp"), 4, 4)
+        fringy = pm.achieved_gflops(GemmProblem(251, 253, 256, "dp"), 4, 4)
+        assert fringy < aligned
+
+    def test_short_k_penalized(self):
+        pm = GemmPerfModel()
+        long_k = pm.achieved_gflops(GemmProblem(256, 256, 512, "dp"), 4, 4)
+        short_k = pm.achieved_gflops(GemmProblem(256, 256, 4, "dp"), 4, 4)
+        assert short_k < 0.7 * long_k
+
+    def test_tiny_problem_memory_bound(self):
+        pm = GemmPerfModel()
+        # m=1 makes it a dot-product sweep: roofline should cap it
+        g = pm.achieved_gflops(GemmProblem(1, 64, 64, "dp"), 1, 4)
+        assert g < 0.5 * 12.8
+
+    def test_parallel_efficiency_declines(self):
+        pm = GemmPerfModel()
+        assert pm.parallel_efficiency(1) >= pm.parallel_efficiency(4) > pm.parallel_efficiency(16)
+
+    def test_node_sharing_derate(self):
+        pm = GemmPerfModel()
+        assert pm.node_sharing_derate(1) == 1.0
+        assert pm.node_sharing_derate(4) < pm.node_sharing_derate(2) < 1.0
+        with pytest.raises(ValueError):
+            pm.node_sharing_derate(0)
+
+    def test_seconds_inverse_of_rate(self):
+        pm = GemmPerfModel()
+        p = GemmProblem(512, 512, 512, "sp")
+        assert pm.seconds(p, 4, 4) == pytest.approx(
+            p.flops / (pm.achieved_gflops(p, 4, 4) * 1e9)
+        )
+
+    def test_problem_validation(self):
+        with pytest.raises(ValueError):
+            GemmProblem(0, 1, 1)
+        with pytest.raises(ValueError):
+            GemmProblem(1, 1, 1, "half")
+
+
+class TestGemmCounter:
+    def test_accumulates_and_replays(self):
+        c = GemmCounter()
+        c.record("forward", 100, 200, 300, "sp", count=2)
+        c.record("backward", 50, 60, 70)
+        assert c.total_flops("forward") == 2 * 2 * 100 * 200 * 300
+        assert c.labels() == ["forward", "backward"]
+        pm = GemmPerfModel()
+        t = c.modeled_seconds(pm, cores=4, threads_per_core=4)
+        assert t > 0
+        t_fwd = c.modeled_seconds(pm, 4, 4, label="forward")
+        assert 0 < t_fwd < t
+
+    def test_merge_and_clear(self):
+        a, b = GemmCounter(), GemmCounter()
+        a.record("x", 1, 1, 1)
+        b.record("y", 1, 1, 1)
+        a.merge(b)
+        assert len(a.calls) == 2
+        a.clear()
+        assert a.total_flops() == 0
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            GemmCounter().record("x", 1, 1, 1, count=0)

@@ -1,0 +1,124 @@
+"""Experiment harness: scaling/breakdown/speedup drivers and reporting.
+
+These run the actual figure pipelines at reduced rank counts (so the
+full DES executes quickly); the paper-scale assertions live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.dist import IterationScript, ModelGeometry, SimWorkload
+from repro.harness import (
+    calibrated_script,
+    default_workload,
+    efficiencies,
+    render_cycles,
+    render_mpi_split,
+    render_series,
+    render_table,
+    run_breakdowns,
+    run_config,
+    run_scaling_claim,
+    run_table1,
+)
+
+SCRIPT = IterationScript((6,), (3,), represented_iterations=20)
+SMALL_WL = SimWorkload(
+    ModelGeometry((40, 128, 128, 50)), train_frames=200_000, heldout_frames=20_000
+)
+
+
+class TestScalingDriver:
+    def test_run_config_point(self):
+        p = run_config("32-1-16", SMALL_WL, SCRIPT)
+        assert p.label == "32-1-16"
+        assert p.hours > 0
+        assert p.result is not None
+
+    def test_default_workload_sizing(self):
+        wl = default_workload(50.0)
+        assert wl.train_frames == 18_000_000
+        wl400 = default_workload(400.0)
+        assert wl400.geometry.n_params > wl.geometry.n_params
+
+    def test_scaling_efficiency_declines(self):
+        points = run_scaling_claim(
+            SCRIPT, ranks=(16, 64, 256), ranks_per_node=4, threads_per_rank=16
+        )
+        # override workload for speed: use the tiny one
+        points = [
+            run_config(f"{r}-4-16", SMALL_WL, SCRIPT) for r in (16, 64, 256)
+        ]
+        effs = efficiencies(points)
+        assert effs[0] == pytest.approx(1.0)
+        assert effs[-1] < effs[0]
+
+
+class TestBreakdownDriver:
+    def test_three_views_per_config(self):
+        out = run_breakdowns(SMALL_WL, SCRIPT, configs=("16-1-16", "32-2-16"))
+        assert [b.label for b in out] == ["16-1-16", "32-2-16"]
+        b = out[0]
+        assert "gradient_loss" in b.worker_mean.compute
+        assert "worker_curvature_product" in b.worker_spread
+        lo, hi = b.worker_spread["worker_curvature_product"]
+        assert lo <= hi
+        assert "sync_weights_master" in b.master.collective
+        assert b.master_cycles  # cycle categories produced
+        total = sum(c.total for c in b.worker_cycles.values())
+        assert total > 0
+
+    def test_master_p2p_load_data_grows_with_ranks(self):
+        """The Fig 2/4 trend: more ranks -> more master load_data time."""
+        out = run_breakdowns(SMALL_WL, SCRIPT, configs=("16-1-16", "64-1-16"))
+        assert out[1].master.p2p["load_data"] > out[0].master.p2p["load_data"]
+
+
+class TestSpeedupDriver:
+    def test_table1_structure(self):
+        # tiny geometry + 96-vs-256 ranks would be slow; use the real driver
+        # at reduced hours to keep the DES fast while exercising both arms
+        rows = run_table1(SCRIPT, hours=1.0)
+        assert len(rows) == 2
+        ce, seq = rows
+        assert ce.bgq_hours < ce.xeon_hours  # BG/Q wins
+        assert ce.speedup > 1.0
+        assert ce.frequency_adjusted == pytest.approx(ce.speedup * 2.9 / 1.6)
+        # sequence training is slower than CE on both machines
+        assert seq.xeon_hours > ce.xeon_hours
+        assert seq.bgq_hours > ce.bgq_hours
+
+
+class TestCalibration:
+    def test_calibrated_script_from_real_run(self):
+        run = calibrated_script(iterations=2, scale=5e-5, hidden=12)
+        assert run.script.n_iterations == 2
+        assert all(c >= 1 for c in run.script.cg_iters)
+        assert len(run.hf_result.iterations) == 2
+        # the real run actually learned something
+        traj = run.hf_result.heldout_trajectory
+        assert traj[-1] <= traj[0]
+
+
+class TestReport:
+    def test_render_table(self):
+        out = render_table(["a", "b"], [[1, 2.5], ["x", "y"]], title="T")
+        assert "T" in out and "2.500" in out and "x" in out
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_series(self):
+        out = render_series(["cfg1", "cfg2"], [1.0, 2.0], title="S", unit="h")
+        assert "cfg1" in out and "#" in out
+        with pytest.raises(ValueError):
+            render_series(["a"], [1.0, 2.0])
+
+    def test_render_cycles_and_mpi(self):
+        from repro.bgq import CycleModel
+
+        cm = CycleModel()
+        cats = {"gradient_loss": cm.split(1.0, "gemm", 4)}
+        out = render_cycles(cats, title="Fig2")
+        assert "gradient_loss" in out and "IU_empty" in out
+        out2 = render_mpi_split({"sync": 1.0}, {"load": 2.0})
+        assert "sync" in out2 and "load" in out2

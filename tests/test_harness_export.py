@@ -1,0 +1,56 @@
+"""Figure/table data export round trips."""
+
+import csv
+import json
+
+from repro.dist import IterationScript, ModelGeometry, SimWorkload
+from repro.harness import run_breakdowns, run_config, run_table1
+from repro.harness.export import (
+    export_breakdowns_json,
+    export_scaling_csv,
+    export_scaling_json,
+    export_table1_json,
+)
+
+SCRIPT = IterationScript((5,), (2,), represented_iterations=20)
+WL = SimWorkload(ModelGeometry((40, 96, 50)), train_frames=100_000, heldout_frames=10_000)
+
+
+def test_scaling_json_and_csv(tmp_path):
+    points = [run_config(s, WL, SCRIPT) for s in ("8-1-16", "16-1-16")]
+    jpath = export_scaling_json(tmp_path / "fig1a.json", points, "fig1a", meta={"hours": 50})
+    data = json.loads(jpath.read_text())
+    assert data["experiment"] == "fig1a"
+    assert [s["config"] for s in data["series"]] == ["8-1-16", "16-1-16"]
+    assert all(s["hours"] > 0 for s in data["series"])
+    assert data["meta"] == {"hours": 50}
+
+    cpath = export_scaling_csv(tmp_path / "fig1a.csv", points)
+    with open(cpath) as f:
+        rows = list(csv.reader(f))
+    assert rows[0][0] == "config"
+    assert len(rows) == 3
+
+
+def test_breakdowns_json(tmp_path):
+    bds = run_breakdowns(WL, SCRIPT, configs=("8-1-16",))
+    path = export_breakdowns_json(tmp_path / "figs.json", bds)
+    data = json.loads(path.read_text())
+    cfg = data["configs"][0]
+    assert cfg["label"] == "8-1-16"
+    assert "gradient_loss" in cfg["worker_mean"]["compute"]
+    assert "sync_weights_master" in cfg["master"]["collective"]
+    spread = cfg["worker_spread"]["worker_curvature_product"]
+    assert spread["min"] <= spread["max"]
+    cyc = cfg["worker_cycles"]["gradient_loss"]
+    assert cyc["committed"] > 0
+
+
+def test_table1_json(tmp_path):
+    rows = run_table1(SCRIPT, hours=0.2)
+    path = export_table1_json(tmp_path / "t1.json", rows)
+    data = json.loads(path.read_text())
+    assert len(data["rows"]) == 2
+    for r in data["rows"]:
+        assert r["speedup"] > 0
+        assert r["frequency_adjusted"] > r["speedup"]

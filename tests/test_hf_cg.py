@@ -1,0 +1,143 @@
+"""Truncated CG: SPD solves, Martens stopping, snapshots, preconditioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hf import CGConfig, cg_minimize
+
+
+def _spd(n, seed=0, cond=10.0):
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigs = np.geomspace(1.0, cond, n)
+    return q @ np.diag(eigs) @ q.T
+
+
+def test_solves_spd_system():
+    a = _spd(40, seed=1)
+    b = np.random.default_rng(2).standard_normal(40)
+    res = cg_minimize(lambda v: a @ v, b, config=CGConfig(max_iters=300, tol=1e-12))
+    assert np.linalg.norm(res.final - np.linalg.solve(a, b)) < 1e-6
+
+
+def test_phi_monotone_decreasing():
+    a = _spd(30, seed=3, cond=100.0)
+    b = np.random.default_rng(4).standard_normal(30)
+    res = cg_minimize(lambda v: a @ v, b)
+    assert all(p2 <= p1 + 1e-12 for p1, p2 in zip(res.phis, res.phis[1:]))
+    assert res.phis[-1] < 0
+
+
+def test_snapshots_geometric_and_final_included():
+    a = _spd(60, seed=5, cond=1e4)
+    b = np.random.default_rng(6).standard_normal(60)
+    res = cg_minimize(lambda v: a @ v, b, config=CGConfig(max_iters=50, tol=1e-12))
+    assert res.step_iters == sorted(res.step_iters)
+    assert res.step_iters[-1] == res.iterations
+    assert len(res.steps) == len(res.step_iters)
+    # geometric spacing: at most ceil(log_1.3(50)) + 1 snapshots
+    assert len(res.steps) <= int(np.log(50) / np.log(1.3)) + 2
+
+
+def test_warm_start_used():
+    a = _spd(20, seed=7)
+    b = np.random.default_rng(8).standard_normal(20)
+    x_star = np.linalg.solve(a, b)
+    res = cg_minimize(
+        lambda v: a @ v, b, x0=x_star.copy(), config=CGConfig(max_iters=5, tol=1e-12)
+    )
+    assert np.linalg.norm(res.final - x_star) < 1e-8
+
+
+def test_martens_stopping_truncates():
+    """Once CG converges, relative progress vanishes and the Martens test
+    fires long before max_iters."""
+    a = _spd(60, seed=9, cond=50.0)
+    b = np.random.default_rng(10).standard_normal(60)
+    res = cg_minimize(lambda v: a @ v, b, config=CGConfig(max_iters=500, tol=1e-6))
+    assert res.stop_reason == "relative_progress"
+    assert res.iterations < 500
+
+
+def test_nonpositive_curvature_stops_cleanly():
+    # indefinite matrix: CG must bail out, not diverge
+    a = np.diag(np.array([1.0, 1.0, -1.0]))
+    b = np.array([1.0, 1.0, 1.0])
+    res = cg_minimize(lambda v: a @ v, b, config=CGConfig(max_iters=50))
+    assert res.stop_reason in ("nonpositive_curvature", "relative_progress", "max_iters")
+    assert np.all(np.isfinite(res.final))
+
+
+def test_preconditioner_validation():
+    b = np.ones(4)
+    with pytest.raises(ValueError, match="positive"):
+        cg_minimize(lambda v: v, b, precond=np.array([1.0, -1.0, 1.0, 1.0]))
+    with pytest.raises(ValueError, match="shape"):
+        cg_minimize(lambda v: v, b, precond=np.ones(3))
+
+
+def test_preconditioner_speeds_convergence():
+    # strongly diagonal system: Jacobi preconditioning should cut iterations
+    rng = np.random.default_rng(11)
+    d = np.geomspace(1.0, 1e5, 80)
+    off = rng.standard_normal((80, 80)) * 0.01
+    a = np.diag(d) + off @ off.T
+    b = rng.standard_normal(80)
+    cfg = CGConfig(max_iters=500, tol=1e-10)
+    plain = cg_minimize(lambda v: a @ v, b, config=cfg)
+    pre = cg_minimize(lambda v: a @ v, b, config=cfg, precond=np.diag(a).copy())
+    assert pre.iterations < plain.iterations
+
+
+def test_x0_shape_validated():
+    with pytest.raises(ValueError):
+        cg_minimize(lambda v: v, np.ones(4), x0=np.ones(3))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CGConfig(max_iters=0)
+    with pytest.raises(ValueError):
+        CGConfig(tol=0.0)
+    with pytest.raises(ValueError):
+        CGConfig(snapshot_gamma=1.0)
+    with pytest.raises(ValueError):
+        CGConfig(min_iters=10, max_iters=5)
+
+
+def test_quadratic_value_helper():
+    a = _spd(10, seed=12)
+    b = np.random.default_rng(13).standard_normal(10)
+    res = cg_minimize(lambda v: a @ v, b, config=CGConfig(max_iters=100, tol=1e-12))
+    q = res.quadratic_value(lambda v: a @ v, b)
+    x_star = np.linalg.solve(a, b)
+    q_star = 0.5 * x_star @ a @ x_star - b @ x_star
+    assert q == pytest.approx(q_star, rel=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 25), seed=st.integers(0, 1000), cond=st.floats(1.0, 1e4))
+def test_property_model_decrease(n, seed, cond):
+    """Any CG output strictly decreases the quadratic vs the zero step."""
+    a = _spd(n, seed=seed, cond=cond)
+    b = np.random.default_rng(seed + 1).standard_normal(n)
+    if np.linalg.norm(b) < 1e-9:
+        return
+    res = cg_minimize(lambda v: a @ v, b, config=CGConfig(max_iters=n * 3))
+    assert res.phis[-1] < 0  # phi(0) = 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 15), seed=st.integers(0, 500))
+def test_property_snapshots_improve_monotonically(n, seed):
+    a = _spd(n, seed=seed)
+    b = np.random.default_rng(seed).standard_normal(n)
+    res = cg_minimize(lambda v: a @ v, b, config=CGConfig(max_iters=50, tol=1e-12))
+
+    def phi(x):
+        return 0.5 * x @ a @ x - b @ x
+
+    vals = [phi(s) for s in res.steps]
+    assert all(v2 <= v1 + 1e-9 for v1, v2 in zip(vals, vals[1:]))

@@ -1,0 +1,118 @@
+"""Krylov Subspace Descent (the paper's cited HF alternative)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hf import (
+    FrameSource,
+    HFConfig,
+    HessianFreeOptimizer,
+    KSDConfig,
+    KrylovSubspaceDescent,
+    build_krylov_basis,
+)
+from repro.nn import DNN, CrossEntropyLoss
+
+
+def _problem(seed=0, n=500):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((4, 6)) * 2
+    y = rng.integers(0, 4, n)
+    x = centers[y] + rng.standard_normal((n, 6)) * 0.7
+    hy = rng.integers(0, 4, n // 4)
+    hx = centers[hy] + rng.standard_normal((n // 4, 6)) * 0.7
+    return x, y, hx, hy
+
+
+class TestKrylovBasis:
+    def test_orthonormal_rows(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((12, 12))
+        a = a @ a.T + np.eye(12)
+        g = rng.standard_normal(12)
+        basis = build_krylov_basis(lambda v: a @ v, g, k=5)
+        gram = basis @ basis.T
+        assert np.allclose(gram, np.eye(basis.shape[0]), atol=1e-10)
+
+    def test_spans_krylov_space(self):
+        rng = np.random.default_rng(1)
+        a = np.diag(rng.uniform(1, 5, 6))
+        g = rng.standard_normal(6)
+        basis = build_krylov_basis(lambda v: a @ v, g, k=3)
+        # g, Ag, A^2 g all representable in the basis
+        for vec in (g, a @ g, a @ a @ g):
+            proj = basis.T @ (basis @ vec)
+            assert np.allclose(proj, vec, atol=1e-8)
+
+    def test_degenerate_sequence_truncates(self):
+        # A = I: Krylov space is 1-dimensional regardless of k
+        g = np.ones(5)
+        basis = build_krylov_basis(lambda v: v, g, k=6)
+        assert basis.shape[0] == 1
+
+    def test_extra_vector_included(self):
+        rng = np.random.default_rng(2)
+        g = rng.standard_normal(8)
+        extra = rng.standard_normal(8)
+        with_extra = build_krylov_basis(lambda v: v, g, k=1, extra=extra)
+        assert with_extra.shape[0] == 2
+
+    def test_zero_gradient_rejected(self):
+        with pytest.raises(ValueError, match="zero gradient"):
+            build_krylov_basis(lambda v: v, np.zeros(4), k=3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(3, 10), k=st.integers(1, 6), seed=st.integers(0, 100))
+    def test_property_dim_bounded(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        a = a @ a.T + 0.1 * np.eye(n)
+        g = rng.standard_normal(n)
+        basis = build_krylov_basis(lambda v: a @ v, g, k=k)
+        assert 1 <= basis.shape[0] <= min(k, n)
+
+
+class TestKSDTraining:
+    def test_heldout_decreases(self):
+        x, y, hx, hy = _problem()
+        net = DNN([6, 16, 4])
+        src = FrameSource(net, CrossEntropyLoss(), x, y, hx, hy, curvature_fraction=0.1)
+        res = KrylovSubspaceDescent(src, KSDConfig(max_iterations=5)).run(
+            net.init_params(0)
+        )
+        assert res.heldout_trajectory[-1] < res.heldout_trajectory[0]
+        assert len(res.basis_dims) == 5
+        assert all(1 <= d <= 9 for d in res.basis_dims)
+
+    def test_comparable_to_hf_on_toy_task(self):
+        """Same source, same budget: both second-order methods converge;
+        neither should be wildly worse (they share the communication
+        profile, which is why the paper groups them)."""
+        x, y, hx, hy = _problem(seed=3)
+        net = DNN([6, 16, 4])
+        theta0 = net.init_params(0)
+        src = FrameSource(net, CrossEntropyLoss(), x, y, hx, hy, curvature_fraction=0.1)
+        hf = HessianFreeOptimizer(src, HFConfig(max_iterations=6)).run(theta0)
+        ksd = KrylovSubspaceDescent(src, KSDConfig(max_iterations=6)).run(theta0)
+        assert ksd.heldout_trajectory[-1] < ksd.heldout_trajectory[0]
+        assert hf.heldout_trajectory[-1] < hf.heldout_trajectory[0]
+        assert ksd.heldout_trajectory[-1] < 3 * hf.heldout_trajectory[-1] + 0.5
+
+    def test_deterministic(self):
+        x, y, hx, hy = _problem(seed=4)
+        net = DNN([6, 12, 4])
+        theta0 = net.init_params(1)
+        src = FrameSource(net, CrossEntropyLoss(), x, y, hx, hy, curvature_fraction=0.1, seed=2)
+        a = KrylovSubspaceDescent(src, KSDConfig(max_iterations=3)).run(theta0)
+        b = KrylovSubspaceDescent(src, KSDConfig(max_iterations=3)).run(theta0)
+        assert np.array_equal(a.theta, b.theta)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            KSDConfig(max_iterations=0)
+        with pytest.raises(ValueError):
+            KSDConfig(subspace_dim=0)
+        with pytest.raises(ValueError):
+            KSDConfig(lam=-1.0)

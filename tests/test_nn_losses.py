@@ -1,0 +1,210 @@
+"""Training criteria: CE, squared error, sequence MMI (forward-backward)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    CrossEntropyLoss,
+    SequenceBatchTargets,
+    SequenceMMILoss,
+    SquaredErrorLoss,
+    UtteranceSpan,
+    frame_error_count,
+    softmax,
+)
+
+
+class TestCrossEntropy:
+    def test_value_is_nll_sum(self):
+        ce = CrossEntropyLoss()
+        logits = np.log(np.array([[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]]))
+        value, _ = ce.value_and_delta(logits, np.array([0, 1]))
+        assert value == pytest.approx(-(np.log(0.7) + np.log(0.8)))
+
+    def test_delta_is_p_minus_onehot(self):
+        ce = CrossEntropyLoss()
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((5, 4))
+        labels = np.array([0, 1, 2, 3, 0])
+        _, delta = ce.value_and_delta(logits, labels)
+        expected = softmax(logits)
+        expected[np.arange(5), labels] -= 1
+        assert np.allclose(delta, expected)
+
+    def test_gn_hessian_vec_psd(self):
+        ce = CrossEntropyLoss()
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((8, 5))
+        labels = rng.integers(0, 5, 8)
+        r = rng.standard_normal((8, 5))
+        hr = ce.gn_output_hessian_vec(logits, labels, r)
+        assert float((r * hr).sum()) >= -1e-12
+
+    def test_gn_rows_sum_to_zero(self):
+        """(diag(p) - pp^T) 1 = 0: constant shifts of logits are null."""
+        ce = CrossEntropyLoss()
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((4, 6))
+        ones = np.ones((4, 6))
+        hr = ce.gn_output_hessian_vec(logits, rng.integers(0, 6, 4), ones)
+        assert np.allclose(hr, 0.0, atol=1e-12)
+
+    def test_label_validation(self):
+        ce = CrossEntropyLoss()
+        with pytest.raises(ValueError, match="out of range"):
+            ce.value_and_delta(np.zeros((2, 3)), np.array([0, 3]))
+        with pytest.raises(ValueError, match="incompatible"):
+            ce.value_and_delta(np.zeros((2, 3)), np.array([0]))
+
+    def test_count(self):
+        assert CrossEntropyLoss().count(np.zeros(7)) == 7
+
+
+class TestSquaredError:
+    def test_value_and_delta(self):
+        mse = SquaredErrorLoss()
+        logits = np.array([[1.0, 2.0]])
+        targets = np.array([[0.0, 0.0]])
+        value, delta = mse.value_and_delta(logits, targets)
+        assert value == pytest.approx(2.5)
+        assert np.allclose(delta, logits)
+
+    def test_gn_is_identity(self):
+        mse = SquaredErrorLoss()
+        r = np.random.default_rng(0).standard_normal((3, 2))
+        assert np.array_equal(mse.gn_output_hessian_vec(np.zeros((3, 2)), np.zeros((3, 2)), r), r)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SquaredErrorLoss().value_and_delta(np.zeros((2, 3)), np.zeros((3, 2)))
+
+
+def _make_seq_loss(n_states=4, kappa=0.7, seed=0):
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(0.1, 1.0, (n_states, n_states))
+    trans = raw / raw.sum(axis=1, keepdims=True)
+    return SequenceMMILoss(np.log(trans), kappa=kappa)
+
+
+class TestSequenceMMI:
+    def test_delta_matches_fd(self):
+        loss = _make_seq_loss()
+        rng = np.random.default_rng(3)
+        logits = rng.standard_normal((7, 4))
+        targets = SequenceBatchTargets(
+            (
+                UtteranceSpan(0, 4, np.array([0, 1, 1, 2])),
+                UtteranceSpan(4, 7, np.array([3, 0, 2])),
+            )
+        )
+        _, delta = loss.value_and_delta(logits, targets)
+        eps = 1e-6
+        fd = np.zeros_like(logits)
+        for i in range(7):
+            for j in range(4):
+                lp, lm = logits.copy(), logits.copy()
+                lp[i, j] += eps
+                lm[i, j] -= eps
+                fd[i, j] = (
+                    loss.value_and_delta(lp, targets)[0]
+                    - loss.value_and_delta(lm, targets)[0]
+                ) / (2 * eps)
+        assert np.allclose(delta, fd, atol=1e-5)
+
+    def test_value_nonnegative(self):
+        """-log P(ref)/P(all paths) >= 0: the reference is one path of the sum."""
+        loss = _make_seq_loss()
+        rng = np.random.default_rng(4)
+        logits = rng.standard_normal((10, 4)) * 3
+        targets = SequenceBatchTargets(
+            (UtteranceSpan(0, 10, rng.integers(0, 4, 10)),)
+        )
+        value, _ = loss.value_and_delta(logits, targets)
+        assert value >= -1e-9
+
+    def test_perfect_evidence_drives_loss_down(self):
+        loss = _make_seq_loss(kappa=1.0)
+        states = np.array([0, 1, 2, 3, 0])
+        strong = np.full((5, 4), -30.0)
+        strong[np.arange(5), states] = 30.0
+        weak = np.zeros((5, 4))
+        targets = SequenceBatchTargets((UtteranceSpan(0, 5, states),))
+        v_strong, _ = loss.value_and_delta(strong, targets)
+        v_weak, _ = loss.value_and_delta(weak, targets)
+        assert v_strong < v_weak
+
+    def test_gamma_rows_sum_to_one_via_delta(self):
+        """delta/kappa = gamma - onehot; rows of both sum to 1 -> delta rows sum to 0."""
+        loss = _make_seq_loss()
+        rng = np.random.default_rng(5)
+        logits = rng.standard_normal((6, 4))
+        targets = SequenceBatchTargets(
+            (UtteranceSpan(0, 6, rng.integers(0, 4, 6)),)
+        )
+        _, delta = loss.value_and_delta(logits, targets)
+        assert np.allclose(delta.sum(axis=1), 0.0, atol=1e-10)
+
+    def test_gn_psd(self):
+        loss = _make_seq_loss()
+        rng = np.random.default_rng(6)
+        logits = rng.standard_normal((5, 4))
+        targets = SequenceBatchTargets(
+            (UtteranceSpan(0, 5, rng.integers(0, 4, 5)),)
+        )
+        r = rng.standard_normal((5, 4))
+        hr = loss.gn_output_hessian_vec(logits, targets, r)
+        assert float((r * hr).sum()) >= -1e-12
+
+    def test_span_validation(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            SequenceBatchTargets(
+                (
+                    UtteranceSpan(0, 2, np.array([0, 1])),
+                    UtteranceSpan(3, 4, np.array([0])),
+                )
+            )
+        with pytest.raises(ValueError, match="empty"):
+            UtteranceSpan(2, 2, np.array([]))
+        with pytest.raises(ValueError, match="length"):
+            UtteranceSpan(0, 3, np.array([0]))
+
+    def test_dimension_checks(self):
+        loss = _make_seq_loss(n_states=4)
+        targets = SequenceBatchTargets((UtteranceSpan(0, 2, np.array([0, 1])),))
+        with pytest.raises(ValueError, match="columns"):
+            loss.value_and_delta(np.zeros((2, 5)), targets)
+        with pytest.raises(ValueError, match="frames"):
+            loss.value_and_delta(np.zeros((3, 4)), targets)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            SequenceMMILoss(np.zeros((3, 4)))
+        with pytest.raises(ValueError, match="kappa"):
+            SequenceMMILoss(np.zeros((3, 3)), kappa=0.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(t=st.integers(2, 8), seed=st.integers(0, 50))
+    def test_property_additive_over_utterances(self, t, seed):
+        """Loss of two utterances = sum of their individual losses."""
+        loss = _make_seq_loss(seed=seed)
+        rng = np.random.default_rng(seed)
+        logits = rng.standard_normal((2 * t, 4))
+        s1, s2 = rng.integers(0, 4, t), rng.integers(0, 4, t)
+        both = SequenceBatchTargets(
+            (UtteranceSpan(0, t, s1), UtteranceSpan(t, 2 * t, s2))
+        )
+        only1 = SequenceBatchTargets((UtteranceSpan(0, t, s1),))
+        only2 = SequenceBatchTargets((UtteranceSpan(0, t, s2),))
+        v_both, _ = loss.value_and_delta(logits, both)
+        v1, _ = loss.value_and_delta(logits[:t], only1)
+        v2, _ = loss.value_and_delta(logits[t:], only2)
+        assert v_both == pytest.approx(v1 + v2, rel=1e-9)
+
+
+def test_frame_error_count():
+    logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+    assert frame_error_count(logits, np.array([0, 1, 1])) == 1
+    with pytest.raises(ValueError):
+        frame_error_count(logits, np.array([0]))

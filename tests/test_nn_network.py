@@ -1,0 +1,176 @@
+"""DNN substrate: activations, init, forward/backward, R-op products."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm import GemmCounter
+from repro.nn import (
+    DNN,
+    CrossEntropyLoss,
+    SquaredErrorLoss,
+    fd_gauss_newton_vec,
+    fd_gradient,
+    get_activation,
+    glorot_uniform,
+    initialize_layer,
+    log_softmax,
+    softmax,
+)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name", ["sigmoid", "tanh", "relu", "identity"])
+    def test_derivative_matches_fd(self, name):
+        act = get_activation(name)
+        z = np.linspace(-3, 3, 41)
+        z = z[np.abs(z) > 1e-3]  # avoid relu kink
+        eps = 1e-6
+        fd = (act.f(z + eps) - act.f(z - eps)) / (2 * eps)
+        assert np.allclose(act.df_from_a(act.f(z)), fd, atol=1e-6)
+
+    def test_sigmoid_stable_at_extremes(self):
+        act = get_activation("sigmoid")
+        out = act.f(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_softmax_stable_and_normalized(self):
+        z = np.array([[1000.0, 1000.0, -1000.0], [0.0, 0.0, 0.0]])
+        p = softmax(z)
+        assert np.all(np.isfinite(p))
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.allclose(np.exp(log_softmax(z)), p)
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            get_activation("swish")
+
+
+class TestInit:
+    def test_glorot_range(self):
+        w = glorot_uniform(100, 200, 0)
+        r = np.sqrt(6.0 / 300)
+        assert w.shape == (100, 200)
+        assert np.all(np.abs(w) <= r)
+
+    def test_layer_init_bias_zero(self):
+        w, b = initialize_layer(10, 5, 0)
+        assert np.all(b == 0)
+        with pytest.raises(ValueError):
+            initialize_layer(10, 5, 0, scheme="magic")
+
+    def test_seed_determinism(self):
+        assert np.array_equal(glorot_uniform(5, 5, 3), glorot_uniform(5, 5, 3))
+
+
+class TestDNN:
+    def setup_method(self):
+        self.net = DNN([4, 6, 5, 3], "sigmoid")
+        self.theta = self.net.init_params(0)
+        rng = np.random.default_rng(1)
+        self.x = rng.standard_normal((9, 4))
+        self.labels = rng.integers(0, 3, 9)
+
+    def test_shapes_and_counts(self):
+        assert self.net.n_params == 4 * 6 + 6 + 6 * 5 + 5 + 5 * 3 + 3
+        assert self.net.n_layers == 3
+        assert self.net.n_outputs == 3
+        assert "DNN[4 -> 6 -> 5 -> 3]" in self.net.describe()
+
+    def test_forward_output_shape(self):
+        cache = self.net.forward(self.theta, self.x)
+        assert cache.activations[-1].shape == (9, 3)
+        assert len(cache.activations) == 4
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ValueError, match="input"):
+            self.net.forward(self.theta, np.zeros((5, 7)))
+
+    def test_gradient_matches_fd_ce(self):
+        ce = CrossEntropyLoss()
+        _, grad = self.net.loss_and_grad(self.theta, self.x, ce, self.labels)
+        fd = fd_gradient(self.net, self.theta, self.x, ce, self.labels)
+        assert np.allclose(grad, fd, atol=1e-5)
+
+    def test_gradient_matches_fd_mse(self):
+        mse = SquaredErrorLoss()
+        targets = np.random.default_rng(2).standard_normal((9, 3))
+        _, grad = self.net.loss_and_grad(self.theta, self.x, mse, targets)
+        fd = fd_gradient(self.net, self.theta, self.x, mse, targets)
+        assert np.allclose(grad, fd, atol=1e-5)
+
+    @pytest.mark.parametrize("activation", ["sigmoid", "tanh", "relu"])
+    def test_gn_product_matches_fd(self, activation):
+        net = DNN([4, 6, 3], activation)
+        theta = net.init_params(0)
+        ce = CrossEntropyLoss()
+        rng = np.random.default_rng(3)
+        v = rng.standard_normal(theta.size)
+        gv = net.gauss_newton_vec(theta, self.x, ce, self.labels, v)
+        fd = fd_gauss_newton_vec(net, theta, self.x, ce, self.labels, v)
+        assert np.allclose(gv, fd, atol=1e-5)
+
+    def test_gn_symmetric_and_psd(self):
+        ce = CrossEntropyLoss()
+        rng = np.random.default_rng(4)
+        u = rng.standard_normal(self.theta.size)
+        v = rng.standard_normal(self.theta.size)
+        gu = self.net.gauss_newton_vec(self.theta, self.x, ce, self.labels, u)
+        gv = self.net.gauss_newton_vec(self.theta, self.x, ce, self.labels, v)
+        assert v @ gu == pytest.approx(u @ gv, rel=1e-9, abs=1e-12)
+        assert v @ gv >= -1e-10
+
+    def test_gn_linear_in_v(self):
+        ce = CrossEntropyLoss()
+        rng = np.random.default_rng(5)
+        u = rng.standard_normal(self.theta.size)
+        v = rng.standard_normal(self.theta.size)
+        cache = self.net.forward(self.theta, self.x)
+        g = lambda w: self.net.gauss_newton_vec(
+            self.theta, self.x, ce, self.labels, w, cache=cache
+        )
+        assert np.allclose(g(2 * u + 3 * v), 2 * g(u) + 3 * g(v), atol=1e-8)
+
+    def test_loss_sums_over_frames(self):
+        """Data parallelism invariant: loss/grad of a concatenated batch
+        equals the sum over sub-batches."""
+        ce = CrossEntropyLoss()
+        v1, g1 = self.net.loss_and_grad(self.theta, self.x[:4], ce, self.labels[:4])
+        v2, g2 = self.net.loss_and_grad(self.theta, self.x[4:], ce, self.labels[4:])
+        v, g = self.net.loss_and_grad(self.theta, self.x, ce, self.labels)
+        assert v == pytest.approx(v1 + v2, rel=1e-12)
+        assert np.allclose(g, g1 + g2, atol=1e-12)
+
+    def test_gemm_counter_integration(self):
+        counter = GemmCounter()
+        net = DNN([4, 6, 3], gemm_counter=counter)
+        theta = net.init_params(0)
+        net.loss_and_grad(theta, self.x, CrossEntropyLoss(), self.labels)
+        labels = set(counter.labels())
+        assert "forward" in labels and "backward_wgrad" in labels
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DNN([5])
+        with pytest.raises(ValueError):
+            DNN([5, 0, 3])
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        hidden=st.integers(2, 8),
+        frames=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    def test_property_gradient_correct(self, hidden, frames, seed):
+        net = DNN([3, hidden, 2], "tanh")
+        theta = net.init_params(seed)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((frames, 3))
+        labels = rng.integers(0, 2, frames)
+        ce = CrossEntropyLoss()
+        _, grad = net.loss_and_grad(theta, x, ce, labels)
+        fd = fd_gradient(net, theta, x, ce, labels)
+        assert np.allclose(grad, fd, atol=1e-4)

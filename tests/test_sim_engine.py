@@ -1,0 +1,212 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    DeadlockError,
+    Engine,
+    Get,
+    Put,
+    Timeout,
+    Tracer,
+    run_all,
+)
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    times = []
+
+    def proc():
+        yield Timeout(1.5)
+        times.append(eng.now)
+        yield Timeout(2.5)
+        times.append(eng.now)
+
+    eng.process(proc())
+    end = eng.run()
+    assert times == [1.5, 4.0]
+    assert end == 4.0
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_processes_interleave_deterministically():
+    order = []
+
+    def proc(name, delay):
+        yield Timeout(delay)
+        order.append(name)
+        yield Timeout(delay)
+        order.append(name)
+
+    _t, _ = run_all([proc("a", 1.0), proc("b", 0.6)])
+    assert order == ["b", "a", "b", "a"]
+
+
+def test_equal_time_events_fifo():
+    order = []
+
+    def proc(name):
+        yield Timeout(1.0)
+        order.append(name)
+
+    run_all([proc("first"), proc("second"), proc("third")])
+    assert order == ["first", "second", "third"]
+
+
+def test_store_put_then_get():
+    eng = Engine()
+    got = []
+
+    def producer(store):
+        yield Put(store, "x")
+        yield Put(store, "y")
+
+    def consumer(store):
+        a = yield Get(store)
+        b = yield Get(store)
+        got.extend([a, b])
+
+    store = eng.new_store()
+    eng.process(producer(store), "prod")
+    eng.process(consumer(store), "cons")
+    eng.run()
+    assert got == ["x", "y"]
+
+
+def test_get_blocks_until_put():
+    eng = Engine()
+    arrival = []
+
+    def consumer(store):
+        item = yield Get(store)
+        arrival.append((item, eng.now))
+
+    def producer(store):
+        yield Timeout(3.0)
+        yield Put(store, 42)
+
+    store = eng.new_store()
+    eng.process(consumer(store), "c")
+    eng.process(producer(store), "p")
+    eng.run()
+    assert arrival == [(42, 3.0)]
+
+
+def test_get_with_predicate_skips_nonmatching():
+    eng = Engine()
+    got = []
+
+    def consumer(store):
+        item = yield Get(store, predicate=lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer(store):
+        yield Put(store, 1)
+        yield Put(store, 3)
+        yield Put(store, 4)
+
+    store = eng.new_store()
+    eng.process(consumer(store), "c")
+    eng.process(producer(store), "p")
+    eng.run()
+    assert got == [4]
+    assert list(store.items) == [1, 3]
+
+
+def test_put_later_delays_delivery():
+    eng = Engine()
+    times = []
+
+    def consumer(store):
+        yield Get(store)
+        times.append(eng.now)
+
+    store = eng.new_store()
+    eng.process(consumer(store), "c")
+    eng.put_later(5.0, store, "late")
+    eng.run()
+    assert times == [5.0]
+
+
+def test_deadlock_detected():
+    eng = Engine()
+
+    def stuck(store):
+        yield Get(store)
+
+    eng.process(stuck(eng.new_store("never")), "stuck")
+    with pytest.raises(DeadlockError, match="stuck"):
+        eng.run()
+
+
+def test_allof_waits_for_children():
+    eng = Engine()
+    results = []
+
+    def child(d, v):
+        yield Timeout(d)
+        return v
+
+    def parent():
+        kids = [eng.process(child(2.0, "a"), "a"), eng.process(child(1.0, "b"), "b")]
+        vals = yield AllOf(kids)
+        results.append((vals, eng.now))
+
+    eng.process(parent(), "parent")
+    eng.run()
+    assert results == [(["a", "b"], 2.0)]
+
+
+def test_run_until_caps_time():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(100.0)
+
+    eng.process(proc(), "slow")
+    t = eng.run(until=10.0)
+    assert t == 10.0
+
+
+def test_process_return_values():
+    def proc(v):
+        yield Timeout(0.1)
+        return v * 2
+
+    _t, values = run_all([proc(1), proc(2), proc(3)])
+    assert values == [2, 4, 6]
+
+
+def test_process_exception_propagates():
+    eng = Engine()
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeError("boom")
+
+    eng.process(bad(), "bad")
+    with pytest.raises(RuntimeError, match="boom"):
+        eng.run()
+
+
+def test_tracer_totals_and_processes():
+    tr = Tracer()
+    tr.record("p1", "work", 0.0, 2.0)
+    tr.record("p1", "work", 3.0, 4.0)
+    tr.record("p2", "wait", 0.0, 1.0)
+    assert tr.totals("p1") == {"work": 3.0}
+    assert tr.totals() == {"work": 3.0, "wait": 1.0}
+    assert tr.processes() == ["p1", "p2"]
+    assert tr.by_process()["p2"] == {"wait": 1.0}
+
+
+def test_tracer_rejects_negative_span():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        tr.record("p", "bad", 2.0, 1.0)

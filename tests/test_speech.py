@@ -1,0 +1,174 @@
+"""Synthetic speech substrate: HMM generator, splicing, corpus assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.speech import (
+    FRAMES_PER_HOUR,
+    CorpusConfig,
+    HmmSampler,
+    HmmSpec,
+    Normalizer,
+    build_corpus,
+    splice,
+    spliced_dim,
+)
+
+
+class TestHmmSampler:
+    def test_utterances_deterministic_by_uid(self):
+        s1 = HmmSampler(seed=7)
+        s2 = HmmSampler(seed=7)
+        u1, u2 = s1.sample_utterance(5), s2.sample_utterance(5)
+        assert np.array_equal(u1.features, u2.features)
+        assert np.array_equal(u1.states, u2.states)
+
+    def test_utterances_differ_by_uid_and_seed(self):
+        s = HmmSampler(seed=7)
+        assert not np.array_equal(
+            s.sample_utterance(1).features, s.sample_utterance(2).features
+        )
+        other = HmmSampler(seed=8).sample_utterance(1)
+        assert not np.array_equal(s.sample_utterance(1).features, other.features)
+
+    def test_order_independence(self):
+        """Utterance content does not depend on generation order — the
+        partition-invariance the distributed trainer relies on."""
+        s = HmmSampler(seed=3)
+        a_first = s.sample_utterance(10)
+        s2 = HmmSampler(seed=3)
+        s2.sample_utterance(99)
+        a_second = s2.sample_utterance(10)
+        assert np.array_equal(a_first.features, a_second.features)
+
+    def test_transitions_are_stochastic_matrix(self):
+        s = HmmSampler(HmmSpec(n_states=10, out_degree=3), seed=0)
+        assert np.allclose(s.transitions.sum(axis=1), 1.0)
+        assert np.all(np.diag(s.transitions) == pytest.approx(0.7))
+
+    def test_lengths_within_bounds(self):
+        spec = HmmSpec(min_length=10, max_length=100, mean_length=30)
+        s = HmmSampler(spec, seed=1)
+        lens = [s.sample_utterance(i).n_frames for i in range(50)]
+        assert all(10 <= l <= 100 for l in lens)
+
+    def test_lengths_long_tailed(self):
+        s = HmmSampler(HmmSpec(length_sigma=0.7), seed=2)
+        lens = np.array([s.sample_utterance(i).n_frames for i in range(300)])
+        assert lens.max() > 3 * np.median(lens)  # the imbalance driver
+
+    def test_states_follow_transition_support(self):
+        s = HmmSampler(HmmSpec(n_states=8, out_degree=2), seed=4)
+        u = s.sample_utterance(0)
+        for a, b in zip(u.states[:-1], u.states[1:]):
+            assert s.transitions[a, b] > 0
+
+    def test_log_graphs(self):
+        s = HmmSampler(seed=5)
+        assert np.all(s.log_transitions() <= 0)
+        assert np.exp(s.log_initial()).sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            HmmSpec(n_states=1)
+        with pytest.raises(ValueError):
+            HmmSpec(self_loop=1.0)
+        with pytest.raises(ValueError):
+            HmmSpec(out_degree=40, n_states=10)
+
+
+class TestFeatures:
+    def test_splice_shape_and_center(self):
+        x = np.arange(12.0).reshape(4, 3)
+        out = splice(x, context=2)
+        assert out.shape == (4, spliced_dim(3, 2))
+        # center block is the original frame
+        assert np.array_equal(out[:, 6:9], x)
+
+    def test_splice_edge_replication(self):
+        x = np.arange(6.0).reshape(3, 2)
+        out = splice(x, context=1)
+        assert np.array_equal(out[0, :2], x[0])  # left edge replicates
+        assert np.array_equal(out[-1, 4:], x[-1])  # right edge replicates
+
+    def test_splice_zero_context_identity(self):
+        x = np.ones((5, 4))
+        assert splice(x, 0) is x
+
+    def test_normalizer_standardizes(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(1000, 4))
+        norm = Normalizer.fit(x)
+        z = norm.apply(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_normalizer_validation(self):
+        with pytest.raises(ValueError):
+            Normalizer.fit(np.zeros((1, 3)))
+        norm = Normalizer.fit(np.random.default_rng(0).standard_normal((10, 3)))
+        with pytest.raises(ValueError):
+            norm.apply(np.zeros((5, 4)))
+
+
+class TestCorpus:
+    def test_frame_budget_respected(self):
+        cfg = CorpusConfig(hours=50, scale=1e-4, seed=0)
+        corpus = build_corpus(cfg)
+        target = cfg.target_frames
+        assert corpus.train_frames + corpus.heldout_frames >= target
+        # no more than one utterance of overshoot per split
+        assert corpus.train_frames < target + cfg.hmm.max_length
+
+    def test_paper_sizing_arithmetic(self):
+        # "50 hrs of audio data amounts to roughly 18 million training samples"
+        assert 50 * FRAMES_PER_HOUR == 18_000_000
+        cfg = CorpusConfig(hours=50, scale=1.0)
+        assert cfg.full_scale_frames == 18_000_000
+
+    def test_heldout_disjoint_from_train(self):
+        corpus = build_corpus(CorpusConfig(hours=50, scale=1e-4, seed=1))
+        train_ids = {u.uid for u in corpus.train_utts}
+        held_ids = {u.uid for u in corpus.heldout_utts}
+        assert not train_ids & held_ids
+
+    def test_frame_data_aligned(self):
+        corpus = build_corpus(CorpusConfig(hours=50, scale=1e-4, seed=2))
+        x, y = corpus.frame_data()
+        assert x.shape == (corpus.train_frames, corpus.config.input_dim)
+        assert y.shape == (corpus.train_frames,)
+        assert y.max() < corpus.n_states
+
+    def test_sequence_data_spans_tile(self):
+        corpus = build_corpus(CorpusConfig(hours=50, scale=1e-4, seed=3))
+        x, spans = corpus.sequence_data()
+        assert spans[0].start == 0
+        assert spans[-1].end == x.shape[0]
+        for a, b in zip(spans, spans[1:]):
+            assert a.end == b.start
+
+    def test_normalized_features(self):
+        corpus = build_corpus(CorpusConfig(hours=50, scale=2e-4, seed=4))
+        x, _ = corpus.frame_data()
+        assert np.abs(x.mean(axis=0)).max() < 0.1
+        assert abs(x.std() - 1.0) < 0.2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(hours=0)
+        with pytest.raises(ValueError):
+            CorpusConfig(scale=0)
+        with pytest.raises(ValueError):
+            CorpusConfig(heldout_fraction=1.0)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_property_rebuild_identical(self, seed):
+        cfg = CorpusConfig(hours=50, scale=5e-5, seed=seed)
+        c1, c2 = build_corpus(cfg), build_corpus(cfg)
+        x1, y1 = c1.frame_data()
+        x2, y2 = c2.frame_data()
+        assert np.array_equal(x1, x2)
+        assert np.array_equal(y1, y2)

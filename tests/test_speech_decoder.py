@@ -1,0 +1,171 @@
+"""Viterbi decoder and recognition metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.speech import (
+    CorpusConfig,
+    build_corpus,
+    edit_distance,
+    state_error_rate,
+    viterbi_decode,
+)
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance(np.array([1, 2, 3]), np.array([1, 2, 3])) == 0
+
+    def test_substitution_insertion_deletion(self):
+        assert edit_distance(np.array([1, 2, 3]), np.array([1, 9, 3])) == 1
+        assert edit_distance(np.array([1, 2, 3]), np.array([1, 2, 3, 4])) == 1
+        assert edit_distance(np.array([1, 2, 3]), np.array([1, 3])) == 1
+
+    def test_empty_hyp(self):
+        assert edit_distance(np.array([1, 2, 3]), np.array([])) == 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.lists(st.integers(0, 4), min_size=0, max_size=10),
+        b=st.lists(st.integers(0, 4), min_size=0, max_size=10),
+    )
+    def test_property_metric_axioms(self, a, b):
+        a, b = np.array(a, dtype=int), np.array(b, dtype=int)
+        d = edit_distance(a, b)
+        assert d == edit_distance(b, a)  # symmetry
+        assert d >= abs(len(a) - len(b))  # length lower bound
+        assert d <= max(len(a), len(b))  # replacement upper bound
+        if len(a) == len(b) and np.array_equal(a, b):
+            assert d == 0
+
+
+class TestViterbi:
+    def _uniform_graph(self, s):
+        return np.log(np.full((s, s), 1.0 / s))
+
+    def test_strong_evidence_recovers_path(self):
+        s, t = 4, 12
+        rng = np.random.default_rng(0)
+        truth = rng.integers(0, s, t)
+        logits = np.full((t, s), -8.0)
+        logits[np.arange(t), truth] = 8.0
+        res = viterbi_decode(logits, self._uniform_graph(s))
+        assert np.array_equal(res.path, truth)
+
+    def test_transitions_break_acoustic_ties(self):
+        # flat acoustics; transitions strongly prefer the 0 -> 1 -> 0 cycle
+        lt = np.log(np.array([[0.01, 0.99], [0.99, 0.01]]))
+        logits = np.zeros((6, 2))
+        res = viterbi_decode(
+            logits, lt, log_initial=np.log(np.array([0.999, 0.001]))
+        )
+        assert np.array_equal(res.path, [0, 1, 0, 1, 0, 1])
+
+    def test_path_log_prob_is_consistent(self):
+        """Reported log-prob equals the path's rescored joint probability."""
+        s, t = 3, 8
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((t, s))
+        raw = rng.uniform(0.1, 1.0, (s, s))
+        lt = np.log(raw / raw.sum(axis=1, keepdims=True))
+        init = np.log(np.full(s, 1 / 3))
+        res = viterbi_decode(logits, lt, log_initial=init)
+        from repro.nn import log_softmax
+
+        scores = log_softmax(logits)
+        p = res.path
+        joint = init[p[0]] + scores[0, p[0]]
+        for i in range(1, t):
+            joint += lt[p[i - 1], p[i]] + scores[i, p[i]]
+        assert res.log_prob == pytest.approx(joint, rel=1e-9)
+
+    def test_viterbi_beats_greedy_under_transitions(self):
+        """The decoded path's joint score is >= the framewise-argmax
+        path's joint score, for any inputs (optimality check)."""
+        s, t = 5, 15
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((t, s)) * 0.5
+        raw = rng.uniform(0.01, 1.0, (s, s))
+        lt = np.log(raw / raw.sum(axis=1, keepdims=True))
+        init = np.log(np.full(s, 1 / s))
+        res = viterbi_decode(logits, lt, log_initial=init)
+        from repro.nn import log_softmax
+
+        scores = log_softmax(logits)
+
+        def joint(path):
+            v = init[path[0]] + scores[0, path[0]]
+            for i in range(1, t):
+                v += lt[path[i - 1], path[i]] + scores[i, path[i]]
+            return v
+
+        greedy = np.argmax(logits, axis=1)
+        assert joint(res.path) >= joint(greedy) - 1e-12
+
+    def test_priors_shift_decisions(self):
+        s = 2
+        logits = np.zeros((4, s))
+        # heavy prior on state 0 -> dividing by it favors state 1
+        priors = np.log(np.array([0.9, 0.1]))
+        res = viterbi_decode(
+            logits, self._uniform_graph(s), log_priors=priors
+        )
+        assert np.all(res.path == 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            viterbi_decode(np.zeros((3, 2)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            viterbi_decode(
+                np.zeros((3, 2)),
+                np.zeros((2, 2)),
+                log_priors=np.zeros(3),
+            )
+
+
+class TestStateErrorRate:
+    def test_perfect(self):
+        assert state_error_rate(np.array([1, 1, 2, 3]), np.array([1, 2, 2, 3])) == 0.0
+
+    def test_collapse_merges_dwell(self):
+        ref = np.array([1, 1, 1, 2, 2])
+        hyp = np.array([1, 2, 2, 2, 2])
+        assert state_error_rate(ref, hyp) == 0.0  # both collapse to [1, 2]
+        assert state_error_rate(ref, hyp, collapse=False) > 0
+
+    def test_empty_ref(self):
+        with pytest.raises(ValueError):
+            state_error_rate(np.array([]), np.array([1]))
+
+
+def test_end_to_end_decoding_improves_with_training():
+    """Train a model, decode held-out utterances through the HMM graph:
+    the trained model's state error rate beats the random init's."""
+    from repro.hf import FrameSource, HFConfig, HessianFreeOptimizer
+    from repro.nn import DNN, CrossEntropyLoss
+
+    cfg = CorpusConfig(hours=50, scale=1e-4, context=2, seed=17)
+    corpus = build_corpus(cfg)
+    x, y = corpus.frame_data()
+    hx, hy = corpus.heldout_frame_data()
+    net = DNN([cfg.input_dim, 32, corpus.n_states])
+    theta0 = net.init_params(0)
+    src = FrameSource(net, CrossEntropyLoss(), x, y, hx, hy, curvature_fraction=0.05)
+    res = HessianFreeOptimizer(src, HFConfig(max_iterations=5)).run(theta0)
+
+    lt = corpus.sampler.log_transitions()
+    li = corpus.sampler.log_initial()
+
+    def decode_error(theta):
+        errs, total = 0.0, 0
+        for utt in corpus.heldout_utts[:5]:
+            feats = corpus._prep(utt)
+            logits = net.logits(theta, feats)
+            hyp = viterbi_decode(logits, lt, log_initial=li).path
+            errs += state_error_rate(utt.states, hyp) * 1.0
+            total += 1
+        return errs / total
+
+    assert decode_error(res.theta) < decode_error(theta0)

@@ -1,0 +1,122 @@
+"""Utilities: seeded RNG streams, packed vectors, timers, run logs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import (
+    RunLog,
+    TimeLedger,
+    WallTimer,
+    derive_seed,
+    make_rng,
+    pack,
+    shapes_size,
+    spawn,
+    unpack,
+    zeros_like_packed,
+)
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_derive_seed_stream_sensitivity(self):
+        base = derive_seed(42, "a", 1)
+        assert base != derive_seed(42, "a", 2)
+        assert base != derive_seed(42, "b", 1)
+        assert base != derive_seed(43, "a", 1)
+
+    def test_spawn_reproducible(self):
+        a = spawn(7, "x").standard_normal(5)
+        b = spawn(7, "x").standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_make_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+
+class TestVec:
+    def test_pack_unpack_roundtrip(self):
+        arrays = [np.arange(6.0).reshape(2, 3), np.arange(4.0)]
+        flat = pack(arrays)
+        views = unpack(flat, [(2, 3), (4,)])
+        assert np.array_equal(views[0], arrays[0])
+        assert np.array_equal(views[1], arrays[1])
+
+    def test_unpack_returns_views(self):
+        flat = zeros_like_packed([(2, 2), (3,)])
+        views = unpack(flat, [(2, 2), (3,)])
+        views[0][0, 0] = 99.0
+        assert flat[0] == 99.0
+
+    def test_pack_into_preallocated(self):
+        out = np.empty(5)
+        pack([np.ones(2), np.zeros(3)], out=out)
+        assert np.array_equal(out, [1, 1, 0, 0, 0])
+
+    def test_size_mismatch_errors(self):
+        with pytest.raises(ValueError):
+            unpack(np.zeros(3), [(2, 2)])
+        with pytest.raises(ValueError):
+            pack([np.zeros(2)], out=np.zeros(5))
+
+    def test_shapes_size(self):
+        assert shapes_size([(2, 3), (4,), ()]) == 11
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        dims=st.lists(
+            st.tuples(st.integers(1, 5), st.integers(1, 5)), min_size=1, max_size=4
+        ),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_roundtrip(self, dims, seed):
+        rng = np.random.default_rng(seed)
+        arrays = [rng.standard_normal(d) for d in dims]
+        back = unpack(pack(arrays), dims)
+        for a, b in zip(arrays, back):
+            assert np.array_equal(a, b)
+
+
+class TestTiming:
+    def test_ledger_accumulates(self):
+        ledger = TimeLedger()
+        ledger.add("a", 1.0)
+        ledger.add("a", 2.0)
+        ledger.add("b", 0.5)
+        assert ledger["a"] == 3.0
+        assert ledger.total() == 3.5
+        assert ledger.calls["a"] == 2
+
+    def test_ledger_merge(self):
+        a, b = TimeLedger(), TimeLedger()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        a.merge(b)
+        assert a["x"] == 3.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TimeLedger().add("x", -1.0)
+
+    def test_walltimer_records(self):
+        timer = WallTimer()
+        with timer.section("work"):
+            sum(range(1000))
+        assert timer.ledger["work"] > 0
+
+
+class TestRunLog:
+    def test_structured_records(self):
+        log = RunLog()
+        log.log("start", x=1)
+        log.log("step", loss=0.5)
+        log.log("step", loss=0.25)
+        assert len(log.filter("step")) == 2
+        assert log.last("step")["loss"] == 0.25
+        assert log.last("missing") is None
+        assert [r["seq"] for r in log.records] == [0, 1, 2]
