@@ -18,6 +18,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from common import breakdown_runs
 
+from repro.dist.timeline import ordered_sum
 from repro.harness import render_mpi_split
 
 
@@ -36,8 +37,8 @@ def test_fig5_worker_mpi(benchmark):
 
     for cb in runs:
         w = cb.worker_mean
-        coll = sum(w.collective.values())
-        p2p = sum(w.p2p.values())
+        coll = ordered_sum(w.collective)
+        p2p = ordered_sum(w.p2p)
         # collectives dominate worker MPI time
         assert coll > p2p
         # the expected functions appear

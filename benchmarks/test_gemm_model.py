@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.gemm import BlockingPlan, GemmPerfModel, GemmProblem, blocked_gemm
 from repro.harness import render_table
+from repro.util.rng import spawn
 
 
 def test_threads_per_core_sweep(benchmark):
@@ -85,7 +86,7 @@ def test_blocked_gemm_real_timing(benchmark):
     """The explicit blocked algorithm is validated and timed against
     BLAS; it is a didactic rendering, so we assert correctness and that
     the benchmark machinery records a real timing (not performance)."""
-    rng = np.random.default_rng(0)
+    rng = spawn(0, "gemm-bench")
     a = rng.standard_normal((96, 96))
     b = rng.standard_normal((96, 96))
     plan = BlockingPlan()

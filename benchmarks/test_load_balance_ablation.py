@@ -25,6 +25,7 @@ from repro.dist import (
 )
 from repro.harness import default_workload, render_table
 from repro.speech import HmmSpec
+from repro.util.rng import spawn
 
 HMM = HmmSpec(length_sigma=0.7)  # long-tailed utterance lengths
 
@@ -72,7 +73,7 @@ def test_load_balance_ablation(benchmark):
     # static imbalance metric: LPT near-perfect, naive visibly off
     import numpy as np
 
-    rng = np.random.default_rng(0)
+    rng = spawn(0, "lb-ablation")
     mu = np.log(HMM.mean_length) - 0.5 * HMM.length_sigma**2
     lengths = np.clip(
         np.round(rng.lognormal(mu, HMM.length_sigma, 50_000)),

@@ -1,0 +1,184 @@
+"""Shared AST plumbing for the static rules.
+
+The rules operate on a :class:`ModuleContext`: one parsed file plus the
+derived indexes every rule needs (parent links, the set of generator
+functions, suppression lines).  Matching of virtual-MPI communication
+calls is by *name*, not by import resolution — the linter must run on
+files that do not import cleanly (broken examples, generated code) and
+the vmpi API names are distinctive enough that the heuristic is safe in
+this tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.analysis.findings import suppressions_in
+
+__all__ = [
+    "ModuleContext",
+    "CTX_GENERATOR_METHODS",
+    "COLLECTIVE_FUNCTIONS",
+    "dotted_name",
+    "is_ctx_comm_call",
+    "comm_call_name",
+    "call_kwarg",
+    "call_arg",
+    "walk_excluding_nested_defs",
+]
+
+CTX_GENERATOR_METHODS = frozenset(
+    {"send", "recv", "sendrecv", "compute"}
+)
+"""``RankCtx`` methods that return sub-generators and must be driven
+with ``yield from``.  (``record_span`` is a plain method and is
+deliberately absent.)"""
+
+COLLECTIVE_FUNCTIONS = frozenset(
+    {
+        "bcast",
+        "serial_bcast",
+        "reduce",
+        "allreduce",
+        "ordered_reduce",
+        "gather",
+        "scatter",
+        "allgather",
+        "barrier",
+    }
+)
+"""Module-level collectives from :mod:`repro.vmpi.collectives`, invoked
+as ``fn(ctx, ...)``."""
+
+CTX_NAMES = frozenset({"ctx"})
+"""Receiver names treated as a :class:`~repro.vmpi.comm.RankCtx`.  The
+thread backend's blocking communicator is conventionally named ``comm``
+and is exempt — its calls are *not* generators."""
+
+
+@dataclass
+class ModuleContext:
+    """One source file, parsed and indexed for rule evaluation."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    parents: Mapping[ast.AST, ast.AST] = field(default_factory=dict)
+    generator_functions: frozenset[ast.AST] = frozenset()
+    suppressions: Mapping[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        gens = frozenset(
+            fn
+            for fn in ast.walk(tree)
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and _is_generator_fn(fn)
+        )
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            parents=parents,
+            generator_functions=gens,
+            suppressions=suppressions_in(source),
+        )
+
+    # ------------------------------------------------------------- queries
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        """The innermost ``def`` containing ``node`` (None at module level)."""
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    def in_generator(self, node: ast.AST) -> bool:
+        fn = self.enclosing_function(node)
+        return fn is not None and fn in self.generator_functions
+
+
+def _is_generator_fn(fn: ast.AST) -> bool:
+    """True if ``fn``'s own body (not nested defs) contains a yield."""
+    for node in walk_excluding_nested_defs(fn):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def walk_excluding_nested_defs(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root``'s subtree without descending into nested function or
+    class definitions (comprehension scopes are traversed: a yield inside
+    a comprehension still belongs to the enclosing function pre-3.13 and
+    a comm call there is still that function's business)."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything dynamic."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_ctx_comm_call(call: ast.Call) -> bool:
+    return comm_call_name(call) is not None
+
+
+def comm_call_name(call: ast.Call) -> str | None:
+    """Return a display name if ``call`` is a vmpi communication call.
+
+    Matches ``ctx.send(...)``-style generator methods and module-level
+    collectives whose first positional argument is ``ctx``.
+    """
+    fn = call.func
+    if isinstance(fn, ast.Attribute):
+        if (
+            fn.attr in CTX_GENERATOR_METHODS
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id in CTX_NAMES
+        ):
+            return f"{fn.value.id}.{fn.attr}"
+        return None
+    if isinstance(fn, ast.Name) and fn.id in COLLECTIVE_FUNCTIONS:
+        if call.args and isinstance(call.args[0], ast.Name) and call.args[0].id in CTX_NAMES:
+            return fn.id
+    return None
+
+
+def call_kwarg(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def call_arg(call: ast.Call, index: int, name: str) -> ast.expr | None:
+    """Positional-or-keyword argument lookup."""
+    if len(call.args) > index:
+        return call.args[index]
+    return call_kwarg(call, name)

@@ -1,0 +1,237 @@
+"""Communication-protocol rules for generator rank programs.
+
+These target the failure classes specific to *generator-based* MPI: a
+``RankCtx`` communication method returns a sub-generator that does
+nothing until driven with ``yield from``, and the DES surfaces protocol
+mismatches only as a terminal deadlock — so the cheapest place to catch
+them is the AST.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.astutil import (
+    COLLECTIVE_FUNCTIONS,
+    ModuleContext,
+    call_arg,
+    comm_call_name,
+    walk_excluding_nested_defs,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, RuleInfo, register
+
+__all__ = ["UnconsumedCommRule", "RankBranchCollectiveRule", "WildcardRecvRule"]
+
+
+@register
+class UnconsumedCommRule(Rule):
+    """VMPI001: a communication call whose generator is never driven.
+
+    ``ctx.send(1, x)`` as a bare statement builds a generator object and
+    discards it — no message is ever injected, and the peer's matching
+    ``recv`` deadlocks (or worse, matches a later message).  The same
+    holds for ``yield ctx.send(...)`` (yields the generator as a value)
+    and for assigning the call result without ever ``yield from``-ing it.
+    """
+
+    info = RuleInfo(
+        id="VMPI001",
+        name="unconsumed-comm",
+        severity=Severity.ERROR,
+        rationale="a RankCtx comm call without `yield from` is a silent no-op",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = comm_call_name(node)
+            if name is None:
+                continue
+            parent = ctx.parent(node)
+            in_gen = ctx.in_generator(node)
+            if isinstance(parent, ast.Expr):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"result of {name}(...) is discarded; the communication "
+                    "never executes",
+                    hint=f"write `yield from {name}(...)`",
+                )
+            elif isinstance(parent, ast.Yield):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"`yield {name}(...)` yields the generator object itself",
+                    hint=f"write `yield from {name}(...)`",
+                )
+            elif in_gen and isinstance(parent, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"{name}(...) assigned without `yield from`; the bound "
+                    "value is an un-driven generator, not a result",
+                    hint=f"write `... = yield from {name}(...)`",
+                )
+            elif in_gen and isinstance(parent, ast.Return):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"`return {name}(...)` inside a generator returns the "
+                    "un-driven generator as the StopIteration value",
+                    hint=f"write `result = yield from {name}(...); return result`",
+                )
+
+
+def _test_mentions_rank(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "rank":
+            return True
+        if isinstance(node, ast.Name) and node.id == "rank":
+            return True
+    return False
+
+
+def _collective_names(body: list[ast.stmt]) -> list[tuple[str, int]]:
+    """Collective calls (name, line) in ``body``, excluding nested defs.
+
+    Point-to-point calls are deliberately ignored: asymmetric send/recv
+    under a rank branch is the normal shape of a p2p protocol; only
+    *collectives* must be invoked by every rank in the same order.
+    """
+    out: list[tuple[str, int]] = []
+    for stmt in body:
+        for node in walk_excluding_nested_defs(stmt):
+            if isinstance(node, ast.Call):
+                fn = node.func
+                if isinstance(fn, ast.Name) and fn.id in COLLECTIVE_FUNCTIONS:
+                    out.append((fn.id, node.lineno))
+    return out
+
+
+@register
+class RankBranchCollectiveRule(Rule):
+    """VMPI002: collectives that only some ranks execute.
+
+    A collective invoked under ``if ctx.rank == ...`` without a matching
+    collective sequence on the other branch means the communicator's
+    ranks disagree on the collective schedule — the canonical
+    order-mismatch deadlock.
+    """
+
+    info = RuleInfo(
+        id="VMPI002",
+        name="rank-branch-collective",
+        severity=Severity.WARNING,
+        rationale="collectives must be called by every rank in the same order",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.If):
+                continue
+            if not _test_mentions_rank(node.test):
+                continue
+            body_colls = [n for n, _ in _collective_names(node.body)]
+            else_colls = [n for n, _ in _collective_names(node.orelse)]
+            if body_colls == else_colls:
+                continue
+            lines = _collective_names(node.body) + _collective_names(node.orelse)
+            line = lines[0][1] if lines else node.lineno
+            yield self.finding(
+                ctx,
+                line,
+                "collective sequence diverges across a rank-dependent branch: "
+                f"if-branch calls {body_colls or 'none'}, "
+                f"else-branch calls {else_colls or 'none'}",
+                hint="call the same collectives on every rank; move "
+                "rank-specific work outside the collective sequence",
+            )
+
+
+def _recv_wildcardness(call: ast.Call) -> tuple[bool, bool]:
+    """(source is wildcard, tag is wildcard) for a ``ctx.recv`` call.
+
+    An omitted argument is the wildcard default; an explicit argument is
+    wildcard only when it is literally ``ANY_SOURCE`` / ``ANY_TAG``.
+    """
+
+    def is_wild(expr: ast.expr | None, sentinel: str) -> bool:
+        if expr is None:
+            return True
+        for n in ast.walk(expr):
+            if isinstance(n, ast.Attribute) and n.attr == sentinel:
+                return True
+            if isinstance(n, ast.Name) and n.id == sentinel:
+                return True
+        return False
+
+    return (
+        is_wild(call_arg(call, 0, "source"), "ANY_SOURCE"),
+        is_wild(call_arg(call, 1, "tag"), "ANY_TAG"),
+    )
+
+
+def _is_ctx_recv(call: ast.Call) -> bool:
+    fn = call.func
+    return (
+        isinstance(fn, ast.Attribute)
+        and fn.attr == "recv"
+        and isinstance(fn.value, ast.Name)
+        and fn.value.id == "ctx"
+    )
+
+
+@register
+class WildcardRecvRule(Rule):
+    """VMPI003: fully-wild ``recv(ANY_SOURCE)`` racing tagged traffic.
+
+    Inside one loop, a receive that matches anything can consume a
+    message that a co-resident tagged receive was posted for; which one
+    wins depends on virtual-time interleaving, so the bug is
+    intermittent.  The master's work-pump loop should either tag the
+    wildcard receive or drain tagged traffic first.
+    """
+
+    info = RuleInfo(
+        id="VMPI003",
+        name="wildcard-recv-in-tagged-loop",
+        severity=Severity.WARNING,
+        rationale="an untagged ANY_SOURCE recv in a loop can steal messages "
+        "from tagged receives in the same loop",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.While)):
+                continue
+            recvs: list[ast.Call] = [
+                n
+                for n in self._loop_body_walk(node)
+                if isinstance(n, ast.Call) and _is_ctx_recv(n)
+            ]
+            if len(recvs) < 2:
+                continue
+            wild = [
+                r for r in recvs if _recv_wildcardness(r) == (True, True)
+            ]
+            tagged = [r for r in recvs if not _recv_wildcardness(r)[1]]
+            if wild and tagged:
+                for r in wild:
+                    yield self.finding(
+                        ctx,
+                        r.lineno,
+                        "recv(ANY_SOURCE, ANY_TAG) shares a loop with a "
+                        f"tagged recv (line {tagged[0].lineno}) and can "
+                        "steal its messages",
+                        hint="give the wildcard recv an explicit tag, or "
+                        "hoist one of the receives out of the loop",
+                    )
+
+    @staticmethod
+    def _loop_body_walk(loop: ast.For | ast.While) -> Iterator[ast.AST]:
+        for stmt in loop.body + loop.orelse:
+            yield from walk_excluding_nested_defs(stmt)
+            yield stmt

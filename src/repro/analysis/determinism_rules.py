@@ -1,0 +1,148 @@
+"""Determinism rules.
+
+The paper's "no loss in accuracy" parity experiments require the
+distributed run to be bit-identical to the serial reference; that breaks
+the moment any component draws entropy outside the seeded
+``util.rng.spawn`` tree or folds floats in a container-dependent order.
+These rules skip files under a ``tests/`` directory — pytest modules
+seed literal generators by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterable
+
+from repro.analysis.astutil import ModuleContext, dotted_name
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, RuleInfo, register
+
+__all__ = ["DirectRngRule", "UnorderedReductionRule"]
+
+
+def _in_tests_dir(path: str) -> bool:
+    return "tests" in PurePath(path).parts
+
+
+_RNG_MODULES = ("np.random", "numpy.random")
+
+
+@register
+class DirectRngRule(Rule):
+    """DET001: RNG constructed outside the seeded ``util.rng`` tree.
+
+    ``np.random.default_rng()``, legacy ``np.random.*`` draws, and the
+    stdlib ``random`` module all create entropy streams that are not
+    derived from the run seed — a distributed worker using one will not
+    reproduce the serial reference.  Use ``repro.util.rng.spawn(seed,
+    *stream_labels)`` (or ``make_rng`` for an explicit seed handoff).
+    """
+
+    info = RuleInfo(
+        id="DET001",
+        name="direct-rng",
+        severity=Severity.WARNING,
+        rationale="entropy outside util.rng.spawn breaks serial/distributed "
+        "bitwise parity",
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not _in_tests_dir(ctx.path)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if any(
+                name == mod or name.startswith(mod + ".")
+                for mod in _RNG_MODULES
+            ):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"direct numpy RNG use ({name}); stream is not derived "
+                    "from the run seed",
+                    hint="use repro.util.rng.spawn(seed, *labels) instead",
+                )
+            elif name.startswith("random."):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"stdlib random module use ({name}) is unseeded global "
+                    "state",
+                    hint="use repro.util.rng.spawn(seed, *labels) instead",
+                )
+
+
+def _is_unordered_expr(expr: ast.expr) -> bool:
+    """Set displays/comprehensions and ``set(...)`` calls — containers
+    whose iteration order is hash-dependent."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        fn = expr.func
+        if isinstance(fn, ast.Name) and fn.id in ("set", "frozenset"):
+            return True
+        name = dotted_name(fn)
+        if name is not None and name.endswith((".keys", ".values", ".items")):
+            # dict views iterate in insertion order, which *differs per
+            # rank* when entries arrive in message order — hazardous as
+            # direct input to a float fold.
+            return True
+    return False
+
+
+_FOLD_FUNCTIONS = frozenset({"sum", "fsum", "reduce"})
+
+
+@register
+class UnorderedReductionRule(Rule):
+    """DET002: float reduction fed by an unordered container.
+
+    ``sum`` over a set (or a per-rank-insertion-ordered dict view) folds
+    floats in an order the program does not control; two ranks holding
+    equal values can produce different rounded sums, and the divergence
+    is silent until a parity check fails.  Sort the inputs (rank order)
+    before folding.
+    """
+
+    info = RuleInfo(
+        id="DET002",
+        name="unordered-reduction",
+        severity=Severity.WARNING,
+        rationale="float folds over unordered containers are not "
+        "reproducible across ranks",
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not _in_tests_dir(ctx.path)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            is_fold = (
+                isinstance(fn, ast.Name) and fn.id in _FOLD_FUNCTIONS
+            ) or (
+                isinstance(fn, ast.Attribute) and fn.attr in _FOLD_FUNCTIONS
+            )
+            if not is_fold or not node.args:
+                continue
+            arg = node.args[0]
+            source = arg
+            if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                source = arg.generators[0].iter
+            if _is_unordered_expr(source):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    "float fold over an unordered container; summation "
+                    "order is not reproducible",
+                    hint="fold over sorted(...) or an explicitly "
+                    "rank-ordered sequence",
+                )

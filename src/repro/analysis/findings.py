@@ -1,0 +1,92 @@
+"""Finding and suppression primitives shared by every static rule."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["Severity", "Finding", "suppressions_in", "NOQA_PATTERN"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  ``ERROR`` findings are near-certain bugs
+    (a communication generator that is never driven); ``WARNING``
+    findings are risk patterns that deserve a look or a justified
+    suppression."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    """Rule id, e.g. ``VMPI001``."""
+    severity: Severity
+    path: str
+    """Path as given to the runner (repo-relative in CLI use)."""
+    line: int
+    """1-based line of the offending node."""
+    message: str
+    hint: str = ""
+    """One-line suggested fix."""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def render(self) -> str:
+        text = f"{self.location}: {self.severity.value} {self.rule}: {self.message}"
+        if self.hint:
+            text += f"  [fix: {self.hint}]"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa\(\s*(?P<rules>[A-Za-z0-9_,\s*]+)\s*\)"
+)
+"""Inline suppression: ``# repro: noqa(VMPI001)`` or
+``# repro: noqa(VMPI001, DET001)`` or ``# repro: noqa(*)`` for all
+rules.  By convention a justifying comment follows on the same line."""
+
+
+def suppressions_in(source: str) -> Mapping[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on that line.
+
+    The special id ``"*"`` suppresses every rule on the line.
+    """
+    out: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = NOQA_PATTERN.search(text)
+        if m:
+            rules = frozenset(
+                r.strip() for r in m.group("rules").split(",") if r.strip()
+            )
+            out[lineno] = rules
+    return out
+
+
+def is_suppressed(
+    finding: Finding, suppressions: Mapping[int, frozenset[str]]
+) -> bool:
+    rules = suppressions.get(finding.line)
+    if rules is None:
+        return False
+    return "*" in rules or finding.rule in rules

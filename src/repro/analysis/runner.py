@@ -1,0 +1,164 @@
+"""Static-pass driver: walk paths, apply rules, collect findings.
+
+Used by the ``repro lint`` CLI and by ``tests/test_analysis_self.py``,
+which lints the whole tree on every pytest run so the rules gate future
+PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.astutil import ModuleContext
+from repro.analysis.findings import Finding, Severity, is_suppressed
+from repro.analysis.rules import Rule, all_rules
+
+__all__ = ["LintReport", "lint_paths", "lint_source"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+@dataclass
+class LintReport:
+    """Outcome of one static pass."""
+
+    findings: list[Finding] = field(default_factory=list)
+    """Unsuppressed findings, sorted by (path, line, rule)."""
+    suppressed: list[Finding] = field(default_factory=list)
+    """Findings silenced by an inline ``# repro: noqa(...)``."""
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def merge(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+    def sort(self) -> None:
+        key = lambda f: (f.path, f.line, f.rule)  # noqa: E731
+        self.findings.sort(key=key)
+        self.suppressed.sort(key=key)
+
+    # ------------------------------------------------------------ rendering
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        n_err = sum(1 for f in self.findings if f.severity is Severity.ERROR)
+        n_warn = len(self.findings) - n_err
+        lines.append(
+            f"checked {self.files_checked} file(s): "
+            f"{n_err} error(s), {n_warn} warning(s)"
+            + (
+                f", {len(self.suppressed)} suppressed"
+                if self.suppressed
+                else ""
+            )
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "findings": [f.to_dict() for f in self.findings],
+                "suppressed": [f.to_dict() for f in self.suppressed],
+                "exit_code": self.exit_code,
+            },
+            indent=2,
+        )
+
+
+def _select_rules(rule_ids: Sequence[str] | None) -> list[Rule]:
+    rules = list(all_rules())
+    if rule_ids is None:
+        return rules
+    wanted = set(rule_ids)
+    unknown = wanted - {r.info.id for r in rules}
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {sorted(unknown)}")
+    return [r for r in rules if r.info.id in wanted]
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    rule_ids: Sequence[str] | None = None,
+) -> LintReport:
+    """Lint one in-memory module (the unit-test entry point)."""
+    report = LintReport(files_checked=1)
+    try:
+        ctx = ModuleContext.parse(path, source)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                rule="PARSE000",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return report
+    for rule in _select_rules(rule_ids):
+        if not rule.applies_to(ctx):
+            continue
+        for f in rule.check(ctx):
+            if is_suppressed(f, ctx.suppressions):
+                report.suppressed.append(f)
+            else:
+                report.findings.append(f)
+    report.sort()
+    return report
+
+
+def _iter_py_files(root: Path) -> Iterable[Path]:
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for p in sorted(root.rglob("*.py")):
+        if not _SKIP_DIRS.intersection(p.parts):
+            yield p
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rule_ids: Sequence[str] | None = None,
+    root: str | Path | None = None,
+) -> LintReport:
+    """Lint every ``*.py`` under ``paths`` (files or directory trees).
+
+    ``root``, when given, resolves relative ``paths`` and relativizes
+    displayed locations — the self-lint test passes the repo root so the
+    report is stable regardless of the pytest invocation directory.
+    """
+    _select_rules(rule_ids)  # validate ids up front, even over empty trees
+    base = Path(root) if root is not None else None
+    report = LintReport()
+    for raw in paths:
+        p = Path(raw)
+        if base is not None and not p.is_absolute():
+            p = base / p
+        if not p.exists():
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+        for f in _iter_py_files(p):
+            display = f
+            anchor = base if base is not None else Path.cwd()
+            try:
+                display = f.resolve().relative_to(anchor.resolve())
+            except ValueError:
+                pass
+            report.merge(
+                lint_source(
+                    f.read_text(encoding="utf-8"),
+                    path=str(display),
+                    rule_ids=rule_ids,
+                )
+            )
+    report.sort()
+    return report

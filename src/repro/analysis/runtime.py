@@ -1,0 +1,81 @@
+"""Runtime collective-order verification.
+
+The static pass cannot see a divergence that only materializes at run
+time (data-dependent branches, config-driven protocol variants).  The
+:class:`CollectiveOrderChecker` closes that gap: every public collective
+in :mod:`repro.vmpi.collectives` records ``(rank, operation)`` in a
+per-communicator ledger the moment a rank *enters* the collective, and
+the checker compares each rank's *n*-th entry against the first rank to
+reach position *n*.  A mismatch raises :class:`CollectiveOrderError`
+naming both ranks, both operations, and the sequence position —
+deterministically, before the DES degenerates into an opaque drained
+queue.
+
+Memory stays bounded at paper scale (8192 ranks × thousands of
+collectives): once every rank has recorded position *n* the entry is
+retired, so the live window is only as wide as the ranks' skew.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import SimError
+
+__all__ = ["CollectiveOrderChecker", "CollectiveOrderError"]
+
+
+class CollectiveOrderError(SimError):
+    """Ranks of one communicator disagree on the collective schedule."""
+
+
+class CollectiveOrderChecker:
+    """Per-communicator ledger of collective entries, checked online."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"checker needs >= 1 rank, got {size}")
+        self.size = size
+        self.total_recorded = 0
+        self._next_pos = [0] * size
+        # position -> (operation, first rank to record it)
+        self._expected: dict[int, tuple[str, int]] = {}
+        # position -> how many ranks have recorded it (retired at == size)
+        self._counts: dict[int, int] = {}
+
+    def record(self, rank: int, operation: str) -> None:
+        """Note that ``rank`` entered collective ``operation``.
+
+        Raises :class:`CollectiveOrderError` on the first divergence from
+        the schedule established by the earliest-arriving rank.
+        """
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for size {self.size}")
+        pos = self._next_pos[rank]
+        self._next_pos[rank] += 1
+        self.total_recorded += 1
+        expected = self._expected.get(pos)
+        if expected is None:
+            self._expected[pos] = (operation, rank)
+            self._counts[pos] = 1
+            if self.size == 1:
+                del self._expected[pos], self._counts[pos]
+            return
+        exp_op, first_rank = expected
+        if operation != exp_op:
+            raise CollectiveOrderError(
+                f"collective order mismatch at collective #{pos}: "
+                f"rank {first_rank} called {exp_op}() but rank {rank} "
+                f"called {operation}()"
+            )
+        self._counts[pos] += 1
+        if self._counts[pos] == self.size:
+            del self._expected[pos], self._counts[pos]
+
+    @property
+    def pending_positions(self) -> int:
+        """Collective positions not yet entered by every rank (the skew
+        window; useful in diagnostics and tests)."""
+        return len(self._expected)
+
+    def ledger_position(self, rank: int) -> int:
+        """How many collectives ``rank`` has entered so far."""
+        return self._next_pos[rank]

@@ -7,9 +7,11 @@
     python -m repro.cli table1           # Table I speedups
     python -m repro.cli scaling          # the linear-to-4096 claim
     python -m repro.cli calibrate        # extract an IterationScript from a real run
+    python -m repro.cli lint             # static rank-program verifier
 
 Flags of general interest: ``--hours`` (corpus size), ``--iters``
-(simulated HF iterations), ``--seed``.
+(simulated HF iterations), ``--seed``.  ``lint`` takes paths plus
+``--json`` / ``--select`` / ``--rules`` and exits 1 on findings.
 """
 
 from __future__ import annotations
@@ -143,6 +145,29 @@ def cmd_calibrate(args: argparse.Namespace) -> None:
           [f"{v:.4f}" for v in run.hf_result.heldout_trajectory])
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static rank-program verifier (see :mod:`repro.analysis`)."""
+    from repro.analysis import all_rules, lint_paths
+
+    if args.rules:
+        for rule in all_rules():
+            info = rule.info
+            print(f"{info.id} [{info.severity.value}] {info.name}: {info.rationale}")
+        return 0
+    select = (
+        [r.strip() for r in args.select.split(",") if r.strip()]
+        if args.select
+        else None
+    )
+    try:
+        report = lint_paths(args.paths, rule_ids=select)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.json else report.render_text())
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     shared = argparse.ArgumentParser(add_help=False)
     shared.add_argument("--hours", type=float, default=50.0, help="corpus hours")
@@ -159,6 +184,27 @@ def build_parser() -> argparse.ArgumentParser:
     for name, fn in COMMANDS.items():
         p = sub.add_parser(name, help=fn.__doc__, parents=[shared])
         p.set_defaults(func=fn)
+    lint = sub.add_parser(
+        "lint",
+        help="static verifier for rank programs (exit 1 on findings)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "examples", "benchmarks"],
+        help="files or directories to lint (default: src examples benchmarks)",
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    lint.set_defaults(func=cmd_lint, command="lint")
     return parser
 
 
@@ -175,8 +221,8 @@ COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
-    return 0
+    rc = args.func(args)
+    return int(rc) if rc is not None else 0
 
 
 if __name__ == "__main__":

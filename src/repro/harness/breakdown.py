@@ -17,7 +17,7 @@ from repro.bgq.cycles import CycleCategories, CycleModel
 from repro.bgq.node import RunShape
 from repro.dist.script import IterationScript
 from repro.dist.simulated import SimJobConfig, SimRunResult, simulate_training
-from repro.dist.timeline import RankBreakdown, cycles_breakdown
+from repro.dist.timeline import RankBreakdown, cycles_breakdown, ordered_sum
 from repro.dist.workload import SimWorkload
 
 __all__ = ["BREAKDOWN_CONFIGS", "ConfigBreakdown", "run_breakdowns"]
@@ -42,11 +42,11 @@ class ConfigBreakdown:
 
     @property
     def master_collective_total(self) -> float:
-        return sum(self.master.collective.values())
+        return ordered_sum(self.master.collective)
 
     @property
     def master_p2p_total(self) -> float:
-        return sum(self.master.p2p.values())
+        return ordered_sum(self.master.p2p)
 
 
 def _worker_spread(

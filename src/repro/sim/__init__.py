@@ -12,6 +12,7 @@ from repro.sim.engine import (
     DeadlockError,
     Engine,
     Get,
+    GetTimeout,
     Put,
     SimError,
     SimProcess,
@@ -25,6 +26,7 @@ __all__ = [
     "AllOf",
     "DeadlockError",
     "Engine",
+    "GetTimeout",
     "Get",
     "Put",
     "SimError",

@@ -29,6 +29,7 @@ __all__ = [
     "AllOf",
     "Store",
     "DeadlockError",
+    "GetTimeout",
     "SimError",
 ]
 
@@ -38,7 +39,21 @@ class SimError(RuntimeError):
 
 
 class DeadlockError(SimError):
-    """Raised when live processes remain but no event can ever fire."""
+    """Raised when live processes remain but no event can ever fire.
+
+    The message lists every blocked process's pending operation (as
+    described by the command it yielded — the vmpi layer annotates
+    receives with source/tag) and, when the waits-on hints close a
+    cycle, the wait-for cycle itself.
+    """
+
+
+class GetTimeout(SimError):
+    """Thrown *into* a process whose :class:`Get` exceeded its timeout.
+
+    Consumers (e.g. :meth:`repro.vmpi.comm.RankCtx.recv`) catch this at
+    the ``yield`` and re-raise a domain-specific error with full context.
+    """
 
 
 Command = Any
@@ -79,10 +94,21 @@ class Get:
     """Take the first item from ``store`` (matching ``predicate`` if given).
 
     The item becomes the value of the ``yield`` expression.
+
+    ``detail`` and ``waits_on`` are diagnostic annotations: ``detail`` is
+    a human description of the pending operation (shown in deadlock
+    reports), ``waits_on`` names the process that would have to act for
+    this get to complete (an edge of the wait-for graph; ``None`` means
+    "anyone", e.g. an ``ANY_SOURCE`` receive).  ``timeout``, when set,
+    bounds the wait in virtual seconds: on expiry a :class:`GetTimeout`
+    is thrown into the blocked process at the ``yield``.
     """
 
     store: Store
     predicate: Callable[[Any], bool] | None = None
+    detail: str | None = None
+    waits_on: str | None = None
+    timeout: float | None = None
 
 
 @dataclass
@@ -115,6 +141,7 @@ class SimProcess:
         "error",
         "_waiters",
         "_blocked_on",
+        "_blocked_cmd",
     )
 
     def __init__(self, engine: "Engine", body: ProcessBody, name: str) -> None:
@@ -126,6 +153,7 @@ class SimProcess:
         self.error: BaseException | None = None
         self._waiters: list[tuple[SimProcess, AllOf]] = []
         self._blocked_on: str | None = None
+        self._blocked_cmd: Any = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.finished else (self._blocked_on or "ready")
@@ -200,21 +228,51 @@ class Engine:
             self._now = ev.time
             ev.action()
         if self._live > 0:
-            blocked = [p for p in self._processes if not p.finished]
-            detail = ", ".join(f"{p.name}({p._blocked_on})" for p in blocked[:8])
-            raise DeadlockError(
-                f"{self._live} process(es) blocked forever: {detail}"
-                + ("..." if len(blocked) > 8 else "")
-            )
+            raise self._deadlock_error()
         return self._now
 
+    def _deadlock_error(self) -> DeadlockError:
+        """Build the wait-for-graph diagnostic for a drained event queue.
+
+        Every blocked process is listed with the operation it yielded
+        (annotated :class:`Get` commands carry source/tag detail from the
+        vmpi layer); ``waits_on`` hints are assembled into a wait-for
+        graph and the first cycle, if any, is named explicitly.
+        """
+        blocked = [p for p in self._processes if not p.finished]
+        lines = [
+            f"{self._live} process(es) blocked forever at t={self._now:g}:"
+        ]
+        for p in blocked[:32]:
+            lines.append(f"  {p.name}: waiting on {p._blocked_on or '?'}")
+        if len(blocked) > 32:
+            lines.append(f"  ... and {len(blocked) - 32} more")
+        edges: dict[str, str] = {}
+        for p in blocked:
+            cmd = p._blocked_cmd
+            if isinstance(cmd, Get) and cmd.waits_on is not None:
+                edges[p.name] = cmd.waits_on
+        cycle = _find_cycle(edges)
+        if cycle:
+            lines.append("  wait-for cycle: " + " -> ".join(cycle))
+        return DeadlockError("\n".join(lines))
+
     # -------------------------------------------------------------- internal
-    def _resume(self, proc: SimProcess, send_value: Any) -> None:
+    def _resume(
+        self,
+        proc: SimProcess,
+        send_value: Any,
+        throw: BaseException | None = None,
+    ) -> None:
         if proc.finished:
             raise SimError(f"resuming finished process {proc.name}")
         proc._blocked_on = None
+        proc._blocked_cmd = None
         try:
-            command = proc.body.send(send_value)
+            if throw is not None:
+                command = proc.body.throw(throw)
+            else:
+                command = proc.body.send(send_value)
         except StopIteration as stop:
             self._finish(proc, stop.value, None)
             return
@@ -275,8 +333,54 @@ class Engine:
                 del store.items[i]
                 self.schedule(0.0, lambda it=item: self._resume(proc, it))
                 return
-        proc._blocked_on = f"get({store.name})"
-        store._getters.append((proc, pred))
+        proc._blocked_on = command.detail or f"get({store.name})"
+        proc._blocked_cmd = command
+        entry = (proc, pred)
+        store._getters.append(entry)
+        if command.timeout is not None:
+            self.schedule(
+                command.timeout, lambda: self._expire_get(store, entry, command)
+            )
+
+    def _expire_get(
+        self, store: Store, entry: tuple[SimProcess, Any], command: Get
+    ) -> None:
+        """Timeout hook for :class:`Get`: if the getter is still parked,
+        unpark it and throw :class:`GetTimeout` at its ``yield``."""
+        try:
+            store._getters.remove(entry)
+        except ValueError:
+            return  # satisfied before the timeout fired
+        proc = entry[0]
+        what = command.detail or f"get({store.name})"
+        self._resume(
+            proc,
+            None,
+            throw=GetTimeout(
+                f"{proc.name}: {what} timed out after {command.timeout:g} "
+                f"virtual seconds (t={self._now:g})"
+            ),
+        )
+
+
+def _find_cycle(edges: dict[str, str]) -> list[str] | None:
+    """First cycle in a functional graph (each node has <= 1 successor),
+    returned as ``[a, b, ..., a]``; None if the graph is acyclic."""
+    done: set[str] = set()
+    for start in edges:
+        if start in done:
+            continue
+        path: list[str] = []
+        seen_at: dict[str, int] = {}
+        node: str | None = start
+        while node is not None and node not in done:
+            if node in seen_at:
+                return path[seen_at[node] :] + [node]
+            seen_at[node] = len(path)
+            path.append(node)
+            node = edges.get(node)
+        done.update(path)
+    return None
 
 
 def run_all(bodies: Iterable[ProcessBody], names: Iterable[str] | None = None) -> tuple[float, list[Any]]:

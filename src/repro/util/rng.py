@@ -24,7 +24,8 @@ def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     """
     if isinstance(seed, np.random.Generator):
         return seed
-    return np.random.default_rng(seed)
+    # the one sanctioned construction site every seeded stream flows through
+    return np.random.default_rng(seed)  # repro: noqa(DET001)
 
 
 def derive_seed(base: int, *streams: int | str) -> int:

@@ -36,7 +36,9 @@ class TimeLedger:
         self.calls[label] += calls
 
     def total(self) -> float:
-        return sum(self.seconds.values())
+        # sorted-key fold: the total is bitwise identical however the
+        # categories were interleaved at accumulation time
+        return sum(self.seconds[k] for k in sorted(self.seconds))
 
     def merge(self, other: "TimeLedger") -> None:
         for k, v in other.seconds.items():

@@ -21,7 +21,15 @@ from repro.vmpi.collectives import (
     scatter,
     serial_bcast,
 )
-from repro.vmpi.comm import ANY_SOURCE, ANY_TAG, Message, RankCtx, VComm
+from repro.analysis.runtime import CollectiveOrderChecker, CollectiveOrderError
+from repro.vmpi.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Message,
+    RankCtx,
+    RecvTimeoutError,
+    VComm,
+)
 from repro.vmpi.costmodel import (
     NetworkModel,
     PayloadStub,
@@ -46,8 +54,11 @@ __all__ = [
     "serial_bcast",
     "ANY_SOURCE",
     "ANY_TAG",
+    "CollectiveOrderChecker",
+    "CollectiveOrderError",
     "Message",
     "RankCtx",
+    "RecvTimeoutError",
     "VComm",
     "NetworkModel",
     "PayloadStub",

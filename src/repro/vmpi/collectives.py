@@ -46,6 +46,23 @@ def _next_tag(ctx: RankCtx) -> int:
     return _COLL_TAG_BASE + seq * _COLL_TAG_STRIDE
 
 
+def _record(ctx: RankCtx, operation: str) -> None:
+    """Ledger hook: note that this rank entered a public collective.
+
+    Recording happens *before* any message traffic, so a schedule
+    divergence (rank 0 in ``bcast`` while rank 1 is in ``barrier``) is
+    caught by the communicator's
+    :class:`~repro.analysis.runtime.CollectiveOrderChecker` the moment
+    the second rank arrives — long before the mismatch could drain the
+    event queue into an opaque deadlock.  Nested collectives (``barrier``
+    -> ``allreduce``) record on every rank identically, so composition
+    stays divergence-free.
+    """
+    checker = ctx.comm.collective_checker
+    if checker is not None:
+        checker.record(ctx.rank, operation)
+
+
 def bcast(
     ctx: RankCtx, value: Any = None, root: int = 0, segment_bytes: int | None = None
 ) -> Generator:
@@ -60,6 +77,7 @@ def bcast(
     """
     from repro.vmpi.costmodel import PayloadStub
 
+    _record(ctx, "bcast")
     if segment_bytes is not None and segment_bytes > 0:
         # Every rank must agree on the segment count, which depends on the
         # root's payload size — ship it in a tiny header bcast first.
@@ -111,6 +129,7 @@ def serial_bcast(ctx: RankCtx, value: Any = None, root: int = 0) -> Generator:
     state); cost is O(P) at the root instead of O(log P) — the COMM
     ablation benchmark contrasts the two.
     """
+    _record(ctx, "serial_bcast")
     size, rank = ctx.size, ctx.rank
     tag = _next_tag(ctx)
     if size == 1:
@@ -140,6 +159,7 @@ def reduce(
     """
     from repro.vmpi.costmodel import PayloadStub
 
+    _record(ctx, "reduce")
     if (
         segment_bytes is not None
         and segment_bytes > 0
@@ -192,6 +212,7 @@ def ordered_reduce(
     order, so float sums are bitwise identical to a serial loop over
     ranks.  Used by parity experiments; costs O(P) messages at the root.
     """
+    _record(ctx, "ordered_reduce")
     contributions = yield from gather(ctx, value, root=root)
     if ctx.rank != root:
         return None
@@ -203,6 +224,7 @@ def ordered_reduce(
 
 def allreduce(ctx: RankCtx, value: Any, op: ReduceOp = SUM) -> Generator:
     """Recursive-doubling allreduce (MPICH fold-in for non-power-of-2)."""
+    _record(ctx, "allreduce")
     size, rank = ctx.size, ctx.rank
     tag = _next_tag(ctx)
     if size == 1:
@@ -249,6 +271,7 @@ def allreduce(ctx: RankCtx, value: Any, op: ReduceOp = SUM) -> Generator:
 
 def gather(ctx: RankCtx, value: Any, root: int = 0) -> Generator:
     """Binomial-tree gather; root returns the rank-ordered list, others None."""
+    _record(ctx, "gather")
     size, rank = ctx.size, ctx.rank
     tag = _next_tag(ctx)
     if size == 1:
@@ -284,6 +307,7 @@ def scatter(ctx: RankCtx, values: list[Any] | None, root: int = 0) -> Generator:
 
     Only the root's ``values`` list is read; it must have ``size`` items.
     """
+    _record(ctx, "scatter")
     size, rank = ctx.size, ctx.rank
     tag = _next_tag(ctx)
     if size == 1:
@@ -323,6 +347,7 @@ def scatter(ctx: RankCtx, values: list[Any] | None, root: int = 0) -> Generator:
 
 def allgather(ctx: RankCtx, value: Any) -> Generator:
     """Gather to rank 0 then broadcast the list (simple, log-depth x2)."""
+    _record(ctx, "allgather")
     gathered = yield from gather(ctx, value, root=0)
     result = yield from bcast(ctx, gathered, root=0)
     return result
@@ -330,6 +355,7 @@ def allgather(ctx: RankCtx, value: Any) -> Generator:
 
 def barrier(ctx: RankCtx) -> Generator:
     """Synchronize all ranks (zero-byte allreduce)."""
+    _record(ctx, "barrier")
     yield from allreduce(ctx, 0, SUM)
     # A zero-length timeout keeps single-rank barriers well-formed
     # (every collective must yield at least once to be a generator).

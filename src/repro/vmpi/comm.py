@@ -25,14 +25,43 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable
 
-from repro.sim.engine import Engine, Get, Store, Timeout
+from repro.analysis.runtime import CollectiveOrderChecker
+from repro.sim.engine import Engine, Get, GetTimeout, SimError, Store, Timeout
 from repro.sim.trace import Tracer
 from repro.vmpi.costmodel import NetworkModel, UniformNetwork, nbytes_of
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "RankCtx", "VComm"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "RankCtx",
+    "RecvTimeoutError",
+    "VComm",
+]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
+
+_USE_COMM_DEFAULT = object()
+"""Sentinel: ``recv(timeout=...)`` falls back to the communicator-wide
+``recv_timeout`` unless the call overrides it (``None`` disables)."""
+
+
+class RecvTimeoutError(SimError):
+    """A matched receive waited longer than its timeout.
+
+    Carries rank, requested source/tag, and the virtual time in the
+    message — the lost-message diagnostic that previously manifested as
+    an engine-wide hang or a bare drained-queue deadlock.
+    """
+
+
+def _fmt_source(source: int) -> str:
+    return "ANY_SOURCE" if source == ANY_SOURCE else str(source)
+
+
+def _fmt_tag(tag: int) -> str:
+    return "ANY_TAG" if tag == ANY_TAG else str(tag)
 
 
 @dataclass(frozen=True)
@@ -58,15 +87,32 @@ class VComm:
         tracer: Tracer | None = None,
         sizer: Callable[[Any], int] = nbytes_of,
         trace_p2p: bool = True,
+        recv_timeout: float | None = None,
+        check_collectives: bool = True,
     ) -> None:
         if size < 1:
             raise ValueError(f"communicator needs >= 1 rank, got {size}")
+        if recv_timeout is not None and recv_timeout <= 0:
+            raise ValueError(f"recv_timeout must be > 0, got {recv_timeout}")
         self.size = size
         self.engine = engine if engine is not None else Engine()
         self.network = network if network is not None else UniformNetwork()
         self.tracer = tracer
         self.sizer = sizer
         self.trace_p2p = trace_p2p
+        self.recv_timeout = recv_timeout
+        """Default timeout (virtual seconds) for every matched receive on
+        this communicator; ``None`` waits forever.  A receive that trips
+        it raises :class:`RecvTimeoutError` naming rank/source/tag/time
+        instead of hanging the engine on a lost message."""
+        self.collective_checker: CollectiveOrderChecker | None = (
+            CollectiveOrderChecker(size) if check_collectives else None
+        )
+        """Online collective-sequence verifier; the collectives in
+        :mod:`repro.vmpi.collectives` record each entry here so a
+        schedule divergence raises
+        :class:`~repro.analysis.runtime.CollectiveOrderError` naming the
+        offending ranks instead of deadlocking opaquely."""
         """When False, per-message mpi_send/mpi_recv spans are suppressed
         (large simulations record phase-level spans instead; dropping the
         per-message ones keeps the tracer from dominating memory)."""
@@ -178,11 +224,25 @@ class RankCtx:
         self._trace("mpi_send", t0)
         return msg
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
-        """Blocking matched receive; returns the :class:`Message`."""
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None | object = _USE_COMM_DEFAULT,
+    ) -> Generator:
+        """Blocking matched receive; returns the :class:`Message`.
+
+        ``timeout`` (virtual seconds) bounds the wait; it defaults to the
+        communicator's ``recv_timeout`` and may be overridden per call
+        (``None`` waits forever).  On expiry a :class:`RecvTimeoutError`
+        describing rank, source, tag, and sim-time is raised in the rank
+        program.
+        """
         comm = self.comm
         if source != ANY_SOURCE and not 0 <= source < comm.size:
             raise ValueError(f"recv from invalid rank {source}")
+        if timeout is _USE_COMM_DEFAULT:
+            timeout = comm.recv_timeout
         t0 = self.now
 
         def match(m: Message) -> bool:
@@ -190,7 +250,24 @@ class RankCtx:
                 tag == ANY_TAG or m.tag == tag
             )
 
-        msg = yield Get(comm._inboxes[self.rank], match)
+        detail = (
+            f"recv(source={_fmt_source(source)}, tag={_fmt_tag(tag)})"
+        )
+        try:
+            msg = yield Get(
+                comm._inboxes[self.rank],
+                match,
+                detail=detail,
+                waits_on=None if source == ANY_SOURCE else f"rank{source}",
+                timeout=timeout,  # type: ignore[arg-type]
+            )
+        except GetTimeout:
+            raise RecvTimeoutError(
+                f"rank {self.rank}: {detail} timed out after {timeout:g} "
+                f"virtual seconds at t={self.now:g} — sender never "
+                "injected a matching message (lost-message or protocol "
+                "mismatch)"
+            ) from None
         self._trace("mpi_recv", t0)
         return msg
 

@@ -1,0 +1,223 @@
+"""Runtime verifier tests: deadlock wait-for graphs, collective-order
+divergence, wildcard matching edge cases, and receive timeouts."""
+
+import pytest
+
+from repro.analysis.runtime import CollectiveOrderChecker, CollectiveOrderError
+from repro.sim import DeadlockError
+from repro.vmpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    RecvTimeoutError,
+    VComm,
+    ZeroCostNetwork,
+    barrier,
+    bcast,
+    run_spmd,
+)
+
+
+# ------------------------------------------------------------- deadlock
+class TestDeadlockDiagnostics:
+    def test_crossed_recvs_name_both_pending_operations(self):
+        def prog(ctx):
+            # both ranks receive first: the canonical crossed deadlock
+            other = 1 - ctx.rank
+            yield from ctx.recv(source=other, tag=4)
+            yield from ctx.send(other, "never sent", tag=4)
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(2, prog)
+        msg = str(err.value)
+        assert "rank0" in msg and "rank1" in msg
+        assert "recv(source=1, tag=4)" in msg
+        assert "recv(source=0, tag=4)" in msg
+
+    def test_crossed_recvs_report_wait_for_cycle(self):
+        def prog(ctx):
+            other = 1 - ctx.rank
+            yield from ctx.recv(source=other)
+            yield from ctx.send(other, "x")
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(2, prog)
+        assert "wait-for cycle" in str(err.value)
+        assert "rank0 -> rank1 -> rank0" in str(
+            err.value
+        ) or "rank1 -> rank0 -> rank1" in str(err.value)
+
+    def test_missing_sender_names_the_waited_on_tag(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, "x", tag=1)
+            else:
+                yield from ctx.recv(source=0, tag=1)
+                # nobody ever sends tag 2
+                yield from ctx.recv(source=0, tag=2)
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(2, prog)
+        msg = str(err.value)
+        assert "rank1" in msg and "tag=2" in msg
+        # no cycle here: rank0 finished, rank1 waits on it unilaterally
+        assert "wait-for cycle" not in msg
+
+    def test_any_source_recv_reports_wildcard(self):
+        def prog(ctx):
+            if ctx.rank == 1:
+                yield from ctx.recv()
+            else:
+                yield from ctx.compute(0.0)
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(2, prog)
+        assert "recv(source=ANY_SOURCE, tag=ANY_TAG)" in str(err.value)
+
+
+# ----------------------------------------------------- collective ordering
+class TestCollectiveOrder:
+    def test_bcast_vs_barrier_mismatch_names_ranks_and_ops(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from bcast(ctx, "w", root=0)  # repro: noqa(VMPI002) deliberate mismatch
+            else:
+                yield from barrier(ctx)
+
+        with pytest.raises(CollectiveOrderError) as err:
+            run_spmd(2, prog)
+        msg = str(err.value)
+        assert "rank 0" in msg and "rank 1" in msg
+        assert "bcast" in msg and "barrier" in msg
+        assert "#0" in msg
+
+    def test_divergence_after_agreeing_prefix_reports_position(self):
+        def prog(ctx):
+            yield from barrier(ctx)
+            yield from barrier(ctx)
+            if ctx.rank == 0:
+                yield from bcast(ctx, "w", root=0)  # repro: noqa(VMPI002) deliberate mismatch
+            else:
+                yield from barrier(ctx)
+
+        with pytest.raises(CollectiveOrderError) as err:
+            run_spmd(3, prog)
+        # positions 0-3 agree (barrier+nested allreduce twice); the first
+        # divergent ledger entry is position 4
+        assert "#4" in str(err.value)
+
+    def test_checker_can_be_disabled(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from bcast(ctx, "w", root=0)  # repro: noqa(VMPI002) deliberate mismatch
+            else:
+                yield from barrier(ctx)
+
+        comm = VComm(2, network=ZeroCostNetwork(), check_collectives=False)
+        # without the checker the mismatch degenerates into a deadlock
+        with pytest.raises(DeadlockError):
+            comm.run(prog)
+
+    def test_matched_collectives_retire_ledger_entries(self):
+        def prog(ctx):
+            yield from barrier(ctx)
+            yield from bcast(ctx, ctx.rank, root=0)
+
+        res = run_spmd(4, prog)
+        checker = res.comm.collective_checker
+        assert checker is not None
+        assert checker.pending_positions == 0  # all positions fully seen
+        assert checker.total_recorded > 0
+        assert all(
+            checker.ledger_position(r) == checker.ledger_position(0)
+            for r in range(4)
+        )
+
+    def test_checker_unit_first_divergence_wins(self):
+        c = CollectiveOrderChecker(3)
+        c.record(0, "bcast")
+        c.record(1, "bcast")
+        with pytest.raises(CollectiveOrderError, match="rank 0 called bcast"):
+            c.record(2, "reduce")
+
+
+# ------------------------------------------------------- wildcard matching
+class TestWildcardMatching:
+    def test_any_source_with_tag_skips_mismatched_tags(self):
+        """A tagged ANY_SOURCE receive must match by tag, not arrival
+        order, and leave the unmatched message for the tagged recv."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(2, "early-tag-5", tag=5)
+            elif ctx.rank == 1:
+                yield from ctx.compute(1.0)  # guarantee tag-5 arrives first
+                yield from ctx.send(2, "late-tag-9", tag=9)
+            else:
+                first = yield from ctx.recv(source=ANY_SOURCE, tag=9)
+                second = yield from ctx.recv(source=0, tag=5)
+                return (first.payload, first.src, second.payload, second.src)
+
+        res = run_spmd(3, prog)
+        assert res.values[2] == ("late-tag-9", 1, "early-tag-5", 0)
+
+    def test_fully_wild_recv_takes_oldest_pending(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(2, "a", tag=1)
+                yield from ctx.send(2, "b", tag=2)
+            elif ctx.rank == 1:
+                yield from ctx.compute(0.0)
+            else:
+                yield from ctx.compute(1.0)  # let both messages land
+                m1 = yield from ctx.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                m2 = yield from ctx.recv()
+                return (m1.payload, m2.payload)
+
+        res = run_spmd(3, prog)
+        assert res.values[2] == ("a", "b")
+
+
+# ------------------------------------------------------------ recv timeout
+class TestRecvTimeout:
+    def test_lost_message_raises_descriptive_error(self):
+        comm = VComm(2, network=ZeroCostNetwork(), recv_timeout=5.0)
+
+        def prog(ctx):
+            if ctx.rank == 1:
+                yield from ctx.recv(source=0, tag=3)
+
+        with pytest.raises(RecvTimeoutError) as err:
+            comm.run(prog)
+        msg = str(err.value)
+        assert "rank 1" in msg
+        assert "source=0" in msg and "tag=3" in msg
+        assert "5" in msg and "t=5" in msg  # timeout and sim-time
+
+    def test_per_call_timeout_overrides_comm_default(self):
+        comm = VComm(2, network=ZeroCostNetwork(), recv_timeout=100.0)
+
+        def prog(ctx):
+            if ctx.rank == 1:
+                yield from ctx.recv(source=0, timeout=2.0)
+
+        with pytest.raises(RecvTimeoutError, match="2"):
+            comm.run(prog)
+        assert comm.engine.now == pytest.approx(2.0)
+
+    def test_timeout_not_triggered_when_message_arrives(self):
+        comm = VComm(2, network=ZeroCostNetwork(), recv_timeout=50.0)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.compute(1.0)
+                yield from ctx.send(1, "made it", tag=0)
+            else:
+                msg = yield from ctx.recv(source=0, tag=0)
+                return msg.payload
+
+        _t, values = comm.run(prog)
+        assert values[1] == "made it"
+
+    def test_invalid_recv_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            VComm(2, recv_timeout=0.0)

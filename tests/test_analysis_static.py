@@ -1,0 +1,341 @@
+"""Unit tests for the static rank-program verifier."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import all_rules, lint_paths, lint_source
+from repro.analysis.findings import Severity
+from repro.cli import main
+
+
+def lint(code, **kw):
+    return lint_source(textwrap.dedent(code), **kw)
+
+
+# ------------------------------------------------------- VMPI001 unconsumed
+class TestUnconsumedComm:
+    def test_bare_send_flagged_with_location(self):
+        report = lint(
+            """\
+            def program(ctx):
+                yield from ctx.recv(source=0)
+                ctx.send(1, "payload", tag=7)
+            """
+        )
+        (f,) = report.findings
+        assert f.rule == "VMPI001"
+        assert f.severity is Severity.ERROR
+        assert f.line == 3
+        assert "yield from" in f.hint
+
+    def test_yield_from_is_clean(self):
+        report = lint(
+            """\
+            def program(ctx):
+                yield from ctx.send(1, "x")
+                msg = yield from ctx.recv(source=1)
+                return msg
+            """
+        )
+        assert report.findings == []
+
+    def test_plain_yield_flagged(self):
+        report = lint(
+            """\
+            def program(ctx):
+                yield ctx.send(1, "x")
+            """
+        )
+        (f,) = report.findings
+        assert f.rule == "VMPI001" and "generator object" in f.message
+
+    def test_assignment_without_yield_from_flagged(self):
+        report = lint(
+            """\
+            def program(ctx):
+                msg = ctx.recv(source=0)
+                yield from ctx.send(1, msg)
+            """
+        )
+        assert any(f.rule == "VMPI001" and f.line == 2 for f in report.findings)
+
+    def test_return_of_comm_call_in_generator_flagged(self):
+        report = lint(
+            """\
+            def program(ctx):
+                yield from ctx.send(1, "x")
+                return ctx.recv(source=1)
+            """
+        )
+        assert any(f.rule == "VMPI001" and f.line == 3 for f in report.findings)
+
+    def test_collective_function_bare_call_flagged(self):
+        report = lint(
+            """\
+            def program(ctx):
+                bcast(ctx, "w", root=0)
+                yield from barrier(ctx)
+            """
+        )
+        assert any(f.rule == "VMPI001" and f.line == 2 for f in report.findings)
+
+    def test_thread_backend_blocking_calls_not_flagged(self):
+        # the thread communicator is blocking, not a generator: its
+        # conventional receiver name `comm` is exempt
+        report = lint(
+            """\
+            def program(comm):
+                comm.send(1, "x")
+                return comm.recv(source=1)
+            """
+        )
+        assert report.findings == []
+
+    def test_delegation_wrapper_not_flagged(self):
+        # a non-generator helper returning the sub-generator for the
+        # caller to `yield from` is legitimate delegation
+        report = lint(
+            """\
+            def ping(ctx):
+                return ctx.send(1, "x", tag=3)
+            """
+        )
+        assert report.findings == []
+
+
+# ------------------------------------------------- VMPI002 rank-branch coll
+class TestRankBranchCollective:
+    def test_one_sided_collective_flagged(self):
+        report = lint(
+            """\
+            def program(ctx):
+                if ctx.rank == 0:
+                    yield from bcast(ctx, "w", root=0)
+                else:
+                    yield from ctx.recv(source=0)
+            """
+        )
+        (f,) = report.findings
+        assert f.rule == "VMPI002"
+        assert "bcast" in f.message
+
+    def test_matching_collectives_clean(self):
+        report = lint(
+            """\
+            def program(ctx):
+                if ctx.rank == 0:
+                    yield from bcast(ctx, "w", root=0)
+                else:
+                    yield from bcast(ctx, None, root=0)
+            """
+        )
+        assert report.findings == []
+
+    def test_p2p_asymmetry_is_fine(self):
+        report = lint(
+            """\
+            def program(ctx):
+                if ctx.rank == 0:
+                    yield from ctx.send(1, "x")
+                else:
+                    yield from ctx.recv(source=0)
+            """
+        )
+        assert report.findings == []
+
+    def test_non_rank_branch_ignored(self):
+        report = lint(
+            """\
+            def program(ctx, mode):
+                if mode == "fast":
+                    yield from bcast(ctx, "w", root=0)
+                else:
+                    yield from barrier(ctx)
+            """
+        )
+        assert report.findings == []
+
+
+# ------------------------------------------------------ VMPI003 wildcard recv
+class TestWildcardRecv:
+    def test_wildcard_and_tagged_in_loop_flagged(self):
+        report = lint(
+            """\
+            def program(ctx):
+                for _ in range(8):
+                    msg = yield from ctx.recv()
+                    ack = yield from ctx.recv(source=msg.src, tag=5)
+            """
+        )
+        (f,) = report.findings
+        assert f.rule == "VMPI003" and f.line == 3
+
+    def test_tagged_wildcard_source_ok(self):
+        report = lint(
+            """\
+            def program(ctx):
+                for _ in range(8):
+                    msg = yield from ctx.recv(source=ANY_SOURCE, tag=9)
+                    ack = yield from ctx.recv(source=msg.src, tag=5)
+            """
+        )
+        assert report.findings == []
+
+    def test_single_wildcard_recv_loop_ok(self):
+        report = lint(
+            """\
+            def program(ctx):
+                for _ in range(8):
+                    msg = yield from ctx.recv()
+            """
+        )
+        assert report.findings == []
+
+
+# ------------------------------------------------------------ DET rules
+class TestDeterminismRules:
+    def test_direct_default_rng_flagged(self):
+        report = lint("rng = np.random.default_rng(3)\n")
+        (f,) = report.findings
+        assert f.rule == "DET001" and "spawn" in f.hint
+
+    def test_stdlib_random_flagged(self):
+        report = lint("import random\nx = random.random()\n")
+        assert any(f.rule == "DET001" for f in report.findings)
+
+    def test_spawn_is_clean(self):
+        report = lint("from repro.util.rng import spawn\nrng = spawn(0, 'w', 3)\n")
+        assert report.findings == []
+
+    def test_tests_dir_exempt_from_det_rules(self):
+        report = lint(
+            "rng = np.random.default_rng(3)\n", path="tests/test_x.py"
+        )
+        assert report.findings == []
+
+    def test_sum_over_set_flagged(self):
+        report = lint("total = sum({0.1, 0.2, 0.7})\n")
+        (f,) = report.findings
+        assert f.rule == "DET002"
+
+    def test_sum_over_dict_values_flagged(self):
+        report = lint("total = sum(d.values())\n")
+        (f,) = report.findings
+        assert f.rule == "DET002"
+
+    def test_sum_over_sorted_clean(self):
+        report = lint("total = sum(d[k] for k in sorted(d))\n")
+        assert report.findings == []
+
+    def test_sum_over_list_clean(self):
+        report = lint("total = sum([0.1, 0.2])\n")
+        assert report.findings == []
+
+
+# -------------------------------------------------------------- suppression
+class TestSuppression:
+    def test_noqa_moves_finding_to_suppressed(self):
+        report = lint(
+            """\
+            def program(ctx):
+                yield from ctx.recv(source=0)
+                ctx.send(1, "x")  # repro: noqa(VMPI001) intentional for test
+            """
+        )
+        assert report.findings == []
+        (s,) = report.suppressed
+        assert s.rule == "VMPI001"
+
+    def test_noqa_other_rule_does_not_suppress(self):
+        report = lint(
+            """\
+            def program(ctx):
+                yield from ctx.recv(source=0)
+                ctx.send(1, "x")  # repro: noqa(DET001)
+            """
+        )
+        assert any(f.rule == "VMPI001" for f in report.findings)
+
+    def test_noqa_star_suppresses_everything(self):
+        report = lint(
+            """\
+            def program(ctx):
+                yield from ctx.recv(source=0)
+                ctx.send(1, "x")  # repro: noqa(*) test fixture
+            """
+        )
+        assert report.findings == []
+
+
+# ------------------------------------------------------------ infrastructure
+class TestInfrastructure:
+    def test_registry_has_the_five_seed_rules(self):
+        ids = {r.info.id for r in all_rules()}
+        assert {"VMPI001", "VMPI002", "VMPI003", "DET001", "DET002"} <= ids
+
+    def test_syntax_error_becomes_parse_finding(self):
+        report = lint("def broken(:\n")
+        (f,) = report.findings
+        assert f.rule == "PARSE000" and f.severity is Severity.ERROR
+
+    def test_rule_selection(self):
+        code = """\
+        def program(ctx):
+            yield from ctx.recv(source=0)
+            ctx.send(1, "x")
+            rng = np.random.default_rng()
+        """
+        only_det = lint(code, rule_ids=["DET001"])
+        assert {f.rule for f in only_det.findings} == {"DET001"}
+        with pytest.raises(KeyError):
+            lint(code, rule_ids=["NOPE999"])
+
+    def test_lint_paths_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["no/such/dir"])
+
+
+# ----------------------------------------------------------------- CLI gate
+class TestLintCli:
+    def seeded_violation(self, tmp_path):
+        bad = tmp_path / "bad_program.py"
+        bad.write_text(
+            "def program(ctx):\n"
+            "    yield from ctx.recv(source=0)\n"
+            "    ctx.send(1, 'x', tag=7)\n"
+        )
+        return bad
+
+    def test_exit_1_with_rule_id_and_location(self, tmp_path, capsys):
+        bad = self.seeded_violation(tmp_path)
+        rc = main(["lint", str(bad)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "VMPI001" in out
+        assert f"{bad.name}:3" in out
+
+    def test_clean_file_exits_0(self, tmp_path, capsys):
+        good = tmp_path / "good_program.py"
+        good.write_text(
+            "def program(ctx):\n    yield from ctx.send(1, 'x')\n"
+        )
+        assert main(["lint", str(good)]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        bad = self.seeded_violation(tmp_path)
+        rc = main(["lint", "--json", str(bad)])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["exit_code"] == 1
+        assert payload["findings"][0]["rule"] == "VMPI001"
+        assert payload["findings"][0]["line"] == 3
+
+    def test_rule_catalogue(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "VMPI001" in out and "DET002" in out
+
+    def test_unknown_rule_exits_2(self, tmp_path, capsys):
+        assert main(["lint", "--select", "NOPE999", str(tmp_path)]) == 2

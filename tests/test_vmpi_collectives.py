@@ -227,7 +227,8 @@ def test_mismatched_collective_participation_deadlocks():
 
     def prog(ctx):
         if ctx.rank == 0:
-            yield from bcast(ctx, "x", root=0)
+            # deliberate schedule divergence: this test *wants* the deadlock
+            yield from bcast(ctx, "x", root=0)  # repro: noqa(VMPI002)
         else:
             yield from bcast(ctx, None, root=0)
             # rank 1 joins a second collective that rank 0 never starts
