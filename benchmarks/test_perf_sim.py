@@ -1,0 +1,86 @@
+"""Simulator wall-clock benchmarks: DES engine + vmpi hot paths.
+
+Unlike the figure benchmarks, these time the *simulator itself* — the
+engine event loop, mailbox matching, and collective fan-out that every
+other benchmark rides on.  The same suite is exposed as ``repro perf``;
+the committed ``BENCH_sim_vmpi.json`` at the repo root is the published
+baseline each PR is compared against.
+
+Asserted here: the virtual results (finish times, message counts) are
+bit-identical to the published baseline — a perf run that changes a
+simulated number is a correctness bug, not a speedup — and the macro
+runs stay within a generous wall-clock envelope so a pathological
+regression (e.g. accidental O(n^2) mailbox scan) fails loudly.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.harness.perf import (
+    BENCH_FILENAME,
+    bench_bcast_fanout,
+    bench_macro,
+    bench_ping_ring,
+    bench_timeout_storm,
+    render_perf_text,
+    run_perf,
+)
+
+BASELINE_PATH = Path(__file__).parent.parent / BENCH_FILENAME
+
+# Macro wall-clock envelope: baseline best_s times this factor.  Wide
+# enough for slow CI machines, tight enough to catch a complexity-class
+# regression (the pre-overhaul engine was ~4x slower at 4096 ranks).
+WALL_BUDGET_FACTOR = 3.0
+
+
+def _baseline():
+    if not BASELINE_PATH.exists():
+        return None
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def test_micro_determinism():
+    """Each micro benchmark's virtual outcome is run-to-run identical."""
+    assert bench_timeout_storm() == bench_timeout_storm()
+    assert bench_ping_ring() == bench_ping_ring()
+    assert bench_bcast_fanout() == bench_bcast_fanout()
+
+
+def test_perf_suite(benchmark):
+    payload = benchmark.pedantic(run_perf, rounds=1, iterations=1)
+    print()
+    print(render_perf_text(payload))
+    baseline = _baseline()
+    if baseline is None:
+        return
+    for section in ("micro", "macro"):
+        for name, base in baseline[section].items():
+            got = payload[section][name]
+            for key in ("virtual_finish", "messages", "events", "bytes"):
+                if key in base:
+                    assert got[key] == base[key], (
+                        f"{section}/{name}: {key} changed "
+                        f"({got[key]!r} != baseline {base[key]!r})"
+                    )
+    for name, base in baseline["macro"].items():
+        got = payload["macro"][name]
+        assert got["best_s"] < WALL_BUDGET_FACTOR * base["best_s"], (
+            f"macro/{name}: {got['best_s']:.2f}s exceeds "
+            f"{WALL_BUDGET_FACTOR}x baseline {base['best_s']:.2f}s"
+        )
+
+
+def test_macro_invariants_against_baseline():
+    """One 1024-rank run, checked against the committed baseline without
+    the full timed suite — the cheap timeline-preservation gate."""
+    baseline = _baseline()
+    if baseline is None:
+        return
+    got = bench_macro("1024-4-16")
+    base = baseline["macro"]["1024-4-16"]
+    assert got["virtual_finish"] == base["virtual_finish"]
+    assert got["messages"] == base["messages"]

@@ -1,0 +1,39 @@
+"""Repo-wide pytest configuration: lint gate ahead of the suite.
+
+The static rank-program verifier (``repro lint``) is cheap (< 1 s over
+the whole tree) and every rule it carries encodes a bug class that once
+cost a debugging session — so the tier-1 flow runs it before any test.
+A finding fails the session immediately rather than letting a green
+suite mask, say, a nondeterministic collective schedule.
+
+Set ``REPRO_SKIP_LINT=1`` to bypass (e.g. while iterating on code that
+is mid-refactor and known-dirty).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+LINT_PATHS = ["src", "examples", "benchmarks"]
+"""Mirrors the ``repro lint`` default path set."""
+
+
+def pytest_sessionstart(session: pytest.Session) -> None:
+    if os.environ.get("REPRO_SKIP_LINT") == "1":
+        return
+    root = session.config.rootpath
+    paths = [str(root / p) for p in LINT_PATHS if (root / p).exists()]
+    if not paths:
+        return
+    from repro.analysis import lint_paths
+
+    report = lint_paths(paths)
+    if report.exit_code:
+        print(report.render_text())
+        pytest.exit(
+            f"repro lint found {len(report.findings)} finding(s); "
+            "fix them or rerun with REPRO_SKIP_LINT=1",
+            returncode=1,
+        )

@@ -38,6 +38,18 @@ class Rule(abc.ABC):
         files, whose literal seeds are intentional)."""
         return True
 
+    def start_run(self) -> None:
+        """Called once before a lint run (one :func:`lint_source` call or
+        one :func:`lint_paths` walk).  Cross-module rules reset their
+        accumulated state here; the default is stateless."""
+
+    def finish_run(self) -> Iterable[Finding]:
+        """Called once after every module of the run has been checked.
+        Cross-module rules emit whole-run findings here (each finding's
+        ``path``/``line`` must point at a module that was part of the
+        run, so inline suppressions still apply).  Default: nothing."""
+        return ()
+
     @abc.abstractmethod
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
         """Yield findings for ``ctx``.  Must not raise on odd code."""
@@ -89,4 +101,8 @@ def get_rule(rule_id: str) -> Rule:
 
 
 def _ensure_loaded() -> None:
-    from repro.analysis import comm_rules, determinism_rules  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        comm_rules,
+        determinism_rules,
+        tag_rules,
+    )

@@ -84,6 +84,41 @@ def _select_rules(rule_ids: Sequence[str] | None) -> list[Rule]:
     return [r for r in rules if r.info.id in wanted]
 
 
+def _check_module(
+    ctx: ModuleContext,
+    rules: Sequence[Rule],
+    report: LintReport,
+) -> None:
+    """Apply per-module checks and classify findings by suppression."""
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for f in rule.check(ctx):
+            if is_suppressed(f, ctx.suppressions):
+                report.suppressed.append(f)
+            else:
+                report.findings.append(f)
+
+
+def _finish_run(
+    rules: Sequence[Rule],
+    report: LintReport,
+    suppressions_by_path: dict,
+) -> None:
+    """Collect whole-run findings from cross-module rules.
+
+    Each finding points into one of the run's modules; that module's
+    inline ``# repro: noqa`` suppressions apply to it exactly as to a
+    per-module finding."""
+    for rule in rules:
+        for f in rule.finish_run():
+            supp = suppressions_by_path.get(f.path)
+            if supp is not None and is_suppressed(f, supp):
+                report.suppressed.append(f)
+            else:
+                report.findings.append(f)
+
+
 def lint_source(
     source: str,
     path: str = "<memory>",
@@ -104,14 +139,11 @@ def lint_source(
             )
         )
         return report
-    for rule in _select_rules(rule_ids):
-        if not rule.applies_to(ctx):
-            continue
-        for f in rule.check(ctx):
-            if is_suppressed(f, ctx.suppressions):
-                report.suppressed.append(f)
-            else:
-                report.findings.append(f)
+    rules = _select_rules(rule_ids)
+    for rule in rules:
+        rule.start_run()
+    _check_module(ctx, rules, report)
+    _finish_run(rules, report, {ctx.path: ctx.suppressions})
     report.sort()
     return report
 
@@ -136,10 +168,17 @@ def lint_paths(
     ``root``, when given, resolves relative ``paths`` and relativizes
     displayed locations — the self-lint test passes the repo root so the
     report is stable regardless of the pytest invocation directory.
+
+    The whole walk is one lint *run*: cross-module rules (e.g. VMPI004
+    tag collisions) see every module before their ``finish_run``
+    findings are collected.
     """
-    _select_rules(rule_ids)  # validate ids up front, even over empty trees
+    rules = _select_rules(rule_ids)  # validate ids up front
     base = Path(root) if root is not None else None
     report = LintReport()
+    suppressions_by_path: dict = {}
+    for rule in rules:
+        rule.start_run()
     for raw in paths:
         p = Path(raw)
         if base is not None and not p.is_absolute():
@@ -153,12 +192,23 @@ def lint_paths(
                 display = f.resolve().relative_to(anchor.resolve())
             except ValueError:
                 pass
-            report.merge(
-                lint_source(
-                    f.read_text(encoding="utf-8"),
-                    path=str(display),
-                    rule_ids=rule_ids,
+            report.files_checked += 1
+            source = f.read_text(encoding="utf-8")
+            try:
+                ctx = ModuleContext.parse(str(display), source)
+            except SyntaxError as exc:
+                report.findings.append(
+                    Finding(
+                        rule="PARSE000",
+                        severity=Severity.ERROR,
+                        path=str(display),
+                        line=exc.lineno or 1,
+                        message=f"file does not parse: {exc.msg}",
+                    )
                 )
-            )
+                continue
+            suppressions_by_path[ctx.path] = ctx.suppressions
+            _check_module(ctx, rules, report)
+    _finish_run(rules, report, suppressions_by_path)
     report.sort()
     return report

@@ -36,10 +36,10 @@ class CollectiveOrderChecker:
         self.size = size
         self.total_recorded = 0
         self._next_pos = [0] * size
-        # position -> (operation, first rank to record it)
-        self._expected: dict[int, tuple[str, int]] = {}
-        # position -> how many ranks have recorded it (retired at == size)
-        self._counts: dict[int, int] = {}
+        # position -> [operation, first rank to record it, count so far];
+        # one dict lookup per record (the old expected/counts pair cost
+        # three), entry retired (deleted) once count reaches size.
+        self._ledger: dict[int, list] = {}
 
     def record(self, rank: int, operation: str) -> None:
         """Note that ``rank`` entered collective ``operation``.
@@ -50,31 +50,28 @@ class CollectiveOrderChecker:
         if not 0 <= rank < self.size:
             raise ValueError(f"rank {rank} out of range for size {self.size}")
         pos = self._next_pos[rank]
-        self._next_pos[rank] += 1
+        self._next_pos[rank] = pos + 1
         self.total_recorded += 1
-        expected = self._expected.get(pos)
-        if expected is None:
-            self._expected[pos] = (operation, rank)
-            self._counts[pos] = 1
-            if self.size == 1:
-                del self._expected[pos], self._counts[pos]
+        entry = self._ledger.get(pos)
+        if entry is None:
+            if self.size > 1:
+                self._ledger[pos] = [operation, rank, 1]
             return
-        exp_op, first_rank = expected
-        if operation != exp_op:
+        if operation != entry[0]:
             raise CollectiveOrderError(
                 f"collective order mismatch at collective #{pos}: "
-                f"rank {first_rank} called {exp_op}() but rank {rank} "
+                f"rank {entry[1]} called {entry[0]}() but rank {rank} "
                 f"called {operation}()"
             )
-        self._counts[pos] += 1
-        if self._counts[pos] == self.size:
-            del self._expected[pos], self._counts[pos]
+        entry[2] += 1
+        if entry[2] == self.size:
+            del self._ledger[pos]
 
     @property
     def pending_positions(self) -> int:
         """Collective positions not yet entered by every rank (the skew
         window; useful in diagnostics and tests)."""
-        return len(self._expected)
+        return len(self._ledger)
 
     def ledger_position(self, rank: int) -> int:
         """How many collectives ``rank`` has entered so far."""

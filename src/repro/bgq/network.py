@@ -68,6 +68,17 @@ class TorusNetworkModel:
                 f"torus shape {self.torus.dims} has {self.torus.nodes} nodes, "
                 f"expected {self.nodes}"
             )
+        # Per-instance memo tables (plain attributes, not dataclass
+        # fields: excluded from eq/repr/hash).  p2p_time and wire_time
+        # are pure in (src, dst, nbytes) — ``now`` is unused — and a
+        # simulated training run re-evaluates the same tree edges with
+        # the same payload sizes millions of times, so the tables stay
+        # small (O(live tree edges x payload sizes)) while removing the
+        # route computation from the simulator's hot path.
+        object.__setattr__(self, "_p2p_cache", {})
+        object.__setattr__(self, "_wire_cache", {})
+        object.__setattr__(self, "_inj_cache", {})
+        object.__setattr__(self, "_pair_cache", {})
 
     # ---------------------------------------------------------------- mapping
     @property
@@ -86,36 +97,72 @@ class TorusNetworkModel:
         return self.link_bandwidth / derate
 
     def p2p_time(self, src: int, dst: int, nbytes: int, now: float = 0.0) -> float:
+        key = (src, dst, nbytes)
+        cached = self._p2p_cache.get(key)
+        if cached is not None:
+            return cached
         if nbytes < 0:
             raise ValueError(f"negative message size {nbytes}")
         if src == dst:
-            return 0.0
-        nsrc, ndst = self.node_of(src), self.node_of(dst)
-        if nsrc == ndst:
-            # on-node: shared-memory copy through L2/DDR
-            return 200e-9 + nbytes / self.memory.intranode_copy_bandwidth
-        hops = self.torus.hops(nsrc, ndst)
-        return (
-            self.base_latency
-            + hops * self.hop_latency
-            + nbytes / self._effective_bandwidth()
-        )
+            t = 0.0
+        else:
+            nsrc, ndst = self.node_of(src), self.node_of(dst)
+            if nsrc == ndst:
+                # on-node: shared-memory copy through L2/DDR
+                t = 200e-9 + nbytes / self.memory.intranode_copy_bandwidth
+            else:
+                hops = self.torus.hops(nsrc, ndst)
+                t = (
+                    self.base_latency
+                    + hops * self.hop_latency
+                    + nbytes / self._effective_bandwidth()
+                )
+        self._p2p_cache[key] = t
+        return t
 
     def injection_time(self, nbytes: int) -> float:
         """Sender-side occupancy: the messaging unit DMA-offloads, so the
         core only pays descriptor setup plus a copy capped by injection
         bandwidth (aggregate 2 GB/s x 10 links shared by on-node ranks)."""
+        cached = self._inj_cache.get(nbytes)
+        if cached is not None:
+            return cached
         inj_bw = self.link_bandwidth * 10 / self.ranks_per_node
-        return 250e-9 + nbytes / inj_bw
+        t = 250e-9 + nbytes / inj_bw
+        self._inj_cache[nbytes] = t
+        return t
 
     def wire_time(self, src: int, dst: int, nbytes: int) -> float:
         """Per-pair wire occupancy: link serialization off-node, memory
         copy occupancy on-node."""
+        key = (src, dst, nbytes)
+        cached = self._wire_cache.get(key)
+        if cached is not None:
+            return cached
         if src == dst:
-            return 0.0
-        if self.node_of(src) == self.node_of(dst):
-            return nbytes / self.memory.intranode_copy_bandwidth
-        return nbytes / self._effective_bandwidth()
+            t = 0.0
+        elif self.node_of(src) == self.node_of(dst):
+            t = nbytes / self.memory.intranode_copy_bandwidth
+        else:
+            t = nbytes / self._effective_bandwidth()
+        self._wire_cache[key] = t
+        return t
+
+    def pair_time(self, src: int, dst: int, nbytes: int) -> tuple[float, float]:
+        """``(p2p_time, wire_time)`` in one cached lookup.
+
+        The simulator's send path needs both numbers for every message;
+        fetching them together halves the cache traffic on the hottest
+        call site.  Values are exactly :meth:`p2p_time` /
+        :meth:`wire_time` (both pure in ``(src, dst, nbytes)``)."""
+        key = (src, dst, nbytes)
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            cached = self._pair_cache[key] = (
+                self.p2p_time(src, dst, nbytes),
+                self.wire_time(src, dst, nbytes),
+            )
+        return cached
 
     def collective_params(self) -> tuple[float, float]:
         """(alpha, bandwidth) for the closed-form collective fast path:

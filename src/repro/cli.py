@@ -8,10 +8,12 @@
     python -m repro.cli scaling          # the linear-to-4096 claim
     python -m repro.cli calibrate        # extract an IterationScript from a real run
     python -m repro.cli lint             # static rank-program verifier
+    python -m repro.cli perf             # DES/vmpi hot-path benchmarks
 
 Flags of general interest: ``--hours`` (corpus size), ``--iters``
 (simulated HF iterations), ``--seed``.  ``lint`` takes paths plus
 ``--json`` / ``--select`` / ``--rules`` and exits 1 on findings.
+``perf --json`` writes ``BENCH_sim_vmpi.json`` at the current directory.
 """
 
 from __future__ import annotations
@@ -168,6 +170,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Time the DES engine / vmpi hot paths (see :mod:`repro.harness.perf`)."""
+    from repro.harness.perf import (
+        BENCH_FILENAME,
+        render_perf_text,
+        run_perf,
+        write_bench_json,
+    )
+
+    payload = run_perf(repeats=args.repeats, quick=args.quick)
+    if args.json:
+        out = write_bench_json(payload, args.out or BENCH_FILENAME)
+        print(f"wrote {out}")
+    else:
+        print(render_perf_text(payload))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     shared = argparse.ArgumentParser(add_help=False)
     shared.add_argument("--hours", type=float, default=50.0, help="corpus hours")
@@ -205,6 +225,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules", action="store_true", help="print the rule catalogue and exit"
     )
     lint.set_defaults(func=cmd_lint, command="lint")
+    perf = sub.add_parser(
+        "perf",
+        help="time the DES engine / vmpi hot paths (micro + macro benchmarks)",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=3, help="timed repeats per benchmark"
+    )
+    perf.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrunk workloads (seconds, for smoke tests; not a baseline)",
+    )
+    perf.add_argument(
+        "--json",
+        action="store_true",
+        help="write results to BENCH_sim_vmpi.json instead of printing",
+    )
+    perf.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output path for --json (default: ./BENCH_sim_vmpi.json)",
+    )
+    perf.set_defaults(func=cmd_perf, command="perf")
     return parser
 
 

@@ -1,0 +1,152 @@
+"""Master/worker protocol pieces shared by the distributed backends.
+
+The paper's architecture (Section IV): "a master/worker architecture in
+which worker processes ... perform data-parallel computation of
+gradients and curvature matrix-vector products and the master implements
+the Hessian-free optimization."  Rank 0 is the master; ranks 1..P-1 are
+workers holding utterance shards.
+
+Commands flow master -> workers by broadcast; results flow back by
+gather (rank-ordered fold at the master, so reduced floats are
+independent of thread scheduling).  Curvature mini-samples are *derived,
+not shipped*: the master broadcasts only a seed, and every worker
+recomputes the same global sample with
+:func:`global_frame_sample` / :func:`global_utterance_sample` and keeps
+its intersection — the paper's "the right set of utterances to adhere to
+the randomness needed by the algorithm".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.losses import SequenceBatchTargets, UtteranceSpan
+from repro.util.rng import spawn
+
+__all__ = [
+    "CMD_GRADIENT",
+    "CMD_CURV_SETUP",
+    "CMD_CURV",
+    "CMD_HELDOUT",
+    "CMD_STOP",
+    "FrameShard",
+    "SequenceShard",
+    "global_frame_sample",
+    "global_utterance_sample",
+    "sample_size",
+]
+
+CMD_GRADIENT = "gradient"
+CMD_CURV_SETUP = "curv_setup"
+CMD_CURV = "curv"
+CMD_HELDOUT = "heldout"
+CMD_STOP = "stop"
+
+
+def sample_size(total: int, fraction: float) -> int:
+    """Global curvature-sample size — one formula for every backend."""
+    if total < 1:
+        raise ValueError(f"total must be >= 1: {total}")
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0,1]: {fraction}")
+    return max(1, int(round(fraction * total)))
+
+
+def global_frame_sample(
+    total_frames: int, fraction: float, base_seed: int, sample_seed: int
+) -> np.ndarray:
+    """The frame indices of one curvature mini-sample (sorted).
+
+    Identical to :meth:`repro.hf.sources.FrameSource.
+    curvature_sample_indices` by construction — serial and distributed
+    runs draw the *same* sample.
+    """
+    k = sample_size(total_frames, fraction)
+    rng = spawn(base_seed, "curvature", sample_seed)
+    return np.sort(rng.choice(total_frames, size=k, replace=False))
+
+
+def global_utterance_sample(
+    total_utts: int, fraction: float, base_seed: int, sample_seed: int
+) -> np.ndarray:
+    """Utterance-level analogue for sequence criteria."""
+    k = sample_size(total_utts, fraction)
+    rng = spawn(base_seed, "curvature", sample_seed)
+    return np.sort(rng.choice(total_utts, size=k, replace=False))
+
+
+@dataclass
+class FrameShard:
+    """One worker's slice of a frame-level training set."""
+
+    x: np.ndarray
+    targets: np.ndarray
+    global_ids: np.ndarray
+    """Global frame indices of this shard's rows (for sample intersection)."""
+    heldout_x: np.ndarray
+    heldout_targets: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (
+            self.x.shape[0]
+            == np.asarray(self.targets).shape[0]
+            == self.global_ids.shape[0]
+        ):
+            raise ValueError("shard arrays must align")
+        if self.heldout_x.shape[0] != np.asarray(self.heldout_targets).shape[0]:
+            raise ValueError("heldout shard arrays must align")
+
+    @property
+    def n_frames(self) -> int:
+        return int(self.x.shape[0])
+
+    def sample_rows(self, global_sample: np.ndarray) -> np.ndarray:
+        """Local row positions whose global ids are in ``global_sample``."""
+        mask = np.isin(self.global_ids, global_sample, assume_unique=False)
+        return np.nonzero(mask)[0]
+
+
+@dataclass
+class SequenceShard:
+    """One worker's utterances for a sequence criterion."""
+
+    x: np.ndarray
+    spans: Sequence[UtteranceSpan]  # rebased to this shard's frame space
+    global_utt_ids: np.ndarray
+    heldout_x: np.ndarray
+    heldout_spans: Sequence[UtteranceSpan]
+
+    def __post_init__(self) -> None:
+        if len(self.spans) != self.global_utt_ids.shape[0]:
+            raise ValueError("spans and global_utt_ids must align")
+        if self.spans and self.spans[-1].end != self.x.shape[0]:
+            raise ValueError("spans must tile the shard's frames")
+
+    @property
+    def n_frames(self) -> int:
+        return int(self.x.shape[0])
+
+    def sample_batch(
+        self, global_sample: np.ndarray
+    ) -> tuple[np.ndarray, SequenceBatchTargets] | None:
+        """(x, targets) for the owned subset of the sample, or None."""
+        own = [
+            i
+            for i, gid in enumerate(self.global_utt_ids)
+            if gid in set(global_sample.tolist())
+        ]
+        if not own:
+            return None
+        pieces = []
+        rebased = []
+        pos = 0
+        for i in own:
+            s = self.spans[i]
+            pieces.append(self.x[s.start : s.end])
+            length = s.end - s.start
+            rebased.append(UtteranceSpan(pos, pos + length, s.states))
+            pos += length
+        return np.concatenate(pieces, axis=0), SequenceBatchTargets(tuple(rebased))

@@ -1,0 +1,114 @@
+"""Iteration scripts: the per-iteration workload profile of an HF run.
+
+Simulating a 4096-rank training run cannot execute 4096 real gradient
+computations per iteration — but it does not need to: the *control flow*
+of Algorithm 1 (how many CG iterations each outer iteration ran, how
+many held-out evaluations backtracking and the line search spent) is a
+small trace.  We extract it from a **real** small-scale HF run
+(:func:`calibrate_script`), then replay it at full scale on the DES with
+modeled compute — so the simulated figures inherit the algorithm's true
+behaviour instead of hand-picked constants.
+
+``represented_iterations`` lets a short simulated run stand for a full
+training (the paper: networks "converge ... after 20 to 40 iterations
+through the entire data set"): total time = simulated per-iteration cost
+x represented/simulated ratio, reported by the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hf.types import HFResult
+from repro.util.rng import spawn
+
+__all__ = ["IterationScript", "calibrate_script", "default_script"]
+
+
+@dataclass(frozen=True)
+class IterationScript:
+    """Per-outer-iteration control-flow counts for a simulated run."""
+
+    cg_iters: tuple[int, ...]
+    heldout_evals: tuple[int, ...]
+    represented_iterations: int = 30
+
+    def __post_init__(self) -> None:
+        if not self.cg_iters:
+            raise ValueError("need at least one scripted iteration")
+        if len(self.cg_iters) != len(self.heldout_evals):
+            raise ValueError(
+                f"cg_iters ({len(self.cg_iters)}) and heldout_evals "
+                f"({len(self.heldout_evals)}) must align"
+            )
+        if any(c < 1 for c in self.cg_iters):
+            raise ValueError("every iteration runs >= 1 CG step")
+        if any(h < 1 for h in self.heldout_evals):
+            raise ValueError("every iteration evaluates held-out >= once")
+        if self.represented_iterations < len(self.cg_iters):
+            raise ValueError(
+                "represented_iterations must be >= simulated iterations"
+            )
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.cg_iters)
+
+    @property
+    def scale_factor(self) -> float:
+        """Multiplier from simulated iterations to a full training run."""
+        return self.represented_iterations / self.n_iterations
+
+    def truncated(self, n: int) -> "IterationScript":
+        """First ``n`` iterations, keeping the represented total."""
+        if not 1 <= n <= self.n_iterations:
+            raise ValueError(f"n must be in [1, {self.n_iterations}]")
+        return IterationScript(
+            cg_iters=self.cg_iters[:n],
+            heldout_evals=self.heldout_evals[:n],
+            represented_iterations=self.represented_iterations,
+        )
+
+
+def calibrate_script(
+    result: HFResult, represented_iterations: int = 30
+) -> IterationScript:
+    """Extract the control-flow profile of a real HF run."""
+    if not result.iterations:
+        raise ValueError("HF result has no iterations to calibrate from")
+    return IterationScript(
+        cg_iters=tuple(it.cg_iterations for it in result.iterations),
+        heldout_evals=tuple(
+            max(1, it.heldout_evals) for it in result.iterations
+        ),
+        represented_iterations=max(
+            represented_iterations, len(result.iterations)
+        ),
+    )
+
+
+def default_script(
+    n_iterations: int = 2,
+    seed: int = 0,
+    represented_iterations: int = 30,
+) -> IterationScript:
+    """A plausible profile when no calibration run is available.
+
+    CG counts center where Martens-style truncation lands for speech
+    DNNs (a few tens of iterations), held-out evaluations reflect CG
+    backtracking over ~log_1.3(cg_iters) snapshots plus a short Armijo
+    search.
+    """
+    rng = spawn(seed, "script")
+    cg = tuple(int(c) for c in rng.integers(12, 24, size=n_iterations))
+    held = tuple(
+        int(np.ceil(np.log(c) / np.log(1.3)) // 2 + rng.integers(2, 5))
+        for c in cg
+    )
+    return IterationScript(
+        cg_iters=cg,
+        heldout_evals=held,
+        represented_iterations=represented_iterations,
+    )

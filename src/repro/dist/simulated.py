@@ -1,0 +1,536 @@
+"""Simulated distributed HF training on the virtual BG/Q.
+
+Runs the master/worker protocol of Section IV as generator rank programs
+on the discrete-event engine, at the paper's true scale (1024-8192 MPI
+ranks): payloads are byte-counted stubs, worker compute is charged
+through the GEMM/A2 performance models at each worker's *actual* shard
+and curvature-sample sizes, and communication executes the real
+collective algorithms on the torus cost model.  Control flow comes from
+an :class:`~repro.dist.script.IterationScript` calibrated on a real
+small-scale HF run.
+
+What this reproduces (and what the tests assert):
+
+* Fig 1(a)/(b): end-to-end time per ``ranks-rpn-threads`` configuration;
+* Figs 2-5: per-rank per-function compute/collective/p2p breakdowns,
+  convertible to cycle categories via :mod:`repro.dist.timeline`;
+* the LB ablation: ``partitioner="naive"`` vs ``"balanced"``;
+* the COMM ablation: ``bcast_algorithm="serial"`` (socket-style) vs
+  ``"binomial"`` (MPI_Bcast);
+* the cluster comparison: swap in the Ethernet network model, the Xeon
+  perf model, and Linux jitter (see :mod:`repro.cluster`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.bgq.kernel import CnkNoise, NoiseModel
+from repro.bgq.network import TorusNetworkModel
+from repro.bgq.node import RunShape
+from repro.dist.partition import balanced_partition, naive_partition
+from repro.dist.script import IterationScript, default_script
+from repro.dist.timeline import COLL, COMPUTE, P2P, RankBreakdown, label, split_breakdown
+from repro.dist.workload import SimWorkload
+from repro.sim.engine import Timeout
+from repro.sim.trace import Tracer
+from repro.speech.hmm import HmmSpec
+from repro.util.rng import spawn
+from repro.vmpi.collcost import bcast_cost, collective_params, reduce_cost
+from repro.vmpi.collectives import bcast, reduce, serial_bcast
+from repro.vmpi.comm import RankCtx, VComm
+from repro.vmpi.costmodel import NetworkModel, PayloadStub
+
+__all__ = ["SimJobConfig", "SimRunResult", "simulate_training"]
+
+_TAG_DATA = 77
+
+
+@dataclass(frozen=True)
+class SimJobConfig:
+    """Everything one simulated training run needs."""
+
+    shape: RunShape
+    workload: SimWorkload
+    script: IterationScript = field(default_factory=default_script)
+    partitioner: str = "balanced"  # "balanced" | "naive"
+    bcast_algorithm: str = "binomial"  # "binomial" | "serial"
+    curvature_sampling: str = "frame"  # "frame" | "utterance"
+    """How workers draw their curvature mini-sample: "frame" takes an
+    exact fraction of local frames (balanced; mild content jitter),
+    "utterance" takes whole utterances until the share is reached —
+    utterance granularity makes one long-utterance worker stall every CG
+    product, which is the ablation showing why frame-level sampling (or
+    the paper's careful balancing) matters at scale."""
+    curvature_jitter: float = 0.08
+    """Relative std of per-worker curvature-time variation under frame
+    sampling (content mix effects; the paper's Fig. 3 notes the random
+    sample "could contribute to the variance")."""
+    load_data_mode: str = "master"
+    """How training shards reach workers:
+
+    * ``"master"`` — the paper's one-layer architecture: the master
+      ships every shard point-to-point (Fig 2's growing ``load_data``);
+    * ``"staged"`` — two-level relay: the master sends group bundles to
+      every ``load_data_fanout``-th worker, which forwards to its group.
+      Spoiler (and the DATA ablation's finding): this barely helps,
+      because the master's NIC egress — total bytes at injection
+      bandwidth — is the binding constraint either way;
+    * ``"parallel_io"`` — workers read their shards from the parallel
+      filesystem through the I/O nodes concurrently (no master relay),
+      which is what actually removes the bottleneck."""
+    load_data_fanout: int = 64
+    """Group size for ``"staged"`` distribution."""
+    io_aggregate_bandwidth: float = 20e9
+    """Filesystem aggregate read bandwidth for ``"parallel_io"``
+    (GPFS-era BG/Q installations: tens of GB/s)."""
+    hmm: HmmSpec = field(default_factory=HmmSpec)
+    seed: int = 0
+    segment_bytes: int = 1 << 20
+    network: NetworkModel | None = None
+    """Defaults to the BG/Q torus for the run shape; the cluster
+    comparator passes an Ethernet model instead."""
+    noise: NoiseModel = field(default_factory=CnkNoise)
+
+    def __post_init__(self) -> None:
+        if self.shape.ranks < 2:
+            raise ValueError("need a master and at least one worker")
+        if self.partitioner not in ("balanced", "naive"):
+            raise ValueError(f"unknown partitioner {self.partitioner!r}")
+        if self.curvature_sampling not in ("frame", "utterance"):
+            raise ValueError(
+                f"unknown curvature_sampling {self.curvature_sampling!r}"
+            )
+        if self.curvature_jitter < 0:
+            raise ValueError("curvature_jitter must be >= 0")
+        if self.bcast_algorithm not in ("binomial", "serial"):
+            raise ValueError(f"unknown bcast algorithm {self.bcast_algorithm!r}")
+        if self.segment_bytes < 1:
+            raise ValueError("segment_bytes must be >= 1")
+        if self.load_data_mode not in ("master", "staged", "parallel_io"):
+            raise ValueError(f"unknown load_data_mode {self.load_data_mode!r}")
+        if self.load_data_fanout < 2:
+            raise ValueError(
+                f"load_data_fanout must be >= 2: {self.load_data_fanout}"
+            )
+        if self.io_aggregate_bandwidth <= 0:
+            raise ValueError("io_aggregate_bandwidth must be > 0")
+
+    @property
+    def n_workers(self) -> int:
+        return self.shape.ranks - 1
+
+
+@dataclass
+class SimRunResult:
+    """Virtual-time outcome of one simulated training run."""
+
+    config: SimJobConfig
+    load_data_seconds: float
+    iteration_seconds: float
+    """Virtual time of the simulated iterations (post-load_data)."""
+    tracer: Tracer = field(repr=False, default=None)  # type: ignore[assignment]
+    total_messages: int = 0
+    total_bytes: int = 0
+
+    @property
+    def simulated_iterations(self) -> int:
+        return self.config.script.n_iterations
+
+    @property
+    def per_iteration_seconds(self) -> float:
+        return self.iteration_seconds / self.simulated_iterations
+
+    @property
+    def represented_total_seconds(self) -> float:
+        """Projected full-training time (load + represented iterations)."""
+        return (
+            self.load_data_seconds
+            + self.per_iteration_seconds
+            * self.config.script.represented_iterations
+        )
+
+    @property
+    def represented_total_hours(self) -> float:
+        return self.represented_total_seconds / 3600.0
+
+    def breakdown(self, rank: int) -> RankBreakdown:
+        return split_breakdown(self.tracer.totals(f"rank{rank}"))
+
+    def master_breakdown(self) -> RankBreakdown:
+        return self.breakdown(0)
+
+    def worker_breakdown(self, worker: int = 1) -> RankBreakdown:
+        if not 1 <= worker < self.config.shape.ranks:
+            raise ValueError(f"worker rank must be in [1, ranks): {worker}")
+        return self.breakdown(worker)
+
+    def mean_worker_breakdown(self, sample: int = 16) -> RankBreakdown:
+        """Average breakdown over an evenly spaced sample of workers."""
+        ranks = np.linspace(
+            1, self.config.shape.ranks - 1, min(sample, self.config.n_workers)
+        ).astype(int)
+        acc = RankBreakdown()
+        for r in ranks:
+            b = self.breakdown(int(r))
+            for d_acc, d in (
+                (acc.compute, b.compute),
+                (acc.collective, b.collective),
+                (acc.p2p, b.p2p),
+            ):
+                for k, v in d.items():
+                    d_acc[k] = d_acc.get(k, 0.0) + v / len(ranks)
+        return acc
+
+
+# --------------------------------------------------------------- planning
+@dataclass
+class _Plan:
+    """Precomputed per-worker loads (frames) for every phase."""
+
+    grad_frames: np.ndarray  # (workers,)
+    heldout_frames: np.ndarray  # (workers,)
+    curv_frames: list[np.ndarray]  # per outer iteration, (workers,)
+    shard_bytes: np.ndarray  # (workers,)
+
+
+def _draw_utterance_lengths(cfg: SimJobConfig) -> np.ndarray:
+    """Full-scale utterance length table matching the corpus generator's
+    log-normal distribution (lengths only — no features materialized)."""
+    spec = cfg.hmm
+    rng = spawn(cfg.seed, "sim-lengths")
+    mu = np.log(spec.mean_length) - 0.5 * spec.length_sigma**2
+    target = cfg.workload.train_frames
+    est = max(16, int(target / spec.mean_length * 1.1) + 16)
+    lengths: list[np.ndarray] = []
+    got = 0
+    while got < target:
+        draw = np.clip(
+            np.round(rng.lognormal(mu, spec.length_sigma, size=est)),
+            spec.min_length,
+            spec.max_length,
+        ).astype(np.int64)
+        cum = got + np.cumsum(draw)
+        cut = int(np.searchsorted(cum, target)) + 1
+        lengths.append(draw[:cut])
+        got = int(cum[min(cut, len(cum)) - 1])
+        est = max(16, est // 4)
+    return np.concatenate(lengths)
+
+
+def _build_plan(cfg: SimJobConfig) -> _Plan:
+    lengths = _draw_utterance_lengths(cfg)
+    w = cfg.n_workers
+    part_fn = balanced_partition if cfg.partitioner == "balanced" else naive_partition
+    if len(lengths) < w:
+        # tiny test workloads: pad with minimum-length utterances
+        pad = np.full(w - len(lengths) + 1, cfg.hmm.min_length, dtype=np.int64)
+        lengths = np.concatenate([lengths, pad])
+    assignment = part_fn(lengths.tolist(), w)
+    grad_frames = assignment.frames_per_worker()
+
+    worker_of_utt = np.empty(len(lengths), dtype=np.int64)
+    for wi, utts in enumerate(assignment.workers):
+        worker_of_utt[list(utts)] = wi
+
+    heldout = np.full(w, cfg.workload.heldout_frames // w, dtype=np.int64)
+    heldout[: cfg.workload.heldout_frames % w] += 1
+
+    # Curvature sampling is *local and balanced*, mirroring Section V-C's
+    # philosophy: every worker contributes its share (fraction x local
+    # frames) of the sample, redrawn per CG-Minimize call.
+    #
+    # "frame" granularity takes that share exactly (plus a small seeded
+    # content jitter); "utterance" granularity accumulates whole
+    # utterances until the share is reached, so one long utterance can
+    # blow a worker's sample up — the ablation quantifying why sampling
+    # granularity matters at thousands of workers.
+    curv: list[np.ndarray] = []
+    frac = cfg.workload.curvature_fraction
+    if cfg.curvature_sampling == "utterance":
+        worker_lengths = [lengths[list(utts)] for utts in assignment.workers]
+    for it in range(cfg.script.n_iterations):
+        rng = spawn(cfg.seed, "sim-curv", it)
+        if cfg.curvature_sampling == "frame":
+            base = np.maximum(1, np.round(frac * grad_frames)).astype(np.int64)
+            jitter = rng.normal(1.0, cfg.curvature_jitter, size=w)
+            frames = np.maximum(
+                1, np.round(base * np.clip(jitter, 0.5, 1.5))
+            ).astype(np.int64)
+        else:
+            frames = np.zeros(w, dtype=np.int64)
+            for wi, wl_lens in enumerate(worker_lengths):
+                if wl_lens.size == 0:
+                    continue
+                target = max(1, int(round(frac * int(wl_lens.sum()))))
+                start = int(rng.integers(0, wl_lens.size))
+                rolled = np.roll(wl_lens, -start)
+                cum = np.cumsum(rolled)
+                stop = int(np.searchsorted(cum, target)) + 1
+                frames[wi] = int(cum[min(stop, len(cum)) - 1])
+        curv.append(frames)
+
+    shard_bytes = np.array(
+        [cfg.workload.shard_bytes(int(f)) for f in grad_frames], dtype=np.int64
+    )
+    return _Plan(
+        grad_frames=grad_frames,
+        heldout_frames=heldout,
+        curv_frames=curv,
+        shard_bytes=shard_bytes,
+    )
+
+
+# ----------------------------------------------------------- rank programs
+def _make_programs(cfg: SimJobConfig, plan: _Plan, load_done: list[float]):
+    shape = cfg.shape
+    wl = cfg.workload
+    cores = shape.cores_per_rank
+    tpc = shape.threads_per_core
+    rpn = shape.ranks_per_node
+    theta = PayloadStub(wl.theta_bytes, "theta")
+    seg = cfg.segment_bytes
+    alpha, coll_bw = collective_params(
+        cfg.network
+        if cfg.network is not None
+        else TorusNetworkModel(
+            nodes=shape.nodes, ranks_per_node=shape.ranks_per_node
+        )
+    )
+
+    def _fast_path(nbytes: int) -> bool:
+        """Large payloads take the validated closed-form cost; small ones
+        execute the real tree algorithms message-by-message."""
+        return nbytes > seg and shape.ranks > 8
+
+    # Almost every collective in the protocol moves theta; freeze its
+    # routing decision and closed-form costs once (bit-identical to
+    # recomputing them per call — same pure functions, same arguments).
+    theta_nbytes = wl.theta_bytes
+    theta_fast = _fast_path(theta_nbytes)
+    theta_bcast_cost = bcast_cost(shape.ranks, theta_nbytes, alpha, coll_bw)
+    theta_reduce_cost = reduce_cost(shape.ranks, theta_nbytes, alpha, coll_bw)
+
+    sync_stub = PayloadStub(4, "sync")
+    go_stub = PayloadStub(4, "go")
+
+    def _modeled_collective(ctx: RankCtx, lbl: str, cost: float):
+        """Tiny-message barrier (straggler wait stays emergent) followed
+        by the closed-form transfer charge."""
+        t0 = ctx.comm.engine._now
+        yield from reduce(ctx, sync_stub, root=0)
+        yield from bcast(ctx, go_stub if ctx.rank == 0 else None, root=0)
+        if cost > 0:
+            yield float(cost)
+        ctx.record_span(lbl, t0)
+
+    serial = cfg.bcast_algorithm == "serial"
+
+    # span labels, composed once per run instead of once per span
+    lbl_sync_master = label(COLL, "sync_weights_master")
+    lbl_sync = label(COLL, "sync_weights")
+    lbl_cg_bcast = label(COLL, "cg_bcast")
+    lbl_cg_reduce = label(COLL, "cg_reduce")
+    lbl_reduce_grad = label(COLL, "reduce_gradient")
+    lbl_reduce_loss = label(COLL, "reduce_loss")
+    lbl_gradient = label(COMPUTE, "gradient_loss")
+    lbl_curvature = label(COMPUTE, "worker_curvature_product")
+    lbl_heldout = label(COMPUTE, "heldout_loss")
+
+    def coll_bcast(ctx: RankCtx, lbl: str, payload=None):
+        if serial:
+            t0 = ctx.now
+            result = yield from serial_bcast(ctx, payload, root=0)
+            ctx.record_span(lbl, t0)
+            return result
+        if isinstance(payload, PayloadStub) and payload.nbytes != theta_nbytes:
+            nbytes = payload.nbytes
+            fast = _fast_path(nbytes)
+            cost = bcast_cost(shape.ranks, nbytes, alpha, coll_bw) if fast else 0.0
+        else:
+            fast = theta_fast
+            cost = theta_bcast_cost
+        if fast:
+            yield from _modeled_collective(ctx, lbl, cost)
+            return payload
+        t0 = ctx.now
+        result = yield from bcast(ctx, payload, root=0, segment_bytes=seg)
+        ctx.record_span(lbl, t0)
+        return result
+
+    def coll_reduce(ctx: RankCtx, lbl: str, payload):
+        if isinstance(payload, PayloadStub) and payload.nbytes != theta_nbytes:
+            nbytes = payload.nbytes
+            fast = _fast_path(nbytes)
+            cost = reduce_cost(shape.ranks, nbytes, alpha, coll_bw) if fast else 0.0
+        else:
+            fast = theta_fast
+            cost = theta_reduce_cost
+        if fast:
+            yield from _modeled_collective(ctx, lbl, cost)
+            return payload if ctx.rank == 0 else None
+        t0 = ctx.now
+        result = yield from reduce(ctx, payload, root=0, segment_bytes=seg)
+        ctx.record_span(lbl, t0)
+        return result
+
+    def noisy(seconds: float, rng: np.random.Generator) -> float:
+        return cfg.noise.perturb(seconds, rng)
+
+    fanout = cfg.load_data_fanout
+    mode = cfg.load_data_mode
+    total_shard_bytes = float(plan.shard_bytes.sum())
+
+    def master_program(ctx: RankCtx):
+        # load_data: get shards to the workers per cfg.load_data_mode.
+        t0 = ctx.now
+        if mode == "staged":
+            for g0 in range(1, shape.ranks, fanout):
+                group = range(g0, min(g0 + fanout, shape.ranks))
+                bundle = int(sum(plan.shard_bytes[w - 1] for w in group))
+                yield from ctx.send(
+                    g0, PayloadStub(bundle, "bundle"), tag=_TAG_DATA
+                )
+            ctx.record_span(label(P2P, "load_data"), t0)
+        elif mode == "master":
+            for w in range(1, shape.ranks):
+                yield from ctx.send(
+                    w, PayloadStub(int(plan.shard_bytes[w - 1]), "shard"),
+                    tag=_TAG_DATA,
+                )
+            ctx.record_span(label(P2P, "load_data"), t0)
+        # parallel_io: workers read directly; the master does nothing.
+        load_done[0] = ctx.now
+
+        # The per-phase compute charges are invariant across iterations
+        # (same frames, same machine shape), so evaluate the perf models
+        # once instead of once per loop body — identical floats, and the
+        # GEMM model drops out of the simulator's hot path.
+        hf_master_secs = wl.master_vector_op_seconds(4.0)
+        cg_minimize_secs = wl.master_vector_op_seconds(6.0)
+        for it in range(cfg.script.n_iterations):
+            # gradient phase: theta out, gradient back
+            yield from coll_bcast(ctx, lbl_sync_master, theta)
+            yield from coll_reduce(ctx, lbl_reduce_grad, theta)
+            yield from ctx.compute(hf_master_secs, label(COMPUTE, "hf_master"))
+            # CG loop
+            for _k in range(cfg.script.cg_iters[it]):
+                yield from coll_bcast(ctx, lbl_cg_bcast, theta)
+                yield from coll_reduce(ctx, lbl_cg_reduce, theta)
+                yield from ctx.compute(
+                    cg_minimize_secs, label(COMPUTE, "cg_minimize")
+                )
+            # held-out evaluations (CG backtracking + Armijo)
+            for _e in range(cfg.script.heldout_evals[it]):
+                yield from coll_bcast(ctx, lbl_sync_master, theta)
+                yield from coll_reduce(
+                    ctx, lbl_reduce_loss, PayloadStub(16, "loss")
+                )
+        return ctx.now
+
+    def make_worker(widx: int) -> Callable:
+        def worker_program(ctx: RankCtx):
+            rng = spawn(cfg.seed, "noise", widx)
+            t0 = ctx.now
+            if mode == "staged":
+                rank = widx + 1
+                leader = ((rank - 1) // fanout) * fanout + 1
+                if rank == leader:
+                    yield from ctx.recv(source=0, tag=_TAG_DATA)
+                    for member in range(
+                        leader + 1, min(leader + fanout, shape.ranks)
+                    ):
+                        yield from ctx.send(
+                            member,
+                            PayloadStub(
+                                int(plan.shard_bytes[member - 1]), "shard"
+                            ),
+                            tag=_TAG_DATA,
+                        )
+                else:
+                    yield from ctx.recv(source=leader, tag=_TAG_DATA)
+                ctx.record_span(label(P2P, "load_data"), t0)
+            elif mode == "parallel_io":
+                # concurrent reads share the filesystem: everyone takes
+                # total_bytes / aggregate_bandwidth (function-shipped I/O
+                # through the I/O nodes, no master relay)
+                yield from ctx.compute(
+                    total_shard_bytes / cfg.io_aggregate_bandwidth,
+                    label(COMPUTE, "load_data"),
+                )
+            else:
+                yield from ctx.recv(source=0, tag=_TAG_DATA)
+                ctx.record_span(label(P2P, "load_data"), t0)
+
+            gf = int(plan.grad_frames[widx])
+            hf = int(plan.heldout_frames[widx])
+            # Invariant perf-model charges, hoisted out of the loops (the
+            # per-call noisy() perturbation stays inside so the rng draw
+            # sequence — and thus every simulated time — is unchanged).
+            gradient_secs = wl.gradient_seconds(gf, cores, tpc, rpn)
+            heldout_secs = wl.heldout_seconds(hf, cores, tpc, rpn)
+            loss_stub = PayloadStub(16, "loss")
+            for it in range(cfg.script.n_iterations):
+                yield from coll_bcast(ctx, lbl_sync)
+                yield from ctx.compute(
+                    noisy(gradient_secs, rng),
+                    lbl_gradient,
+                )
+                yield from coll_reduce(ctx, lbl_reduce_grad, theta)
+                cf = int(plan.curv_frames[it][widx])
+                # per-CG-call forward cache (setup) charged on first product
+                setup = wl.curvature_setup_seconds(cf, cores, tpc, rpn)
+                product_secs = wl.curvature_product_seconds(cf, cores, tpc, rpn)
+                for k in range(cfg.script.cg_iters[it]):
+                    yield from coll_bcast(ctx, lbl_cg_bcast)
+                    secs = product_secs
+                    if k == 0:
+                        secs += setup
+                    yield from ctx.compute(
+                        noisy(secs, rng),
+                        lbl_curvature,
+                    )
+                    yield from coll_reduce(ctx, lbl_cg_reduce, theta)
+                for _e in range(cfg.script.heldout_evals[it]):
+                    yield from coll_bcast(ctx, lbl_sync)
+                    yield from ctx.compute(
+                        noisy(heldout_secs, rng),
+                        lbl_heldout,
+                    )
+                    yield from coll_reduce(
+                        ctx, lbl_reduce_loss, loss_stub
+                    )
+            return ctx.now
+
+        return worker_program
+
+    return [master_program] + [make_worker(w) for w in range(cfg.n_workers)]
+
+
+# -------------------------------------------------------------- entry point
+def simulate_training(cfg: SimJobConfig) -> SimRunResult:
+    """Run one simulated training configuration to completion."""
+    plan = _build_plan(cfg)
+    network = cfg.network
+    if network is None:
+        network = TorusNetworkModel(
+            nodes=cfg.shape.nodes, ranks_per_node=cfg.shape.ranks_per_node
+        )
+    tracer = Tracer()
+    comm = VComm(
+        cfg.shape.ranks, network=network, tracer=tracer, trace_p2p=False
+    )
+    load_done = [0.0]
+    programs = _make_programs(cfg, plan, load_done)
+    end_time, _values = comm.run(programs)
+    return SimRunResult(
+        config=cfg,
+        load_data_seconds=load_done[0],
+        iteration_seconds=end_time - load_done[0],
+        tracer=tracer,
+        total_messages=comm.total_sends,
+        total_bytes=comm.total_bytes,
+    )

@@ -1,0 +1,125 @@
+"""Span-label conventions and breakdown extraction for simulated runs.
+
+Rank programs in :mod:`repro.dist.simulated` record phase-level spans
+with structured labels:
+
+* ``compute.<function>`` — modeled computation (charged via the GEMM/A2
+  models), e.g. ``compute.gradient_loss``;
+* ``coll.<function>`` — time inside a collective (including straggler
+  wait), e.g. ``coll.sync_weights_master``;
+* ``p2p.<function>`` — time in point-to-point calls, e.g.
+  ``p2p.load_data``.
+
+:func:`split_breakdown` turns a rank's span totals into the three
+figure-ready views: per-function compute time (Figs 2-3 input),
+per-function collective MPI time, and per-function p2p MPI time
+(Figs 4-5).  :func:`cycles_breakdown` further maps compute labels
+through the BG/Q cycle model into counter categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgq.cycles import CycleCategories, CycleModel
+
+__all__ = [
+    "COMPUTE",
+    "COLL",
+    "P2P",
+    "label",
+    "RankBreakdown",
+    "ordered_sum",
+    "split_breakdown",
+    "cycles_breakdown",
+    "COMPUTE_KERNEL_CLASS",
+]
+
+COMPUTE = "compute"
+COLL = "coll"
+P2P = "p2p"
+
+# function label -> BG/Q kernel class for cycle accounting
+COMPUTE_KERNEL_CLASS: dict[str, str] = {
+    "gradient_loss": "gemm",
+    "worker_curvature_product": "gemm",
+    "heldout_loss": "gemm",
+    "sequence_forward_backward": "elementwise",
+    "cg_minimize": "elementwise",  # master's vector arithmetic
+    "hf_master": "control",
+    "load_data": "io",
+}
+
+
+def label(kind: str, function: str) -> str:
+    """Compose a span label, e.g. ``label(COLL, "sync_weights_master")``."""
+    if kind not in (COMPUTE, COLL, P2P):
+        raise ValueError(f"unknown span kind {kind!r}")
+    return f"{kind}.{function}"
+
+
+def ordered_sum(d: dict[str, float]) -> float:
+    """Fold float values in sorted-key order: bitwise reproducible no
+    matter the dict's (per-rank, arrival-dependent) insertion order."""
+    return sum(d[k] for k in sorted(d))
+
+
+@dataclass
+class RankBreakdown:
+    """One rank's time, split by (kind, function)."""
+
+    compute: dict[str, float] = field(default_factory=dict)
+    collective: dict[str, float] = field(default_factory=dict)
+    p2p: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_compute(self) -> float:
+        return ordered_sum(self.compute)
+
+    @property
+    def total_mpi(self) -> float:
+        return ordered_sum(self.collective) + ordered_sum(self.p2p)
+
+    @property
+    def total(self) -> float:
+        return self.total_compute + self.total_mpi
+
+
+def split_breakdown(span_totals: dict[str, float]) -> RankBreakdown:
+    """Partition a rank's per-label totals by label kind."""
+    out = RankBreakdown()
+    for lbl, secs in span_totals.items():
+        if "." not in lbl:
+            continue  # raw mpi_send/mpi_recv or other unstructured spans
+        kind, function = lbl.split(".", 1)
+        if kind == COMPUTE:
+            out.compute[function] = out.compute.get(function, 0.0) + secs
+        elif kind == COLL:
+            out.collective[function] = out.collective.get(function, 0.0) + secs
+        elif kind == P2P:
+            out.p2p[function] = out.p2p.get(function, 0.0) + secs
+    return out
+
+
+def cycles_breakdown(
+    breakdown: RankBreakdown,
+    threads_per_core: int,
+    model: CycleModel | None = None,
+) -> dict[str, CycleCategories]:
+    """Per-function hardware-counter categories (Figs 2-3).
+
+    Compute functions classify per :data:`COMPUTE_KERNEL_CLASS`; all MPI
+    time (collective + p2p) classifies as ``mpi_wait`` under its function
+    name prefixed ``mpi:`` so the figure can stack them side by side.
+    """
+    model = model or CycleModel()
+    out: dict[str, CycleCategories] = {}
+    for fn, secs in breakdown.compute.items():
+        kclass = COMPUTE_KERNEL_CLASS.get(fn, "control")
+        out[fn] = model.split(secs, kclass, threads_per_core)
+    for source in (breakdown.collective, breakdown.p2p):
+        for fn, secs in source.items():
+            key = f"mpi:{fn}"
+            cats = model.split(secs, "mpi_wait", threads_per_core)
+            out[key] = out[key] + cats if key in out else cats
+    return out

@@ -1,0 +1,183 @@
+"""Full-scale workload sizing and modeled per-phase compute times.
+
+Maps the paper's training workload — model geometry, corpus frame
+counts, curvature sampling — to modeled seconds per worker phase via the
+GEMM performance model.  The simulated rank programs charge these times
+on the DES, so the figure-level timings inherit the real operation mix
+(every forward/backward/R-op GEMM of the real code, at the real shapes)
+evaluated on the modeled machine.
+
+Geometry presets follow the paper's numbers: "roughly 10-50 million
+parameters" for typical speech models (the 50-hour preset lands at ~41 M)
+and "a deep network with over 100M parameters" for the 400-hour/two-rack
+run (~123 M).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.gemm.perf import GemmPerfModel, GemmProblem
+
+__all__ = ["ModelGeometry", "SimWorkload", "GEOMETRY_50HR", "GEOMETRY_400HR"]
+
+
+@dataclass(frozen=True)
+class ModelGeometry:
+    """DNN layer sizes for workload modeling (no real weights needed)."""
+
+    layer_dims: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.layer_dims) < 2:
+            raise ValueError(f"need >= 2 layer dims: {self.layer_dims}")
+        if any(d < 1 for d in self.layer_dims):
+            raise ValueError(f"dims must be >= 1: {self.layer_dims}")
+
+    @cached_property
+    def n_params(self) -> int:
+        return sum(
+            i * o + o for i, o in zip(self.layer_dims[:-1], self.layer_dims[1:])
+        )
+
+    @property
+    def n_outputs(self) -> int:
+        return self.layer_dims[-1]
+
+    def layer_pairs(self) -> list[tuple[int, int]]:
+        return list(zip(self.layer_dims[:-1], self.layer_dims[1:]))
+
+
+GEOMETRY_50HR = ModelGeometry((360, 2048, 2048, 2048, 2048, 2048, 9300))
+"""~41 M parameters — the paper's typical 10-50 M range."""
+
+GEOMETRY_400HR = ModelGeometry((360, 4096, 4096, 4096, 4096, 4096, 9300))
+"""~123 M parameters — the paper's "over 100M parameters" two-rack model."""
+
+
+@dataclass(frozen=True)
+class SimWorkload:
+    """Sizing + per-phase time model for one training configuration."""
+
+    geometry: ModelGeometry
+    train_frames: int
+    heldout_frames: int
+    curvature_fraction: float = 0.02
+    precision: str = "sp"
+    sequence_states: int = 0
+    """> 0 enables the sequence-criterion forward-backward surcharge
+    (cost ~ frames x states^2), sized by the *effective* denominator-
+    graph branching (lattice-free MMI here; lattice arcs in the paper)."""
+    perf: GemmPerfModel = field(default_factory=GemmPerfModel)
+    framework_efficiency: float = 0.13
+    """Fraction of the modeled pure-GEMM rate the full application
+    sustains (framework overheads, non-GEMM ops, layout conversions,
+    in-order-core sensitivity to everything that is not the tuned
+    kernel).  Calibrated so the BG/Q-vs-Xeon ratio matches Table I:
+    the paper's own numbers (9 h on 96 Xeon processes vs 1.3 h on 4096
+    BG/Q ranks, ~43x the parallelism at ~2x the per-rank SP peak) imply
+    the BG/Q application sustained roughly 15 % of the Xeon baseline's
+    per-flop efficiency — the out-of-order Xeon forgives untuned code,
+    the in-order A2 does not.  The Xeon comparator uses 0.85 (see
+    :mod:`repro.harness.speedup`)."""
+
+    def __post_init__(self) -> None:
+        if self.train_frames < 1 or self.heldout_frames < 1:
+            raise ValueError("frame counts must be >= 1")
+        if not 0 < self.curvature_fraction <= 1:
+            raise ValueError(
+                f"curvature_fraction must be in (0,1]: {self.curvature_fraction}"
+            )
+        if not 0 < self.framework_efficiency <= 1:
+            raise ValueError(
+                f"framework_efficiency must be in (0,1]: {self.framework_efficiency}"
+            )
+        # Memo for _pass_seconds (plain attribute, not a dataclass field).
+        # Balanced partitioning gives many workers identical frame
+        # counts, so per-phase times repeat across the per-worker setup
+        # loops; the model is pure, so caching is result-identical.
+        object.__setattr__(self, "_pass_cache", {})
+
+    # ---------------------------------------------------------------- bytes
+    @property
+    def dtype_bytes(self) -> int:
+        return 4 if self.precision == "sp" else 8
+
+    @cached_property
+    def theta_bytes(self) -> int:
+        """Wire size of one weight broadcast / gradient reduction."""
+        return self.geometry.n_params * self.dtype_bytes
+
+    def shard_bytes(self, frames: int) -> int:
+        """Wire size of one worker's training shard (load_data)."""
+        return frames * self.geometry.layer_dims[0] * self.dtype_bytes
+
+    # ----------------------------------------------------- per-phase seconds
+    def _pass_seconds(
+        self, frames: int, cores: float, tpc: int, gemms_per_layer: float, rpn: int
+    ) -> float:
+        if frames <= 0:
+            return 0.0
+        key = (frames, cores, tpc, gemms_per_layer, rpn)
+        cached = self._pass_cache.get(key)
+        if cached is not None:
+            return cached
+        total = 0.0
+        for fan_in, fan_out in self.geometry.layer_pairs():
+            p = GemmProblem(frames, fan_out, fan_in, self.precision)
+            total += self.perf.seconds(p, cores, tpc, rpn) * gemms_per_layer
+        total /= self.framework_efficiency
+        self._pass_cache[key] = total
+        return total
+
+    def _seq_fb_seconds(self, frames: int, cores: float, tpc: int) -> float:
+        """Forward-backward over the denominator graph: ~10 ops per
+        (frame, state, state) cell, each involving a log-sum-exp step.
+
+        This code is branchy and transcendental-bound — nothing like the
+        tuned GEMM kernel — so the sustained fraction of peak is tiny
+        and *core-architecture dependent*: an out-of-order Xeon pipelines
+        exp() at ~4 % of peak, the in-order A2 manages ~0.2 %.  The two
+        constants are calibrated to Table I's criterion slowdowns
+        (sequence/CE = 18.7/9 ~ 2.1x on Xeon, 4.19/1.3 ~ 3.2x on BG/Q).
+        """
+        if self.sequence_states <= 0 or frames <= 0:
+            return 0.0
+        flops = 10.0 * frames * self.sequence_states**2
+        eff = 0.04 if self.perf.kernel.out_of_order else 0.002
+        rate = self.perf.core.peak_gflops * 1e9 * cores * eff
+        return flops / rate
+
+    def gradient_seconds(
+        self, frames: int, cores: float, tpc: int, rpn: int = 1
+    ) -> float:
+        """Full forward + backward over ``frames`` (3 GEMMs/layer: forward,
+        weight-gradient, delta propagation)."""
+        t = self._pass_seconds(frames, cores, tpc, 3.0, rpn)
+        return t + self._seq_fb_seconds(frames, cores, tpc)
+
+    def curvature_setup_seconds(
+        self, frames: int, cores: float, tpc: int, rpn: int = 1
+    ) -> float:
+        """The per-CG-call forward pass that caches activations."""
+        return self._pass_seconds(frames, cores, tpc, 1.0, rpn)
+
+    def curvature_product_seconds(
+        self, frames: int, cores: float, tpc: int, rpn: int = 1
+    ) -> float:
+        """One G v product: R-op forward (2 GEMMs/layer) + backward (2)."""
+        return self._pass_seconds(frames, cores, tpc, 4.0, rpn)
+
+    def heldout_seconds(
+        self, frames: int, cores: float, tpc: int, rpn: int = 1
+    ) -> float:
+        """Forward only (plus sequence scoring if enabled)."""
+        t = self._pass_seconds(frames, cores, tpc, 1.0, rpn)
+        return t + self._seq_fb_seconds(frames, cores, tpc)
+
+    def master_vector_op_seconds(self, ops: float = 6.0) -> float:
+        """CG bookkeeping on the master: ``ops`` sweeps over theta,
+        memory-bandwidth-bound on one node."""
+        nbytes = self.geometry.n_params * 8 * ops
+        return nbytes / self.perf.memory.ddr_bandwidth

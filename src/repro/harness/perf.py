@@ -1,0 +1,232 @@
+"""Simulator performance benchmarks — the ``repro perf`` harness.
+
+The DES engine + virtual-MPI layer execute every figure of the
+reproduction at the paper's true scale (1024-8192 ranks), so simulator
+wall-clock *is* the cost of the benchmark suite.  This module times the
+hot paths the engine overhaul targets and emits ``BENCH_sim_vmpi.json``
+so each PR inherits the previous one's numbers as a regression baseline.
+
+Benchmarks
+----------
+micro
+    ``timeout_storm`` — pure engine: heap + ready-deque churn with no
+    message traffic; ``p2p_ping_ring`` — send/recv matching through the
+    indexed mailboxes; ``bcast_fanout`` — binomial-tree fan-out, the
+    collective building block.
+macro
+    ``simulate_training`` at 1024 and 4096 ranks with the standard
+    50-hour workload — the configuration the ≥3× speedup acceptance
+    criterion is measured on.
+
+Protocol
+--------
+Each benchmark runs ``repeats`` times and reports every wall time plus
+the **min** (the standard estimator for intrinsic cost under scheduler
+noise).  The collector is disabled inside the timed region — the
+simulator allocates millions of short-lived tuples, and generational GC
+sweeps otherwise dominate variance (collection runs between repeats
+instead).  Every benchmark also records a *virtual* invariant (finish
+time, message count) so a perf run doubles as a determinism check: the
+numbers must be bit-identical across engine changes.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Generator
+
+__all__ = [
+    "run_perf",
+    "write_bench_json",
+    "bench_timeout_storm",
+    "bench_ping_ring",
+    "bench_bcast_fanout",
+    "bench_macro",
+    "BENCH_FILENAME",
+]
+
+BENCH_FILENAME = "BENCH_sim_vmpi.json"
+
+MACRO_SHAPES = ("1024-4-16", "4096-4-16")
+QUICK_MACRO_SHAPES = ("256-4-16",)
+
+
+# --------------------------------------------------------------------- micro
+def bench_timeout_storm(procs: int = 512, timeouts: int = 64) -> dict[str, Any]:
+    """Engine-only event churn: ``procs`` generators each sleep through
+    ``timeouts`` staggered delays (a third of them zero-delay, to
+    exercise the ready-deque fast path)."""
+    from repro.sim.engine import Engine
+
+    def sleeper(i: int) -> Generator:
+        for j in range(timeouts):
+            yield float((i * 7 + j * 13) % 3) * 1e-6
+
+    eng = Engine()
+    for i in range(procs):
+        eng.process(sleeper(i), name=f"p{i}")
+    t = eng.run()
+    return {"virtual_finish": t, "events": procs * timeouts}
+
+
+def bench_ping_ring(ranks: int = 256, rounds: int = 32) -> dict[str, Any]:
+    """p2p matching pressure: every rank sends around a ring and receives
+    from its predecessor, ``rounds`` times — one exact-match recv per
+    message through the indexed mailboxes."""
+    from repro.bgq.network import TorusNetworkModel
+    from repro.vmpi.comm import VComm
+    from repro.vmpi.costmodel import PayloadStub
+
+    comm = VComm(
+        ranks,
+        network=TorusNetworkModel(nodes=ranks // 4, ranks_per_node=4),
+        trace_p2p=False,
+    )
+    payload = PayloadStub(1024, "ping")
+
+    def program(ctx):
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        for r in range(rounds):
+            yield from ctx.send(right, payload, tag=r)
+            yield from ctx.recv(source=left, tag=r)
+
+    t, _ = comm.run(program)
+    return {
+        "virtual_finish": t,
+        "messages": comm.total_sends,
+        "bytes": comm.total_bytes,
+    }
+
+
+def bench_bcast_fanout(ranks: int = 256, rounds: int = 16) -> dict[str, Any]:
+    """Binomial-tree fan-out: ``rounds`` broadcasts from rank 0 over the
+    full communicator — log-depth waves of send/recv pairs."""
+    from repro.bgq.network import TorusNetworkModel
+    from repro.vmpi.collectives import bcast
+    from repro.vmpi.comm import VComm
+    from repro.vmpi.costmodel import PayloadStub
+
+    comm = VComm(
+        ranks,
+        network=TorusNetworkModel(nodes=ranks // 4, ranks_per_node=4),
+        trace_p2p=False,
+    )
+    payload = PayloadStub(4096, "weights")
+
+    def program(ctx):
+        for _ in range(rounds):
+            yield from bcast(ctx, payload if ctx.rank == 0 else None, root=0)
+
+    t, _ = comm.run(program)
+    return {
+        "virtual_finish": t,
+        "messages": comm.total_sends,
+        "bytes": comm.total_bytes,
+    }
+
+
+# --------------------------------------------------------------------- macro
+def bench_macro(shape: str = "4096-4-16") -> dict[str, Any]:
+    """One full simulated training run — the acceptance-criterion
+    configuration (one outer iteration standing for 30)."""
+    from repro.bgq import RunShape
+    from repro.dist import IterationScript, SimJobConfig, simulate_training
+    from repro.harness.scaling import default_workload
+
+    cfg = SimJobConfig(
+        shape=RunShape.parse(shape),
+        workload=default_workload(50.0),
+        script=IterationScript((10,), (3,), represented_iterations=30),
+        seed=7,
+    )
+    res = simulate_training(cfg)
+    return {
+        "virtual_finish": res.load_data_seconds + res.iteration_seconds,
+        "messages": res.total_messages,
+    }
+
+
+# ------------------------------------------------------------------- driver
+def _time(fn: Callable[[], dict[str, Any]], repeats: int) -> dict[str, Any]:
+    walls: list[float] = []
+    meta: dict[str, Any] = {}
+    was_enabled = gc.isenabled()
+    try:
+        gc.disable()
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = fn()
+            walls.append(time.perf_counter() - t0)
+            if meta and result != meta:
+                raise AssertionError(
+                    f"benchmark is not deterministic: {result} != {meta}"
+                )
+            meta = result
+            gc.collect()
+    finally:
+        if was_enabled:
+            gc.enable()
+    return {"walls_s": walls, "best_s": min(walls), **meta}
+
+
+def run_perf(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
+    """Run every benchmark; returns the ``BENCH_sim_vmpi.json`` payload.
+
+    ``quick`` shrinks the workloads for smoke-testing the harness itself
+    (CI); published baselines use the default sizes.
+    """
+    if quick:
+        micro = {
+            "timeout_storm": lambda: bench_timeout_storm(procs=64, timeouts=16),
+            "p2p_ping_ring": lambda: bench_ping_ring(ranks=32, rounds=4),
+            "bcast_fanout": lambda: bench_bcast_fanout(ranks=32, rounds=4),
+        }
+        shapes = QUICK_MACRO_SHAPES
+    else:
+        micro = {
+            "timeout_storm": bench_timeout_storm,
+            "p2p_ping_ring": bench_ping_ring,
+            "bcast_fanout": bench_bcast_fanout,
+        }
+        shapes = MACRO_SHAPES
+    payload: dict[str, Any] = {
+        "benchmark": "sim_vmpi",
+        "protocol": {
+            "repeats": repeats,
+            "timer": "time.perf_counter",
+            "gc": "disabled during timed region",
+            "estimator": "min over repeats (best_s)",
+        },
+        "micro": {},
+        "macro": {},
+    }
+    for name, fn in micro.items():
+        payload["micro"][name] = _time(fn, repeats)
+    for shape in shapes:
+        payload["macro"][shape] = _time(lambda s=shape: bench_macro(s), repeats)
+    return payload
+
+
+def write_bench_json(payload: dict[str, Any], path: str | Path) -> Path:
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def render_perf_text(payload: dict[str, Any]) -> str:
+    lines = ["sim/vmpi perf (best of repeats, seconds):"]
+    for section in ("micro", "macro"):
+        for name, r in payload[section].items():
+            walls = ", ".join(f"{w:.3f}" for w in r["walls_s"])
+            extra = ""
+            if "virtual_finish" in r:
+                extra = f"  [virtual_finish={r['virtual_finish']!r}"
+                if "messages" in r:
+                    extra += f", messages={r['messages']}"
+                extra += "]"
+            lines.append(f"  {section}/{name}: {r['best_s']:.3f}  ({walls}){extra}")
+    return "\n".join(lines)

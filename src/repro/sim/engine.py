@@ -11,13 +11,23 @@ Determinism: events at equal virtual time fire in FIFO order of their
 scheduling (a monotone sequence number breaks ties), so a given set of
 rank programs always interleaves identically — essential for reproducible
 simulated-BG/Q figures.
+
+Scheduler internals (the hot path, see DESIGN.md for the full argument):
+the pending-event set is split into a plain ``(time, seq, action)`` tuple
+heap and a zero-delay *ready deque*.  ``schedule(0.0, ...)`` — every
+process start, every ``Put`` completion, every satisfied ``Get`` — is an
+O(1) deque append instead of a heap push, and the run loop interleaves
+the two sources by comparing the heap top's ``(time, seq)`` against the
+deque head's ``seq``, which reproduces the single-heap FIFO order
+exactly: ready entries are always stamped at the current virtual time,
+and heap entries never lie in the past (delays are >= 0 and the clock is
+monotone), so seq comparison at equal time is the only tie-break needed.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable
 
 __all__ = [
@@ -60,23 +70,34 @@ Command = Any
 ProcessBody = Generator[Command, Any, Any]
 
 
-@dataclass
 class Timeout:
-    """Suspend the yielding process for ``delay`` units of virtual time."""
+    """Suspend the yielding process for ``delay`` units of virtual time.
 
-    delay: float
+    Yielding a bare ``float`` is accepted as shorthand with identical
+    semantics; hot paths use it to skip the wrapper allocation."""
 
-    def __post_init__(self) -> None:
-        if self.delay < 0:
-            raise ValueError(f"negative timeout {self.delay!r}")
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout {delay!r}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay!r})"
 
 
 class Store:
     """Unbounded FIFO store with optional item filtering on get.
 
-    The vmpi layer gives every rank an inbox ``Store``; matched receives
-    use ``predicate`` to pull the first message matching (source, tag).
+    Generic engine-level store: getters may pass an arbitrary
+    ``predicate`` and matching scans linearly.  The vmpi layer uses the
+    indexed :class:`~repro.vmpi.comm.Mailbox` (same ``_offer`` /
+    ``_take`` / ``_park`` / ``_cancel`` protocol) for rank inboxes, where
+    the (source, tag) key structure makes exact matches O(1).
     """
+
+    __slots__ = ("engine", "name", "items", "_getters")
 
     def __init__(self, engine: "Engine", name: str = "store") -> None:
         self.engine = engine
@@ -88,45 +109,108 @@ class Store:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Store {self.name} items={len(self.items)} waiters={len(self._getters)}>"
 
+    # --------------------------------------------------- engine store protocol
+    def _offer(self, item: Any) -> "SimProcess | None":
+        """Hand ``item`` to the first compatible parked getter (FIFO) and
+        return it; queue the item and return None if nobody matches."""
+        getters = self._getters
+        for i, (getter, pred) in enumerate(getters):
+            if pred is None or pred(item):
+                del getters[i]
+                return getter
+        self.items.append(item)
+        return None
 
-@dataclass
+    def _take(self, command: "Get") -> tuple[bool, Any]:
+        """Pop the first queued item matching ``command``; (found, item)."""
+        pred = command.predicate
+        items = self.items
+        if pred is None:
+            if items:
+                return True, items.popleft()
+            return False, None
+        for i, item in enumerate(items):
+            if pred(item):
+                del items[i]
+                return True, item
+        return False, None
+
+    def _park(self, proc: "SimProcess", command: "Get") -> Any:
+        """Register a blocked getter; returns a cancel token."""
+        entry = (proc, command.predicate)
+        self._getters.append(entry)
+        return entry
+
+    def _cancel(self, entry: Any) -> bool:
+        """Unregister a parked getter; False if it was already satisfied."""
+        try:
+            self._getters.remove(entry)
+        except ValueError:
+            return False
+        return True
+
+
 class Get:
     """Take the first item from ``store`` (matching ``predicate`` if given).
 
     The item becomes the value of the ``yield`` expression.
 
-    ``detail`` and ``waits_on`` are diagnostic annotations: ``detail`` is
-    a human description of the pending operation (shown in deadlock
-    reports), ``waits_on`` names the process that would have to act for
-    this get to complete (an edge of the wait-for graph; ``None`` means
-    "anyone", e.g. an ``ANY_SOURCE`` receive).  ``timeout``, when set,
-    bounds the wait in virtual seconds: on expiry a :class:`GetTimeout`
-    is thrown into the blocked process at the ``yield``.
+    ``source`` / ``tag`` are the indexed-matching alternative to
+    ``predicate``: against a :class:`~repro.vmpi.comm.Mailbox` they
+    select by key (``None`` meaning wildcard) without calling back into
+    Python per item.  ``detail`` and ``waits_on`` are diagnostic
+    annotations: ``detail`` is a human description of the pending
+    operation (shown in deadlock reports), ``waits_on`` names the process
+    that would have to act for this get to complete (an edge of the
+    wait-for graph; ``None`` means "anyone", e.g. an ``ANY_SOURCE``
+    receive).  Both may be omitted — indexed stores reconstruct them on
+    demand, so the common case pays nothing for diagnostics.  ``timeout``,
+    when set, bounds the wait in virtual seconds: on expiry a
+    :class:`GetTimeout` is thrown into the blocked process at the
+    ``yield``.
     """
 
-    store: Store
-    predicate: Callable[[Any], bool] | None = None
-    detail: str | None = None
-    waits_on: str | None = None
-    timeout: float | None = None
+    __slots__ = ("store", "predicate", "detail", "waits_on", "timeout", "source", "tag")
+
+    def __init__(
+        self,
+        store: Any,
+        predicate: Callable[[Any], bool] | None = None,
+        detail: str | None = None,
+        waits_on: str | None = None,
+        timeout: float | None = None,
+        source: int | None = None,
+        tag: int | None = None,
+    ) -> None:
+        self.store = store
+        self.predicate = predicate
+        self.detail = detail
+        self.waits_on = waits_on
+        self.timeout = timeout
+        self.source = source
+        self.tag = tag
 
 
-@dataclass
 class Put:
     """Deposit ``item`` into ``store`` (never blocks; stores are unbounded)."""
 
-    store: Store
-    item: Any
+    __slots__ = ("store", "item")
+
+    def __init__(self, store: Any, item: Any) -> None:
+        self.store = store
+        self.item = item
 
 
-@dataclass
 class AllOf:
     """Wait until all child processes (spawned handles) have finished.
 
     Yields a list of their return values in order.
     """
 
-    processes: list["SimProcess"]
+    __slots__ = ("processes",)
+
+    def __init__(self, processes: list["SimProcess"]) -> None:
+        self.processes = processes
 
 
 class SimProcess:
@@ -140,7 +224,6 @@ class SimProcess:
         "value",
         "error",
         "_waiters",
-        "_blocked_on",
         "_blocked_cmd",
     )
 
@@ -152,26 +235,71 @@ class SimProcess:
         self.value: Any = None
         self.error: BaseException | None = None
         self._waiters: list[tuple[SimProcess, AllOf]] = []
-        self._blocked_on: str | None = None
         self._blocked_cmd: Any = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "done" if self.finished else (self._blocked_on or "ready")
+        if self.finished:
+            state = "done"
+        elif self._blocked_cmd is not None:
+            state = _describe_command(self._blocked_cmd)
+        else:
+            state = "ready"
         return f"<SimProcess {self.name} {state}>"
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
+def _describe_command(cmd: Command) -> str:
+    """Human description of a blocking command, built lazily — only
+    deadlock/timeout reports and debug reprs ever pay for formatting."""
+    if isinstance(cmd, Get):
+        if cmd.detail is not None:
+            return cmd.detail
+        describe = getattr(cmd.store, "describe_get", None)
+        if describe is not None:
+            return describe(cmd)
+        return f"get({cmd.store.name})"
+    if isinstance(cmd, AllOf):
+        return f"allof({len(cmd.processes)})"
+    if isinstance(cmd, Timeout):  # pragma: no cover - cannot deadlock
+        return f"timeout({cmd.delay:g})"
+    if isinstance(cmd, float):  # pragma: no cover - cannot deadlock
+        return f"timeout({cmd:g})"
+    return "?"  # pragma: no cover - defensive
+
+
+def _waits_on(cmd: Command) -> str | None:
+    """Wait-for-graph successor of a blocked command, if known."""
+    if isinstance(cmd, Get):
+        if cmd.waits_on is not None:
+            return cmd.waits_on
+        waiter = getattr(cmd.store, "waits_on", None)
+        if waiter is not None:
+            return waiter(cmd)
+    return None
 
 
 class Engine:
-    """The event loop: virtual clock plus scheduled actions."""
+    """The event loop: virtual clock plus scheduled actions.
+
+    Pending work lives in two structures: ``_queue``, a heap of
+    ``(time, seq, kind, a, b)`` tuples, and ``_ready``, a deque of
+    ``(seq, kind, a, b)`` tuples for zero-delay events at the current
+    virtual time.  ``seq`` is one monotone counter shared by both, so
+    merging the two streams by seq at equal time reproduces the order a
+    single heap would produce (and, being unique, guarantees tuple
+    comparison never reaches the non-ordered payload fields).
+
+    ``kind`` selects the event's effect without allocating a closure per
+    event — the previous design bound a lambda for every resume, which
+    dominated allocation in large simulations:
+
+    * ``0`` — resume process ``a`` with value ``b``;
+    * ``1`` — deposit item ``b`` into store ``a``;
+    * ``2`` — call ``a()`` (generic actions from :meth:`schedule`).
+    """
 
     def __init__(self) -> None:
-        self._queue: list[_Event] = []
+        self._queue: list[tuple[float, int, int, Any, Any]] = []
+        self._ready: deque[tuple[int, int, Any, Any]] = deque()
         self._seq = 0
         self._now = 0.0
         self._processes: list[SimProcess] = []
@@ -185,9 +313,14 @@ class Engine:
 
     def schedule(self, delay: float, action: Callable[[], None]) -> None:
         """Run ``action`` after ``delay`` units of virtual time."""
-        if delay < 0:
-            raise ValueError(f"negative delay {delay!r}")
-        heapq.heappush(self._queue, _Event(self._now + delay, self._seq, action))
+        if delay == 0.0:
+            self._ready.append((self._seq, 2, action, None))
+        else:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay!r}")
+            heapq.heappush(
+                self._queue, (self._now + delay, self._seq, 2, action, None)
+            )
         self._seq += 1
 
     # ------------------------------------------------------------- processes
@@ -196,7 +329,8 @@ class Engine:
         proc = SimProcess(self, body, name)
         self._processes.append(proc)
         self._live += 1
-        self.schedule(0.0, lambda: self._resume(proc, None))
+        self._ready.append((self._seq, 0, proc, None))
+        self._seq += 1
         return proc
 
     def new_store(self, name: str = "store") -> Store:
@@ -209,7 +343,15 @@ class Engine:
         continues once injection completes while the payload arrives at
         the destination inbox at link-transfer time.
         """
-        self.schedule(delay, lambda: self._do_put(store, item))
+        if delay == 0.0:
+            self._ready.append((self._seq, 1, store, item))
+        else:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay!r}")
+            heapq.heappush(
+                self._queue, (self._now + delay, self._seq, 1, store, item)
+            )
+        self._seq += 1
 
     # -------------------------------------------------------------- stepping
     def run(self, until: float | None = None) -> float:
@@ -219,14 +361,34 @@ class Engine:
         unfinished processes remain when the event queue drains — this is
         how mismatched sends/receives in rank programs surface.
         """
-        while self._queue:
-            ev = self._queue[0]
-            if until is not None and ev.time > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._queue)
-            self._now = ev.time
-            ev.action()
+        queue = self._queue
+        ready = self._ready
+        heappop = heapq.heappop
+        resume = self._resume
+        do_put = self._do_put
+        while queue or ready:
+            # Ready entries sit at the current virtual time; fire them
+            # before any strictly-future heap event, and before an
+            # equal-time heap event iff they were scheduled earlier.
+            if ready and (
+                not queue
+                or queue[0][0] > self._now
+                or ready[0][0] < queue[0][1]
+            ):
+                _, kind, a, b = ready.popleft()
+            else:
+                time = queue[0][0]
+                if until is not None and time > until:
+                    self._now = until
+                    return until
+                _, _, kind, a, b = heappop(queue)
+                self._now = time
+            if kind == 0:
+                resume(a, b)
+            elif kind == 1:
+                do_put(a, b)
+            else:
+                a()
         if self._live > 0:
             raise self._deadlock_error()
         return self._now
@@ -244,14 +406,19 @@ class Engine:
             f"{self._live} process(es) blocked forever at t={self._now:g}:"
         ]
         for p in blocked[:32]:
-            lines.append(f"  {p.name}: waiting on {p._blocked_on or '?'}")
+            what = (
+                _describe_command(p._blocked_cmd)
+                if p._blocked_cmd is not None
+                else "?"
+            )
+            lines.append(f"  {p.name}: waiting on {what}")
         if len(blocked) > 32:
             lines.append(f"  ... and {len(blocked) - 32} more")
         edges: dict[str, str] = {}
         for p in blocked:
-            cmd = p._blocked_cmd
-            if isinstance(cmd, Get) and cmd.waits_on is not None:
-                edges[p.name] = cmd.waits_on
+            succ = _waits_on(p._blocked_cmd)
+            if succ is not None:
+                edges[p.name] = succ
         cycle = _find_cycle(edges)
         if cycle:
             lines.append("  wait-for cycle: " + " -> ".join(cycle))
@@ -264,9 +431,15 @@ class Engine:
         send_value: Any,
         throw: BaseException | None = None,
     ) -> None:
+        """Advance ``proc`` one step and act on the command it yields.
+
+        Dispatch is inlined here (rather than a separate method) because
+        this is the single hottest call in any simulation — one frame per
+        event — and the common commands reduce to a couple of tuple
+        appends.
+        """
         if proc.finished:
             raise SimError(f"resuming finished process {proc.name}")
-        proc._blocked_on = None
         proc._blocked_cmd = None
         try:
             if throw is not None:
@@ -279,7 +452,82 @@ class Engine:
         except BaseException as exc:  # propagate with process context
             self._finish(proc, None, exc)
             raise
-        self._dispatch(proc, command)
+        cls = command.__class__
+        if cls is float:
+            # Bare-float shorthand for Timeout(delay): the per-message
+            # injection waits and modeled compute charges dominate event
+            # volume, and at that volume the Timeout wrapper allocation
+            # is measurable.  Semantics are identical to yielding
+            # Timeout(command).
+            if command == 0.0:
+                proc._blocked_cmd = command
+                self._ready.append((self._seq, 0, proc, None))
+            elif command > 0.0:
+                proc._blocked_cmd = command
+                heapq.heappush(
+                    self._queue, (self._now + command, self._seq, 0, proc, None)
+                )
+            else:
+                raise ValueError(f"negative timeout {command!r}")
+            self._seq += 1
+        elif cls is Timeout:
+            proc._blocked_cmd = command
+            delay = command.delay
+            if delay == 0.0:
+                self._ready.append((self._seq, 0, proc, None))
+            else:
+                heapq.heappush(
+                    self._queue, (self._now + delay, self._seq, 0, proc, None)
+                )
+            self._seq += 1
+        elif cls is Get:
+            store = command.store
+            found, item = store._take(command)
+            if found:
+                self._ready.append((self._seq, 0, proc, item))
+                self._seq += 1
+                return
+            proc._blocked_cmd = command
+            entry = store._park(proc, command)
+            if command.timeout is not None:
+                self.schedule(
+                    command.timeout,
+                    lambda: self._expire_get(store, entry, command),
+                )
+        elif cls is Put:
+            self._do_put(command.store, command.item)
+            # puts complete immediately (unbounded store)
+            self._ready.append((self._seq, 0, proc, None))
+            self._seq += 1
+        elif cls is AllOf:
+            if all(p.finished for p in command.processes):
+                results = [p.value for p in command.processes]
+                self._ready.append((self._seq, 0, proc, results))
+                self._seq += 1
+            else:
+                proc._blocked_cmd = command
+                for p in command.processes:
+                    if not p.finished:
+                        p._waiters.append((proc, command))
+        elif isinstance(command, Timeout):  # pragma: no cover - subclass path
+            proc._blocked_cmd = command
+            self.schedule(command.delay, lambda: self._resume(proc, None))
+        elif isinstance(command, float):  # float subclass, e.g. np.float64
+            proc._blocked_cmd = command
+            delay = float(command)
+            if delay < 0:
+                raise ValueError(f"negative timeout {command!r}")
+            if delay == 0.0:
+                self._ready.append((self._seq, 0, proc, None))
+            else:
+                heapq.heappush(
+                    self._queue, (self._now + delay, self._seq, 0, proc, None)
+                )
+            self._seq += 1
+        else:
+            raise SimError(
+                f"process {proc.name} yielded unsupported command {command!r}"
+            )
 
     def _finish(self, proc: SimProcess, value: Any, error: BaseException | None) -> None:
         proc.finished = True
@@ -289,70 +537,23 @@ class Engine:
         for waiter, allof in proc._waiters:
             if all(p.finished for p in allof.processes):
                 results = [p.value for p in allof.processes]
-                self.schedule(0.0, lambda w=waiter, r=results: self._resume(w, r))
+                self._ready.append((self._seq, 0, waiter, results))
+                self._seq += 1
         proc._waiters.clear()
 
-    def _dispatch(self, proc: SimProcess, command: Command) -> None:
-        if isinstance(command, Timeout):
-            proc._blocked_on = f"timeout({command.delay:g})"
-            self.schedule(command.delay, lambda: self._resume(proc, None))
-        elif isinstance(command, Put):
-            self._do_put(command.store, command.item)
-            # puts complete immediately (unbounded store)
-            self.schedule(0.0, lambda: self._resume(proc, None))
-        elif isinstance(command, Get):
-            self._do_get(proc, command)
-        elif isinstance(command, AllOf):
-            if all(p.finished for p in command.processes):
-                results = [p.value for p in command.processes]
-                self.schedule(0.0, lambda: self._resume(proc, results))
-            else:
-                proc._blocked_on = f"allof({len(command.processes)})"
-                for p in command.processes:
-                    if not p.finished:
-                        p._waiters.append((proc, command))
-        else:
-            raise SimError(
-                f"process {proc.name} yielded unsupported command {command!r}"
-            )
-
     def _do_put(self, store: Store, item: Any) -> None:
-        # Try to hand the item straight to a compatible waiting getter (FIFO).
-        for i, (getter, pred) in enumerate(store._getters):
-            if pred is None or pred(item):
-                del store._getters[i]
-                self.schedule(0.0, lambda g=getter, it=item: self._resume(g, it))
-                return
-        store.items.append(item)
+        getter = store._offer(item)
+        if getter is not None:
+            self._ready.append((self._seq, 0, getter, item))
+            self._seq += 1
 
-    def _do_get(self, proc: SimProcess, command: Get) -> None:
-        pred = command.predicate
-        store = command.store
-        for i, item in enumerate(store.items):
-            if pred is None or pred(item):
-                del store.items[i]
-                self.schedule(0.0, lambda it=item: self._resume(proc, it))
-                return
-        proc._blocked_on = command.detail or f"get({store.name})"
-        proc._blocked_cmd = command
-        entry = (proc, pred)
-        store._getters.append(entry)
-        if command.timeout is not None:
-            self.schedule(
-                command.timeout, lambda: self._expire_get(store, entry, command)
-            )
-
-    def _expire_get(
-        self, store: Store, entry: tuple[SimProcess, Any], command: Get
-    ) -> None:
+    def _expire_get(self, store: Store, entry: Any, command: Get) -> None:
         """Timeout hook for :class:`Get`: if the getter is still parked,
         unpark it and throw :class:`GetTimeout` at its ``yield``."""
-        try:
-            store._getters.remove(entry)
-        except ValueError:
+        if not store._cancel(entry):
             return  # satisfied before the timeout fired
         proc = entry[0]
-        what = command.detail or f"get({store.name})"
+        what = _describe_command(command)
         self._resume(
             proc,
             None,

@@ -3,18 +3,24 @@
 Rank programs record labelled spans ``(label, t_start, t_end)`` against a
 :class:`Tracer`; the breakdown harness turns these into the per-function
 cycle/communication splits of the paper's Figures 2-5.
+
+Aggregation is incremental: ``record`` folds each span's duration into
+per-process and global running totals as it arrives, so ``totals`` is a
+dict copy instead of a scan over every span ever recorded (the old
+behaviour was O(all spans) per query — quadratic across the breakdown
+harness's per-rank queries at scale).  The fold order per label equals
+the record order, i.e. exactly the float-addition order of the old
+linear scan, so totals are bit-identical.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
+from typing import NamedTuple
 
 __all__ = ["Span", "Tracer"]
 
 
-@dataclass(frozen=True)
-class Span:
+class Span(NamedTuple):
     """One labelled interval of virtual time on one process."""
 
     process: str
@@ -27,35 +33,40 @@ class Span:
         return self.end - self.start
 
 
-@dataclass
 class Tracer:
     """Collects spans; queryable by process and by label."""
 
-    spans: list[Span] = field(default_factory=list)
+    __slots__ = ("spans", "_by_process", "_all")
+
+    def __init__(self, spans: list[Span] | None = None) -> None:
+        self.spans: list[Span] = []
+        self._by_process: dict[str, dict[str, float]] = {}
+        self._all: dict[str, float] = {}
+        if spans:
+            for s in spans:
+                self.record(s.process, s.label, s.start, s.end)
 
     def record(self, process: str, label: str, start: float, end: float) -> Span:
-        if end < start:
+        duration = end - start
+        if duration < 0:
             raise ValueError(f"span ends before it starts: {label} [{start}, {end}]")
         span = Span(process, label, start, end)
         self.spans.append(span)
+        agg = self._by_process.get(process)
+        if agg is None:
+            agg = self._by_process[process] = {}
+        agg[label] = agg.get(label, 0.0) + duration
+        self._all[label] = self._all.get(label, 0.0) + duration
         return span
 
     def totals(self, process: str | None = None) -> dict[str, float]:
         """Total duration per label, optionally restricted to one process."""
-        out: dict[str, float] = defaultdict(float)
-        for s in self.spans:
-            if process is None or s.process == process:
-                out[s.label] += s.duration
-        return dict(out)
+        if process is None:
+            return dict(self._all)
+        return dict(self._by_process.get(process, ()))
 
     def by_process(self) -> dict[str, dict[str, float]]:
-        out: dict[str, dict[str, float]] = defaultdict(lambda: defaultdict(float))
-        for s in self.spans:
-            out[s.process][s.label] += s.duration
-        return {p: dict(d) for p, d in out.items()}
+        return {p: dict(d) for p, d in self._by_process.items()}
 
     def processes(self) -> list[str]:
-        seen: dict[str, None] = {}
-        for s in self.spans:
-            seen.setdefault(s.process)
-        return list(seen)
+        return list(self._by_process)

@@ -25,6 +25,7 @@ from repro.analysis.runtime import CollectiveOrderChecker, CollectiveOrderError
 from repro.vmpi.comm import (
     ANY_SOURCE,
     ANY_TAG,
+    Mailbox,
     Message,
     RankCtx,
     RecvTimeoutError,
@@ -56,6 +57,7 @@ __all__ = [
     "ANY_TAG",
     "CollectiveOrderChecker",
     "CollectiveOrderError",
+    "Mailbox",
     "Message",
     "RankCtx",
     "RecvTimeoutError",

@@ -36,13 +36,13 @@ __all__ = [
     "barrier",
 ]
 
-_COLL_TAG_BASE = 1_000_000
+_COLL_TAG_BASE = 1_000_000  # repro: noqa(VMPI004) the band this rule reserves
 _COLL_TAG_STRIDE = 8
 
 
 def _next_tag(ctx: RankCtx) -> int:
-    seq = getattr(ctx, "_coll_seq", 0)
-    ctx._coll_seq = seq + 1  # type: ignore[attr-defined]
+    seq = ctx._coll_seq
+    ctx._coll_seq = seq + 1
     return _COLL_TAG_BASE + seq * _COLL_TAG_STRIDE
 
 
@@ -98,18 +98,35 @@ def bcast(
     return result
 
 
+def _fast_p2p(ctx: RankCtx) -> bool:
+    """True when the frame-skipping :meth:`RankCtx.post` /
+    :meth:`RankCtx.recv_cmd` helpers are observationally identical to
+    :meth:`RankCtx.send` / :meth:`RankCtx.recv`: no default recv timeout
+    to wrap and no p2p trace spans to record.  The tree collectives move
+    one message per rank per level, so the saved generator frames are
+    the bulk of their simulation cost."""
+    comm = ctx.comm
+    return comm.recv_timeout is None and not (
+        comm.trace_p2p and comm.tracer is not None
+    )
+
+
 def _bcast_once(ctx: RankCtx, value: Any, root: int) -> Generator:
     """Single-shot binomial-tree broadcast."""
     size, rank = ctx.size, ctx.rank
     tag = _next_tag(ctx)
     if size == 1:
         return value
+    fast = _fast_p2p(ctx)
     rel = (rank - root) % size
     mask = 1
     while mask < size:
         if rel & mask:
             src = (rel - mask + root) % size
-            msg = yield from ctx.recv(source=src, tag=tag)
+            if fast:
+                msg = yield ctx.recv_cmd(src, tag)
+            else:
+                msg = yield from ctx.recv(source=src, tag=tag)
             value = msg.payload
             break
         mask <<= 1
@@ -117,7 +134,12 @@ def _bcast_once(ctx: RankCtx, value: Any, root: int) -> Generator:
     while mask > 0:
         if rel + mask < size:
             dst = (rel + mask + root) % size
-            yield from ctx.send(dst, value, tag=tag)
+            if fast:
+                inj = ctx.post(dst, value, tag=tag)
+                if inj > 0:
+                    yield inj
+            else:
+                yield from ctx.send(dst, value, tag=tag)
         mask >>= 1
     return value
 
@@ -187,6 +209,7 @@ def _reduce_once(
     tag = _next_tag(ctx)
     if size == 1:
         return value
+    fast = _fast_p2p(ctx)
     rel = (rank - root) % size
     acc = value
     mask = 1
@@ -195,10 +218,18 @@ def _reduce_once(
             src_rel = rel | mask
             if src_rel < size:
                 src = (src_rel + root) % size
-                msg = yield from ctx.recv(source=src, tag=tag)
+                if fast:
+                    msg = yield ctx.recv_cmd(src, tag)
+                else:
+                    msg = yield from ctx.recv(source=src, tag=tag)
                 acc = op(acc, msg.payload)
         else:
             dst = ((rel & ~mask) + root) % size
+            if fast:
+                inj = ctx.post(dst, acc, tag=tag)
+                if inj > 0:
+                    yield inj
+                return None
             yield from ctx.send(dst, acc, tag=tag)
             return None
         mask <<= 1

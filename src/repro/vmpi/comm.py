@@ -18,21 +18,28 @@ Message transfer time is charged by the communicator's
 the injection time (eager protocol with DMA offload, as on BG/Q's
 messaging unit), while the payload lands in the destination inbox when
 the network delivers it.
+
+Rank inboxes are :class:`Mailbox` stores: pending messages are indexed
+by ``(source, tag)`` key so the common exact-match receive is an O(1)
+dict lookup + deque pop, and wildcard receives (``ANY_SOURCE`` /
+``ANY_TAG``) fall back to a min-over-candidate-keys scan that preserves
+the oldest-matching-message-wins FIFO order of a linear inbox exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, NamedTuple
 
 from repro.analysis.runtime import CollectiveOrderChecker
-from repro.sim.engine import Engine, Get, GetTimeout, SimError, Store, Timeout
+from repro.sim.engine import Engine, Get, GetTimeout, SimError, Timeout
 from repro.sim.trace import Tracer
 from repro.vmpi.costmodel import NetworkModel, UniformNetwork, nbytes_of
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "Mailbox",
     "Message",
     "RankCtx",
     "RecvTimeoutError",
@@ -64,8 +71,7 @@ def _fmt_tag(tag: int) -> str:
     return "ANY_TAG" if tag == ANY_TAG else str(tag)
 
 
-@dataclass(frozen=True)
-class Message:
+class Message(NamedTuple):
     """One in-flight or delivered message."""
 
     src: int
@@ -74,6 +80,147 @@ class Message:
     payload: Any
     nbytes: int
     sent_at: float
+
+
+class Mailbox:
+    """Rank inbox with per-``(source, tag)`` FIFO indexes.
+
+    Implements the engine's store protocol (``_offer`` / ``_take`` /
+    ``_park`` / ``_cancel``) so :class:`~repro.sim.engine.Engine` drives
+    it exactly like a plain :class:`~repro.sim.engine.Store`, plus the
+    ``describe_get`` / ``waits_on`` diagnostic hooks used by deadlock
+    reports.
+
+    Pending messages live in ``_queues[(src, tag)]`` deques of
+    ``(arrival_seq, message)``; ``_src_keys`` / ``_tag_keys`` map one
+    fixed coordinate to the set of live keys so single-wildcard receives
+    only scan matching keys.  Empty queues are removed eagerly — the
+    wildcard scans and the key sets never see dead keys, and memory stays
+    proportional to the number of genuinely pending messages.  The
+    arrival sequence number makes wildcard matching exact: the candidate
+    queue heads are each key's oldest message, so the minimum head seq is
+    the globally oldest matching message — precisely what a linear scan
+    of a single FIFO inbox would return.
+    """
+
+    __slots__ = (
+        "engine",
+        "name",
+        "_rank_names",
+        "_queues",
+        "_src_keys",
+        "_tag_keys",
+        "_getters",
+        "_seq",
+    )
+
+    def __init__(
+        self, engine: Engine, name: str, rank_names: list[str] | None = None
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self._rank_names = rank_names
+        self._queues: dict[tuple[int, int], deque[tuple[int, Message]]] = {}
+        self._src_keys: dict[int, set[tuple[int, int]]] = {}
+        self._tag_keys: dict[int, set[tuple[int, int]]] = {}
+        # parked getters: (process, source-or-None, tag-or-None), FIFO.
+        # A rank blocks on at most one receive, so this deque is tiny.
+        self._getters: deque[tuple[Any, int | None, int | None]] = deque()
+        self._seq = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        # integer count for a debug repr: order cannot matter
+        pending = sum(len(q) for q in self._queues.values())  # repro: noqa(DET002)
+        return f"<Mailbox {self.name} items={pending} waiters={len(self._getters)}>"
+
+    @property
+    def items(self) -> list[Message]:
+        """All pending messages in arrival order (diagnostic view)."""
+        merged = [entry for q in self._queues.values() for entry in q]
+        merged.sort()
+        return [m for _, m in merged]
+
+    # --------------------------------------------------- engine store protocol
+    def _offer(self, item: Message) -> Any:
+        getters = self._getters
+        if getters:
+            src, tag = item.src, item.tag
+            for i, (getter, want_src, want_tag) in enumerate(getters):
+                if (want_src is None or want_src == src) and (
+                    want_tag is None or want_tag == tag
+                ):
+                    del getters[i]
+                    return getter
+        key = (item.src, item.tag)
+        q = self._queues.get(key)
+        if q is None:
+            q = self._queues[key] = deque()
+            self._src_keys.setdefault(item.src, set()).add(key)
+            self._tag_keys.setdefault(item.tag, set()).add(key)
+        q.append((self._seq, item))
+        self._seq += 1
+        return None
+
+    def _take(self, command: Get) -> tuple[bool, Message | None]:
+        src, tag = command.source, command.tag
+        queues = self._queues
+        if src is not None and tag is not None:
+            key = (src, tag)
+            q = queues.get(key)
+            if q is None:
+                return False, None
+            item = q.popleft()[1]
+            if not q:
+                self._drop_key(key)
+            return True, item
+        if tag is not None:
+            keys: Any = self._tag_keys.get(tag)
+        elif src is not None:
+            keys = self._src_keys.get(src)
+        else:
+            keys = queues
+        if not keys:
+            return False, None
+        best = min(keys, key=lambda k: queues[k][0][0])
+        q = queues[best]
+        item = q.popleft()[1]
+        if not q:
+            self._drop_key(best)
+        return True, item
+
+    def _drop_key(self, key: tuple[int, int]) -> None:
+        del self._queues[key]
+        srcs = self._src_keys[key[0]]
+        srcs.discard(key)
+        if not srcs:
+            del self._src_keys[key[0]]
+        tags = self._tag_keys[key[1]]
+        tags.discard(key)
+        if not tags:
+            del self._tag_keys[key[1]]
+
+    def _park(self, proc: Any, command: Get) -> Any:
+        entry = (proc, command.source, command.tag)
+        self._getters.append(entry)
+        return entry
+
+    def _cancel(self, entry: Any) -> bool:
+        try:
+            self._getters.remove(entry)
+        except ValueError:
+            return False
+        return True
+
+    # ------------------------------------------------------- diagnostic hooks
+    def describe_get(self, command: Get) -> str:
+        src = ANY_SOURCE if command.source is None else command.source
+        tag = ANY_TAG if command.tag is None else command.tag
+        return f"recv(source={_fmt_source(src)}, tag={_fmt_tag(tag)})"
+
+    def waits_on(self, command: Get) -> str | None:
+        if command.source is None or self._rank_names is None:
+            return None
+        return self._rank_names[command.source]
 
 
 class VComm:
@@ -100,6 +247,9 @@ class VComm:
         self.tracer = tracer
         self.sizer = sizer
         self.trace_p2p = trace_p2p
+        """When False, per-message mpi_send/mpi_recv spans are suppressed
+        (large simulations record phase-level spans instead; dropping the
+        per-message ones keeps the tracer from dominating memory)."""
         self.recv_timeout = recv_timeout
         """Default timeout (virtual seconds) for every matched receive on
         this communicator; ``None`` waits forever.  A receive that trips
@@ -113,14 +263,22 @@ class VComm:
         schedule divergence raises
         :class:`~repro.analysis.runtime.CollectiveOrderError` naming the
         offending ranks instead of deadlocking opaquely."""
-        """When False, per-message mpi_send/mpi_recv spans are suppressed
-        (large simulations record phase-level spans instead; dropping the
-        per-message ones keeps the tracer from dominating memory)."""
-        self._inboxes: list[Store] = [
-            self.engine.new_store(f"inbox[{r}]") for r in range(size)
+        self._rank_names = [f"rank{r}" for r in range(size)]
+        self._inboxes: list[Mailbox] = [
+            Mailbox(self.engine, f"inbox[{r}]", self._rank_names)
+            for r in range(size)
         ]
         self._sends = 0
         self._bytes_sent = 0
+        # Hoisted network-model lookups: one getattr per communicator
+        # instead of one per message on the send fast path.
+        self._wire_time = getattr(self.network, "wire_time", None)
+        self._p2p_time = self.network.p2p_time
+        self._injection_time = self.network.injection_time
+        self._pair_time = getattr(self.network, "pair_time", None)
+        """Optional combined (p2p, wire) lookup — models declaring it
+        promise both costs are pure in (src, dst, nbytes), letting the
+        send path make one call instead of two."""
         self._wire_busy_until: dict[tuple[int, int], float] = {}
         """Per (src, dst) pair: when the wire frees up.  Back-to-back
         messages between the same pair serialize at link bandwidth —
@@ -130,13 +288,20 @@ class VComm:
     def _delivery_delay(self, src: int, dst: int, nbytes: int, now: float) -> float:
         """Delay until the message lands in the destination inbox,
         accounting for wire occupancy of earlier messages on this pair."""
-        transfer = self.network.p2p_time(src, dst, nbytes, now=now)
-        wire_fn = getattr(self.network, "wire_time", None)
-        wire = wire_fn(src, dst, nbytes) if wire_fn is not None else 0.0
+        pair_fn = self._pair_time
+        if pair_fn is not None:
+            transfer, wire = pair_fn(src, dst, nbytes)
+        else:
+            transfer = self._p2p_time(src, dst, nbytes, now=now)
+            wire_fn = self._wire_time
+            wire = wire_fn(src, dst, nbytes) if wire_fn is not None else 0.0
         key = (src, dst)
-        start = max(now, self._wire_busy_until.get(key, 0.0))
+        busy = self._wire_busy_until
+        start = busy.get(key, 0.0)
+        if start < now:
+            start = now
         end_wire = start + wire
-        self._wire_busy_until[key] = end_wire
+        busy[key] = end_wire
         return max(now + transfer, end_wire) - now
 
     # ------------------------------------------------------------------ stats
@@ -169,7 +334,7 @@ class VComm:
             )
         ctxs = [RankCtx(self, r) for r in range(self.size)]
         procs = [
-            self.engine.process(prog(ctx), name=f"rank{r}")
+            self.engine.process(prog(ctx), name=self._rank_names[r])
             for r, (prog, ctx) in enumerate(zip(programs, ctxs))
         ]
         t = self.engine.run(until=until)
@@ -179,11 +344,18 @@ class VComm:
 class RankCtx:
     """Per-rank handle passed to a rank program."""
 
+    __slots__ = ("comm", "rank", "_name", "_inbox", "_coll_seq")
+
     def __init__(self, comm: VComm, rank: int) -> None:
         if not 0 <= rank < comm.size:
             raise ValueError(f"rank {rank} out of range for size {comm.size}")
         self.comm = comm
         self.rank = rank
+        self._name = comm._rank_names[rank]
+        self._inbox = comm._inboxes[rank]
+        self._coll_seq = 0
+        """Per-rank collective call counter; gives every collective a
+        unique reserved tag block (see :func:`repro.vmpi.collectives._next_tag`)."""
 
     # ------------------------------------------------------------- properties
     @property
@@ -192,15 +364,15 @@ class RankCtx:
 
     @property
     def now(self) -> float:
-        return self.comm.engine.now
+        return self.comm.engine._now
 
     # ------------------------------------------------------------ time charge
     def compute(self, seconds: float, label: str = "compute") -> Generator:
         """Charge ``seconds`` of modeled computation to this rank."""
         if seconds < 0:
             raise ValueError(f"negative compute time {seconds}")
-        t0 = self.now
-        yield Timeout(seconds)
+        t0 = self.comm.engine._now
+        yield float(seconds)
         self.record_span(label, t0)
 
     # ------------------------------------------------------------------- p2p
@@ -212,17 +384,51 @@ class RankCtx:
         if tag < 0:
             raise ValueError(f"send tag must be >= 0, got {tag}")
         nbytes = comm.sizer(payload)
-        t0 = self.now
-        inj = comm.network.injection_time(nbytes)
+        t0 = comm.engine._now
+        inj = comm._injection_time(nbytes)
         delay = comm._delivery_delay(self.rank, dest, nbytes, t0)
         msg = Message(self.rank, dest, tag, payload, nbytes, t0)
         comm._sends += 1
         comm._bytes_sent += nbytes
         comm.engine.put_later(max(delay, inj), comm._inboxes[dest], msg)
         if inj > 0:
-            yield Timeout(inj)
-        self._trace("mpi_send", t0)
+            yield inj + 0.0
+        if comm.trace_p2p and comm.tracer is not None:
+            comm.tracer.record(self._name, "mpi_send", t0, comm.engine._now)
         return msg
+
+    def post(self, dest: int, payload: Any, tag: int = 0) -> float:
+        """Non-blocking half of :meth:`send`: inject the message and
+        return the injection-occupancy seconds still to be charged.
+
+        Exactly :meth:`send` up to its ``yield`` — callers on the hot
+        path do ``inj = ctx.post(...)`` followed by ``yield inj``,
+        skipping one generator frame per message.  Callers own the
+        injection charge and any ``mpi_send`` trace span; the collectives
+        use this only when p2p tracing is off.
+        """
+        comm = self.comm
+        if not 0 <= dest < comm.size:
+            raise ValueError(f"send to invalid rank {dest} (size {comm.size})")
+        if tag < 0:
+            raise ValueError(f"send tag must be >= 0, got {tag}")
+        nbytes = comm.sizer(payload)
+        t0 = comm.engine._now
+        inj = comm._injection_time(nbytes)
+        delay = comm._delivery_delay(self.rank, dest, nbytes, t0)
+        msg = Message(self.rank, dest, tag, payload, nbytes, t0)
+        comm._sends += 1
+        comm._bytes_sent += nbytes
+        comm.engine.put_later(max(delay, inj), comm._inboxes[dest], msg)
+        return inj
+
+    def recv_cmd(self, source: int | None, tag: int | None) -> "Get":
+        """The :class:`Get` command :meth:`recv` would yield (``None`` =
+        wildcard), with no timeout.  Hot paths do ``msg = yield
+        ctx.recv_cmd(src, tag)`` to skip one generator frame per message;
+        valid only when the communicator's ``recv_timeout`` is ``None``
+        (otherwise :meth:`recv`'s timeout wrapping is load-bearing)."""
+        return Get(self._inbox, source=source, tag=tag)
 
     def recv(
         self,
@@ -243,32 +449,24 @@ class RankCtx:
             raise ValueError(f"recv from invalid rank {source}")
         if timeout is _USE_COMM_DEFAULT:
             timeout = comm.recv_timeout
-        t0 = self.now
-
-        def match(m: Message) -> bool:
-            return (source == ANY_SOURCE or m.src == source) and (
-                tag == ANY_TAG or m.tag == tag
-            )
-
-        detail = (
-            f"recv(source={_fmt_source(source)}, tag={_fmt_tag(tag)})"
-        )
+        t0 = comm.engine._now
         try:
             msg = yield Get(
-                comm._inboxes[self.rank],
-                match,
-                detail=detail,
-                waits_on=None if source == ANY_SOURCE else f"rank{source}",
+                self._inbox,
                 timeout=timeout,  # type: ignore[arg-type]
+                source=None if source == ANY_SOURCE else source,
+                tag=None if tag == ANY_TAG else tag,
             )
         except GetTimeout:
+            detail = f"recv(source={_fmt_source(source)}, tag={_fmt_tag(tag)})"
             raise RecvTimeoutError(
                 f"rank {self.rank}: {detail} timed out after {timeout:g} "
                 f"virtual seconds at t={self.now:g} — sender never "
                 "injected a matching message (lost-message or protocol "
                 "mismatch)"
             ) from None
-        self._trace("mpi_recv", t0)
+        if comm.trace_p2p and comm.tracer is not None:
+            comm.tracer.record(self._name, "mpi_recv", t0, comm.engine._now)
         return msg
 
     def sendrecv(
@@ -282,9 +480,9 @@ class RankCtx:
         with independent DMA.
         """
         comm = self.comm
-        t0 = self.now
+        t0 = comm.engine._now
         nbytes = comm.sizer(payload)
-        inj = comm.network.injection_time(nbytes)
+        inj = comm._injection_time(nbytes)
         delay = comm._delivery_delay(self.rank, dest, nbytes, t0)
         msg_out = Message(self.rank, dest, tag, payload, nbytes, t0)
         comm._sends += 1
@@ -294,13 +492,13 @@ class RankCtx:
         # ensure at least injection time elapsed on our side
         elapsed = self.now - t0
         if elapsed < inj:
-            yield Timeout(inj - elapsed)
+            yield inj - elapsed + 0.0
         return msg_in
 
     # ----------------------------------------------------------------- trace
     def _trace(self, label: str, t0: float) -> None:
         if self.comm.tracer is not None and self.comm.trace_p2p:
-            self.comm.tracer.record(f"rank{self.rank}", label, t0, self.now)
+            self.comm.tracer.record(self._name, label, t0, self.now)
 
     def record_span(self, label: str, t0: float) -> None:
         """Record an explicit phase-level span ``[t0, now]`` for this rank.
@@ -309,4 +507,4 @@ class RankCtx:
         functions (``gradient_loss``, ``sync_weights_master``, ...) — the
         raw data behind the paper's Figures 2-5."""
         if self.comm.tracer is not None:
-            self.comm.tracer.record(f"rank{self.rank}", label, t0, self.now)
+            self.comm.tracer.record(self._name, label, t0, self.now)

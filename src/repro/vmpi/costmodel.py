@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 __all__ = ["NetworkModel", "UniformNetwork", "ZeroCostNetwork", "nbytes_of", "PayloadStub"]
 
 
@@ -107,9 +109,12 @@ def nbytes_of(payload: object) -> int:
 
     numpy arrays report exact buffer size; stubs report their declared
     size; containers sum their elements; scalars count as 8 bytes.
-    """
-    import numpy as np
 
+    :class:`PayloadStub` is checked first: modeled-compute runs size
+    every message through here, and stubs dominate that traffic.
+    """
+    if type(payload) is PayloadStub:
+        return payload.nbytes
     if payload is None:
         return 0
     if isinstance(payload, PayloadStub):

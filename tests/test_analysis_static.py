@@ -269,11 +269,91 @@ class TestSuppression:
         assert report.findings == []
 
 
+# ------------------------------------------------------ VMPI004 tag collision
+class TestTagCollision:
+    def test_reserved_band_constant_flagged(self):
+        report = lint("ACK_TAG = 1_000_008\n", path="src/proto.py")
+        (f,) = report.findings
+        assert f.rule == "VMPI004"
+        assert "reserved" in f.message
+        assert f.severity is Severity.WARNING
+
+    def test_reserved_band_literal_tag_argument_flagged(self):
+        report = lint(
+            """\
+            def program(ctx):
+                yield from ctx.send(1, "x", tag=2_000_000)
+            """,
+            path="src/proto.py",
+        )
+        assert any(
+            f.rule == "VMPI004" and "tag=2000000" in f.message
+            for f in report.findings
+        )
+
+    def test_below_band_constant_clean(self):
+        report = lint("TAG_DATA = 77\n", path="src/proto.py")
+        assert [f for f in report.findings if f.rule == "VMPI004"] == []
+
+    def test_non_tag_name_ignored(self):
+        # 'vintage' contains the letters t-a-g but is not a tag segment
+        report = lint("VINTAGE = 1_500_000\nSTAGE_LIMIT = 3_000_000\n")
+        assert [f for f in report.findings if f.rule == "VMPI004"] == []
+
+    def test_cross_module_collision_reported_once_per_later_module(self, tmp_path):
+        (tmp_path / "a_proto.py").write_text("TAG_RESULT = 55\n")
+        (tmp_path / "b_proto.py").write_text("ACK_TAG = 55\n")
+        report = lint_paths([tmp_path], rule_ids=["VMPI004"])
+        (f,) = report.findings
+        assert f.rule == "VMPI004"
+        assert "collides" in f.message
+        assert f.path.endswith("b_proto.py")
+        assert "a_proto.py" in f.message
+
+    def test_distinct_values_across_modules_clean(self, tmp_path):
+        (tmp_path / "a_proto.py").write_text("TAG_RESULT = 55\n")
+        (tmp_path / "b_proto.py").write_text("ACK_TAG = 56\n")
+        report = lint_paths([tmp_path], rule_ids=["VMPI004"])
+        assert report.findings == []
+
+    def test_same_module_duplicate_not_a_collision(self, tmp_path):
+        # two names for one value inside one module is a local style
+        # choice, not cross-protocol cross-talk
+        (tmp_path / "a_proto.py").write_text("TAG_A = 55\nTAG_B = 55\n")
+        report = lint_paths([tmp_path], rule_ids=["VMPI004"])
+        assert report.findings == []
+
+    def test_collision_suppressible_at_site(self, tmp_path):
+        (tmp_path / "a_proto.py").write_text("TAG_RESULT = 55\n")
+        (tmp_path / "b_proto.py").write_text(
+            "ACK_TAG = 55  # repro: noqa(VMPI004) shares a_proto's stream\n"
+        )
+        report = lint_paths([tmp_path], rule_ids=["VMPI004"])
+        assert report.findings == []
+        (s,) = report.suppressed
+        assert s.rule == "VMPI004"
+
+    def test_tests_dir_exempt(self):
+        report = lint("SCRATCH_TAG = 9_999_999\n", path="tests/test_x.py")
+        assert report.findings == []
+
+    def test_runs_are_independent(self, tmp_path):
+        # state from one lint run must not leak collisions into the next
+        (tmp_path / "a_proto.py").write_text("TAG_RESULT = 55\n")
+        lint_paths([tmp_path], rule_ids=["VMPI004"])
+        report = lint("OTHER_TAG = 55\n", path="src/other.py")
+        assert [f for f in report.findings if f.rule == "VMPI004"] == []
+
+
 # ------------------------------------------------------------ infrastructure
 class TestInfrastructure:
     def test_registry_has_the_five_seed_rules(self):
         ids = {r.info.id for r in all_rules()}
         assert {"VMPI001", "VMPI002", "VMPI003", "DET001", "DET002"} <= ids
+
+    def test_registry_has_vmpi004(self):
+        ids = {r.info.id for r in all_rules()}
+        assert "VMPI004" in ids
 
     def test_syntax_error_becomes_parse_finding(self):
         report = lint("def broken(:\n")
