@@ -14,7 +14,9 @@ Benchmark conventions:
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
+from pathlib import Path
 
 from repro.dist import IterationScript
 from repro.harness import run_breakdowns, default_workload
@@ -29,6 +31,34 @@ land (see ``repro.harness.calibrate``); 30 is the middle of the paper's
 
 
 @lru_cache(maxsize=None)
+def ensure_linted():
+    """Lint the benchmark/example rank programs once per process.
+
+    A minutes-long simulation driven by a script that trips a
+    determinism or protocol rule wastes the whole run, so the lint gate
+    runs before the first simulation is launched — the same
+    ``repro lint`` rules and ``REPRO_SKIP_LINT`` / ``REPRO_LINT_SELECT``
+    environment controls as the pytest session gate in ``conftest.py``.
+    """
+    if os.environ.get("REPRO_SKIP_LINT") == "1":
+        return None
+    from repro.analysis import lint_paths
+
+    raw = os.environ.get("REPRO_LINT_SELECT", "")
+    select = [r.strip() for r in raw.split(",") if r.strip()] or None
+    root = Path(__file__).resolve().parent.parent
+    paths = [str(root / p) for p in ("benchmarks", "examples") if (root / p).exists()]
+    report = lint_paths(paths, rule_ids=select)
+    if report.exit_code:
+        raise AssertionError(
+            "repro lint found findings in benchmark/example scripts:\n"
+            + report.render_text()
+        )
+    return report
+
+
+@lru_cache(maxsize=None)
 def breakdown_runs():
     """Figs 2-5 share these three one-rack profiling runs."""
+    ensure_linted()
     return run_breakdowns(default_workload(50.0), PAPER_SCRIPT)

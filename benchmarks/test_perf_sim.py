@@ -11,6 +11,13 @@ bit-identical to the published baseline — a perf run that changes a
 simulated number is a correctness bug, not a speedup — and the macro
 runs stay within a generous wall-clock envelope so a pathological
 regression (e.g. accidental O(n^2) mailbox scan) fails loudly.
+
+Observability rides the same baseline: the committed ``obs_ratio`` per
+macro shape (min-over-rounds walls, obs-attached vs plain, interleaved)
+is the published evidence that attaching a :class:`MetricsRegistry`
+costs at most 5 % of macro wall-clock, and the metrics the instrumented
+run reports (event counts, peak queue depths, outstanding-message HWMs)
+are simulated quantities, so they must match the baseline bit-for-bit.
 """
 
 import json
@@ -23,8 +30,10 @@ from repro.harness.perf import (
     BENCH_FILENAME,
     bench_bcast_fanout,
     bench_macro,
+    bench_macro_obs,
     bench_ping_ring,
     bench_timeout_storm,
+    registry_metrics_block,
     render_perf_text,
     run_perf,
 )
@@ -35,6 +44,16 @@ BASELINE_PATH = Path(__file__).parent.parent / BENCH_FILENAME
 # enough for slow CI machines, tight enough to catch a complexity-class
 # regression (the pre-overhaul engine was ~4x slower at 4096 ranks).
 WALL_BUDGET_FACTOR = 3.0
+
+# The contract on attached-observability overhead: the *published*
+# baseline must demonstrate <= 5 % (regenerating it on a noisy machine
+# takes enough interleaved rounds for both legs to catch a quiet one).
+OBS_BUDGET_RATIO = 1.05
+
+# Live-run envelope for the same ratio: one noisy in-suite measurement
+# cannot re-prove 5 %, but a complexity-class regression in the hooks
+# (per-event dict arithmetic, an eager fold) lands well above this.
+OBS_PATHOLOGICAL_RATIO = 1.75
 
 
 def _baseline():
@@ -72,6 +91,10 @@ def test_perf_suite(benchmark):
             f"macro/{name}: {got['best_s']:.2f}s exceeds "
             f"{WALL_BUDGET_FACTOR}x baseline {base['best_s']:.2f}s"
         )
+        assert got["obs_ratio"] < OBS_PATHOLOGICAL_RATIO, (
+            f"macro/{name}: obs-attached run cost {got['obs_ratio']:.2f}x "
+            f"the plain run — the hooks regressed far past the 5% budget"
+        )
 
 
 def test_macro_invariants_against_baseline():
@@ -84,3 +107,32 @@ def test_macro_invariants_against_baseline():
     base = baseline["macro"]["1024-4-16"]
     assert got["virtual_finish"] == base["virtual_finish"]
     assert got["messages"] == base["messages"]
+
+
+def test_baseline_obs_overhead_within_budget():
+    """The committed baseline is the published proof that attaching a
+    metrics registry costs <= 5 % of macro wall-clock."""
+    baseline = _baseline()
+    if baseline is None:
+        return
+    for name, base in baseline["macro"].items():
+        assert base["obs_ratio"] <= OBS_BUDGET_RATIO, (
+            f"macro/{name}: committed obs_ratio {base['obs_ratio']:.3f} "
+            f"exceeds the {OBS_BUDGET_RATIO}x budget — optimize the hooks "
+            f"or regenerate the baseline on a quieter machine"
+        )
+
+
+def test_obs_metrics_match_baseline():
+    """The instrumented run's metrics are simulated quantities — event
+    counts, peak queue depths, per-pair outstanding HWMs — so a fresh
+    obs-attached run must reproduce the committed baseline's ``metrics``
+    block exactly, on any machine."""
+    baseline = _baseline()
+    if baseline is None:
+        return
+    sink = []
+    got = bench_macro_obs("1024-4-16", registry_sink=sink)
+    base = baseline["macro"]["1024-4-16"]
+    assert got["virtual_finish"] == base["virtual_finish"]
+    assert registry_metrics_block(sink[-1]) == base["metrics"]

@@ -7,7 +7,8 @@ A finding fails the session immediately rather than letting a green
 suite mask, say, a nondeterministic collective schedule.
 
 Set ``REPRO_SKIP_LINT=1`` to bypass (e.g. while iterating on code that
-is mid-refactor and known-dirty).
+is mid-refactor and known-dirty), or ``REPRO_LINT_SELECT=DET001,VMPI002``
+to run only specific rules (same syntax as ``repro lint --select``).
 """
 
 from __future__ import annotations
@@ -20,6 +21,13 @@ LINT_PATHS = ["src", "examples", "benchmarks"]
 """Mirrors the ``repro lint`` default path set."""
 
 
+def lint_select_from_env() -> list[str] | None:
+    """Rule ids from ``REPRO_LINT_SELECT`` (comma-separated), or None."""
+    raw = os.environ.get("REPRO_LINT_SELECT", "")
+    ids = [r.strip() for r in raw.split(",") if r.strip()]
+    return ids or None
+
+
 def pytest_sessionstart(session: pytest.Session) -> None:
     if os.environ.get("REPRO_SKIP_LINT") == "1":
         return
@@ -29,7 +37,7 @@ def pytest_sessionstart(session: pytest.Session) -> None:
         return
     from repro.analysis import lint_paths
 
-    report = lint_paths(paths)
+    report = lint_paths(paths, rule_ids=lint_select_from_env())
     if report.exit_code:
         print(report.render_text())
         pytest.exit(

@@ -9,11 +9,15 @@
     python -m repro.cli calibrate        # extract an IterationScript from a real run
     python -m repro.cli lint             # static rank-program verifier
     python -m repro.cli perf             # DES/vmpi hot-path benchmarks
+    python -m repro.cli trace 4096-4-16 --out trace.json   # Perfetto export
 
 Flags of general interest: ``--hours`` (corpus size), ``--iters``
 (simulated HF iterations), ``--seed``.  ``lint`` takes paths plus
 ``--json`` / ``--select`` / ``--rules`` and exits 1 on findings.
 ``perf --json`` writes ``BENCH_sim_vmpi.json`` at the current directory.
+``--obs PATH`` on ``train`` / ``perf`` dumps a JSONL metrics snapshot;
+``trace`` takes a run shape (or a known example script) and writes a
+Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -49,11 +53,18 @@ def cmd_train(args: argparse.Namespace) -> None:
     net = DNN([config.input_dim, args.hidden, args.hidden, corpus.n_states])
     print(net.describe())
     source = FrameSource(net, CrossEntropyLoss(), x, y, hx, hy, curvature_fraction=0.03)
+    obs = None
+    if args.obs:
+        from repro.obs import MetricsRegistry
+
+        obs = MetricsRegistry()
     result = HessianFreeOptimizer(
-        source, HFConfig(max_iterations=args.iters), log=RunLog.to_stdout()
+        source, HFConfig(max_iterations=args.iters), log=RunLog.to_stdout(), obs=obs
     ).run(net.init_params(args.seed))
     err = frame_error_count(net.logits(result.theta, hx), hy) / len(hy)
     print(f"final held-out loss {result.heldout_trajectory[-1]:.4f}, frame error {err:.1%}")
+    if obs is not None:
+        print(f"wrote metrics dump {obs.to_jsonl(args.obs)}")
 
 
 def cmd_fig1a(args: argparse.Namespace) -> None:
@@ -174,6 +185,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
     """Time the DES engine / vmpi hot paths (see :mod:`repro.harness.perf`)."""
     from repro.harness.perf import (
         BENCH_FILENAME,
+        dump_obs_metrics,
         render_perf_text,
         run_perf,
         write_bench_json,
@@ -185,6 +197,72 @@ def cmd_perf(args: argparse.Namespace) -> int:
         print(f"wrote {out}")
     else:
         print(render_perf_text(payload))
+    if args.obs:
+        print(f"wrote metrics dump {dump_obs_metrics(args.obs, quick=args.quick)}")
+    return 0
+
+
+#: Example scripts ``repro trace`` accepts in place of a run-shape spec,
+#: mapped to the (first) configuration each one simulates.
+TRACEABLE_EXAMPLES = {"simulate_bgq.py": "1024-1-64"}
+
+
+def _resolve_trace_target(target: str) -> str:
+    """A ``ranks-rpn-threads`` spec, or a known example script's shape."""
+    from pathlib import Path
+
+    from repro.bgq import RunShape
+
+    name = Path(target).name
+    if name in TRACEABLE_EXAMPLES:
+        return TRACEABLE_EXAMPLES[name]
+    try:
+        RunShape.parse(target)
+    except ValueError:
+        known = ", ".join(sorted(TRACEABLE_EXAMPLES))
+        raise SystemExit(
+            f"repro trace: {target!r} is neither a shape spec "
+            f"('ranks-rpn-threads') nor a known example ({known})"
+        ) from None
+    return target
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Export a simulated run as Chrome trace-event JSON (Perfetto)."""
+    from repro.bgq import RunShape
+    from repro.dist import SimJobConfig, simulate_training
+    from repro.harness import default_workload
+    from repro.obs import MetricsRegistry, write_chrome_trace, write_metrics_jsonl
+
+    spec = _resolve_trace_target(args.target)
+    cfg = SimJobConfig(
+        shape=RunShape.parse(spec),
+        workload=default_workload(args.hours),
+        script=_script(args),
+        seed=args.seed,
+    )
+    reg = MetricsRegistry()
+    res = simulate_training(cfg, obs=reg, trace_p2p=args.p2p)
+    out = write_chrome_trace(res.tracer, args.out)
+    print(
+        f"wrote {out} ({len(res.tracer.spans)} spans, {cfg.shape.ranks} ranks, "
+        f"virtual finish {res.load_data_seconds + res.iteration_seconds:.1f} s)"
+    )
+    if args.metrics:
+        mout = write_metrics_jsonl(
+            reg,
+            args.metrics,
+            extra_records=[
+                {
+                    "record": "run",
+                    "shape": spec,
+                    "seed": args.seed,
+                    "hours": args.hours,
+                    "messages": res.total_messages,
+                }
+            ],
+        )
+        print(f"wrote {mout}")
     return 0
 
 
@@ -197,6 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="HF iterations (real or simulated)")
     shared.add_argument("--hidden", type=int, default=48, help="hidden width (train)")
     shared.add_argument("--seed", type=int, default=0)
+    shared.add_argument(
+        "--obs",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL metrics dump to PATH (train; ignored elsewhere)",
+    )
     parser = argparse.ArgumentParser(
         prog="repro", description="BG/Q Hessian-free DNN training reproduction"
     )
@@ -248,7 +332,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="output path for --json (default: ./BENCH_sim_vmpi.json)",
     )
+    perf.add_argument(
+        "--obs",
+        default=None,
+        metavar="PATH",
+        help="also write a JSONL metrics dump from one obs-attached macro run",
+    )
     perf.set_defaults(func=cmd_perf, command="perf")
+    trace = sub.add_parser(
+        "trace",
+        help="export a simulated run as Chrome trace JSON (Perfetto)",
+        parents=[shared],
+    )
+    trace.add_argument(
+        "target",
+        help="run shape ('ranks-rpn-threads', e.g. 4096-4-16) or a known "
+        "example script (e.g. examples/simulate_bgq.py)",
+    )
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        metavar="PATH",
+        help="Chrome trace output path (default: ./trace.json)",
+    )
+    trace.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="also write the run's JSONL metrics dump",
+    )
+    trace.add_argument(
+        "--p2p",
+        action="store_true",
+        help="record one span per p2p message (large traces; timeline unchanged)",
+    )
+    trace.set_defaults(func=cmd_trace, command="trace")
     return parser
 
 

@@ -511,8 +511,22 @@ def _make_programs(cfg: SimJobConfig, plan: _Plan, load_done: list[float]):
 
 
 # -------------------------------------------------------------- entry point
-def simulate_training(cfg: SimJobConfig) -> SimRunResult:
-    """Run one simulated training configuration to completion."""
+def simulate_training(
+    cfg: SimJobConfig,
+    obs: object | None = None,
+    trace_p2p: bool = False,
+) -> SimRunResult:
+    """Run one simulated training configuration to completion.
+
+    ``obs``, when given, is a :class:`~repro.obs.metrics.MetricsRegistry`
+    to instrument the run with: engine event counts and queue depths,
+    per-(src, dst) traffic matrices, and the outstanding-message
+    high-water mark.  Observability is strictly passive — every simulated
+    number is bit-identical with it on or off (pinned by the determinism
+    goldens).  ``trace_p2p`` additionally records per-message
+    ``mpi_send``/``mpi_recv`` spans (heavy at scale; meant for
+    ``repro trace`` exports of small shapes).
+    """
     plan = _build_plan(cfg)
     network = cfg.network
     if network is None:
@@ -521,7 +535,11 @@ def simulate_training(cfg: SimJobConfig) -> SimRunResult:
         )
     tracer = Tracer()
     comm = VComm(
-        cfg.shape.ranks, network=network, tracer=tracer, trace_p2p=False
+        cfg.shape.ranks,
+        network=network,
+        tracer=tracer,
+        trace_p2p=trace_p2p,
+        obs=obs,
     )
     load_done = [0.0]
     programs = _make_programs(cfg, plan, load_done)

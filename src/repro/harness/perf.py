@@ -28,6 +28,16 @@ sweeps otherwise dominate variance (collection runs between repeats
 instead).  Every benchmark also records a *virtual* invariant (finish
 time, message count) so a perf run doubles as a determinism check: the
 numbers must be bit-identical across engine changes.
+
+Each macro shape is additionally timed with a
+:class:`~repro.obs.metrics.MetricsRegistry` attached (``obs_best_s`` /
+``obs_walls_s`` plus a ``metrics`` block of event counts and peak queue
+depths).  The plain and instrumented runs are interleaved round-robin
+and the overhead is published as ``obs_ratio`` — the ratio of the two
+min-over-rounds walls, the estimator least contaminated by scheduler
+noise (which only ever adds time).  The instrumented run must reproduce the
+uninstrumented virtual finish time exactly — observability is passive —
+and the perf suite bounds ``obs_ratio`` at 5 %.
 """
 
 from __future__ import annotations
@@ -45,6 +55,9 @@ __all__ = [
     "bench_ping_ring",
     "bench_bcast_fanout",
     "bench_macro",
+    "bench_macro_obs",
+    "registry_metrics_block",
+    "dump_obs_metrics",
     "BENCH_FILENAME",
 ]
 
@@ -130,9 +143,10 @@ def bench_bcast_fanout(ranks: int = 256, rounds: int = 16) -> dict[str, Any]:
 
 
 # --------------------------------------------------------------------- macro
-def bench_macro(shape: str = "4096-4-16") -> dict[str, Any]:
+def bench_macro(shape: str = "4096-4-16", obs: Any | None = None) -> dict[str, Any]:
     """One full simulated training run — the acceptance-criterion
-    configuration (one outer iteration standing for 30)."""
+    configuration (one outer iteration standing for 30).  ``obs`` is an
+    optional :class:`~repro.obs.metrics.MetricsRegistry` to attach."""
     from repro.bgq import RunShape
     from repro.dist import IterationScript, SimJobConfig, simulate_training
     from repro.harness.scaling import default_workload
@@ -143,34 +157,104 @@ def bench_macro(shape: str = "4096-4-16") -> dict[str, Any]:
         script=IterationScript((10,), (3,), represented_iterations=30),
         seed=7,
     )
-    res = simulate_training(cfg)
+    res = simulate_training(cfg, obs=obs)
     return {
         "virtual_finish": res.load_data_seconds + res.iteration_seconds,
         "messages": res.total_messages,
     }
 
 
+def registry_metrics_block(reg: Any) -> dict[str, Any]:
+    """Condense an obs snapshot into the BENCH json ``metrics`` block."""
+    events: dict[str, int] = {}
+    block: dict[str, Any] = {}
+    for rec in reg.snapshot():
+        name = rec["metric"]
+        if name == "sim.events":
+            events[rec["labels"]["kind"]] = rec["value"]
+        elif name == "sim.heap_depth":
+            block["peak_heap_depth"] = rec["peak"]
+        elif name == "sim.ready_depth":
+            block["peak_ready_depth"] = rec["peak"]
+        elif name == "comm.outstanding_hwm":
+            block["outstanding_hwm"] = rec["value"]
+    block["events"] = events
+    block["events_total"] = sum(events[k] for k in sorted(events))
+    return block
+
+
+def bench_macro_obs(
+    shape: str, registry_sink: list[Any] | None = None
+) -> dict[str, Any]:
+    """:func:`bench_macro` with a fresh metrics registry attached — the
+    instrumented engine loop and comm hooks (the observability overhead
+    the perf suite bounds at 5 %).
+
+    Only the *simulation* runs here: snapshot folding is deliberately
+    excluded so ``_time(bench_macro_obs)`` measures hot-path overhead,
+    not the one-time export cost.  ``registry_sink``, if given, receives
+    the attached registry (via ``append``) for post-timing inspection.
+    """
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    result = bench_macro(shape, obs=reg)
+    if registry_sink is not None:
+        registry_sink.append(reg)
+    return result
+
+
+def dump_obs_metrics(path: str | Path, quick: bool = False) -> Path:
+    """One obs-attached macro run -> JSONL metrics dump at ``path``
+    (the ``repro perf --obs`` backend)."""
+    from repro.obs import MetricsRegistry, write_metrics_jsonl
+
+    shape = (QUICK_MACRO_SHAPES if quick else MACRO_SHAPES)[0]
+    reg = MetricsRegistry()
+    result = bench_macro(shape, obs=reg)
+    return write_metrics_jsonl(
+        reg, path, extra_records=[{"record": "run", "shape": shape, **result}]
+    )
+
+
 # ------------------------------------------------------------------- driver
-def _time(fn: Callable[[], dict[str, Any]], repeats: int) -> dict[str, Any]:
-    walls: list[float] = []
-    meta: dict[str, Any] = {}
+def _time_interleaved(
+    fns: list[Callable[[], dict[str, Any]]], repeats: int
+) -> list[dict[str, Any]]:
+    """Time several benchmarks round-robin (A, B, A, B, ...).
+
+    Interleaving is what makes *ratios* between the entries meaningful:
+    slow drift in machine speed (thermal throttling, noisy neighbours)
+    hits every entry of a round about equally instead of biasing
+    whichever ran in the faster block.  The min-over-repeats estimator
+    is then taken per entry as usual.
+    """
+    walls: list[list[float]] = [[] for _ in fns]
+    metas: list[dict[str, Any]] = [{} for _ in fns]
     was_enabled = gc.isenabled()
     try:
         gc.disable()
         for _ in range(repeats):
-            t0 = time.perf_counter()
-            result = fn()
-            walls.append(time.perf_counter() - t0)
-            if meta and result != meta:
-                raise AssertionError(
-                    f"benchmark is not deterministic: {result} != {meta}"
-                )
-            meta = result
-            gc.collect()
+            for j, fn in enumerate(fns):
+                t0 = time.perf_counter()
+                result = fn()
+                walls[j].append(time.perf_counter() - t0)
+                if metas[j] and result != metas[j]:
+                    raise AssertionError(
+                        f"benchmark is not deterministic: {result} != {metas[j]}"
+                    )
+                metas[j] = result
+                gc.collect()
     finally:
         if was_enabled:
             gc.enable()
-    return {"walls_s": walls, "best_s": min(walls), **meta}
+    return [
+        {"walls_s": w, "best_s": min(w), **m} for w, m in zip(walls, metas)
+    ]
+
+
+def _time(fn: Callable[[], dict[str, Any]], repeats: int) -> dict[str, Any]:
+    return _time_interleaved([fn], repeats)[0]
 
 
 def run_perf(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
@@ -207,7 +291,31 @@ def run_perf(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
     for name, fn in micro.items():
         payload["micro"][name] = _time(fn, repeats)
     for shape in shapes:
-        payload["macro"][shape] = _time(lambda s=shape: bench_macro(s), repeats)
+        sink: list[Any] = []
+        entry, obs_entry = _time_interleaved(
+            [
+                lambda s=shape: bench_macro(s),
+                lambda s=shape: bench_macro_obs(s, sink),
+            ],
+            repeats,
+        )
+        if obs_entry["virtual_finish"] != entry["virtual_finish"]:
+            raise AssertionError(
+                f"obs-attached run changed the timeline for {shape}: "
+                f"{obs_entry['virtual_finish']!r} != {entry['virtual_finish']!r}"
+            )
+        entry["obs_best_s"] = obs_entry["best_s"]
+        entry["obs_walls_s"] = obs_entry["walls_s"]
+        # Overhead estimate: ratio of the two min-over-rounds walls.
+        # Scheduler/frequency noise only ever *adds* time, so each leg's
+        # minimum converges down onto its intrinsic cost as rounds
+        # accumulate, and interleaving gives both legs equal exposure to
+        # the machine's fast/slow epochs.  (Per-round pairwise ratios are
+        # NOT robust here: one noise spike inside a single leg of a
+        # round swings that round's ratio by tens of percent.)
+        entry["obs_ratio"] = obs_entry["best_s"] / entry["best_s"]
+        entry["metrics"] = registry_metrics_block(sink[-1])
+        payload["macro"][shape] = entry
     return payload
 
 
@@ -229,4 +337,14 @@ def render_perf_text(payload: dict[str, Any]) -> str:
                     extra += f", messages={r['messages']}"
                 extra += "]"
             lines.append(f"  {section}/{name}: {r['best_s']:.3f}  ({walls}){extra}")
+            if "obs_best_s" in r:
+                ratio = r.get(
+                    "obs_ratio",
+                    r["obs_best_s"] / r["best_s"] if r["best_s"] else float("inf"),
+                )
+                lines.append(
+                    f"    with obs: {r['obs_best_s']:.3f}  ({ratio:.2f}x, "
+                    f"events={r['metrics']['events_total']}, "
+                    f"peak_heap={r['metrics']['peak_heap_depth']:g})"
+                )
     return "\n".join(lines)

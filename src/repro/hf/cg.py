@@ -75,6 +75,12 @@ class CGResult:
     iterations: int
     stop_reason: str
 
+    residuals: list[float] = field(default_factory=list)
+    """Per-iteration residual norms ``||b - A x_i||`` (prefixed with the
+    ``x_0`` residual), populated only when :func:`cg_minimize` is called
+    with ``record_residuals=True`` — the extra dot product per iteration
+    is pure observation, so the default path pays nothing."""
+
     @property
     def final(self) -> np.ndarray:
         return self.steps[-1]
@@ -103,12 +109,17 @@ def cg_minimize(
     x0: np.ndarray | None = None,
     config: CGConfig = CGConfig(),
     precond: np.ndarray | None = None,
+    record_residuals: bool = False,
 ) -> CGResult:
     """Truncated PCG on ``A x = b`` with Martens stopping and snapshots.
 
     ``apply_a`` must be the action of a symmetric positive-(semi)definite
     matrix; ``precond``, if given, is the *diagonal* of a preconditioner
     M (we apply M^{-1} r), e.g. the Martens/Chapelle diagonal.
+
+    ``record_residuals`` additionally stores ``||r||`` after every
+    iteration in :attr:`CGResult.residuals` (observability only; the
+    iterate sequence is untouched).
     """
     n = b.shape[0]
     x = np.zeros_like(b) if x0 is None else x0.copy()
@@ -129,6 +140,9 @@ def cg_minimize(
     steps: list[np.ndarray] = []
     step_iters: list[int] = []
     phis: list[float] = []
+    residuals: list[float] = []
+    if record_residuals:
+        residuals.append(math.sqrt(float(r @ r)))
     stop_reason = "max_iters"
 
     def phi_of(xv: np.ndarray, rv: np.ndarray) -> float:
@@ -149,6 +163,8 @@ def cg_minimize(
         r -= alpha * ap
         iterations = i
         phis.append(phi_of(x, r))
+        if record_residuals:
+            residuals.append(math.sqrt(float(r @ r)))
         if i in marks:
             steps.append(x.copy())
             step_iters.append(i)
@@ -179,4 +195,5 @@ def cg_minimize(
         phis=phis,
         iterations=max(iterations, 1),
         stop_reason=stop_reason,
+        residuals=residuals,
     )

@@ -25,7 +25,7 @@ to MPI workers).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -48,6 +48,7 @@ class HessianFreeOptimizer:
         log: RunLog | None = None,
         ledger: TimeLedger | None = None,
         precond_builder: Callable[[np.ndarray, float], np.ndarray] | None = None,
+        obs: Any | None = None,
     ) -> None:
         self.source = source
         self.config = config or HFConfig()
@@ -57,6 +58,15 @@ class HessianFreeOptimizer:
         """Optional ``(grad, lam) -> diagonal`` hook (the Martens
         preconditioner the paper explicitly omits; see
         :func:`repro.hf.preconditioner.martens_preconditioner`)."""
+        self.obs = obs
+        """Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When
+        attached, every outer iteration records its damping lambda,
+        reduction ratio, CG depth, backtracking index, line-search step,
+        and Gauss-Newton sample size as series, and each CG call records
+        its per-iteration residual norms under a ``phase="iterN"`` label
+        — the per-CG-iteration statistics Sainath et al. (arXiv:1309.1508)
+        tune implicit preconditioning and sampling against.  Detached
+        (the default), the loop is byte-for-byte the uninstrumented one."""
 
     # ------------------------------------------------------------------ run
     def run(self, theta0: np.ndarray) -> HFResult:
@@ -95,7 +105,14 @@ class HessianFreeOptimizer:
                         if self.precond_builder is not None
                         else None
                     ),
+                    record_residuals=self.obs is not None,
                 )
+            if self.obs is not None:
+                # one series per CG call, keyed by the attempt counter so
+                # rejected-and-retried iterations keep distinct tracks
+                self.obs.series(
+                    "hf.cg.residual", phase=f"cg{attempts}"
+                ).extend(cg.residuals)
             d_n = cg.final
             with self.timer.section("cg_minimize"):
                 q_dn = 0.5 * float(d_n @ op(d_n)) - float((-g) @ d_n)
@@ -128,6 +145,8 @@ class HessianFreeOptimizer:
                 self.log.log(
                     "hf_reject", iteration=iteration, lam=lam, heldout_best=l_best
                 )
+                if self.obs is not None:
+                    self.obs.counter("hf.rejections").inc()
                 continue
 
             # (5) Levenberg-Marquardt damping update
@@ -173,6 +192,8 @@ class HessianFreeOptimizer:
                 heldout_evals=heldout_evals,
             )
             result.iterations.append(stats)
+            if self.obs is not None:
+                self._record_iteration(stats, op)
             self.log.log(
                 "hf_iteration",
                 iteration=iteration,
@@ -192,6 +213,8 @@ class HessianFreeOptimizer:
             l_prev = l_new
 
         result.theta = theta
+        if self.obs is not None:
+            self.obs.counter("hf.iterations").inc(iteration)
         self.log.log(
             "hf_done",
             iterations=iteration,
@@ -199,3 +222,25 @@ class HessianFreeOptimizer:
             converged=result.converged,
         )
         return result
+
+    def _record_iteration(self, stats: HFIterationStats, op: Any) -> None:
+        """Fold one accepted outer iteration into the metrics registry.
+
+        Each metric is a single series with one value per accepted
+        iteration (index = iteration order), so the whole damping /
+        step-size / sample-size trajectory survives into the JSONL dump.
+        """
+        obs = self.obs
+        series = (
+            ("hf.lam", stats.lam),
+            ("hf.rho", stats.rho),
+            ("hf.cg_iterations", float(stats.cg_iterations)),
+            ("hf.backtrack_index", float(stats.backtrack_index)),
+            ("hf.alpha", stats.alpha),
+            ("hf.gn_sample_size", float(getattr(op, "sample_size", 0))),
+            ("hf.train_loss", stats.train_loss),
+            ("hf.heldout_loss", stats.heldout_loss),
+            ("hf.heldout_evals", float(stats.heldout_evals)),
+        )
+        for name, value in series:
+            obs.series(name).append(value)

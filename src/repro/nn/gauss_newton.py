@@ -55,6 +55,12 @@ class GaussNewtonOperator:
     def dim(self) -> int:
         return self.net.n_params
 
+    @property
+    def sample_size(self) -> int:
+        """Frames in this operator's curvature mini-sample (the paper's
+        1-3 % Gauss-Newton sample; surfaced for per-iteration metrics)."""
+        return int(self.x.shape[0])
+
 
 def fd_gradient(
     net: DNN,

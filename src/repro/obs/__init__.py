@@ -1,0 +1,57 @@
+"""Unified observability: metrics, hot-path hooks, and trace export.
+
+The paper's evidence *is* observability output — Figures 2-5 are
+per-function virtual-time breakdowns, the scaling study is per-rank
+timing — so the reproduction carries one first-class layer for it
+instead of fragmented ad-hoc counters:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges, fixed-bucket histograms, and series, all labelled and dumped
+  in deterministic order;
+* :mod:`repro.obs.hooks` — :class:`CommStats`, the per-(src, dst)
+  traffic matrices and outstanding-message high-water marks for the
+  virtual MPI layer;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and flat JSONL metric dumps.
+
+Attachment points: ``Engine.attach_obs(registry)``,
+``VComm(obs=registry)``, ``HessianFreeOptimizer(obs=registry)``,
+``simulate_training(cfg, obs=registry)``, and the ``repro trace`` /
+``--obs`` CLI surfaces.  Everything is strictly passive: attaching a
+registry never changes a simulated timeline (the determinism goldens run
+with it both off and on), and detached code paths pay nothing.
+"""
+
+from repro.obs.fmt import fmt_fields, fmt_scalar
+from repro.obs.hooks import MESSAGE_SIZE_BOUNDS, CommStats
+from repro.obs.export import chrome_trace, write_chrome_trace, write_metrics_jsonl
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    counter_record,
+    gauge_record,
+    histogram_record,
+    series_record,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Series",
+    "CommStats",
+    "MESSAGE_SIZE_BOUNDS",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+    "counter_record",
+    "gauge_record",
+    "histogram_record",
+    "series_record",
+    "fmt_scalar",
+    "fmt_fields",
+]

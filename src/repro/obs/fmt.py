@@ -1,0 +1,25 @@
+"""Scalar formatting shared by observability output and :class:`RunLog`.
+
+One formatter, one convention: floats render with 6 significant digits
+(enough to tell simulated timings apart, short enough for log lines),
+everything else via ``str``.  ``repro.util.logging`` delegates here so a
+record echoed to stdout and the same record in a metrics dump agree.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["fmt_scalar", "fmt_fields"]
+
+
+def fmt_scalar(v: Any) -> str:
+    """Render one scalar for human-facing log/metric lines."""
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def fmt_fields(fields: dict[str, Any]) -> str:
+    """Render ``k=v`` pairs in the dict's own (insertion) order."""
+    return " ".join(f"{k}={fmt_scalar(v)}" for k, v in fields.items())

@@ -1,0 +1,189 @@
+"""Hot-path instrumentation hooks for the simulator and virtual MPI.
+
+These objects are built only when a :class:`~repro.obs.metrics.MetricsRegistry`
+is attached to a subsystem; detached subsystems hold ``None`` and pay a
+single attribute-load-plus-None-check per guarded site (the ``_fast_p2p``
+gating pattern from the PR-2 engine overhaul).  When attached, per-event
+work is plain dict arithmetic — no instrument lookups, no label
+canonicalization — and everything is folded into finished records at
+snapshot time via a registry *collector*.
+
+:class:`CommStats` is the communication observer: per-``(src, dst)``
+message/byte matrices, the per-pair **outstanding-message high-water
+mark** (messages sent but not yet consumed by a receive — the unbounded-
+inbox-growth detector the ROADMAP asked for), and a fixed-bucket message
+size histogram.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    counter_record,
+    gauge_record,
+    histogram_record,
+)
+
+__all__ = ["CommStats", "MESSAGE_SIZE_BOUNDS"]
+
+MESSAGE_SIZE_BOUNDS = (
+    64.0,
+    512.0,
+    4096.0,
+    32768.0,
+    262144.0,
+    2097152.0,
+    16777216.0,
+)
+"""Inclusive upper edges (bytes) for the message-size histogram:
+eager-protocol small messages through multi-MB theta segments."""
+
+
+class CommStats:
+    """Per-pair communication accounting for one :class:`~repro.vmpi.comm.VComm`.
+
+    ``on_send`` fires at injection (``send`` / ``post`` / ``sendrecv``),
+    ``on_consume`` when a receive takes the message out of the
+    destination mailbox — so the per-pair outstanding count covers
+    in-flight plus inbox-resident messages, and its high-water mark is
+    exactly the worst-case per-pair backlog of the protocol.
+
+    The hot path is **log-append only**: both hooks push a tuple onto
+    :attr:`log` (the comm layer appends to the same list directly,
+    skipping even the method call), and :meth:`_fold` replays the log
+    into per-pair rows the first time a report asks.  A plain
+    ``list.append`` is several times cheaper than dict row arithmetic,
+    which is what keeps attached-mode overhead inside the perf suite's
+    5 % macro budget.  Memory is two small tuples per message — bounded
+    by simulated message volume, i.e. a few MB for the largest macro
+    benchmark shapes.
+    """
+
+    __slots__ = ("size", "log", "pairs", "size_hist", "_folded")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.log: list[tuple[int, int, int]] = []
+        """Hook-order event log: ``(src, dst, nbytes)`` for a send,
+        ``(src, dst, -1)`` for a consume.  Order is what makes the
+        replayed high-water marks exact."""
+        self.pairs: dict[tuple[int, int], list[int]] = {}
+        """``(src, dst) -> [messages, bytes, outstanding, hwm]``, built
+        lazily from :attr:`log`; always read through a report method."""
+        self.size_hist = Histogram(MESSAGE_SIZE_BOUNDS)
+        self._folded = 0  # log prefix already folded into ``pairs``
+
+    # ------------------------------------------------------------ hot hooks
+    def on_send(self, src: int, dst: int, nbytes: int) -> None:
+        self.log.append((src, dst, nbytes))
+
+    def on_consume(self, src: int, dst: int) -> None:
+        self.log.append((src, dst, -1))
+
+    # ------------------------------------------------------------- reports
+    def _fold(self) -> None:
+        """Replay unfolded log entries into the per-pair rows."""
+        log = self.log
+        if self._folded == len(log):
+            return
+        pairs = self.pairs
+        observe = self.size_hist.observe
+        for i in range(self._folded, len(log)):
+            src, dst, nb = log[i]
+            row = pairs.get((src, dst))
+            if row is None:
+                row = pairs[(src, dst)] = [0, 0, 0, 0]
+            if nb >= 0:
+                row[0] += 1
+                row[1] += nb
+                out = row[2] + 1
+                row[2] = out
+                if out > row[3]:
+                    row[3] = out
+                observe(nb)
+            else:
+                row[2] -= 1
+        self._folded = len(log)
+
+    def outstanding(self, src: int, dst: int) -> int:
+        """Messages sent ``src -> dst`` not yet consumed by a receive."""
+        self._fold()
+        row = self.pairs.get((src, dst))
+        return row[2] if row is not None else 0
+
+    def pair_report(self) -> list[dict[str, int]]:
+        """One row per communicating pair, sorted by ``(src, dst)``."""
+        self._fold()
+        return [
+            {
+                "src": src,
+                "dst": dst,
+                "messages": self.pairs[(src, dst)][0],
+                "bytes": self.pairs[(src, dst)][1],
+                "outstanding_hwm": self.pairs[(src, dst)][3],
+            }
+            for src, dst in sorted(self.pairs)
+        ]
+
+    def hwm_report(self, top: int | None = None) -> list[tuple[tuple[int, int], int]]:
+        """Pairs by descending high-water mark (ties broken by pair id).
+
+        The pairs at the head are the protocol's backlog hot spots — an
+        async design whose HWM grows with rank count or iteration count
+        has an unbounded inbox.
+        """
+        self._fold()
+        ranked = sorted(
+            ((pair, row[3]) for pair, row in self.pairs.items()),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        return ranked[:top] if top is not None else ranked
+
+    def totals(self) -> dict[str, int]:
+        self._fold()
+        keys = sorted(self.pairs)
+        return {
+            "messages": sum(self.pairs[k][0] for k in keys),
+            "bytes": sum(self.pairs[k][1] for k in keys),
+            "pairs": len(keys),
+            "outstanding_hwm_max": max(
+                (self.pairs[k][3] for k in keys), default=0
+            ),
+        }
+
+    def records(self) -> list[dict[str, Any]]:
+        """Snapshot collector: aggregate + per-pair metric records."""
+        totals = self.totals()  # folds the log
+        recs: list[dict[str, Any]] = [
+            counter_record("comm.messages", totals["messages"]),
+            counter_record("comm.bytes", totals["bytes"]),
+            counter_record("comm.pairs", totals["pairs"]),
+            gauge_record("comm.outstanding_hwm", totals["outstanding_hwm_max"]),
+            histogram_record(
+                "comm.message_bytes",
+                self.size_hist.bounds,
+                self.size_hist.counts,
+                self.size_hist.total,
+            ),
+        ]
+        for src, dst in sorted(self.pairs):
+            row = self.pairs[(src, dst)]
+            recs.append(
+                counter_record("comm.pair.messages", row[0], src=src, dst=dst)
+            )
+            recs.append(
+                counter_record("comm.pair.bytes", row[1], src=src, dst=dst)
+            )
+            recs.append(
+                gauge_record(
+                    "comm.pair.outstanding_hwm", row[3], src=src, dst=dst
+                )
+            )
+        return recs
+
+    def attach(self, registry: MetricsRegistry) -> "CommStats":
+        registry.add_collector(self.records)
+        return self

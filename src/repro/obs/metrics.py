@@ -1,0 +1,318 @@
+"""Metric instruments and the registry that owns them.
+
+The registry is the single sink for everything the simulator, the
+virtual-MPI layer, and the HF trainer want to report about themselves:
+
+* :class:`Counter` — monotone event counts (``sim.events``,
+  ``comm.messages``);
+* :class:`Gauge` — last-value-plus-peak level readings (heap depth,
+  outstanding messages);
+* :class:`Histogram` — fixed-bucket distributions (message sizes);
+  bucket bounds are frozen at creation so two runs always bin
+  identically;
+* :class:`Series` — short append-only value sequences indexed by
+  occurrence order (per-CG-iteration residuals, per-outer-iteration
+  lambda), the shape Figures 2-5-style analyses want.
+
+Instruments carry **label dimensions** — ``rank=3``, ``phase="iter2"`` —
+and the registry keys on ``(name, sorted labels)``.  Label cardinality
+discipline (see DESIGN.md §7): label values must be drawn from sets
+bounded by the run configuration (ranks, phases, outer iterations),
+never from unbounded data (payload contents, virtual times).
+
+Determinism: :meth:`MetricsRegistry.snapshot` emits records sorted by
+``(metric name, canonical label encoding)`` regardless of creation
+order, and every instrument folds values in arrival order — so a dump
+from a deterministic simulation is byte-stable across runs.
+
+Hot subsystems do not call instrument methods per event.  They keep
+plain local counters and register a *collector* — a callable returning
+finished records — which the registry invokes at snapshot time.  That is
+what keeps instrumentation zero-cost when detached and near-free when
+attached (the ``_fast_p2p`` gating pattern).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "MetricsRegistry",
+    "counter_record",
+    "gauge_record",
+    "histogram_record",
+    "series_record",
+]
+
+LabelValue = Any  # int | str in practice; anything json-serializable
+
+
+def _canon_labels(labels: dict[str, LabelValue]) -> tuple[tuple[str, LabelValue], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def _labels_dict(key: tuple[tuple[str, LabelValue], ...]) -> dict[str, LabelValue]:
+    return dict(key)
+
+
+# ------------------------------------------------------------- record shapes
+def counter_record(name: str, value: int, **labels: LabelValue) -> dict[str, Any]:
+    return {"metric": name, "type": "counter", "labels": labels, "value": value}
+
+
+def gauge_record(
+    name: str, value: float, peak: float | None = None, **labels: LabelValue
+) -> dict[str, Any]:
+    rec = {"metric": name, "type": "gauge", "labels": labels, "value": value}
+    if peak is not None:
+        rec["peak"] = peak
+    return rec
+
+
+def histogram_record(
+    name: str,
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    total: float,
+    **labels: LabelValue,
+) -> dict[str, Any]:
+    return {
+        "metric": name,
+        "type": "histogram",
+        "labels": labels,
+        "bounds": list(bounds),
+        "counts": list(counts),
+        "count": sum(counts),
+        "sum": total,
+    }
+
+
+def series_record(
+    name: str, values: Sequence[float], **labels: LabelValue
+) -> dict[str, Any]:
+    return {"metric": name, "type": "series", "labels": labels, "values": list(values)}
+
+
+# -------------------------------------------------------------- instruments
+class Counter:
+    """Monotone event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter increments must be >= 0, got {n}")
+        self.value += n
+
+    def _record(self, name: str, labels: dict[str, LabelValue]) -> dict[str, Any]:
+        return counter_record(name, self.value, **labels)
+
+
+class Gauge:
+    """Last-set level, remembering the peak ever set."""
+
+    __slots__ = ("value", "peak")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+        if v > self.peak:
+            self.peak = v
+
+    def set_max(self, v: float) -> None:
+        """Fold a candidate peak without disturbing the current value."""
+        if v > self.peak:
+            self.peak = v
+
+    def _record(self, name: str, labels: dict[str, LabelValue]) -> dict[str, Any]:
+        return gauge_record(name, self.value, peak=self.peak, **labels)
+
+
+class Histogram:
+    """Fixed-bucket histogram with *inclusive* upper bounds.
+
+    ``bounds`` are strictly increasing finite upper edges; a value ``v``
+    lands in the first bucket with ``v <= bound`` and values above the
+    last bound fall into an implicit overflow bucket, so ``counts`` has
+    ``len(bounds) + 1`` entries.  Bounds are frozen at construction —
+    fixed buckets are what keep two runs (or two ranks) directly
+    comparable and golden dumps stable.
+    """
+
+    __slots__ = ("bounds", "counts", "total")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        bounds = list(bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram bounds must be strictly increasing: {bounds}")
+        self.bounds: list[float] = bounds
+        self.counts: list[int] = [0] * (len(bounds) + 1)
+        self.total = 0.0
+
+    def observe(self, v: float) -> None:
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.total += v
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def bucket_of(self, v: float) -> int:
+        """Index of the bucket ``observe(v)`` would increment."""
+        return bisect_left(self.bounds, v)
+
+    def _record(self, name: str, labels: dict[str, LabelValue]) -> dict[str, Any]:
+        return histogram_record(name, self.bounds, self.counts, self.total, **labels)
+
+
+class Series:
+    """Append-only value sequence (one entry per occurrence).
+
+    This is the instrument for per-iteration trajectories — lambda per
+    outer HF iteration, residual per CG iteration — where the *sequence*
+    is the signal and aggregation would destroy it.  Length must stay
+    bounded by run configuration (iteration counts), never by data
+    volume; unbounded streams belong in the Chrome trace, not here.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def append(self, v: float) -> None:
+        self.values.append(v)
+
+    def extend(self, vs: Iterable[float]) -> None:
+        self.values.extend(vs)
+
+    def _record(self, name: str, labels: dict[str, LabelValue]) -> dict[str, Any]:
+        return series_record(name, self.values, **labels)
+
+
+_INSTRUMENTS = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+    "series": Series,
+}
+
+
+# ----------------------------------------------------------------- registry
+class MetricsRegistry:
+    """Owns instruments keyed by ``(name, labels)`` plus snapshot collectors.
+
+    One registry per run.  Attach it wherever the run wants eyes —
+    ``Engine.attach_obs``, ``VComm(obs=...)``,
+    ``HessianFreeOptimizer(obs=...)`` — and dump it once at the end with
+    :meth:`snapshot` / :meth:`to_jsonl`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[
+            tuple[str, tuple[tuple[str, LabelValue], ...]], tuple[str, Any]
+        ] = {}
+        self._collectors: list[Callable[[], list[dict[str, Any]]]] = []
+
+    # ------------------------------------------------------------- creation
+    def _get(self, kind: str, name: str, labels: dict[str, LabelValue], *args: Any):
+        key = (name, _canon_labels(labels))
+        hit = self._metrics.get(key)
+        if hit is not None:
+            have_kind, instrument = hit
+            if have_kind != kind:
+                raise ValueError(
+                    f"metric {name!r} {labels!r} already registered as "
+                    f"{have_kind}, requested {kind}"
+                )
+            return instrument
+        instrument = _INSTRUMENTS[kind](*args)
+        self._metrics[key] = (kind, instrument)
+        return instrument
+
+    def counter(self, name: str, **labels: LabelValue) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels: LabelValue) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] | None = None, **labels: LabelValue
+    ) -> Histogram:
+        key = (name, _canon_labels(labels))
+        if key not in self._metrics and bounds is None:
+            raise ValueError(f"first use of histogram {name!r} must supply bounds")
+        h = self._get("histogram", name, labels, bounds)
+        if bounds is not None and list(bounds) != h.bounds:
+            raise ValueError(
+                f"histogram {name!r} bounds are fixed at {h.bounds}, got {list(bounds)}"
+            )
+        return h
+
+    def series(self, name: str, **labels: LabelValue) -> Series:
+        return self._get("series", name, labels)
+
+    def add_collector(self, collector: Callable[[], list[dict[str, Any]]]) -> None:
+        """Register a snapshot-time record source (hot-path subsystems)."""
+        self._collectors.append(collector)
+
+    # ------------------------------------------------------------- querying
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str, **labels: LabelValue):
+        """The instrument registered under ``(name, labels)``, or None."""
+        hit = self._metrics.get((name, _canon_labels(labels)))
+        return hit[1] if hit is not None else None
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """All records — instruments plus collectors — in canonical order.
+
+        Order is ``(metric name, canonical JSON of labels)``: independent
+        of creation order and of dict iteration, so a deterministic run
+        produces a byte-identical dump.
+        """
+        records = [
+            instrument._record(name, _labels_dict(label_key))
+            for (name, label_key), (_, instrument) in self._metrics.items()
+        ]
+        for collector in self._collectors:
+            records.extend(collector())
+        records.sort(
+            key=lambda r: (r["metric"], json.dumps(r["labels"], sort_keys=True))
+        )
+        return records
+
+    def to_jsonl(self, path: str | Path) -> Path:
+        """Write the snapshot as one JSON object per line."""
+        out = Path(path)
+        lines = [
+            json.dumps(rec, sort_keys=True, default=_json_default)
+            for rec in self.snapshot()
+        ]
+        out.write_text("\n".join(lines) + "\n" if lines else "")
+        return out
+
+
+def _json_default(obj: Any) -> Any:
+    """Tolerate numpy scalars in metric values without importing numpy."""
+    for attr in ("item",):
+        fn = getattr(obj, attr, None)
+        if callable(fn):
+            return fn()
+    raise TypeError(f"metric value {obj!r} is not JSON-serializable")

@@ -47,6 +47,12 @@ class Tracer:
                 self.record(s.process, s.label, s.start, s.end)
 
     def record(self, process: str, label: str, start: float, end: float) -> Span:
+        """Record one span.  Spans may arrive in any start order — a
+        worker that finishes a long phase reports it after a peer already
+        recorded later work, and merged per-worker tracers interleave
+        freely — so the only rejected shape is an individual span that
+        ends before it starts (``end < start``).  Zero-duration spans are
+        legal markers."""
         duration = end - start
         if duration < 0:
             raise ValueError(f"span ends before it starts: {label} [{start}, {end}]")
@@ -58,6 +64,28 @@ class Tracer:
         agg[label] = agg.get(label, 0.0) + duration
         self._all[label] = self._all.get(label, 0.0) + duration
         return span
+
+    @classmethod
+    def merge(cls, *tracers: "Tracer") -> "Tracer":
+        """Combine tracers (e.g. one per worker) into a new one.
+
+        Spans are concatenated and aggregates folded label-wise in
+        argument order — no re-recording, so merging N tracers is
+        O(total spans + total distinct labels) with the float-fold order
+        fully determined by the argument order (bit-stable totals).
+        """
+        merged = cls()
+        for t in tracers:
+            merged.spans.extend(t.spans)
+            for process, agg in t._by_process.items():
+                dst = merged._by_process.get(process)
+                if dst is None:
+                    dst = merged._by_process[process] = {}
+                for label, dur in agg.items():
+                    dst[label] = dst.get(label, 0.0) + dur
+            for label, dur in t._all.items():
+                merged._all[label] = merged._all.get(label, 0.0) + dur
+        return merged
 
     def totals(self, process: str | None = None) -> dict[str, float]:
         """Total duration per label, optionally restricted to one process."""

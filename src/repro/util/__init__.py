@@ -1,7 +1,7 @@
 """Shared utilities: seeded RNG streams, packed vectors, timers, run logs."""
 
 from repro.util.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
-from repro.util.logging import RunLog
+from repro.util.logging import NONDETERMINISTIC_FIELDS, RunLog, records_equal
 from repro.util.rng import derive_seed, make_rng, spawn
 from repro.util.timing import TimeLedger, WallTimer
 from repro.util.vec import dot, norm, pack, shapes_size, unpack, zeros_like_packed
@@ -11,6 +11,8 @@ __all__ = [
     "load_checkpoint",
     "save_checkpoint",
     "RunLog",
+    "records_equal",
+    "NONDETERMINISTIC_FIELDS",
     "derive_seed",
     "make_rng",
     "spawn",

@@ -3,16 +3,30 @@
 Minimal, dependency-free structured logger: every record is a dict with a
 monotonically increasing sequence number.  Harness drivers attach a
 :class:`RunLog` and examples print its tail; tests assert on records
-instead of scraping stdout.
+instead of scraping stdout.  :meth:`RunLog.to_jsonl` persists a run's
+records next to the metrics dumps from :mod:`repro.obs`, and
+:func:`records_equal` compares runs while ignoring the bookkeeping
+fields (``seq``, wall-clock timestamps) that legitimately differ
+between two otherwise identical runs.
 """
 
 from __future__ import annotations
 
-import sys
+import json
 from dataclasses import dataclass, field
-from typing import Any, TextIO
+from pathlib import Path
+from typing import Any, Callable, Iterable, TextIO
 
-__all__ = ["RunLog"]
+import sys
+
+from repro.obs.fmt import fmt_fields
+
+__all__ = ["RunLog", "records_equal", "NONDETERMINISTIC_FIELDS"]
+
+NONDETERMINISTIC_FIELDS = ("seq", "t", "timestamp", "wall_s")
+"""Record keys :func:`records_equal` ignores: sequence numbers and any
+wall-clock stamps — everything that may differ between two replays of
+the same deterministic run."""
 
 
 @dataclass
@@ -21,13 +35,18 @@ class RunLog:
 
     echo: TextIO | None = None
     records: list[dict[str, Any]] = field(default_factory=list)
+    clock: Callable[[], float] | None = None
+    """Optional timestamp source (e.g. ``time.time``); when set, every
+    record carries its reading under ``"t"``.  Left out of equality by
+    :func:`records_equal`."""
 
     def log(self, event: str, **fields: Any) -> dict[str, Any]:
         rec = {"seq": len(self.records), "event": event, **fields}
+        if self.clock is not None:
+            rec["t"] = self.clock()
         self.records.append(rec)
         if self.echo is not None:
-            parts = " ".join(f"{k}={_fmt(v)}" for k, v in fields.items())
-            print(f"[{rec['seq']:04d}] {event} {parts}", file=self.echo)
+            print(f"[{rec['seq']:04d}] {event} {fmt_fields(fields)}", file=self.echo)
         return rec
 
     def filter(self, event: str) -> list[dict[str, Any]]:
@@ -39,12 +58,44 @@ class RunLog:
                 return r
         return None
 
+    def to_jsonl(self, path: str | Path) -> Path:
+        """Write every record as one JSON object per line (same flat
+        format as the obs metrics dumps, so one ``jq`` vocabulary reads
+        both)."""
+        out = Path(path)
+        out.write_text(
+            "".join(
+                json.dumps(rec, sort_keys=True, default=_json_default) + "\n"
+                for rec in self.records
+            )
+        )
+        return out
+
     @classmethod
     def to_stdout(cls) -> "RunLog":
         return cls(echo=sys.stdout)
 
 
-def _fmt(v: Any) -> str:
-    if isinstance(v, float):
-        return f"{v:.6g}"
-    return str(v)
+def _strip(rec: dict[str, Any]) -> dict[str, Any]:
+    return {k: v for k, v in rec.items() if k not in NONDETERMINISTIC_FIELDS}
+
+
+def records_equal(
+    a: Iterable[dict[str, Any]], b: Iterable[dict[str, Any]]
+) -> bool:
+    """Record-list equality ignoring :data:`NONDETERMINISTIC_FIELDS`.
+
+    The shape of "same run": two logs agree on every event and every
+    payload field, in order, regardless of sequence numbering or when
+    (in wall time) each record was written.
+    """
+    aa = [_strip(r) for r in a]
+    bb = [_strip(r) for r in b]
+    return aa == bb
+
+
+def _json_default(obj: Any) -> Any:
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"log record value {obj!r} is not JSON-serializable")

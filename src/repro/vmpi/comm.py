@@ -106,6 +106,7 @@ class Mailbox:
     __slots__ = (
         "engine",
         "name",
+        "obs_log",
         "_rank_names",
         "_queues",
         "_src_keys",
@@ -119,6 +120,11 @@ class Mailbox:
     ) -> None:
         self.engine = engine
         self.name = name
+        self.obs_log = None
+        """Optional :class:`~repro.obs.hooks.CommStats` event log; when
+        set, every message consumed out of this inbox (matched on arrival
+        or popped by a receive) appends a ``(src, dst, -1)`` entry so
+        per-pair outstanding counts close."""
         self._rank_names = rank_names
         self._queues: dict[tuple[int, int], deque[tuple[int, Message]]] = {}
         self._src_keys: dict[int, set[tuple[int, int]]] = {}
@@ -150,6 +156,9 @@ class Mailbox:
                     want_tag is None or want_tag == tag
                 ):
                     del getters[i]
+                    log = self.obs_log
+                    if log is not None:
+                        log.append((item.src, item.dst, -1))
                     return getter
         key = (item.src, item.tag)
         q = self._queues.get(key)
@@ -172,6 +181,9 @@ class Mailbox:
             item = q.popleft()[1]
             if not q:
                 self._drop_key(key)
+            log = self.obs_log
+            if log is not None:
+                log.append((item.src, item.dst, -1))
             return True, item
         if tag is not None:
             keys: Any = self._tag_keys.get(tag)
@@ -186,6 +198,9 @@ class Mailbox:
         item = q.popleft()[1]
         if not q:
             self._drop_key(best)
+        log = self.obs_log
+        if log is not None:
+            log.append((item.src, item.dst, -1))
         return True, item
 
     def _drop_key(self, key: tuple[int, int]) -> None:
@@ -236,6 +251,7 @@ class VComm:
         trace_p2p: bool = True,
         recv_timeout: float | None = None,
         check_collectives: bool = True,
+        obs: Any | None = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"communicator needs >= 1 rank, got {size}")
@@ -268,6 +284,24 @@ class VComm:
             Mailbox(self.engine, f"inbox[{r}]", self._rank_names)
             for r in range(size)
         ]
+        self.obs = obs
+        """Attached :class:`~repro.obs.metrics.MetricsRegistry`, or None."""
+        self.comm_stats = None
+        """Per-(src, dst) traffic matrices + outstanding-message HWM
+        (:class:`~repro.obs.hooks.CommStats`), built iff ``obs`` is set.
+        When None, the p2p hot paths pay one attribute check per message
+        and nothing else (the ``_fast_p2p`` gating discipline)."""
+        self._obs_log = None
+        """``comm_stats.log`` when attached — the hot paths append event
+        tuples straight onto the stats log, skipping the method call."""
+        if obs is not None:
+            from repro.obs.hooks import CommStats
+
+            self.comm_stats = CommStats(size).attach(obs)
+            self._obs_log = self.comm_stats.log
+            for box in self._inboxes:
+                box.obs_log = self._obs_log
+            self.engine.attach_obs(obs)
         self._sends = 0
         self._bytes_sent = 0
         # Hoisted network-model lookups: one getattr per communicator
@@ -390,6 +424,9 @@ class RankCtx:
         msg = Message(self.rank, dest, tag, payload, nbytes, t0)
         comm._sends += 1
         comm._bytes_sent += nbytes
+        log = comm._obs_log
+        if log is not None:
+            log.append((self.rank, dest, nbytes))
         comm.engine.put_later(max(delay, inj), comm._inboxes[dest], msg)
         if inj > 0:
             yield inj + 0.0
@@ -419,6 +456,9 @@ class RankCtx:
         msg = Message(self.rank, dest, tag, payload, nbytes, t0)
         comm._sends += 1
         comm._bytes_sent += nbytes
+        log = comm._obs_log
+        if log is not None:
+            log.append((self.rank, dest, nbytes))
         comm.engine.put_later(max(delay, inj), comm._inboxes[dest], msg)
         return inj
 
@@ -487,6 +527,9 @@ class RankCtx:
         msg_out = Message(self.rank, dest, tag, payload, nbytes, t0)
         comm._sends += 1
         comm._bytes_sent += nbytes
+        log = comm._obs_log
+        if log is not None:
+            log.append((self.rank, dest, nbytes))
         comm.engine.put_later(max(delay, inj), comm._inboxes[dest], msg_out)
         msg_in = yield from self.recv(source=source, tag=tag)
         # ensure at least injection time elapsed on our side

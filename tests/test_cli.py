@@ -13,6 +13,26 @@ def test_parser_has_all_commands():
         assert callable(args.func)
 
 
+def test_parser_has_trace_command():
+    parser = build_parser()
+    args = parser.parse_args(["trace", "4096-4-16"])
+    assert args.command == "trace" and args.target == "4096-4-16"
+    assert args.out == "trace.json" and args.metrics is None and not args.p2p
+    args = parser.parse_args(
+        ["trace", "8-1-16", "--out", "t.json", "--metrics", "m.jsonl", "--p2p"]
+    )
+    assert (args.out, args.metrics, args.p2p) == ("t.json", "m.jsonl", True)
+    with pytest.raises(SystemExit):
+        parser.parse_args(["trace"])  # target is required
+
+
+def test_perf_and_train_take_obs_flag():
+    parser = build_parser()
+    assert parser.parse_args(["perf", "--obs", "m.jsonl"]).obs == "m.jsonl"
+    assert parser.parse_args(["train", "--obs", "m.jsonl"]).obs == "m.jsonl"
+    assert parser.parse_args(["train"]).obs is None
+
+
 def test_shared_flags_after_subcommand():
     parser = build_parser()
     args = parser.parse_args(["train", "--iters", "3", "--hours", "5", "--seed", "9"])

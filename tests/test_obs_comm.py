@@ -1,0 +1,152 @@
+"""Communication observability: per-pair matrices and outstanding HWMs.
+
+The scripted runs here have hand-computable traffic, so every assertion
+is an exact integer: a burst protocol whose per-pair outstanding
+high-water mark *must* equal the burst depth, and an ack-paced ping-pong
+whose HWM *must* stay at one message.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import MESSAGE_SIZE_BOUNDS, CommStats, MetricsRegistry
+from repro.vmpi import PayloadStub, VComm, ZeroCostNetwork
+
+SIZE = 8
+BURST_BYTES = (100, 200, 300, 400, 500)
+
+
+def _burst_program(ctx):
+    """Rank 0 bursts five sends at rank 1 before rank 1 may receive.
+
+    The release token routes through rank 2 (0 -> 2 -> 1), so the
+    five payloads are all in flight/in-box when rank 1's first receive
+    fires: outstanding(0, 1) peaks at exactly ``len(BURST_BYTES)``.
+    """
+    if ctx.rank == 0:
+        for n in BURST_BYTES:
+            yield from ctx.send(1, PayloadStub(n), tag=0)
+        yield from ctx.send(2, PayloadStub(8), tag=1)
+    elif ctx.rank == 2:
+        yield from ctx.recv(source=0, tag=1)
+        yield from ctx.send(1, PayloadStub(8), tag=2)
+    elif ctx.rank == 1:
+        yield from ctx.recv(source=2, tag=2)
+        for _ in BURST_BYTES:
+            yield from ctx.recv(source=0, tag=0)
+    return None
+
+
+def _pingpong_program(ctx):
+    """Ack-paced ping-pong: each side waits for the reply, so neither
+    pair ever has more than one message outstanding."""
+    if ctx.rank == 0:
+        for i in range(4):
+            yield from ctx.send(1, PayloadStub(64), tag=i)
+            yield from ctx.recv(source=1, tag=i)
+    elif ctx.rank == 1:
+        for i in range(4):
+            yield from ctx.recv(source=0, tag=i)
+            yield from ctx.send(0, PayloadStub(64), tag=i)
+    return None
+
+
+def _run(program):
+    reg = MetricsRegistry()
+    comm = VComm(SIZE, network=ZeroCostNetwork(), obs=reg)
+    comm.run(program)
+    return reg, comm.comm_stats
+
+
+class TestScriptedSchedules:
+    def test_burst_pair_counts_and_hwm(self):
+        reg, stats = _run(_burst_program)
+        assert stats.outstanding(0, 1) == 0  # everything consumed
+        assert stats.pair_report() == [
+            {"src": 0, "dst": 1, "messages": 5, "bytes": 1500,
+             "outstanding_hwm": 5},
+            {"src": 0, "dst": 2, "messages": 1, "bytes": 8,
+             "outstanding_hwm": 1},
+            {"src": 2, "dst": 1, "messages": 1, "bytes": 8,
+             "outstanding_hwm": 1},
+        ]
+        assert stats.totals() == {
+            "messages": 7, "bytes": 1516, "pairs": 3, "outstanding_hwm_max": 5,
+        }
+
+    def test_hwm_report_ranks_backlog_hot_spots(self):
+        _, stats = _run(_burst_program)
+        assert stats.hwm_report() == [
+            ((0, 1), 5), ((0, 2), 1), ((2, 1), 1)  # ties by pair id
+        ]
+        assert stats.hwm_report(top=1) == [((0, 1), 5)]
+
+    def test_burst_size_histogram(self):
+        _, stats = _run(_burst_program)
+        stats.totals()  # reports fold the log; the raw hist is lazy too
+        h = stats.size_hist
+        assert h.bounds == list(MESSAGE_SIZE_BOUNDS)
+        # 8-byte tokens <= 64; the 100..500 burst lands in (64, 512]
+        assert h.counts[0] == 2 and h.counts[1] == 5
+        assert h.count == 7 and h.total == 1516.0
+
+    def test_ack_paced_pingpong_hwm_is_one(self):
+        _, stats = _run(_pingpong_program)
+        report = {(r["src"], r["dst"]): r for r in stats.pair_report()}
+        assert set(report) == {(0, 1), (1, 0)}
+        for row in report.values():
+            assert row["messages"] == 4
+            assert row["bytes"] == 256
+            assert row["outstanding_hwm"] == 1
+
+    def test_registry_records_carry_pair_labels(self):
+        reg, _ = _run(_burst_program)
+        snap = {
+            (r["metric"], json.dumps(r["labels"], sort_keys=True)): r
+            for r in reg.snapshot()
+        }
+        rec = snap[("comm.pair.outstanding_hwm", '{"dst": 1, "src": 0}')]
+        assert rec["value"] == 5
+        assert snap[("comm.messages", "{}")]["value"] == 7
+        assert snap[("comm.bytes", "{}")]["value"] == 1516
+        assert snap[("comm.outstanding_hwm", "{}")]["value"] == 5
+        # the engine collector rides along on the same registry
+        kinds = {r["labels"].get("kind") for m, _ in list(snap)
+                 for r in [snap[(m, _)]] if r["metric"] == "sim.events"}
+        assert {"resume", "put", "action"} <= kinds
+
+    def test_snapshot_is_deterministic_across_runs(self, tmp_path):
+        paths = []
+        for i in range(2):
+            reg, _ = _run(_burst_program)
+            paths.append(reg.to_jsonl(tmp_path / f"dump{i}.jsonl"))
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+class TestCommStatsReplay:
+    def test_fold_replays_log_in_order(self):
+        cs = CommStats(4)
+        cs.on_send(0, 1, 10)
+        cs.on_send(0, 1, 20)
+        cs.on_consume(0, 1)
+        cs.on_send(0, 1, 30)
+        assert cs.outstanding(0, 1) == 2
+        assert cs.outstanding(3, 2) == 0
+        cs.on_consume(0, 1)
+        cs.on_consume(0, 1)
+        # incremental fold: the earlier query must not freeze the rows
+        assert cs.outstanding(0, 1) == 0
+        assert cs.pair_report() == [
+            {"src": 0, "dst": 1, "messages": 3, "bytes": 60,
+             "outstanding_hwm": 2}
+        ]
+
+    def test_records_cover_aggregate_and_pairs(self):
+        cs = CommStats(4)
+        cs.on_send(0, 1, 10)
+        cs.on_send(2, 3, 70)
+        names = [r["metric"] for r in cs.records()]
+        assert names.count("comm.pair.messages") == 2
+        assert {"comm.messages", "comm.bytes", "comm.pairs",
+                "comm.outstanding_hwm", "comm.message_bytes"} <= set(names)

@@ -1,0 +1,132 @@
+"""Exporter tests: Chrome trace JSON and the CLI trace/metrics surfaces."""
+
+import json
+
+import pytest
+
+from repro.cli import TRACEABLE_EXAMPLES, _resolve_trace_target, main
+from repro.obs import chrome_trace, write_chrome_trace
+from repro.sim import Tracer
+
+
+def _demo_tracer() -> Tracer:
+    tr = Tracer()
+    tr.record("rank0", "compute.forward", 0.0, 1.5)
+    tr.record("rank3", "coll.allreduce", 1.0, 2.0)
+    tr.record("loader", "read", 0.25, 0.5)
+    return tr
+
+
+class TestChromeTrace:
+    def test_span_events_have_chrome_fields(self):
+        doc = chrome_trace(_demo_tracer())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 3
+        for e in spans:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+        first = spans[0]
+        assert first["name"] == "compute.forward"
+        assert first["cat"] == "compute"
+        assert first["ts"] == 0.0 and first["dur"] == 1.5e6  # virtual s -> us
+        assert spans[1]["ts"] == 1.0e6
+
+    def test_rank_names_become_pids(self):
+        doc = chrome_trace(_demo_tracer())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e["pid"] for e in spans}
+        assert by_name["compute.forward"] == 0
+        assert by_name["coll.allreduce"] == 3
+        assert by_name["read"] >= 1 << 20  # non-rank process: fallback band
+
+    def test_process_name_metadata(self):
+        doc = chrome_trace(_demo_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {"rank0", "rank3", "loader"}
+        assert all(m["name"] == "process_name" for m in meta)
+
+    def test_unlabelled_span_category(self):
+        tr = Tracer()
+        tr.record("rank1", "barrier", 0.0, 0.1)
+        (span,) = [e for e in chrome_trace(tr)["traceEvents"] if e["ph"] == "X"]
+        assert span["cat"] == "span"
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = write_chrome_trace(_demo_tracer(), tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["clock"] == "virtual"
+        assert len(doc["traceEvents"]) == 6  # 3 spans + 3 metadata
+
+
+class TestTraceTargetResolution:
+    def test_shape_spec_passes_through(self):
+        assert _resolve_trace_target("8-1-16") == "8-1-16"
+
+    def test_known_example_maps_to_its_shape(self):
+        for script, shape in TRACEABLE_EXAMPLES.items():
+            assert _resolve_trace_target(f"examples/{script}") == shape
+
+    def test_garbage_target_exits_with_message(self):
+        with pytest.raises(SystemExit, match="neither a shape spec"):
+            _resolve_trace_target("not-a-shape")
+
+
+class TestCliTrace:
+    def test_trace_command_writes_loadable_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.jsonl"
+        rc = main(
+            [
+                "trace", "8-1-16",
+                "--out", str(out),
+                "--metrics", str(metrics),
+                "--hours", "0.5",
+                "--iters", "1",
+            ]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+
+        doc = json.loads(out.read_text())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans
+        for e in spans:
+            assert e["ph"] == "X" and e["ts"] >= 0.0 and e["dur"] >= 0.0
+            assert 0 <= e["pid"] < 8  # one track per simulated rank
+        meta_names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert meta_names == {f"rank{r}" for r in range(8)}
+
+        recs = [json.loads(line) for line in metrics.read_text().splitlines()]
+        metrics_seen = {r.get("metric") for r in recs}
+        assert {"sim.events", "comm.messages", "comm.outstanding_hwm"} <= metrics_seen
+        run = [r for r in recs if r.get("record") == "run"]
+        assert run and run[0]["shape"] == "8-1-16" and run[0]["messages"] > 0
+
+    def test_train_obs_dumps_per_cg_iteration_series(self, tmp_path, capsys):
+        dump = tmp_path / "hf.jsonl"
+        rc = main(
+            [
+                "train",
+                "--iters", "1",
+                "--scale", "5e-5",
+                "--hidden", "12",
+                "--obs", str(dump),
+            ]
+        )
+        assert rc == 0
+        recs = [json.loads(line) for line in dump.read_text().splitlines()]
+        by_metric: dict = {}
+        for r in recs:
+            by_metric.setdefault(r["metric"], []).append(r)
+        resid = by_metric["hf.cg.residual"]
+        assert all(r["type"] == "series" for r in resid)
+        assert all(len(r["values"]) >= 1 for r in resid)
+        # residuals are per CG iteration: monotone count, positive values
+        assert all(v > 0 for r in resid for v in r["values"])
+        for name in ("hf.lam", "hf.cg_iterations", "hf.backtrack_index",
+                     "hf.alpha", "hf.gn_sample_size"):
+            (rec,) = by_metric[name]
+            assert rec["type"] == "series" and len(rec["values"]) == 1

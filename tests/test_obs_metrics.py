@@ -1,0 +1,134 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    counter_record,
+    gauge_record,
+)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_tracks_peak(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set(1.0)
+        assert g.value == 1.0 and g.peak == 3.0
+        g.set_max(10.0)
+        assert g.value == 1.0 and g.peak == 10.0
+
+    def test_series_keeps_order(self):
+        s = Series()
+        s.append(1.0)
+        s.extend([0.5, 0.25])
+        assert s.values == [1.0, 0.5, 0.25]
+
+
+class TestHistogram:
+    def test_upper_bounds_are_inclusive(self):
+        """A value exactly on a bucket bound lands in that bucket, not
+        the next one — the edge that decides which side of the eager/
+        rendezvous split a message-size histogram reports."""
+        h = Histogram([10.0, 100.0])
+        for v in (10.0, 100.0, 9.9, 10.1, 100.1):
+            h.observe(v)
+        #            <=10          (10,100]        >100
+        assert h.counts == [2, 2, 1]
+        assert h.bucket_of(10.0) == 0
+        assert h.bucket_of(10.0000001) == 1
+        assert h.bucket_of(100.0) == 1
+        assert h.count == 5
+        assert h.total == pytest.approx(230.1)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+
+
+class TestRegistry:
+    def test_same_key_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", rank=1)
+        b = reg.counter("m", rank=1)
+        assert a is b
+        assert reg.counter("m", rank=2) is not a
+        assert len(reg) == 2
+
+    def test_label_order_is_canonicalized(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", src=0, dst=1)
+        b = reg.counter("m", dst=1, src=0)
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("m")
+
+    def test_histogram_bounds_frozen(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="must supply bounds"):
+            reg.histogram("h")
+        h = reg.histogram("h", bounds=[1.0, 2.0])
+        assert reg.histogram("h") is h  # bounds optional after creation
+        with pytest.raises(ValueError, match="fixed"):
+            reg.histogram("h", bounds=[1.0, 3.0])
+
+    def test_snapshot_order_independent_of_creation_order(self):
+        def build(order):
+            reg = MetricsRegistry()
+            for name, labels in order:
+                reg.counter(name, **labels).inc()
+            return reg.snapshot()
+
+        keys = [("b", {"rank": 1}), ("a", {}), ("b", {"rank": 0})]
+        assert build(keys) == build(list(reversed(keys)))
+        names = [(r["metric"], json.dumps(r["labels"], sort_keys=True))
+                 for r in build(keys)]
+        assert names == sorted(names)
+
+    def test_collectors_contribute_records(self):
+        reg = MetricsRegistry()
+        reg.add_collector(
+            lambda: [counter_record("z.count", 7), gauge_record("a.depth", 2.0)]
+        )
+        snap = reg.snapshot()
+        assert [r["metric"] for r in snap] == ["a.depth", "z.count"]
+        assert snap[1]["value"] == 7
+
+    def test_get_and_missing(self):
+        reg = MetricsRegistry()
+        c = reg.counter("m", rank=3)
+        assert reg.get("m", rank=3) is c
+        assert reg.get("m", rank=4) is None
+
+    def test_to_jsonl_round_trips(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("events", kind="put").inc(12)
+        reg.series("resid").extend([1.0, 0.5])
+        path = reg.to_jsonl(tmp_path / "dump.jsonl")
+        recs = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {r["metric"] for r in recs} == {"events", "resid"}
+        by = {r["metric"]: r for r in recs}
+        assert by["events"]["value"] == 12 and by["events"]["labels"] == {"kind": "put"}
+        assert by["resid"]["values"] == [1.0, 0.5]

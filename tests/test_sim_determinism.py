@@ -171,8 +171,8 @@ def _stress_program_digest(network) -> tuple[str, str]:
     return repr(end), _digest(values)
 
 
-def _training_digest(cfg: SimJobConfig) -> tuple[str, str, int, str]:
-    res = simulate_training(cfg)
+def _training_digest(cfg: SimJobConfig, obs=None) -> tuple[str, str, int, str]:
+    res = simulate_training(cfg, obs=obs)
     per_rank = [
         sorted(res.breakdown(r).__dict__["compute"].items())
         + sorted(res.breakdown(r).collective.items())
@@ -276,6 +276,30 @@ class TestGoldenDeterminism:
 
     def test_simulate_training_staged_serial_jitter(self):
         assert _training_digest(_training_config_staged()) == GOLDEN["training_staged"]
+
+    def test_obs_attachment_is_passive_small(self):
+        """Attaching a metrics registry must not perturb the timeline:
+        the instrumented run reproduces the *same* goldens bit-for-bit."""
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        assert (
+            _training_digest(_training_config_small(), obs=reg)
+            == GOLDEN["training_small"]
+        )
+        # and the registry actually observed the run
+        events = [
+            r for r in reg.snapshot() if r["metric"] == "sim.events"
+        ]
+        assert sum(r["value"] for r in events) > 0
+
+    def test_obs_attachment_is_passive_staged(self):
+        from repro.obs import MetricsRegistry
+
+        assert (
+            _training_digest(_training_config_staged(), obs=MetricsRegistry())
+            == GOLDEN["training_staged"]
+        )
 
 
 if __name__ == "__main__":

@@ -210,3 +210,51 @@ def test_tracer_rejects_negative_span():
     tr = Tracer()
     with pytest.raises(ValueError):
         tr.record("p", "bad", 2.0, 1.0)
+
+
+def test_tracer_accepts_out_of_order_starts():
+    """Spans may arrive in any start order (workers report phases when
+    they finish, not when they start); only end < start is rejected."""
+    tr = Tracer()
+    tr.record("p", "late", 5.0, 6.0)
+    tr.record("p", "early", 0.0, 2.0)
+    tr.record("p", "marker", 3.0, 3.0)  # zero-duration is legal
+    assert tr.totals("p") == {"late": 1.0, "early": 2.0, "marker": 0.0}
+
+
+def test_tracer_merge_combines_workers():
+    a, b = Tracer(), Tracer()
+    a.record("rank0", "work", 0.0, 2.0)
+    a.record("rank1", "wait", 0.0, 1.0)
+    b.record("rank0", "work", 2.0, 3.0)
+    b.record("rank2", "work", 0.0, 4.0)
+    merged = Tracer.merge(a, b)
+    assert len(merged.spans) == 4
+    assert merged.spans == a.spans + b.spans  # argument order
+    assert merged.totals() == {"work": 7.0, "wait": 1.0}
+    assert merged.totals("rank0") == {"work": 3.0}
+    assert merged.processes() == ["rank0", "rank1", "rank2"]
+    # inputs untouched, merged tracer independent
+    assert len(a.spans) == 2 and len(b.spans) == 2
+    merged.record("rank3", "work", 0.0, 1.0)
+    assert len(a.spans) == 2 and len(b.spans) == 2
+
+
+def test_tracer_merge_matches_re_recording():
+    a, b = Tracer(), Tracer()
+    for i in range(5):
+        a.record(f"rank{i % 2}", "x", i * 1.0, i + 0.5)
+        b.record(f"rank{i % 3}", "y", i * 2.0, i * 2.0 + 0.25)
+    merged = Tracer.merge(a, b)
+    replayed = Tracer(a.spans + b.spans)
+    assert merged.spans == replayed.spans
+    assert merged.totals() == replayed.totals()
+    assert merged.by_process() == replayed.by_process()
+
+
+def test_tracer_merge_empty_and_single():
+    assert Tracer.merge().totals() == {}
+    t = Tracer()
+    t.record("p", "x", 0.0, 1.0)
+    m = Tracer.merge(t)
+    assert m.totals() == t.totals() and m.spans == t.spans

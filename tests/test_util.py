@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.util import (
     RunLog,
+    records_equal,
     TimeLedger,
     WallTimer,
     derive_seed,
@@ -120,3 +121,37 @@ class TestRunLog:
         assert log.last("step")["loss"] == 0.25
         assert log.last("missing") is None
         assert [r["seq"] for r in log.records] == [0, 1, 2]
+
+    def test_clock_stamps_records(self):
+        ticks = iter([10.0, 11.5])
+        log = RunLog(clock=lambda: next(ticks))
+        log.log("a")
+        log.log("b")
+        assert [r["t"] for r in log.records] == [10.0, 11.5]
+        assert "t" not in RunLog().log("a")
+
+    def test_to_jsonl_round_trips(self, tmp_path):
+        import json
+
+        log = RunLog()
+        log.log("start", x=1)
+        log.log("step", loss=np.float64(0.5), n=np.int64(3))
+        path = log.to_jsonl(tmp_path / "run.jsonl")
+        recs = [json.loads(line) for line in path.read_text().splitlines()]
+        assert recs == [
+            {"seq": 0, "event": "start", "x": 1},
+            {"seq": 1, "event": "step", "loss": 0.5, "n": 3},
+        ]
+
+    def test_records_equal_ignores_bookkeeping_fields(self):
+        a, b = RunLog(), RunLog(clock=lambda: 99.0)
+        a.log("prelude")  # offsets every later seq by one
+        a.log("start", x=1)
+        a.log("step", loss=0.5)
+        b.log("start", x=1)
+        b.log("step", loss=0.5)
+        assert records_equal(a.records[1:], b.records)
+        b.log("step", loss=0.25)
+        assert not records_equal(a.records[1:], b.records)
+        a.log("step", loss=0.125)  # same length, different payload
+        assert not records_equal(a.records[1:], b.records)
