@@ -26,9 +26,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
+from common import ensure_linted
+
 from repro.harness.perf import (
     BENCH_FILENAME,
     bench_bcast_fanout,
+    bench_collectives,
     bench_macro,
     bench_macro_obs,
     bench_ping_ring,
@@ -94,6 +97,41 @@ def test_perf_suite(benchmark):
         assert got["obs_ratio"] < OBS_PATHOLOGICAL_RATIO, (
             f"macro/{name}: obs-attached run cost {got['obs_ratio']:.2f}x "
             f"the plain run — the hooks regressed far past the 5% budget"
+        )
+
+
+def test_sim_collectives():
+    """The PR-4 acceptance criterion at paper scale: with auto algorithm
+    selection and bucketed gradient overlap enabled, the 1024-rank run's
+    simulated gradient+sync time drops >= 20 % against the binomial/serial
+    baseline at large payloads — while small messages still select the
+    binomial tree.  The gradsync seconds and selected algorithms are
+    virtual quantities, so they must also match the committed baseline
+    bit-for-bit."""
+    ensure_linted()
+    got = bench_collectives("1024-4-16")
+    assert got["win_vs_binomial"] >= 0.20
+    assert got["win_vs_serial"] >= 0.20
+    assert got["gradsync_overlap_s"] < got["gradsync_binomial_s"]
+    small = min(got["crossover"], key=lambda r: r["nbytes"])
+    large = max(got["crossover"], key=lambda r: r["nbytes"])
+    assert small["bcast"] == "binomial" and small["reduce"] == "binomial"
+    assert large["reduce"] in ("ring", "rabenseifner", "torus")
+    baseline = _baseline()
+    if baseline is None or "collectives" not in baseline:
+        return
+    base = baseline["collectives"]["sweep"]
+    for key in (
+        "gradsync_binomial_s",
+        "gradsync_serial_s",
+        "gradsync_overlap_s",
+        "win_vs_binomial",
+        "win_vs_serial",
+        "crossover",
+    ):
+        assert got[key] == base[key], (
+            f"collectives/sweep: {key} changed "
+            f"({got[key]!r} != baseline {base[key]!r})"
         )
 
 

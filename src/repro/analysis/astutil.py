@@ -47,6 +47,11 @@ COLLECTIVE_FUNCTIONS = frozenset(
         "scatter",
         "allgather",
         "barrier",
+        "ring_allreduce",
+        "rabenseifner_allreduce",
+        "reduce_scatter",
+        "torus_bcast",
+        "torus_allreduce",
     }
 )
 """Module-level collectives from :mod:`repro.vmpi.collectives`, invoked

@@ -22,7 +22,12 @@ from repro.analysis.astutil import (
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules import Rule, RuleInfo, register
 
-__all__ = ["UnconsumedCommRule", "RankBranchCollectiveRule", "WildcardRecvRule"]
+__all__ = [
+    "UnconsumedCommRule",
+    "RankBranchCollectiveRule",
+    "WildcardRecvRule",
+    "CollectiveRootRule",
+]
 
 
 @register
@@ -149,6 +154,96 @@ class RankBranchCollectiveRule(Rule):
                 hint="call the same collectives on every rank; move "
                 "rank-specific work outside the collective sequence",
             )
+
+
+_ROOT_ARG_INDEX = {
+    "bcast": 2,
+    "serial_bcast": 2,
+    "torus_bcast": 2,
+    "gather": 2,
+    "scatter": 2,
+    "reduce": 3,
+    "ordered_reduce": 3,
+}
+"""Positional index of the ``root`` parameter (``ctx`` is index 0) for
+every rooted collective.  Rootless collectives (allreduce & friends)
+cannot disagree on a root and are absent."""
+
+
+def _collective_calls(body: list[ast.stmt]) -> list[tuple[str, ast.Call]]:
+    """Collective call sites (name, node) in ``body``, excluding nested
+    defs, in source order."""
+    out: list[tuple[str, ast.Call]] = []
+    for stmt in body:
+        for node in walk_excluding_nested_defs(stmt):
+            if isinstance(node, ast.Call):
+                fn = node.func
+                if isinstance(fn, ast.Name) and fn.id in COLLECTIVE_FUNCTIONS:
+                    out.append((fn.id, node))
+    out.sort(key=lambda item: (item[1].lineno, item[1].col_offset))
+    return out
+
+
+def _literal_root(name: str, call: ast.Call) -> int | None:
+    """The collective's ``root`` as a literal int; None when the
+    collective is rootless, the root is dynamic, or (the default) the
+    argument is omitted — an omitted root is literal 0."""
+    index = _ROOT_ARG_INDEX.get(name)
+    if index is None:
+        return None
+    expr = call_arg(call, index, "root")
+    if expr is None:
+        return 0
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+        return expr.value
+    return None
+
+
+@register
+class CollectiveRootRule(Rule):
+    """VMPI005: matching collectives with different roots across a rank
+    branch.
+
+    When both branches of an ``if ctx.rank == ...`` call the same
+    collective sequence (so VMPI002 is satisfied) but a corresponding
+    pair names different literal ``root=`` ranks, the ranks run the
+    same schedule against different trees: the roots each wait for
+    contributions addressed to the other, and the DES surfaces it as a
+    deadlock (or, with reused tags, silent payload crossover).
+    """
+
+    info = RuleInfo(
+        id="VMPI005",
+        name="collective-root-mismatch",
+        severity=Severity.WARNING,
+        rationale="all ranks must agree on the root of each rooted collective",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.If):
+                continue
+            if not _test_mentions_rank(node.test):
+                continue
+            body_calls = _collective_calls(node.body)
+            else_calls = _collective_calls(node.orelse)
+            if [n for n, _ in body_calls] != [n for n, _ in else_calls]:
+                continue  # schedule divergence is VMPI002's finding
+            for (name, b_call), (_, e_call) in zip(body_calls, else_calls):
+                b_root = _literal_root(name, b_call)
+                e_root = _literal_root(name, e_call)
+                if b_root is None or e_root is None or b_root == e_root:
+                    continue
+                yield self.finding(
+                    ctx,
+                    b_call.lineno,
+                    f"{name}(...) uses root={b_root} on one side of a "
+                    f"rank-dependent branch but root={e_root} on the other "
+                    f"(line {e_call.lineno})",
+                    hint="rooted collectives need the same root on every "
+                    "rank; hoist the call out of the branch or pass one "
+                    "agreed root",
+                )
 
 
 def _recv_wildcardness(call: ast.Call) -> tuple[bool, bool]:

@@ -170,3 +170,17 @@ class TorusNetworkModel:
         charge; bandwidth is the congestion-derated link rate."""
         alpha = self.base_latency + self.torus.mean_hops_estimate() * self.hop_latency
         return alpha, self._effective_bandwidth()
+
+    def collective_topology(self) -> tuple[tuple[int, ...], float, float]:
+        """``(grid, base_latency, hop_latency)`` for dimension-pipelined
+        collectives.
+
+        The grid is the partition's non-trivial torus dimensions with
+        ``ranks_per_node`` appended as the innermost dimension — row-major
+        over that grid matches the block rank→node mapping exactly, so a
+        stage along grid dimension d really does move along one torus
+        ring (or within a node for the last dimension)."""
+        grid = tuple(d for d in self.torus.dims if d > 1)
+        if self.ranks_per_node > 1 or not grid:
+            grid = grid + (self.ranks_per_node,)
+        return grid, self.base_latency, self.hop_latency

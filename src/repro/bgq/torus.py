@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import product
 
-__all__ = ["TorusShape", "torus_shape_for_nodes", "KNOWN_SHAPES"]
+__all__ = ["TorusShape", "torus_shape_for_nodes", "ring_mean_distance", "KNOWN_SHAPES"]
 
 # Production BG/Q partition shapes (A, B, C, D, E).
 KNOWN_SHAPES: dict[int, tuple[int, int, int, int, int]] = {
@@ -117,11 +117,19 @@ class TorusShape:
         Per-ring expectation of minimal distance, summed over dimensions
         (rings are independent under uniform placement).
         """
-        total = 0.0
-        for d in self.dims:
-            dists = [min(k, d - k) for k in range(d)]
-            total += sum(dists) / d
-        return total
+        return sum(ring_mean_distance(d) for d in self.dims)
+
+
+def ring_mean_distance(dim_size: int) -> float:
+    """Expected minimal ring distance between uniform-random positions.
+
+    The per-dimension term of :meth:`TorusShape.mean_hops_estimate`,
+    exposed on its own so topology-aware collective cost models can
+    charge per-dimension latencies (a stage moving along one torus ring
+    pays this expected hop count, not the whole partition's)."""
+    if dim_size < 1:
+        raise ValueError(f"ring size must be >= 1, got {dim_size}")
+    return sum(min(k, dim_size - k) for k in range(dim_size)) / dim_size
 
 
 def torus_shape_for_nodes(nodes: int) -> TorusShape:

@@ -248,6 +248,15 @@ def cmd_trace(args: argparse.Namespace) -> int:
         f"wrote {out} ({len(res.tracer.spans)} spans, {cfg.shape.ranks} ranks, "
         f"virtual finish {res.load_data_seconds + res.iteration_seconds:.1f} s)"
     )
+    algo_counts = [
+        (rec["labels"]["op"], rec["labels"]["algo"], rec["value"])
+        for rec in reg.snapshot()
+        if rec["metric"] == "comm.coll.algo"
+    ]
+    if algo_counts:
+        print("collective algorithms:")
+        for op, algo, n in sorted(algo_counts):
+            print(f"  {op}/{algo}: {n}")
     if args.metrics:
         mout = write_metrics_jsonl(
             reg,

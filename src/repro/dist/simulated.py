@@ -37,8 +37,10 @@ from repro.dist.timeline import COLL, COMPUTE, P2P, RankBreakdown, label, split_
 from repro.dist.workload import SimWorkload
 from repro.sim.engine import Timeout
 from repro.sim.trace import Tracer
+from repro.nn.parallel_sgd import GradientBucketPlan, overlap_schedule
 from repro.speech.hmm import HmmSpec
 from repro.util.rng import spawn
+from repro.vmpi.algoselect import CollectivePolicy
 from repro.vmpi.collcost import bcast_cost, collective_params, reduce_cost
 from repro.vmpi.collectives import bcast, reduce, serial_bcast
 from repro.vmpi.comm import RankCtx, VComm
@@ -94,6 +96,21 @@ class SimJobConfig:
     """Defaults to the BG/Q torus for the run shape; the cluster
     comparator passes an Ethernet model instead."""
     noise: NoiseModel = field(default_factory=CnkNoise)
+    collective_selection: str = "fixed"  # "fixed" | "auto"
+    """``"fixed"`` keeps the historical single-algorithm cost model;
+    ``"auto"`` routes every large-message collective through
+    :class:`~repro.vmpi.algoselect.CollectivePolicy`, which picks the
+    cheapest of binomial / van-de-Geijn-segmented / ring / Rabenseifner /
+    torus-pipelined per ``(op, ranks, nbytes)``."""
+    overlap_gradient: bool = False
+    """Overlap the gradient allreduce with backprop, DDP-style: layer
+    gradients are coalesced into ``gradient_bucket_bytes`` buckets in
+    backward order and each bucket's reduction pipelines behind the
+    compute that produces the next one, so only the *exposed* (unhidden)
+    communication is charged after the gradient compute."""
+    gradient_bucket_bytes: int = 1 << 22
+    """Bucket capacity for :attr:`overlap_gradient` (25 MB-class models
+    at 4 MB buckets give ~10 pipeline stages)."""
 
     def __post_init__(self) -> None:
         if self.shape.ranks < 2:
@@ -118,6 +135,12 @@ class SimJobConfig:
             )
         if self.io_aggregate_bandwidth <= 0:
             raise ValueError("io_aggregate_bandwidth must be > 0")
+        if self.collective_selection not in ("fixed", "auto"):
+            raise ValueError(
+                f"unknown collective_selection {self.collective_selection!r}"
+            )
+        if self.gradient_bucket_bytes < 1:
+            raise ValueError("gradient_bucket_bytes must be >= 1")
 
     @property
     def n_workers(self) -> int:
@@ -285,7 +308,13 @@ def _build_plan(cfg: SimJobConfig) -> _Plan:
 
 
 # ----------------------------------------------------------- rank programs
-def _make_programs(cfg: SimJobConfig, plan: _Plan, load_done: list[float]):
+def _make_programs(
+    cfg: SimJobConfig,
+    plan: _Plan,
+    load_done: list[float],
+    network: NetworkModel,
+    policy: CollectivePolicy | None = None,
+):
     shape = cfg.shape
     wl = cfg.workload
     cores = shape.cores_per_rank
@@ -293,41 +322,78 @@ def _make_programs(cfg: SimJobConfig, plan: _Plan, load_done: list[float]):
     rpn = shape.ranks_per_node
     theta = PayloadStub(wl.theta_bytes, "theta")
     seg = cfg.segment_bytes
-    alpha, coll_bw = collective_params(
-        cfg.network
-        if cfg.network is not None
-        else TorusNetworkModel(
-            nodes=shape.nodes, ranks_per_node=shape.ranks_per_node
-        )
-    )
+    alpha, coll_bw = collective_params(network)
 
     def _fast_path(nbytes: int) -> bool:
         """Large payloads take the validated closed-form cost; small ones
         execute the real tree algorithms message-by-message."""
         return nbytes > seg and shape.ranks > 8
 
+    def _bcast_model(nbytes: int) -> tuple[str, float]:
+        """(algo label, closed-form cost) for a fast-path broadcast."""
+        if policy is not None:
+            algo, cost = policy.bcast_choice(shape.ranks, nbytes)
+            return str(algo), cost
+        return "fixed", bcast_cost(shape.ranks, nbytes, alpha, coll_bw)
+
+    def _reduce_model(nbytes: int) -> tuple[str, float]:
+        """(algo label, closed-form cost) for a fast-path reduction."""
+        if policy is not None:
+            algo, cost = policy.reduce_choice(shape.ranks, nbytes)
+            return str(algo), cost
+        return "fixed", reduce_cost(shape.ranks, nbytes, alpha, coll_bw)
+
     # Almost every collective in the protocol moves theta; freeze its
     # routing decision and closed-form costs once (bit-identical to
     # recomputing them per call — same pure functions, same arguments).
     theta_nbytes = wl.theta_bytes
     theta_fast = _fast_path(theta_nbytes)
-    theta_bcast_cost = bcast_cost(shape.ranks, theta_nbytes, alpha, coll_bw)
-    theta_reduce_cost = reduce_cost(shape.ranks, theta_nbytes, alpha, coll_bw)
+    theta_bcast_algo, theta_bcast_cost = _bcast_model(theta_nbytes)
+    theta_reduce_algo, theta_reduce_cost = _reduce_model(theta_nbytes)
 
     sync_stub = PayloadStub(4, "sync")
     go_stub = PayloadStub(4, "go")
 
-    def _modeled_collective(ctx: RankCtx, lbl: str, cost: float):
+    def _modeled_collective(
+        ctx: RankCtx, lbl: str, cost: float, op: str = "coll", algo: str = "fixed"
+    ):
         """Tiny-message barrier (straggler wait stays emergent) followed
         by the closed-form transfer charge."""
+        stats = ctx.comm.coll_stats
         t0 = ctx.comm.engine._now
         yield from reduce(ctx, sync_stub, root=0)
         yield from bcast(ctx, go_stub if ctx.rank == 0 else None, root=0)
         if cost > 0:
             yield float(cost)
         ctx.record_span(lbl, t0)
+        if stats is not None:
+            stats.log.append((op, algo, ctx.comm.engine._now - t0))
 
     serial = cfg.bcast_algorithm == "serial"
+
+    # DDP-style bucketed gradient overlap: layer gradients coalesced in
+    # backward order; each bucket's reduction pipelines behind the
+    # compute producing the next, so only the exposed communication is
+    # charged after the (full) gradient compute.
+    overlap = cfg.overlap_gradient
+    if overlap:
+        layer_bytes = [
+            (i * o + o) * wl.dtype_bytes for i, o in wl.geometry.layer_pairs()
+        ]
+        bucket_plan = GradientBucketPlan.from_layers(
+            layer_bytes, cfg.gradient_bucket_bytes
+        )
+        bucket_costs = [_reduce_model(b)[1] for b in bucket_plan.bucket_bytes]
+        # layer bytes sum exactly to theta_bytes, so fracs partition the
+        # gradient compute the way the buckets partition the vector
+        bucket_fracs = [b / theta_nbytes for b in bucket_plan.bucket_bytes]
+        grad_algo = theta_reduce_algo + "+overlap"
+
+        def _exposed(gradient_seconds: float) -> float:
+            _, exp = overlap_schedule(
+                [gradient_seconds * f for f in bucket_fracs], bucket_costs
+            )
+            return exp
 
     # span labels, composed once per run instead of once per span
     lbl_sync_master = label(COLL, "sync_weights_master")
@@ -349,12 +415,12 @@ def _make_programs(cfg: SimJobConfig, plan: _Plan, load_done: list[float]):
         if isinstance(payload, PayloadStub) and payload.nbytes != theta_nbytes:
             nbytes = payload.nbytes
             fast = _fast_path(nbytes)
-            cost = bcast_cost(shape.ranks, nbytes, alpha, coll_bw) if fast else 0.0
+            algo, cost = _bcast_model(nbytes) if fast else ("fixed", 0.0)
         else:
             fast = theta_fast
-            cost = theta_bcast_cost
+            algo, cost = theta_bcast_algo, theta_bcast_cost
         if fast:
-            yield from _modeled_collective(ctx, lbl, cost)
+            yield from _modeled_collective(ctx, lbl, cost, "bcast", algo)
             return payload
         t0 = ctx.now
         result = yield from bcast(ctx, payload, root=0, segment_bytes=seg)
@@ -365,12 +431,12 @@ def _make_programs(cfg: SimJobConfig, plan: _Plan, load_done: list[float]):
         if isinstance(payload, PayloadStub) and payload.nbytes != theta_nbytes:
             nbytes = payload.nbytes
             fast = _fast_path(nbytes)
-            cost = reduce_cost(shape.ranks, nbytes, alpha, coll_bw) if fast else 0.0
+            algo, cost = _reduce_model(nbytes) if fast else ("fixed", 0.0)
         else:
             fast = theta_fast
-            cost = theta_reduce_cost
+            algo, cost = theta_reduce_algo, theta_reduce_cost
         if fast:
-            yield from _modeled_collective(ctx, lbl, cost)
+            yield from _modeled_collective(ctx, lbl, cost, "reduce", algo)
             return payload if ctx.rank == 0 else None
         t0 = ctx.now
         result = yield from reduce(ctx, payload, root=0, segment_bytes=seg)
@@ -411,10 +477,23 @@ def _make_programs(cfg: SimJobConfig, plan: _Plan, load_done: list[float]):
         # GEMM model drops out of the simulator's hot path.
         hf_master_secs = wl.master_vector_op_seconds(4.0)
         cg_minimize_secs = wl.master_vector_op_seconds(6.0)
+        if overlap:
+            # the master produces no gradient; its charge is the exposed
+            # communication behind the slowest worker's nominal compute
+            # (the barrier inside the modeled collective makes the actual
+            # straggler wait emergent either way)
+            master_exposed = _exposed(
+                wl.gradient_seconds(int(plan.grad_frames.max()), cores, tpc, rpn)
+            )
         for it in range(cfg.script.n_iterations):
             # gradient phase: theta out, gradient back
             yield from coll_bcast(ctx, lbl_sync_master, theta)
-            yield from coll_reduce(ctx, lbl_reduce_grad, theta)
+            if overlap:
+                yield from _modeled_collective(
+                    ctx, lbl_reduce_grad, master_exposed, "reduce", grad_algo
+                )
+            else:
+                yield from coll_reduce(ctx, lbl_reduce_grad, theta)
             yield from ctx.compute(hf_master_secs, label(COMPUTE, "hf_master"))
             # CG loop
             for _k in range(cfg.script.cg_iters[it]):
@@ -475,11 +554,16 @@ def _make_programs(cfg: SimJobConfig, plan: _Plan, load_done: list[float]):
             loss_stub = PayloadStub(16, "loss")
             for it in range(cfg.script.n_iterations):
                 yield from coll_bcast(ctx, lbl_sync)
-                yield from ctx.compute(
-                    noisy(gradient_secs, rng),
-                    lbl_gradient,
-                )
-                yield from coll_reduce(ctx, lbl_reduce_grad, theta)
+                g = noisy(gradient_secs, rng)
+                yield from ctx.compute(g, lbl_gradient)
+                if overlap:
+                    # full gradient compute already charged above; the
+                    # bucketed pipeline leaves only the exposed comm
+                    yield from _modeled_collective(
+                        ctx, lbl_reduce_grad, _exposed(g), "reduce", grad_algo
+                    )
+                else:
+                    yield from coll_reduce(ctx, lbl_reduce_grad, theta)
                 cf = int(plan.curv_frames[it][widx])
                 # per-CG-call forward cache (setup) charged on first product
                 setup = wl.curvature_setup_seconds(cf, cores, tpc, rpn)
@@ -533,6 +617,9 @@ def simulate_training(
         network = TorusNetworkModel(
             nodes=cfg.shape.nodes, ranks_per_node=cfg.shape.ranks_per_node
         )
+    policy = None
+    if cfg.collective_selection == "auto":
+        policy = CollectivePolicy.from_network(network, cfg.shape.ranks)
     tracer = Tracer()
     comm = VComm(
         cfg.shape.ranks,
@@ -540,9 +627,10 @@ def simulate_training(
         tracer=tracer,
         trace_p2p=trace_p2p,
         obs=obs,
+        coll_policy=policy,
     )
     load_done = [0.0]
-    programs = _make_programs(cfg, plan, load_done)
+    programs = _make_programs(cfg, plan, load_done, network, policy)
     end_time, _values = comm.run(programs)
     return SimRunResult(
         config=cfg,

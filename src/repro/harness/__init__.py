@@ -22,12 +22,15 @@ from repro.harness.report import render_cycles, render_mpi_split, render_series,
 from repro.harness.scaling import (
     FIG1A_CONFIGS,
     FIG1B_CONFIGS,
+    OverlapAblation,
     ScalingPoint,
+    collective_crossover,
     default_workload,
     efficiencies,
     run_config,
     run_fig1a,
     run_fig1b,
+    run_overlap_ablation,
     run_scaling_claim,
 )
 from repro.harness.speedup import SpeedupRow, bgq_hours, run_table1, xeon_hours
@@ -48,7 +51,10 @@ __all__ = [
     "render_table",
     "FIG1A_CONFIGS",
     "FIG1B_CONFIGS",
+    "OverlapAblation",
     "ScalingPoint",
+    "collective_crossover",
+    "run_overlap_ablation",
     "default_workload",
     "efficiencies",
     "run_config",

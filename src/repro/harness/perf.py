@@ -54,6 +54,7 @@ __all__ = [
     "bench_timeout_storm",
     "bench_ping_ring",
     "bench_bcast_fanout",
+    "bench_collectives",
     "bench_macro",
     "bench_macro_obs",
     "registry_metrics_block",
@@ -164,6 +165,36 @@ def bench_macro(shape: str = "4096-4-16", obs: Any | None = None) -> dict[str, A
     }
 
 
+def bench_collectives(spec: str = "1024-4-16", hours: float = 2.0) -> dict[str, Any]:
+    """Collectives sweep: the algorithm-selection crossover table plus
+    the bucketed-overlap ablation on a large-payload gradient phase.
+
+    The virtual outputs (gradsync seconds, selected algorithms) double
+    as determinism invariants, and the committed ``win_vs_binomial`` is
+    the evidence behind the PR's >= 20 % acceptance criterion.
+    """
+    from repro.harness.scaling import collective_crossover, run_overlap_ablation
+
+    ab = run_overlap_ablation(spec, hours=hours)
+    return {
+        "spec": spec,
+        "gradsync_binomial_s": ab.binomial_seconds,
+        "gradsync_serial_s": ab.serial_seconds,
+        "gradsync_overlap_s": ab.overlap_seconds,
+        "win_vs_binomial": ab.win_vs_binomial,
+        "win_vs_serial": ab.win_vs_serial,
+        "crossover": [
+            {
+                "nbytes": row["nbytes"],
+                "bcast": row["bcast"]["algo"],  # type: ignore[index]
+                "allreduce": row["allreduce"]["algo"],  # type: ignore[index]
+                "reduce": row["reduce"]["algo"],  # type: ignore[index]
+            }
+            for row in collective_crossover(spec)
+        ],
+    }
+
+
 def registry_metrics_block(reg: Any) -> dict[str, Any]:
     """Condense an obs snapshot into the BENCH json ``metrics`` block."""
     events: dict[str, int] = {}
@@ -270,6 +301,7 @@ def run_perf(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
             "bcast_fanout": lambda: bench_bcast_fanout(ranks=32, rounds=4),
         }
         shapes = QUICK_MACRO_SHAPES
+        coll_spec = QUICK_MACRO_SHAPES[0]
     else:
         micro = {
             "timeout_storm": bench_timeout_storm,
@@ -277,6 +309,7 @@ def run_perf(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
             "bcast_fanout": bench_bcast_fanout,
         }
         shapes = MACRO_SHAPES
+        coll_spec = MACRO_SHAPES[0]
     payload: dict[str, Any] = {
         "benchmark": "sim_vmpi",
         "protocol": {
@@ -287,9 +320,13 @@ def run_perf(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
         },
         "micro": {},
         "macro": {},
+        "collectives": {},
     }
     for name, fn in micro.items():
         payload["micro"][name] = _time(fn, repeats)
+    payload["collectives"]["sweep"] = _time(
+        lambda: bench_collectives(coll_spec), repeats
+    )
     for shape in shapes:
         sink: list[Any] = []
         entry, obs_entry = _time_interleaved(
@@ -327,8 +364,17 @@ def write_bench_json(payload: dict[str, Any], path: str | Path) -> Path:
 
 def render_perf_text(payload: dict[str, Any]) -> str:
     lines = ["sim/vmpi perf (best of repeats, seconds):"]
-    for section in ("micro", "macro"):
-        for name, r in payload[section].items():
+    for section in ("micro", "macro", "collectives"):
+        for name, r in payload.get(section, {}).items():
+            if "win_vs_binomial" in r:
+                lines.append(
+                    f"  {section}/{name} ({r['spec']}): {r['best_s']:.3f}  "
+                    f"[gradsync {r['gradsync_binomial_s']:.3f}s -> "
+                    f"{r['gradsync_overlap_s']:.3f}s, "
+                    f"win {100 * r['win_vs_binomial']:.1f}% vs binomial, "
+                    f"{100 * r['win_vs_serial']:.1f}% vs serial]"
+                )
+                continue
             walls = ", ".join(f"{w:.3f}" for w in r["walls_s"])
             extra = ""
             if "virtual_finish" in r:

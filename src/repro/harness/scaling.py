@@ -7,20 +7,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.bgq.network import TorusNetworkModel
 from repro.bgq.node import RunShape
 from repro.dist.script import IterationScript
 from repro.dist.simulated import SimJobConfig, SimRunResult, simulate_training
+from repro.dist.timeline import RankBreakdown
 from repro.dist.workload import GEOMETRY_50HR, GEOMETRY_400HR, ModelGeometry, SimWorkload
 from repro.speech.corpus import FRAMES_PER_HOUR
+from repro.vmpi.algoselect import CollectivePolicy
 
 __all__ = [
     "ScalingPoint",
     "FIG1A_CONFIGS",
     "FIG1B_CONFIGS",
+    "OverlapAblation",
+    "collective_crossover",
     "default_workload",
     "run_config",
     "run_fig1a",
     "run_fig1b",
+    "run_overlap_ablation",
     "run_scaling_claim",
 ]
 
@@ -128,6 +134,94 @@ def run_scaling_claim(
         spec = f"{r}-{ranks_per_node}-{threads_per_rank}"
         points.append(run_config(spec, wl, script))
     return points
+
+
+def collective_crossover(
+    spec: str,
+    sizes: tuple[int, ...] = tuple(1 << k for k in range(10, 31, 2)),
+) -> list[dict[str, object]]:
+    """Algorithm-selection table for one machine shape — the data behind
+    a Fig-4-style "which collective wins at which message size" plot.
+
+    Pure closed-form evaluation (no simulation): builds the shape's
+    torus network model, derives a :class:`CollectivePolicy` from it, and
+    tabulates the chosen algorithm and cost for bcast / allreduce /
+    reduce across ``sizes``.
+    """
+    shape = RunShape.parse(spec)
+    network = TorusNetworkModel(
+        nodes=shape.nodes, ranks_per_node=shape.ranks_per_node
+    )
+    policy = CollectivePolicy.from_network(network, shape.ranks)
+    return policy.crossover_table(shape.ranks, sizes)
+
+
+@dataclass
+class OverlapAblation:
+    """Worker-side gradient+sync collective seconds, three ways."""
+
+    spec: str
+    binomial_seconds: float
+    """Fixed single-algorithm cost model, no overlap (the historical
+    default)."""
+    serial_seconds: float
+    """Socket-style serial broadcast baseline."""
+    overlap_seconds: float
+    """``collective_selection="auto"`` + bucketed gradient overlap."""
+
+    @property
+    def win_vs_binomial(self) -> float:
+        return 1.0 - self.overlap_seconds / self.binomial_seconds
+
+    @property
+    def win_vs_serial(self) -> float:
+        return 1.0 - self.overlap_seconds / self.serial_seconds
+
+
+def _worker_gradsync(result: SimRunResult) -> float:
+    """Mean worker gradient-phase collective time: the weight broadcast
+    plus the gradient reduction (comm + emergent straggler skew, but not
+    the gradient compute itself, which is identical across variants)."""
+    b: RankBreakdown = result.mean_worker_breakdown()
+    return b.collective.get("sync_weights", 0.0) + b.collective.get(
+        "reduce_gradient", 0.0
+    )
+
+
+def run_overlap_ablation(
+    spec: str = "1024-4-16",
+    hours: float = 2.0,
+    script: IterationScript | None = None,
+) -> OverlapAblation:
+    """The PR's headline comparison: auto-selected algorithms with
+    bucketed gradient/backprop overlap vs the fixed binomial and serial
+    baselines, on a large-payload (400-hour-geometry, 427 MB theta)
+    gradient phase at scale.
+
+    The metric is the *worker-side* gradient+sync collective time —
+    on the master those spans are dominated by waiting for worker
+    compute, which no communication algorithm can shrink.
+    """
+    wl = default_workload(hours, geometry=GEOMETRY_400HR)
+    if script is None:
+        script = IterationScript(
+            cg_iters=(2,), heldout_evals=(1,), represented_iterations=100
+        )
+    base = run_config(spec, wl, script)
+    serial = run_config(spec, wl, script, bcast_algorithm="serial")
+    overlap = run_config(
+        spec,
+        wl,
+        script,
+        collective_selection="auto",
+        overlap_gradient=True,
+    )
+    return OverlapAblation(
+        spec=spec,
+        binomial_seconds=_worker_gradsync(base.result),
+        serial_seconds=_worker_gradsync(serial.result),
+        overlap_seconds=_worker_gradsync(overlap.result),
+    )
 
 
 def efficiencies(points: list[ScalingPoint]) -> list[float]:

@@ -215,6 +215,18 @@ class HessianFreeOptimizer:
         result.theta = theta
         if self.obs is not None:
             self.obs.counter("hf.iterations").inc(iteration)
+            # per-phase wall-clock totals (gradient_loss, cg_minimize,
+            # heldout_loss, ...) — the real-run counterpart of the
+            # simulator's per-function breakdowns, so measured and
+            # simulated phase splits land in the same dump format
+            ledger = self.timer.ledger
+            for phase in sorted(ledger.seconds):
+                self.obs.gauge("hf.phase.seconds", phase=phase).set(
+                    ledger.seconds[phase]
+                )
+                self.obs.gauge("hf.phase.calls", phase=phase).set(
+                    ledger.calls[phase]
+                )
         self.log.log(
             "hf_done",
             iterations=iteration,

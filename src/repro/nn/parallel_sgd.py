@@ -36,6 +36,8 @@ __all__ = [
     "synchronous_minibatch_sgd",
     "sync_sgd_comm_cost",
     "CommCostComparison",
+    "GradientBucketPlan",
+    "overlap_schedule",
 ]
 
 
@@ -124,6 +126,86 @@ class CommCostComparison:
     def ratio(self) -> float:
         """How many times more bytes sync-SGD moves per epoch."""
         return self.sgd_bytes / self.hf_bytes
+
+
+@dataclass(frozen=True)
+class GradientBucketPlan:
+    """DDP-style gradient buckets in backward-pass production order.
+
+    Backprop produces layer gradients last-layer-first; coalescing them
+    into ~``cap_bytes`` buckets (a layer bigger than the cap gets its own
+    bucket) lets each bucket's reduction start while earlier layers are
+    still computing.  Bucket bytes partition the parameter vector exactly
+    — their sum equals the total gradient size, the invariant the
+    simulated overlap accounting relies on.
+    """
+
+    bucket_bytes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.bucket_bytes:
+            raise ValueError("need at least one bucket")
+        if any(b < 1 for b in self.bucket_bytes):
+            raise ValueError(f"bucket sizes must be >= 1: {self.bucket_bytes}")
+
+    @classmethod
+    def from_layers(
+        cls, layer_bytes: list[int], cap_bytes: int
+    ) -> "GradientBucketPlan":
+        """Coalesce per-layer gradient byte counts (given in forward
+        order) into buckets, walking layers in backward order."""
+        if cap_bytes < 1:
+            raise ValueError(f"cap_bytes must be >= 1: {cap_bytes}")
+        if not layer_bytes or any(b < 1 for b in layer_bytes):
+            raise ValueError(f"layer byte counts must be >= 1: {layer_bytes}")
+        buckets: list[int] = []
+        current = 0
+        for b in reversed(list(layer_bytes)):
+            if current and current + b > cap_bytes:
+                buckets.append(current)
+                current = 0
+            current += b
+        buckets.append(current)
+        return cls(tuple(buckets))
+
+    @property
+    def total_bytes(self) -> int:
+        # integer byte counts: addition is exact, order cannot matter
+        return sum(self.bucket_bytes)  # repro: noqa(DET002)
+
+    def __len__(self) -> int:
+        return len(self.bucket_bytes)
+
+
+def overlap_schedule(
+    compute_seconds: list[float], comm_seconds: list[float]
+) -> tuple[float, float]:
+    """Pipeline one communication stream behind a compute stream.
+
+    ``compute_seconds[i]`` produces bucket ``i``; its reduction
+    (``comm_seconds[i]``) starts as soon as both the bucket is ready and
+    the previous reduction finished (one in-flight collective at a time,
+    matching a single communication stream).  Returns ``(total,
+    exposed)`` where ``exposed = total - sum(compute)`` is the
+    communication time *not* hidden behind compute — the per-bucket
+    ``max(compute, comm)`` pipeline the DDP-style trainer charges in
+    place of compute-then-communicate's sum.
+    """
+    if len(compute_seconds) != len(comm_seconds):
+        raise ValueError(
+            f"bucket count mismatch: {len(compute_seconds)} compute vs "
+            f"{len(comm_seconds)} comm"
+        )
+    if any(c < 0 for c in compute_seconds) or any(m < 0 for m in comm_seconds):
+        raise ValueError("bucket times must be >= 0")
+    t_ready = 0.0
+    t_comm = 0.0
+    for c, m in zip(compute_seconds, comm_seconds):
+        t_ready += c
+        start = t_comm if t_comm > t_ready else t_ready
+        t_comm = start + m
+    total = t_comm if t_comm > t_ready else t_ready
+    return total, total - t_ready
 
 
 def sync_sgd_comm_cost(

@@ -27,7 +27,12 @@ from repro.obs.metrics import (
     histogram_record,
 )
 
-__all__ = ["CommStats", "MESSAGE_SIZE_BOUNDS"]
+__all__ = [
+    "CollectiveStats",
+    "CommStats",
+    "COLLECTIVE_SECONDS_BOUNDS",
+    "MESSAGE_SIZE_BOUNDS",
+]
 
 MESSAGE_SIZE_BOUNDS = (
     64.0,
@@ -185,5 +190,95 @@ class CommStats:
         return recs
 
     def attach(self, registry: MetricsRegistry) -> "CommStats":
+        registry.add_collector(self.records)
+        return self
+
+
+COLLECTIVE_SECONDS_BOUNDS = (
+    1e-6,
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+)
+"""Inclusive upper edges (simulated seconds) for per-collective duration
+histograms: microsecond barriers through second-scale modeled theta
+broadcasts."""
+
+
+class CollectiveStats:
+    """Per-(op, algo) collective accounting for one
+    :class:`~repro.vmpi.comm.VComm`.
+
+    The collectives append ``(op, algo, simulated duration)`` tuples to
+    :attr:`log` as they complete (one entry per rank per collective call
+    — the per-rank entry/exit skew is real data, so no dedup).  Folding
+    into ``comm.coll.algo{op,algo}`` counters and per-op duration
+    histograms happens lazily at scrape time, following the
+    :class:`CommStats` log-append-only discipline, so attached-mode
+    overhead on the collective path is one list append.
+    """
+
+    __slots__ = ("log", "counts", "durations", "_folded")
+
+    def __init__(self) -> None:
+        self.log: list[tuple[str, str, float]] = []
+        """Hook-order event log: ``(op, algo, simulated seconds)``."""
+        self.counts: dict[tuple[str, str], int] = {}
+        """``(op, algo) -> completions``, built lazily from :attr:`log`;
+        always read through a report method."""
+        self.durations: dict[str, Histogram] = {}
+        """``op -> simulated-duration histogram`` (fixed bounds)."""
+        self._folded = 0  # log prefix already folded
+
+    # ------------------------------------------------------------ hot hook
+    def on_collective(self, op: str, algo: str, seconds: float) -> None:
+        self.log.append((op, algo, seconds))
+
+    # ------------------------------------------------------------- reports
+    def _fold(self) -> None:
+        log = self.log
+        if self._folded == len(log):
+            return
+        counts = self.counts
+        durations = self.durations
+        for i in range(self._folded, len(log)):
+            op, algo, seconds = log[i]
+            key = (op, algo)
+            counts[key] = counts.get(key, 0) + 1
+            hist = durations.get(op)
+            if hist is None:
+                hist = durations[op] = Histogram(COLLECTIVE_SECONDS_BOUNDS)
+            hist.observe(seconds)
+        self._folded = len(log)
+
+    def algo_report(self) -> list[tuple[tuple[str, str], int]]:
+        """``((op, algo), completions)`` rows, sorted by (op, algo)."""
+        self._fold()
+        return sorted(self.counts.items())
+
+    def records(self) -> list[dict[str, Any]]:
+        """Snapshot collector: per-(op, algo) counters + per-op duration
+        histograms."""
+        self._fold()
+        recs: list[dict[str, Any]] = []
+        for (op, algo), n in sorted(self.counts.items()):
+            recs.append(counter_record("comm.coll.algo", n, op=op, algo=algo))
+        for op in sorted(self.durations):
+            hist = self.durations[op]
+            recs.append(
+                histogram_record(
+                    "comm.coll.seconds",
+                    hist.bounds,
+                    hist.counts,
+                    hist.total,
+                    op=op,
+                )
+            )
+        return recs
+
+    def attach(self, registry: MetricsRegistry) -> "CollectiveStats":
         registry.add_collector(self.records)
         return self

@@ -10,6 +10,7 @@ Two backends share the package:
 """
 
 from repro.vmpi.backend import SpmdResult, run_spmd
+from repro.vmpi.algoselect import CollectiveAlgo, CollectivePolicy
 from repro.vmpi.collectives import (
     allgather,
     allreduce,
@@ -17,9 +18,14 @@ from repro.vmpi.collectives import (
     bcast,
     gather,
     ordered_reduce,
+    rabenseifner_allreduce,
     reduce,
+    reduce_scatter,
+    ring_allreduce,
     scatter,
     serial_bcast,
+    torus_allreduce,
+    torus_bcast,
 )
 from repro.analysis.runtime import CollectiveOrderChecker, CollectiveOrderError
 from repro.vmpi.comm import (
@@ -50,9 +56,16 @@ __all__ = [
     "bcast",
     "gather",
     "ordered_reduce",
+    "rabenseifner_allreduce",
     "reduce",
+    "reduce_scatter",
+    "ring_allreduce",
     "scatter",
     "serial_bcast",
+    "torus_allreduce",
+    "torus_bcast",
+    "CollectiveAlgo",
+    "CollectivePolicy",
     "ANY_SOURCE",
     "ANY_TAG",
     "CollectiveOrderChecker",

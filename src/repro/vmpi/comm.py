@@ -252,6 +252,7 @@ class VComm:
         recv_timeout: float | None = None,
         check_collectives: bool = True,
         obs: Any | None = None,
+        coll_policy: Any | None = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"communicator needs >= 1 rank, got {size}")
@@ -286,6 +287,15 @@ class VComm:
         ]
         self.obs = obs
         """Attached :class:`~repro.obs.metrics.MetricsRegistry`, or None."""
+        self.coll_policy = coll_policy
+        """Optional :class:`~repro.vmpi.algoselect.CollectivePolicy`;
+        collectives called with ``algo="auto"`` consult it to pick the
+        cheapest algorithm for (p, nbytes) on this network."""
+        self.coll_stats = None
+        """Per-(op, algo) collective counts + per-op simulated-duration
+        histograms (:class:`~repro.obs.hooks.CollectiveStats`), built iff
+        ``obs`` is set.  Collectives append ``(op, algo, duration)``
+        tuples; folding happens lazily at scrape time."""
         self.comm_stats = None
         """Per-(src, dst) traffic matrices + outstanding-message HWM
         (:class:`~repro.obs.hooks.CommStats`), built iff ``obs`` is set.
@@ -295,8 +305,9 @@ class VComm:
         """``comm_stats.log`` when attached — the hot paths append event
         tuples straight onto the stats log, skipping the method call."""
         if obs is not None:
-            from repro.obs.hooks import CommStats
+            from repro.obs.hooks import CollectiveStats, CommStats
 
+            self.coll_stats = CollectiveStats().attach(obs)
             self.comm_stats = CommStats(size).attach(obs)
             self._obs_log = self.comm_stats.log
             for box in self._inboxes:

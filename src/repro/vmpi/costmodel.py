@@ -68,6 +68,11 @@ class UniformNetwork:
             return 0.0
         return nbytes / self.bandwidth
 
+    def collective_params(self) -> tuple[float, float]:
+        """(alpha, bandwidth) for closed-form collective costs — on a
+        topology-blind model these are just the p2p parameters."""
+        return self.latency, self.bandwidth
+
 
 @dataclass(frozen=True)
 class ZeroCostNetwork:

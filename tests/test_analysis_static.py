@@ -158,6 +158,100 @@ class TestRankBranchCollective:
         assert report.findings == []
 
 
+# ------------------------------------------------ VMPI005 root consistency
+class TestCollectiveRootMismatch:
+    def test_diverging_roots_flagged(self):
+        report = lint(
+            """\
+            def program(ctx):
+                if ctx.rank == 0:
+                    yield from bcast(ctx, "w", root=0)
+                else:
+                    yield from bcast(ctx, None, root=1)
+            """
+        )
+        (f,) = report.findings
+        assert f.rule == "VMPI005"
+        assert f.severity is Severity.WARNING
+        assert "root=0" in f.message and "root=1" in f.message
+        assert f.line == 3
+
+    def test_omitted_root_is_literal_zero(self):
+        report = lint(
+            """\
+            def program(ctx):
+                if ctx.rank == 0:
+                    yield from reduce(ctx, x)
+                else:
+                    yield from reduce(ctx, x, "sum", 2)
+            """
+        )
+        (f,) = report.findings
+        assert f.rule == "VMPI005"
+        assert "root=0" in f.message and "root=2" in f.message
+
+    def test_matching_roots_clean(self):
+        report = lint(
+            """\
+            def program(ctx):
+                if ctx.rank == 0:
+                    yield from gather(ctx, x, root=3)
+                else:
+                    yield from gather(ctx, x, root=3)
+            """
+        )
+        assert report.findings == []
+
+    def test_dynamic_root_skipped(self):
+        report = lint(
+            """\
+            def program(ctx, leader):
+                if ctx.rank == 0:
+                    yield from bcast(ctx, "w", root=leader)
+                else:
+                    yield from bcast(ctx, None, root=0)
+            """
+        )
+        assert report.findings == []
+
+    def test_rootless_collectives_skipped(self):
+        report = lint(
+            """\
+            def program(ctx):
+                if ctx.rank == 0:
+                    yield from allreduce(ctx, 1.0)
+                else:
+                    yield from allreduce(ctx, 0.0)
+            """
+        )
+        assert report.findings == []
+
+    def test_schedule_divergence_left_to_vmpi002(self):
+        report = lint(
+            """\
+            def program(ctx):
+                if ctx.rank == 0:
+                    yield from bcast(ctx, "w", root=0)
+                else:
+                    yield from reduce(ctx, x, root=1)
+            """
+        )
+        assert [f.rule for f in report.findings] == ["VMPI002"]
+
+    def test_noqa_suppresses(self):
+        report = lint(
+            """\
+            def program(ctx):
+                if ctx.rank == 0:
+                    yield from bcast(ctx, "w", root=0)  # repro: noqa(VMPI005)
+                else:
+                    yield from bcast(ctx, None, root=1)
+            """
+        )
+        assert not any(f.rule == "VMPI005" for f in report.findings)
+        assert any(s.rule == "VMPI005" for s in report.suppressed)
+
+
 # ------------------------------------------------------ VMPI003 wildcard recv
 class TestWildcardRecv:
     def test_wildcard_and_tagged_in_loop_flagged(self):

@@ -258,3 +258,110 @@ class TestAsyncSGD:
             AsyncSGDConfig(n_workers=0)
         with pytest.raises(ValueError):
             AsyncSGDConfig(staleness=-1)
+
+
+class TestGradientBuckets:
+    def test_bucket_bytes_partition_exactly(self):
+        from repro.nn.parallel_sgd import GradientBucketPlan
+
+        layers = [1000, 2000, 3000, 500, 700]
+        plan = GradientBucketPlan.from_layers(layers, cap_bytes=2500)
+        assert plan.total_bytes == sum(layers)
+        assert all(b >= 1 for b in plan.bucket_bytes)
+
+    def test_backward_order_coalescing(self):
+        from repro.nn.parallel_sgd import GradientBucketPlan
+
+        # backprop emits the last layer first: [30, 20, 10] reversed,
+        # cap 50 -> [30+20, 10]
+        plan = GradientBucketPlan.from_layers([10, 20, 30], cap_bytes=50)
+        assert plan.bucket_bytes == (50, 10)
+        assert len(plan) == 2
+
+    def test_oversized_layer_gets_own_bucket(self):
+        from repro.nn.parallel_sgd import GradientBucketPlan
+
+        plan = GradientBucketPlan.from_layers([5, 1000, 5], cap_bytes=100)
+        assert 1000 in plan.bucket_bytes
+        assert plan.total_bytes == 1010
+
+    def test_single_bucket_when_cap_large(self):
+        from repro.nn.parallel_sgd import GradientBucketPlan
+
+        plan = GradientBucketPlan.from_layers([10, 20, 30], cap_bytes=10**9)
+        assert plan.bucket_bytes == (60,)
+
+    def test_validation(self):
+        from repro.nn.parallel_sgd import GradientBucketPlan
+
+        with pytest.raises(ValueError):
+            GradientBucketPlan.from_layers([], cap_bytes=100)
+        with pytest.raises(ValueError):
+            GradientBucketPlan.from_layers([0, 10], cap_bytes=100)
+        with pytest.raises(ValueError):
+            GradientBucketPlan.from_layers([10], cap_bytes=0)
+        with pytest.raises(ValueError):
+            GradientBucketPlan(bucket_bytes=())
+
+
+class TestOverlapSchedule:
+    def test_comm_fully_hidden_when_compute_dominates(self):
+        from repro.nn.parallel_sgd import overlap_schedule
+
+        # each comm chunk finishes before the next compute chunk does:
+        # only the final comm chunk is exposed
+        total, exposed = overlap_schedule([1.0, 1.0, 1.0], [0.1, 0.1, 0.1])
+        assert total == pytest.approx(3.1)
+        assert exposed == pytest.approx(0.1)
+
+    def test_comm_bound_pipeline(self):
+        from repro.nn.parallel_sgd import overlap_schedule
+
+        # comm dominates: the single comm stream serializes after the
+        # first compute chunk -> total = c0 + sum(comm)
+        total, exposed = overlap_schedule([0.1, 0.1, 0.1], [1.0, 1.0, 1.0])
+        assert total == pytest.approx(0.1 + 3.0)
+        assert exposed == pytest.approx(3.1 - 0.3)
+
+    def test_serial_equivalence_single_bucket(self):
+        from repro.nn.parallel_sgd import overlap_schedule
+
+        total, exposed = overlap_schedule([2.0], [0.5])
+        assert total == pytest.approx(2.5)
+        assert exposed == pytest.approx(0.5)
+
+    def test_zero_comm_is_free(self):
+        from repro.nn.parallel_sgd import overlap_schedule
+
+        total, exposed = overlap_schedule([1.0, 2.0], [0.0, 0.0])
+        assert total == pytest.approx(3.0)
+        assert exposed == pytest.approx(0.0)
+
+    def test_validation(self):
+        from repro.nn.parallel_sgd import overlap_schedule
+
+        with pytest.raises(ValueError):
+            overlap_schedule([1.0], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            overlap_schedule([-1.0], [0.5])
+
+    @given(
+        st.lists(st.floats(0.0, 10.0), min_size=1, max_size=8),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, compute, data):
+        from repro.nn.parallel_sgd import overlap_schedule
+
+        comm = data.draw(
+            st.lists(
+                st.floats(0.0, 10.0),
+                min_size=len(compute),
+                max_size=len(compute),
+            )
+        )
+        total, exposed = overlap_schedule(compute, comm)
+        assert total >= max(sum(compute), sum(comm)) - 1e-9
+        assert total <= sum(compute) + sum(comm) + 1e-9
+        assert 0.0 <= exposed + 1e-9
+        assert exposed == pytest.approx(total - sum(compute))

@@ -124,6 +124,76 @@ class TestScriptedSchedules:
         assert paths[0].read_bytes() == paths[1].read_bytes()
 
 
+class TestCollectiveStats:
+    def test_executed_collectives_label_op_and_algo(self):
+        from repro.vmpi import UniformNetwork, allreduce, bcast, ring_allreduce
+
+        def program(ctx):
+            yield from bcast(ctx, PayloadStub(512) if ctx.rank == 0 else None)
+            yield from allreduce(ctx, float(ctx.rank))
+            yield from ring_allreduce(ctx, PayloadStub(4096))
+            return None
+
+        reg = MetricsRegistry()
+        comm = VComm(4, network=UniformNetwork(latency=1e-6, bandwidth=1e9), obs=reg)
+        comm.run(program)
+        # one entry per rank per collective call
+        assert comm.coll_stats.algo_report() == [
+            (("allreduce", "recursive_doubling"), 4),
+            (("allreduce", "ring"), 4),
+            (("bcast", "binomial"), 4),
+        ]
+
+    def test_records_emit_counters_and_histograms(self):
+        from repro.obs.hooks import COLLECTIVE_SECONDS_BOUNDS, CollectiveStats
+
+        cs = CollectiveStats()
+        cs.on_collective("reduce", "rabenseifner", 0.25)
+        cs.on_collective("reduce", "rabenseifner", 0.5)
+        cs.on_collective("bcast", "torus", 1e-5)
+        counters = [r for r in cs.records() if r["metric"] == "comm.coll.algo"]
+        assert [(r["labels"], r["value"]) for r in counters] == [
+            ({"op": "bcast", "algo": "torus"}, 1),
+            ({"op": "reduce", "algo": "rabenseifner"}, 2),
+        ]
+        hists = {r["labels"]["op"]: r for r in cs.records()
+                 if r["metric"] == "comm.coll.seconds"}
+        assert set(hists) == {"bcast", "reduce"}
+        assert hists["reduce"]["count"] == 2
+        assert hists["reduce"]["sum"] == 0.75
+        assert hists["reduce"]["bounds"] == list(COLLECTIVE_SECONDS_BOUNDS)
+
+    def test_fold_is_incremental(self):
+        from repro.obs.hooks import CollectiveStats
+
+        cs = CollectiveStats()
+        cs.on_collective("bcast", "binomial", 0.1)
+        assert cs.algo_report() == [(("bcast", "binomial"), 1)]
+        cs.on_collective("bcast", "binomial", 0.2)
+        assert cs.algo_report() == [(("bcast", "binomial"), 2)]
+        assert cs.durations["bcast"].count == 2
+
+    def test_registry_snapshot_carries_collective_records(self):
+        from repro.vmpi import UniformNetwork, allreduce
+
+        def program(ctx):
+            yield from allreduce(ctx, 1.0)
+            return None
+
+        reg = MetricsRegistry()
+        comm = VComm(4, network=UniformNetwork(latency=1e-6, bandwidth=1e9), obs=reg)
+        comm.run(program)
+        recs = [r for r in reg.snapshot() if r["metric"] == "comm.coll.algo"]
+        assert [(r["labels"], r["value"]) for r in recs] == [
+            ({"op": "allreduce", "algo": "recursive_doubling"}, 4)
+        ]
+        assert any(r["metric"] == "comm.coll.seconds" for r in reg.snapshot())
+
+    def test_no_obs_means_no_stats_object(self):
+        comm = VComm(4, network=ZeroCostNetwork())
+        assert comm.coll_stats is None
+
+
 class TestCommStatsReplay:
     def test_fold_replays_log_in_order(self):
         cs = CommStats(4)

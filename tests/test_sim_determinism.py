@@ -222,6 +222,24 @@ def _training_config_staged() -> SimJobConfig:
     )
 
 
+def _training_config_overlap() -> SimJobConfig:
+    """Covers the PR-4 opt-in path: auto algorithm selection plus the
+    bucketed gradient-allreduce overlap fast path."""
+    return SimJobConfig(
+        shape=RunShape(16, 2, 16),
+        workload=SimWorkload(
+            geometry=ModelGeometry((40, 256, 256, 50)),
+            train_frames=400_000,
+            heldout_frames=20_000,
+        ),
+        script=IterationScript((4, 6), (2, 3), represented_iterations=20),
+        collective_selection="auto",
+        overlap_gradient=True,
+        gradient_bucket_bytes=1 << 18,
+        seed=5,
+    )
+
+
 def _current() -> dict[str, object]:
     return {
         "engine_storm": _engine_storm_digest(),
@@ -231,6 +249,7 @@ def _current() -> dict[str, object]:
         "stress_zerocost": _stress_program_digest(ZeroCostNetwork()),
         "training_small": _training_digest(_training_config_small()),
         "training_staged": _training_digest(_training_config_staged()),
+        "training_overlap": _training_digest(_training_config_overlap()),
     }
 
 
@@ -250,6 +269,14 @@ GOLDEN: dict[str, object] = {
         "0.15980903479544703",
         527,
         "648590f5e1263324",
+    ),
+    # Recorded when the overlap fast path landed (PR 4); pins the auto
+    # selection tables and the bucketed-overlap exposed-time accounting.
+    "training_overlap": (
+        "0.006404069999999999",
+        "3.1004822030518624",
+        810,
+        "4d56fcd620ea9ec7",
     ),
 }
 
@@ -276,6 +303,9 @@ class TestGoldenDeterminism:
 
     def test_simulate_training_staged_serial_jitter(self):
         assert _training_digest(_training_config_staged()) == GOLDEN["training_staged"]
+
+    def test_simulate_training_overlap_auto(self):
+        assert _training_digest(_training_config_overlap()) == GOLDEN["training_overlap"]
 
     def test_obs_attachment_is_passive_small(self):
         """Attaching a metrics registry must not perturb the timeline:

@@ -1,0 +1,423 @@
+"""The PR-4 collectives engine: ring / Rabenseifner / torus algorithms,
+payload-exact chunk accounting, algorithm dispatch, policy selection,
+and cross-validation of the closed-form costs against executed runs."""
+
+from math import ceil, log2
+
+import numpy as np
+import pytest
+
+from repro.bgq.network import TorusNetworkModel
+from repro.vmpi import (
+    MAX,
+    SUM,
+    CollectiveAlgo,
+    CollectivePolicy,
+    PayloadStub,
+    UniformNetwork,
+    VComm,
+    ZeroCostNetwork,
+    allreduce,
+    bcast,
+    rabenseifner_allreduce,
+    reduce,
+    reduce_scatter,
+    ring_allreduce,
+    run_spmd,
+    torus_allreduce,
+    torus_bcast,
+)
+from repro.vmpi.collcost import (
+    rabenseifner_allreduce_cost,
+    ring_allreduce_cost,
+    torus_allreduce_cost,
+    torus_bcast_cost,
+)
+from repro.vmpi.collectives import _chunk_sizes
+
+SIZES = [2, 3, 4, 5, 7, 8, 12, 16, 33]
+
+ALPHA, BW = 2e-6, 2e9
+NET = UniformNetwork(latency=ALPHA, bandwidth=BW)
+
+
+# ------------------------------------------------------------- correctness
+@pytest.mark.parametrize("size", SIZES)
+def test_ring_allreduce_matches_numpy(size):
+    def prog(ctx):
+        v = np.arange(10.0) + ctx.rank
+        out = yield from ring_allreduce(ctx, v, SUM)
+        return out
+
+    res = run_spmd(size, prog, network=ZeroCostNetwork())
+    expected = size * np.arange(10.0) + sum(range(size))
+    for v in res.values:
+        assert np.allclose(v, expected)
+
+
+@pytest.mark.parametrize("size", [2, 3, 8])
+def test_ring_allreduce_preserves_shape(size):
+    def prog(ctx):
+        v = np.full((3, 4), float(ctx.rank + 1))
+        out = yield from ring_allreduce(ctx, v, SUM)
+        return out
+
+    res = run_spmd(size, prog)
+    for v in res.values:
+        assert v.shape == (3, 4)
+        assert np.allclose(v, sum(range(1, size + 1)))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_ring_allreduce_stub_preserves_bytes(size):
+    def prog(ctx):
+        out = yield from ring_allreduce(ctx, PayloadStub(1001, "g"), SUM)
+        return out
+
+    res = run_spmd(size, prog)
+    assert all(v.nbytes == 1001 for v in res.values)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_rabenseifner_matches_numpy(size):
+    def prog(ctx):
+        v = np.arange(11.0) * (ctx.rank + 1)
+        out = yield from rabenseifner_allreduce(ctx, v, SUM)
+        return out
+
+    res = run_spmd(size, prog, network=ZeroCostNetwork())
+    expected = np.arange(11.0) * sum(range(1, size + 1))
+    for v in res.values:
+        assert np.allclose(v, expected)
+
+
+@pytest.mark.parametrize("size", [2, 3, 5, 8])
+def test_rabenseifner_max(size):
+    def prog(ctx):
+        v = np.array([float(ctx.rank), float(-ctx.rank), 3.0])
+        out = yield from rabenseifner_allreduce(ctx, v, MAX)
+        return out
+
+    res = run_spmd(size, prog)
+    for v in res.values:
+        assert np.allclose(v, [size - 1, 0.0, 3.0])
+
+
+@pytest.mark.parametrize("size", [2, 3, 5, 8])
+def test_rabenseifner_stub_preserves_bytes(size):
+    def prog(ctx):
+        out = yield from rabenseifner_allreduce(ctx, PayloadStub(997, "g"), SUM)
+        return out
+
+    res = run_spmd(size, prog)
+    assert all(v.nbytes == 997 for v in res.values)
+
+
+@pytest.mark.parametrize("size", [2, 4, 5, 8])
+def test_reduce_scatter_matches_numpy_chunks(size):
+    n = 11  # not divisible by any size above: exercises ragged chunks
+
+    def prog(ctx):
+        v = np.arange(float(n)) + ctx.rank
+        out = yield from reduce_scatter(ctx, v, SUM)
+        return out
+
+    res = run_spmd(size, prog, network=ZeroCostNetwork())
+    full = size * np.arange(float(n)) + sum(range(size))
+    chunks = np.array_split(full, size)
+    for rank, v in enumerate(res.values):
+        assert np.allclose(v, chunks[rank])
+
+
+@pytest.mark.parametrize("size", [2, 3, 4, 7])
+def test_reduce_scatter_stub_chunks_sum_to_total(size):
+    total = 1003
+
+    def prog(ctx):
+        out = yield from reduce_scatter(ctx, PayloadStub(total, "g"), SUM)
+        return out
+
+    res = run_spmd(size, prog)
+    assert sum(v.nbytes for v in res.values) == total
+
+
+@pytest.mark.parametrize(
+    "total,parts", [(10, 3), (1, 4), (1003, 7), (4096, 64), (5, 5)]
+)
+def test_chunk_sizes_bit_exact(total, parts):
+    sizes = _chunk_sizes(total, parts)
+    assert len(sizes) == parts
+    assert sum(sizes) == total
+    assert max(sizes) - min(sizes) <= 1
+
+
+@pytest.mark.parametrize("size,grid", [(8, (2, 2, 2)), (16, (4, 4)), (12, (3, 4))])
+def test_torus_allreduce_matches_numpy(size, grid):
+    def prog(ctx):
+        v = np.arange(6.0) + ctx.rank
+        out = yield from torus_allreduce(ctx, v, SUM, grid=grid)
+        return out
+
+    res = run_spmd(size, prog, network=ZeroCostNetwork())
+    expected = size * np.arange(6.0) + sum(range(size))
+    for v in res.values:
+        assert np.allclose(v, expected)
+
+
+@pytest.mark.parametrize("size,grid", [(8, (2, 2, 2)), (16, (4, 4)), (12, (3, 4))])
+@pytest.mark.parametrize("root", [0, 3])
+def test_torus_bcast_delivers_root_value(size, grid, root):
+    def prog(ctx):
+        v = {"w": np.arange(4.0)} if ctx.rank == root else None
+        out = yield from torus_bcast(ctx, v, root=root, grid=grid)
+        assert np.array_equal(out["w"], np.arange(4.0))
+        return True
+
+    res = run_spmd(size, prog, network=ZeroCostNetwork())
+    assert all(res.values)
+
+
+def test_torus_grid_must_cover_communicator():
+    def prog(ctx):
+        out = yield from torus_bcast(ctx, "x" if ctx.rank == 0 else None, root=0, grid=(2, 3))
+        return out
+
+    with pytest.raises(ValueError, match="grid"):
+        run_spmd(8, prog)
+
+
+# ---------------------------------------------------------------- dispatch
+@pytest.mark.parametrize("algo", ["recursive_doubling", "ring", "rabenseifner"])
+@pytest.mark.parametrize("size", [3, 8])
+def test_allreduce_algo_dispatch(algo, size):
+    def prog(ctx):
+        v = np.full(5, float(ctx.rank + 1))
+        out = yield from allreduce(ctx, v, SUM, algo=algo)
+        return out
+
+    res = run_spmd(size, prog)
+    for v in res.values:
+        assert np.allclose(v, sum(range(1, size + 1)))
+
+
+@pytest.mark.parametrize("algo", ["ring", "rabenseifner"])
+def test_reduce_nontree_algo_delivers_root_only(algo):
+    def prog(ctx):
+        v = np.full(4, float(ctx.rank + 1))
+        out = yield from reduce(ctx, v, SUM, root=0, algo=algo)
+        return out
+
+    res = run_spmd(6, prog)
+    assert np.allclose(res.values[0], 21.0)
+    assert all(v is None for v in res.values[1:])
+
+
+def test_unknown_algo_rejected():
+    def prog(ctx):
+        out = yield from allreduce(ctx, 1.0, SUM, algo="carrier-pigeon")
+        return out
+
+    with pytest.raises(ValueError, match="algo"):
+        run_spmd(4, prog)
+
+
+def test_auto_without_policy_rejected():
+    def prog(ctx):
+        out = yield from allreduce(ctx, 1.0, SUM, algo="auto")
+        return out
+
+    with pytest.raises(ValueError, match="policy"):
+        run_spmd(4, prog)
+
+
+@pytest.mark.parametrize("size", [4, 7])
+def test_auto_with_policy_executes_selection(size):
+    policy = CollectivePolicy(ALPHA, BW)
+    comm = VComm(size, network=NET, coll_policy=policy)
+
+    def prog(ctx):
+        got = yield from bcast(
+            ctx, np.arange(3.0) if ctx.rank == 0 else None, root=0, algo="auto"
+        )
+        total = yield from allreduce(ctx, float(ctx.rank + 1), SUM, algo="auto")
+        red = yield from reduce(ctx, np.full(2, 1.0), SUM, root=0, algo="auto")
+        return got, total, red
+
+    _, values = comm.run(prog)
+    for rank, (got, total, red) in enumerate(values):
+        assert np.array_equal(got, np.arange(3.0))
+        assert total == sum(range(1, size + 1))
+        if rank == 0:
+            assert np.allclose(red, float(size))
+        else:
+            assert red is None
+
+
+# -------------------------------------------------- closed-form validation
+CROSS_SIZES = (4, 8, 16, 64)
+CROSS_NBYTES = 1 << 22
+
+
+@pytest.mark.parametrize("p", CROSS_SIZES)
+def test_closed_form_matches_executed_ring(p):
+    def prog(ctx):
+        out = yield from ring_allreduce(ctx, PayloadStub(CROSS_NBYTES, "x"), SUM)
+        return out
+
+    t = run_spmd(p, prog, network=NET).time
+    model = ring_allreduce_cost(p, CROSS_NBYTES, ALPHA, BW, gamma=0.0)
+    assert t == pytest.approx(model, rel=0.02)
+
+
+@pytest.mark.parametrize("p", CROSS_SIZES)
+def test_closed_form_matches_executed_rabenseifner(p):
+    def prog(ctx):
+        out = yield from rabenseifner_allreduce(
+            ctx, PayloadStub(CROSS_NBYTES, "x"), SUM
+        )
+        return out
+
+    t = run_spmd(p, prog, network=NET).time
+    model = rabenseifner_allreduce_cost(p, CROSS_NBYTES, ALPHA, BW, gamma=0.0)
+    assert t == pytest.approx(model, rel=0.02)
+
+
+@pytest.mark.parametrize("p", CROSS_SIZES)
+def test_closed_form_matches_executed_binomial_bcast(p):
+    def prog(ctx):
+        out = yield from bcast(
+            ctx, PayloadStub(CROSS_NBYTES, "x") if ctx.rank == 0 else None, root=0
+        )
+        return out
+
+    t = run_spmd(p, prog, network=NET).time
+    model = ceil(log2(p)) * (ALPHA + CROSS_NBYTES / BW)
+    assert t == pytest.approx(model, rel=0.02)
+
+
+@pytest.mark.parametrize("p,grid", [(8, (2, 2, 2)), (16, (4, 4)), (64, (4, 4, 4))])
+def test_closed_form_matches_executed_torus_allreduce(p, grid):
+    def prog(ctx):
+        out = yield from torus_allreduce(
+            ctx, PayloadStub(CROSS_NBYTES, "x"), SUM, grid=grid
+        )
+        return out
+
+    t = run_spmd(p, prog, network=NET).time
+    model = torus_allreduce_cost(grid, CROSS_NBYTES, ALPHA, 0.0, BW, 0.0)
+    assert t == pytest.approx(model, rel=0.02)
+
+
+@pytest.mark.parametrize("p,grid", [(8, (2, 2, 2)), (64, (4, 4, 4))])
+def test_torus_bcast_cost_is_lower_bound_on_executed(p, grid):
+    """The per-line closed form takes the min over line algorithms, plus
+    one stage-setup latency per dimension; the executed line broadcast
+    is binomial with no explicit stage gap, so the model brackets the
+    executed time: at most a few alphas above (setup terms), at most the
+    vdg/binomial gap of 2x below."""
+
+    def prog(ctx):
+        out = yield from torus_bcast(
+            ctx, PayloadStub(CROSS_NBYTES, "x") if ctx.rank == 0 else None,
+            root=0,
+            grid=grid,
+        )
+        return out
+
+    t = run_spmd(p, prog, network=NET).time
+    model = torus_bcast_cost(grid, CROSS_NBYTES, ALPHA, 0.0, BW)
+    assert model <= t * 1.05
+    assert t <= 2.0 * model
+
+
+# ------------------------------------------------------ simulated-time pins
+def _golden_time(fn, p):
+    def prog(ctx):
+        out = yield from fn(ctx)
+        return out
+
+    return repr(run_spmd(p, prog, network=NET).time)
+
+
+GOLDEN_TIMES = {
+    "ring_p8": "0.0018630079999999995",
+    "rabenseifner_p8": "0.0018470080000000002",
+    "rabenseifner_p12": "0.003948160000000001",
+    "torus_p16": "0.003169728",
+}
+
+
+def test_golden_simulated_times():
+    """Pin the new algorithms' emergent virtual times (the collectives
+    analogue of the training goldens): any cost-model or protocol change
+    must show up here as an explicit diff."""
+    nb = 1 << 21
+    got = {
+        "ring_p8": _golden_time(
+            lambda ctx: ring_allreduce(ctx, PayloadStub(nb, "x"), SUM), 8
+        ),
+        "rabenseifner_p8": _golden_time(
+            lambda ctx: rabenseifner_allreduce(ctx, PayloadStub(nb, "x"), SUM), 8
+        ),
+        "rabenseifner_p12": _golden_time(
+            lambda ctx: rabenseifner_allreduce(ctx, PayloadStub(nb, "x"), SUM), 12
+        ),
+        "torus_p16": _golden_time(
+            lambda ctx: torus_allreduce(ctx, PayloadStub(nb, "x"), SUM, grid=(4, 4)),
+            16,
+        ),
+    }
+    assert got == GOLDEN_TIMES
+
+
+# ---------------------------------------------------------------- selection
+def test_policy_small_messages_stay_binomial():
+    shape_net = TorusNetworkModel(nodes=256, ranks_per_node=4)
+    policy = CollectivePolicy.from_network(shape_net, 1024)
+    algo, _ = policy.bcast_choice(1024, 256)
+    assert algo is CollectiveAlgo.BINOMIAL
+    algo, _ = policy.allreduce_choice(1024, 256)
+    assert algo is CollectiveAlgo.RECURSIVE_DOUBLING
+    algo, _ = policy.reduce_choice(1024, 256)
+    assert algo is CollectiveAlgo.BINOMIAL
+
+
+def test_policy_large_messages_leave_binomial():
+    shape_net = TorusNetworkModel(nodes=256, ranks_per_node=4)
+    policy = CollectivePolicy.from_network(shape_net, 1024)
+    b_algo, b_cost = policy.bcast_choice(1024, 1 << 26)
+    a_algo, a_cost = policy.allreduce_choice(1024, 1 << 26)
+    r_algo, r_cost = policy.reduce_choice(1024, 1 << 26)
+    assert b_algo is not CollectiveAlgo.BINOMIAL
+    assert a_algo in (
+        CollectiveAlgo.RING,
+        CollectiveAlgo.RABENSEIFNER,
+        CollectiveAlgo.TORUS,
+    )
+    assert r_algo is not CollectiveAlgo.BINOMIAL
+    # bandwidth-optimal schedules must actually be cheaper than the trees
+    depth = ceil(log2(1024))
+    wire = (1 << 26) / policy.bandwidth
+    assert b_cost < depth * (policy.alpha + wire)
+    assert a_cost < depth * (policy.alpha + wire)
+    assert r_cost < depth * (policy.alpha + wire) * 1.1
+
+
+def test_policy_crossover_is_monotone():
+    """Walking message sizes upward, once selection leaves the
+    latency-optimal tree it never returns to it."""
+    policy = CollectivePolicy.from_network(
+        TorusNetworkModel(nodes=256, ranks_per_node=4), 1024
+    )
+    left_tree = False
+    for row in policy.crossover_table(1024, tuple(1 << k for k in range(6, 28))):
+        is_tree = row["allreduce"]["algo"] == "recursive_doubling"
+        if left_tree:
+            assert not is_tree, f"selection flapped back at {row['nbytes']}B"
+        left_tree = left_tree or not is_tree
+
+
+def test_policy_memoizes():
+    policy = CollectivePolicy(ALPHA, BW)
+    first = policy.bcast_choice(64, 4096)
+    assert policy.bcast_choice(64, 4096) is first
