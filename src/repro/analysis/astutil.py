@@ -76,6 +76,8 @@ class ModuleContext:
 
     @classmethod
     def parse(cls, path: str, source: str) -> "ModuleContext":
+        """Parse ``source`` and precompute parent links, generator
+        functions, and inline suppressions."""
         tree = ast.parse(source, filename=path)
         parents: dict[ast.AST, ast.AST] = {}
         for node in ast.walk(tree):
@@ -110,6 +112,7 @@ class ModuleContext:
         return None
 
     def in_generator(self, node: ast.AST) -> bool:
+        """True when ``node`` sits inside a generator function."""
         fn = self.enclosing_function(node)
         return fn is not None and fn in self.generator_functions
 
@@ -176,6 +179,7 @@ def comm_call_name(call: ast.Call) -> str | None:
 
 
 def call_kwarg(call: ast.Call, name: str) -> ast.expr | None:
+    """Return the value of keyword argument ``name``, if present."""
     for kw in call.keywords:
         if kw.arg == name:
             return kw.value

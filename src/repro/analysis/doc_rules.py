@@ -1,0 +1,101 @@
+"""Docstring-coverage rule for the library tree.
+
+The repo's packages are read far more often than they are edited — each
+PR builds on subsystems written by sessions with no shared memory, so an
+undocumented public callable costs every future reader a source dive.
+DOC001 enforces the floor: every module under ``src/`` carries a module
+docstring, and every public class and public callable carries its own.
+
+"Public" follows the underscore convention, applied transitively: a
+``_private`` name is exempt, and so is everything nested inside one.
+Nested functions (closures, rank-program bodies built inside factories)
+are implementation detail and exempt regardless of name.  Trivial
+single-statement bodies — ``pass``-only protocol stubs, one-line
+delegations — are exempt too: a docstring there would restate the code.
+Deliberate omissions take an inline ``# repro: noqa(DOC001)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterable
+
+from repro.analysis.astutil import ModuleContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, RuleInfo, register
+
+__all__ = ["DocstringCoverageRule"]
+
+_DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _has_docstring(node: ast.AST) -> bool:
+    return ast.get_docstring(node, clean=False) is not None
+
+
+def _is_trivial(fn: ast.AST) -> bool:
+    """Single-statement bodies (after any docstring) need no docstring."""
+    body = fn.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        body = body[1:]
+    return len(body) <= 1
+
+
+@register
+class DocstringCoverageRule(Rule):
+    """DOC001: modules, public classes, and public callables under
+    ``src/`` must carry docstrings."""
+
+    info = RuleInfo(
+        id="DOC001",
+        name="missing docstring",
+        severity=Severity.WARNING,
+        rationale="undocumented public API under src/ costs every later "
+        "session a source dive; document it or mark it private",
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return "src" in PurePath(ctx.path).parts
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        """Flag the module, public classes, and public callables that
+        lack docstrings."""
+        if not _has_docstring(ctx.tree):
+            yield self.finding(
+                ctx, 1, "module has no docstring",
+                hint="open with a one-paragraph statement of what the "
+                "module provides",
+            )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                if self._is_public_scope(ctx, node) and not _has_docstring(node):
+                    yield self.finding(
+                        ctx, node.lineno,
+                        f"public class {node.name!r} has no docstring",
+                    )
+            elif isinstance(node, _DEF_NODES):
+                if not self._is_public_scope(ctx, node):
+                    continue
+                if _is_trivial(node) or _has_docstring(node):
+                    continue
+                yield self.finding(
+                    ctx, node.lineno,
+                    f"public callable {node.name!r} has no docstring",
+                )
+
+    def _is_public_scope(self, ctx: ModuleContext, node: ast.AST) -> bool:
+        """True when ``node`` and every enclosing class are public, and
+        no enclosing scope is a function (nested defs are exempt)."""
+        if node.name.startswith("_"):
+            return False
+        cur = ctx.parent(node)
+        while cur is not None:
+            if isinstance(cur, _DEF_NODES):
+                return False
+            if isinstance(cur, ast.ClassDef) and cur.name.startswith("_"):
+                return False
+            cur = ctx.parent(cur)
+        return True

@@ -43,6 +43,7 @@ class Finding:
         return f"{self.path}:{self.line}"
 
     def render(self) -> str:
+        """One-line human-readable form (``path:line: sev RULE: msg``)."""
         text = f"{self.location}: {self.severity.value} {self.rule}: {self.message}"
         if self.hint:
             text += f"  [fix: {self.hint}]"
@@ -86,6 +87,7 @@ def suppressions_in(source: str) -> Mapping[int, frozenset[str]]:
 def is_suppressed(
     finding: Finding, suppressions: Mapping[int, frozenset[str]]
 ) -> bool:
+    """True when an inline ``# repro: noqa`` covers this finding."""
     rules = suppressions.get(finding.line)
     if rules is None:
         return False

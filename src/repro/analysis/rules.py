@@ -91,6 +91,7 @@ def all_rules() -> Iterator[Rule]:
 
 
 def get_rule(rule_id: str) -> Rule:
+    """Look up one registered rule by id (KeyError lists known ids)."""
     _ensure_loaded()
     try:
         return _REGISTRY[rule_id]
@@ -104,5 +105,6 @@ def _ensure_loaded() -> None:
     from repro.analysis import (  # noqa: F401
         comm_rules,
         determinism_rules,
+        doc_rules,
         tag_rules,
     )

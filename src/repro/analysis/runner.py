@@ -36,17 +36,20 @@ class LintReport:
         return 1 if self.findings else 0
 
     def merge(self, other: "LintReport") -> None:
+        """Fold another report into this one (multi-path walks)."""
         self.findings.extend(other.findings)
         self.suppressed.extend(other.suppressed)
         self.files_checked += other.files_checked
 
     def sort(self) -> None:
+        """Order findings by (path, line, rule) for stable output."""
         key = lambda f: (f.path, f.line, f.rule)  # noqa: E731
         self.findings.sort(key=key)
         self.suppressed.sort(key=key)
 
     # ------------------------------------------------------------ rendering
     def render_text(self) -> str:
+        """Render findings plus a summary line, ready to print."""
         lines = [f.render() for f in self.findings]
         n_err = sum(1 for f in self.findings if f.severity is Severity.ERROR)
         n_warn = len(self.findings) - n_err

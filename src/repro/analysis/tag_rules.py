@@ -93,6 +93,8 @@ class TagCollisionRule(Rule):
         self._sites = []
 
     def finish_run(self) -> Iterable[Finding]:
+        """Emit collision findings for tag values claimed by more than
+        one protocol phase across the whole run."""
         by_value: dict[int, list[_TagSite]] = {}
         for site in self._sites:
             by_value.setdefault(site.value, []).append(site)

@@ -41,6 +41,7 @@ class CnkNoise(NoiseModel):
     """BG/Q Compute Node Kernel: no jitter."""
 
     def perturb(self, seconds: float, rng: np.random.Generator) -> float:
+        """CNK adds no jitter: durations pass through unchanged."""
         if seconds < 0:
             raise ValueError(f"negative duration {seconds}")
         return seconds
@@ -65,6 +66,7 @@ class LinuxJitter(NoiseModel):
             raise ValueError("noise parameters must be non-negative")
 
     def perturb(self, seconds: float, rng: np.random.Generator) -> float:
+        """Stretch a duration by mean OS overhead plus exponential tail."""
         if seconds < 0:
             raise ValueError(f"negative duration {seconds}")
         noise = self.mean_fraction + rng.exponential(self.tail_scale)

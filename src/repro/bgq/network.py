@@ -87,9 +87,39 @@ class TorusNetworkModel:
         return self.nodes * self.ranks_per_node
 
     def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank`` under the block mapping."""
         if not 0 <= rank < self.size:
             raise ValueError(f"rank {rank} out of range 0..{self.size - 1}")
         return rank // self.ranks_per_node
+
+    def degraded(
+        self, bandwidth_factor: float = 1.0, latency_factor: float = 1.0
+    ) -> "TorusNetworkModel":
+        """A derived model with scaled link parameters.
+
+        ``bandwidth_factor`` multiplies ``link_bandwidth`` (0.5 = half
+        rate) and ``latency_factor`` multiplies both ``hop_latency`` and
+        ``base_latency``.  The variant is a full frozen model with its
+        own memo caches, so fault windows (:class:`repro.faults.plan.
+        LinkDegrade`) route through it without touching the base model's
+        cached times.
+        """
+        if not (0.0 < bandwidth_factor <= 1.0):
+            raise ValueError(
+                f"bandwidth_factor must be in (0, 1], got {bandwidth_factor}"
+            )
+        if latency_factor < 1.0:
+            raise ValueError(f"latency_factor must be >= 1, got {latency_factor}")
+        return TorusNetworkModel(
+            nodes=self.nodes,
+            ranks_per_node=self.ranks_per_node,
+            link_bandwidth=self.link_bandwidth * bandwidth_factor,
+            hop_latency=self.hop_latency * latency_factor,
+            base_latency=self.base_latency * latency_factor,
+            congestion_per_node=self.congestion_per_node,
+            memory=self.memory,
+            torus=self.torus,
+        )
 
     # ---------------------------------------------------------------- costs
     def _effective_bandwidth(self) -> float:
@@ -97,6 +127,8 @@ class TorusNetworkModel:
         return self.link_bandwidth / derate
 
     def p2p_time(self, src: int, dst: int, nbytes: int, now: float = 0.0) -> float:
+        """Point-to-point transfer time on the torus, including any
+        fault-plan link degradation active at ``now``."""
         key = (src, dst, nbytes)
         cached = self._p2p_cache.get(key)
         if cached is not None:

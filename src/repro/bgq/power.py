@@ -43,6 +43,7 @@ class PowerModel:
         return self.peak_gflops_per_node / self.watts_per_node
 
     def system_kw(self, nodes: int) -> float:
+        """Whole-partition draw in kilowatts."""
         if nodes < 1:
             raise ValueError(f"nodes must be >= 1: {nodes}")
         return nodes * self.watts_per_node / 1000.0

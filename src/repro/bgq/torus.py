@@ -49,6 +49,7 @@ class TorusShape:
 
     @property
     def nodes(self) -> int:
+        """Total nodes: the product of the torus dimensions."""
         n = 1
         for d in self.dims:
             n *= d

@@ -14,10 +14,13 @@
 Flags of general interest: ``--hours`` (corpus size), ``--iters``
 (simulated HF iterations), ``--seed``.  ``lint`` takes paths plus
 ``--json`` / ``--select`` / ``--rules`` and exits 1 on findings.
-``perf --json`` writes ``BENCH_sim_vmpi.json`` at the current directory.
+``perf --json`` writes ``BENCH_sim_vmpi.json`` at the current directory;
+``perf --faults`` runs the fault-injection sweep instead.
 ``--obs PATH`` on ``train`` / ``perf`` dumps a JSONL metrics snapshot;
 ``trace`` takes a run shape (or a known example script) and writes a
 Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``.
+``--fault-plan PATH`` on ``train`` / ``trace`` injects a JSON fault plan
+(see ``examples/faults/``).
 """
 
 from __future__ import annotations
@@ -41,6 +44,8 @@ def _script(args: argparse.Namespace) -> IterationScript:
 
 
 def cmd_train(args: argparse.Namespace) -> None:
+    """Run HF training on the synthetic speech task and print the
+    held-out trajectory."""
     from repro.hf import FrameSource, HFConfig, HessianFreeOptimizer
     from repro.nn import DNN, CrossEntropyLoss, frame_error_count
     from repro.speech import CorpusConfig, build_corpus
@@ -58,16 +63,65 @@ def cmd_train(args: argparse.Namespace) -> None:
         from repro.obs import MetricsRegistry
 
         obs = MetricsRegistry()
-    result = HessianFreeOptimizer(
-        source, HFConfig(max_iterations=args.iters), log=RunLog.to_stdout(), obs=obs
-    ).run(net.init_params(args.seed))
+    if args.fault_plan:
+        result = _train_with_faults(args, source, net, obs)
+    else:
+        result = HessianFreeOptimizer(
+            source, HFConfig(max_iterations=args.iters), log=RunLog.to_stdout(), obs=obs
+        ).run(net.init_params(args.seed))
     err = frame_error_count(net.logits(result.theta, hx), hy) / len(hy)
-    print(f"final held-out loss {result.heldout_trajectory[-1]:.4f}, frame error {err:.1%}")
+    traj = result.heldout_trajectory
+    final = f"{traj[-1]:.4f}" if traj else "n/a (no accepted iterations)"
+    print(f"final held-out loss {final}, frame error {err:.1%}")
     if obs is not None:
         print(f"wrote metrics dump {obs.to_jsonl(args.obs)}")
 
 
+def _train_with_faults(args, source, net, obs):
+    """Checkpoint-restart demo: a rank-0 crash in the plan marks the HF
+    iteration at which the master dies (``at`` is read as an iteration
+    index); training runs to that point, "crashes", and resumes from the
+    last checkpoint to completion."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.faults import FaultPlan, FaultPolicy
+    from repro.hf import HFConfig, HessianFreeOptimizer
+    from repro.util import RunLog
+
+    plan = FaultPlan.from_file(args.fault_plan)
+    crash_at = plan.crash_time(0)
+    theta0 = net.init_params(args.seed)
+    if crash_at is None:
+        print(f"fault plan {args.fault_plan}: no rank-0 crash; training normally")
+        pol = FaultPolicy()
+        return HessianFreeOptimizer(
+            source, HFConfig(max_iterations=args.iters),
+            log=RunLog.to_stdout(), obs=obs, fault_policy=pol,
+        ).run(theta0)
+    if args.iters < 2:
+        print("fault plan ignored: need --iters >= 2 to crash and resume")
+        return HessianFreeOptimizer(
+            source, HFConfig(max_iterations=args.iters),
+            log=RunLog.to_stdout(), obs=obs, fault_policy=FaultPolicy(),
+        ).run(theta0)
+    crash_iter = max(1, min(int(crash_at), args.iters - 1))
+    ckpt = Path(tempfile.mkdtemp(prefix="repro-train-")) / "hf.npz"
+    pol = FaultPolicy(checkpoint_path=str(ckpt), checkpoint_every=1)
+    HessianFreeOptimizer(
+        source, HFConfig(max_iterations=crash_iter),
+        log=RunLog.to_stdout(), obs=obs, fault_policy=pol,
+    ).run(theta0)
+    print(f"-- simulated master crash after iteration {crash_iter}; "
+          f"resuming from {ckpt} --")
+    return HessianFreeOptimizer(
+        source, HFConfig(max_iterations=args.iters),
+        log=RunLog.to_stdout(), obs=obs, fault_policy=pol,
+    ).run(theta0, resume_from=ckpt)
+
+
 def cmd_fig1a(args: argparse.Namespace) -> None:
+    """Reproduce Fig. 1a: GEMM GFLOP/s vs matrix size."""
     from repro.harness import render_series, run_fig1a
 
     points = run_fig1a(_script(args), hours=args.hours)
@@ -82,6 +136,7 @@ def cmd_fig1a(args: argparse.Namespace) -> None:
 
 
 def cmd_fig1b(args: argparse.Namespace) -> None:
+    """Reproduce Fig. 1b: GEMM scaling across thread counts."""
     from repro.harness import render_series, run_fig1b
 
     hours = args.hours if args.hours != 50.0 else 400.0
@@ -97,6 +152,7 @@ def cmd_fig1b(args: argparse.Namespace) -> None:
 
 
 def cmd_breakdown(args: argparse.Namespace) -> None:
+    """Print the per-phase time breakdown for one simulated run."""
     from repro.harness import (
         default_workload,
         render_cycles,
@@ -118,6 +174,7 @@ def cmd_breakdown(args: argparse.Namespace) -> None:
 
 
 def cmd_table1(args: argparse.Namespace) -> None:
+    """Reproduce Table 1: end-to-end times across rack counts."""
     from repro.harness import render_table, run_table1
 
     rows = run_table1(_script(args), hours=args.hours)
@@ -132,6 +189,7 @@ def cmd_table1(args: argparse.Namespace) -> None:
 
 
 def cmd_scaling(args: argparse.Namespace) -> None:
+    """Run the strong-scaling sweep and print speedup/efficiency."""
     from repro.harness import efficiencies, render_table, run_scaling_claim
 
     points = run_scaling_claim(_script(args), hours=args.hours)
@@ -146,6 +204,7 @@ def cmd_scaling(args: argparse.Namespace) -> None:
 
 
 def cmd_calibrate(args: argparse.Namespace) -> None:
+    """Fit cost-model constants against the published anchors."""
     from repro.harness import calibrated_script
 
     run = calibrated_script(iterations=args.iters, seed=args.seed)
@@ -191,6 +250,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
         write_bench_json,
     )
 
+    if args.faults:
+        return _perf_faults(args)
     payload = run_perf(repeats=args.repeats, quick=args.quick)
     if args.json:
         out = write_bench_json(payload, args.out or BENCH_FILENAME)
@@ -199,6 +260,41 @@ def cmd_perf(args: argparse.Namespace) -> int:
         print(render_perf_text(payload))
     if args.obs:
         print(f"wrote metrics dump {dump_obs_metrics(args.obs, quick=args.quick)}")
+    return 0
+
+
+def _perf_faults(args: argparse.Namespace) -> int:
+    """``repro perf --faults``: time-to-converge vs injected crash rate
+    under the recovery policy (see :func:`repro.harness.scaling.
+    run_fault_sweep`)."""
+    from repro.harness import render_table, run_fault_sweep
+
+    hours = 0.05 if args.quick else 0.25
+    points = run_fault_sweep(
+        spec="64-1-16",
+        hours=hours,
+        crash_rates=(0.0, 0.05, 0.1, 0.2),
+        obs_dir=args.obs or None,
+    )
+    base = points[0].total_seconds
+    print(
+        render_table(
+            ["crash rate", "total (s)", "x fault-free", "recoveries", "excluded"],
+            [
+                [
+                    f"{p.crash_rate:g}",
+                    p.total_seconds,
+                    p.total_seconds / base,
+                    p.recoveries,
+                    len(p.excluded_ranks),
+                ]
+                for p in points
+            ],
+            title=f"Fault sweep: 64-1-16, {hours:g} h corpus",
+        )
+    )
+    if args.obs:
+        print(f"wrote per-rate metrics dumps under {args.obs}/")
     return 0
 
 
@@ -235,14 +331,41 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import MetricsRegistry, write_chrome_trace, write_metrics_jsonl
 
     spec = _resolve_trace_target(args.target)
+    shape = RunShape.parse(spec)
+    workload = default_workload(args.hours)
+    script = _script(args)
+    fault_plan = None
+    fault_policy = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan, FaultPolicy
+
+        fault_plan = FaultPlan.from_file(args.fault_plan)
+        # the failure detector's timeout must exceed the slowest honest
+        # phase; a fault-free anchor run sizes it (one full iteration is
+        # a safe upper bound on any single phase)
+        anchor = simulate_training(
+            SimJobConfig(
+                shape=shape, workload=workload, script=script, seed=args.seed,
+                fault_policy=FaultPolicy(recv_timeout=3600.0),
+            )
+        )
+        fault_policy = FaultPolicy(
+            recv_timeout=max(anchor.per_iteration_seconds, 1e-6)
+        )
     cfg = SimJobConfig(
-        shape=RunShape.parse(spec),
-        workload=default_workload(args.hours),
-        script=_script(args),
+        shape=shape,
+        workload=workload,
+        script=script,
         seed=args.seed,
+        fault_plan=fault_plan,
+        fault_policy=fault_policy,
     )
     reg = MetricsRegistry()
     res = simulate_training(cfg, obs=reg, trace_p2p=args.p2p)
+    if res.recovery is not None and res.recovery.events:
+        print("recovery log:")
+        for line in res.recovery.describe().splitlines():
+            print(f"  {line}")
     out = write_chrome_trace(res.tracer, args.out)
     print(
         f"wrote {out} ({len(res.tracer.spans)} spans, {cfg.shape.ranks} ranks, "
@@ -276,6 +399,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser with all subcommands."""
     shared = argparse.ArgumentParser(add_help=False)
     shared.add_argument("--hours", type=float, default=50.0, help="corpus hours")
     shared.add_argument("--scale", type=float, default=2e-4,
@@ -289,6 +413,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write a JSONL metrics dump to PATH (train; ignored elsewhere)",
+    )
+    shared.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="JSON fault plan (see examples/faults/): train demos "
+        "checkpoint-restart from a rank-0 crash; trace injects the plan "
+        "into the simulated run under the recovery policy",
     )
     parser = argparse.ArgumentParser(
         prog="repro", description="BG/Q Hessian-free DNN training reproduction"
@@ -345,7 +477,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs",
         default=None,
         metavar="PATH",
-        help="also write a JSONL metrics dump from one obs-attached macro run",
+        help="also write a JSONL metrics dump from one obs-attached macro run "
+        "(with --faults: a directory receiving one dump per crash rate)",
+    )
+    perf.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the fault-injection sweep (time-to-converge vs crash rate) "
+        "instead of the hot-path benchmarks",
     )
     perf.set_defaults(func=cmd_perf, command="perf")
     trace = sub.add_parser(
@@ -391,6 +530,7 @@ COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     rc = args.func(args)
     return int(rc) if rc is not None else 0

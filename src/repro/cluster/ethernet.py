@@ -63,6 +63,7 @@ class EthernetNetworkModel:
         return self.nodes * self.ranks_per_node
 
     def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank`` under the block mapping."""
         if not 0 <= rank < self.size:
             raise ValueError(f"rank {rank} out of range 0..{self.size - 1}")
         return rank // self.ranks_per_node
@@ -76,6 +77,7 @@ class EthernetNetworkModel:
         return self.link_bandwidth / contention
 
     def p2p_time(self, src: int, dst: int, nbytes: int, now: float = 0.0) -> float:
+        """End-to-end latency of one message (zero for self-sends)."""
         if nbytes < 0:
             raise ValueError(f"negative message size {nbytes}")
         if src == dst:

@@ -23,6 +23,7 @@ What this reproduces (and what the tests assert):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -35,6 +36,13 @@ from repro.dist.partition import balanced_partition, naive_partition
 from repro.dist.script import IterationScript, default_script
 from repro.dist.timeline import COLL, COMPUTE, P2P, RankBreakdown, label, split_breakdown
 from repro.dist.workload import SimWorkload
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultPolicy,
+    FaultRecoveryError,
+    RecoveryLog,
+)
 from repro.sim.engine import Timeout
 from repro.sim.trace import Tracer
 from repro.nn.parallel_sgd import GradientBucketPlan, overlap_schedule
@@ -43,12 +51,17 @@ from repro.util.rng import spawn
 from repro.vmpi.algoselect import CollectivePolicy
 from repro.vmpi.collcost import bcast_cost, collective_params, reduce_cost
 from repro.vmpi.collectives import bcast, reduce, serial_bcast
-from repro.vmpi.comm import RankCtx, VComm
+from repro.vmpi.comm import ANY_SOURCE, ANY_TAG, RankCtx, RecvTimeoutError, VComm
 from repro.vmpi.costmodel import NetworkModel, PayloadStub
 
 __all__ = ["SimJobConfig", "SimRunResult", "simulate_training"]
 
 _TAG_DATA = 77
+_TAG_WORK0 = 200
+"""First tag of the fault-policy master/worker protocol: each dispatched
+phase gets a unique consecutive tag (kept far below the reserved
+collective band at 1_000_000), so late or duplicate replies can never be
+mistaken for another phase's."""
 
 
 @dataclass(frozen=True)
@@ -111,6 +124,20 @@ class SimJobConfig:
     gradient_bucket_bytes: int = 1 << 22
     """Bucket capacity for :attr:`overlap_gradient` (25 MB-class models
     at 4 MB buckets give ~10 pipeline stages)."""
+    fault_plan: FaultPlan | None = None
+    """Optional seeded fault schedule (crashes, stragglers, link
+    degradation, message drops) injected into the DES.  ``None`` (the
+    default) leaves every hot path untouched — all fault-free goldens are
+    bit-identical.  A plan without a :attr:`fault_policy` injects into
+    the standard collective protocol, where a crash surfaces as a
+    :class:`~repro.sim.engine.DeadlockError` (fault *detection* without
+    recovery)."""
+    fault_policy: FaultPolicy | None = None
+    """Opt-in recovery: switches the trainer to the master-driven
+    tagged-p2p protocol with timeout/retry collection, dead-worker
+    exclusion, quorum CG, and modeled master checkpoint-restart (see
+    DESIGN.md §8).  Changes the communication pattern even with no
+    faults injected, so it gets its own determinism goldens."""
 
     def __post_init__(self) -> None:
         if self.shape.ranks < 2:
@@ -141,9 +168,12 @@ class SimJobConfig:
             )
         if self.gradient_bucket_bytes < 1:
             raise ValueError("gradient_bucket_bytes must be >= 1")
+        if self.fault_plan is not None:
+            self.fault_plan.validate_ranks(self.shape.ranks)
 
     @property
     def n_workers(self) -> int:
+        """Worker count (every rank except the master)."""
         return self.shape.ranks - 1
 
 
@@ -158,9 +188,19 @@ class SimRunResult:
     tracer: Tracer = field(repr=False, default=None)  # type: ignore[assignment]
     total_messages: int = 0
     total_bytes: int = 0
+    recovery: RecoveryLog | None = field(repr=False, default=None)
+    """Recovery actions taken by the master (fault-policy runs only)."""
+
+    @property
+    def excluded_ranks(self) -> tuple[int, ...]:
+        """Ranks permanently excluded by the fault policy (empty if none)."""
+        if self.recovery is None:
+            return ()
+        return self.recovery.excluded_ranks
 
     @property
     def simulated_iterations(self) -> int:
+        """Number of outer HF iterations actually simulated."""
         return self.config.script.n_iterations
 
     @property
@@ -187,6 +227,7 @@ class SimRunResult:
         return self.breakdown(0)
 
     def worker_breakdown(self, worker: int = 1) -> RankBreakdown:
+        """Per-function breakdown of one worker rank (default: rank 1)."""
         if not 1 <= worker < self.config.shape.ranks:
             raise ValueError(f"worker rank must be in [1, ranks): {worker}")
         return self.breakdown(worker)
@@ -314,7 +355,16 @@ def _make_programs(
     load_done: list[float],
     network: NetworkModel,
     policy: CollectivePolicy | None = None,
+    injector: FaultInjector | None = None,
+    recovery: RecoveryLog | None = None,
 ):
+    """Build the per-rank generator programs for one training run.
+
+    With no ``cfg.fault_policy`` this returns the synchronous collective
+    protocol (the paper's); with one it returns the fault-tolerant
+    master-driven tagged-p2p protocol (DESIGN.md §8), recording every
+    recovery action into ``recovery``.
+    """
     shape = cfg.shape
     wl = cfg.workload
     cores = shape.cores_per_rank
@@ -450,7 +500,7 @@ def _make_programs(
     mode = cfg.load_data_mode
     total_shard_bytes = float(plan.shard_bytes.sum())
 
-    def master_program(ctx: RankCtx):
+    def master_load(ctx: RankCtx):
         # load_data: get shards to the workers per cfg.load_data_mode.
         t0 = ctx.now
         if mode == "staged":
@@ -470,6 +520,41 @@ def _make_programs(
             ctx.record_span(label(P2P, "load_data"), t0)
         # parallel_io: workers read directly; the master does nothing.
         load_done[0] = ctx.now
+
+    def worker_load(ctx: RankCtx, widx: int):
+        t0 = ctx.now
+        if mode == "staged":
+            rank = widx + 1
+            leader = ((rank - 1) // fanout) * fanout + 1
+            if rank == leader:
+                yield from ctx.recv(source=0, tag=_TAG_DATA)
+                for member in range(
+                    leader + 1, min(leader + fanout, shape.ranks)
+                ):
+                    yield from ctx.send(
+                        member,
+                        PayloadStub(
+                            int(plan.shard_bytes[member - 1]), "shard"
+                        ),
+                        tag=_TAG_DATA,
+                    )
+            else:
+                yield from ctx.recv(source=leader, tag=_TAG_DATA)
+            ctx.record_span(label(P2P, "load_data"), t0)
+        elif mode == "parallel_io":
+            # concurrent reads share the filesystem: everyone takes
+            # total_bytes / aggregate_bandwidth (function-shipped I/O
+            # through the I/O nodes, no master relay)
+            yield from ctx.compute(
+                total_shard_bytes / cfg.io_aggregate_bandwidth,
+                label(COMPUTE, "load_data"),
+            )
+        else:
+            yield from ctx.recv(source=0, tag=_TAG_DATA)
+            ctx.record_span(label(P2P, "load_data"), t0)
+
+    def master_program(ctx: RankCtx):
+        yield from master_load(ctx)
 
         # The per-phase compute charges are invariant across iterations
         # (same frames, same machine shape), so evaluate the perf models
@@ -513,36 +598,7 @@ def _make_programs(
     def make_worker(widx: int) -> Callable:
         def worker_program(ctx: RankCtx):
             rng = spawn(cfg.seed, "noise", widx)
-            t0 = ctx.now
-            if mode == "staged":
-                rank = widx + 1
-                leader = ((rank - 1) // fanout) * fanout + 1
-                if rank == leader:
-                    yield from ctx.recv(source=0, tag=_TAG_DATA)
-                    for member in range(
-                        leader + 1, min(leader + fanout, shape.ranks)
-                    ):
-                        yield from ctx.send(
-                            member,
-                            PayloadStub(
-                                int(plan.shard_bytes[member - 1]), "shard"
-                            ),
-                            tag=_TAG_DATA,
-                        )
-                else:
-                    yield from ctx.recv(source=leader, tag=_TAG_DATA)
-                ctx.record_span(label(P2P, "load_data"), t0)
-            elif mode == "parallel_io":
-                # concurrent reads share the filesystem: everyone takes
-                # total_bytes / aggregate_bandwidth (function-shipped I/O
-                # through the I/O nodes, no master relay)
-                yield from ctx.compute(
-                    total_shard_bytes / cfg.io_aggregate_bandwidth,
-                    label(COMPUTE, "load_data"),
-                )
-            else:
-                yield from ctx.recv(source=0, tag=_TAG_DATA)
-                ctx.record_span(label(P2P, "load_data"), t0)
+            yield from worker_load(ctx, widx)
 
             gf = int(plan.grad_frames[widx])
             hf = int(plan.heldout_frames[widx])
@@ -591,7 +647,204 @@ def _make_programs(
 
         return worker_program
 
-    return [master_program] + [make_worker(w) for w in range(cfg.n_workers)]
+    pol = cfg.fault_policy
+    if pol is None:
+        return [master_program] + [make_worker(w) for w in range(cfg.n_workers)]
+
+    # ----------------------------------------------- fault-tolerant protocol
+    # Master-driven tagged p2p (DESIGN.md §8): every phase (gradient, one
+    # CG product, one held-out eval) gets a unique tag; the master sends
+    # work to each live worker and collects replies under that tag with a
+    # bounded timeout/retry/backoff loop.  Strict phases exclude workers
+    # that stay silent through all retries; quorum phases (CG) proceed
+    # once ``pol.cg_quorum`` of the live set replied, keeping stragglers
+    # in the protocol.  Work payloads are PayloadStubs whose ``kind``
+    # string ("grad:<it>", "cg:<it>:<k>", "eval:<it>:<e>", "shutdown")
+    # tells the worker what to compute and charge.
+    assert recovery is not None  # simulate_training builds one with the policy
+    shutdown_stub = PayloadStub(4, "shutdown")
+    lbl_collect = label(P2P, "ft_collect")
+    lbl_restart = label(COMPUTE, "master_restart")
+    lbl_hf_master = label(COMPUTE, "hf_master")
+    lbl_cg_minimize = label(COMPUTE, "cg_minimize")
+    total_frames = float(plan.grad_frames.sum())
+
+    def ft_master(ctx: RankCtx):
+        yield from master_load(ctx)
+        hf_master_secs = wl.master_vector_op_seconds(4.0)
+        cg_minimize_secs = wl.master_vector_op_seconds(6.0)
+        live = list(range(1, shape.ranks))
+        phase = [0]
+        lost_frames = [0.0]
+        restart_at = (
+            injector.master_crash_time() if injector is not None else None
+        )
+        restarted = False
+
+        def dispatch_collect(what: str, payload: PayloadStub,
+                             quorum: float, strict: bool):
+            """Send ``payload`` to every live worker under a fresh tag and
+            collect replies; returns the set of ranks that answered."""
+            t0 = ctx.now
+            tag = _TAG_WORK0 + phase[0]
+            phase[0] += 1
+            for w in live:
+                yield from ctx.send(w, payload, tag=tag)
+            needed = (
+                len(live) if strict
+                else max(1, math.ceil(quorum * len(live)))
+            )
+            replied: set[int] = set()
+            retries = 0
+            timeout = pol.recv_timeout
+            while len(replied) < needed:
+                try:
+                    msg = yield from ctx.recv(
+                        source=ANY_SOURCE, tag=tag, timeout=timeout
+                    )
+                except RecvTimeoutError as err:
+                    missing = [w for w in live if w not in replied]
+                    # err carries the (source, tag) the wait was for —
+                    # the structured fields the bugfix attached
+                    recovery.add(
+                        ctx.now, "timeout", 0,
+                        f"{what} tag={err.tag} after {err.timeout:g}s "
+                        f"missing={missing}",
+                    )
+                    if retries >= pol.max_retries:
+                        break
+                    retries += 1
+                    timeout *= pol.backoff
+                    recovery.add(
+                        ctx.now, "retry", 0,
+                        f"{what} resend to {missing} "
+                        f"next_timeout={timeout:g}",
+                    )
+                    for w in missing:
+                        yield from ctx.send(w, payload, tag=tag)
+                    continue
+                if msg.src not in replied:
+                    replied.add(msg.src)
+            if len(replied) < needed:
+                missing = [w for w in live if w not in replied]
+                if strict:
+                    for w in missing:
+                        live.remove(w)
+                        lost_frames[0] += float(plan.grad_frames[w - 1])
+                        recovery.add(
+                            ctx.now, "exclude", w,
+                            f"silent through {retries} retries of {what}",
+                        )
+                        # best-effort: a straggler (not dead) that wakes up
+                        # later must drain to this and exit
+                        yield from ctx.send(w, shutdown_stub, tag=tag)
+                    if not live:
+                        raise FaultRecoveryError(
+                            f"all workers dead at {what} (t={ctx.now:g})"
+                        )
+                    surviving = total_frames - lost_frames[0]
+                    recovery.add(
+                        ctx.now, "renormalize", 0,
+                        f"gradient weight over {surviving:.0f}/"
+                        f"{total_frames:.0f} surviving frames",
+                    )
+                else:
+                    if not replied:
+                        raise FaultRecoveryError(
+                            f"no quorum for {what}: zero replies "
+                            f"(t={ctx.now:g})"
+                        )
+                    recovery.add(
+                        ctx.now, "partial", 0,
+                        f"{what} proceeding with {len(replied)}/{needed} "
+                        "GN-sample workers",
+                    )
+            ctx.record_span(lbl_collect, t0)
+            return replied
+
+        for it in range(cfg.script.n_iterations):
+            if (
+                restart_at is not None
+                and not restarted
+                and ctx.now >= restart_at
+            ):
+                # Fail-stop master: model the respawn reloading the last
+                # iteration-boundary checkpoint (util.checkpoint format)
+                # and replaying nothing — iteration-granular recovery.
+                restarted = True
+                yield from ctx.compute(pol.restart_seconds, lbl_restart)
+                recovery.add(
+                    ctx.now, "master_restart", 0,
+                    f"checkpoint-restart resumed before iteration {it} "
+                    f"({pol.restart_seconds:g}s modeled reload)",
+                )
+            yield from dispatch_collect(
+                f"grad:{it}", PayloadStub(theta_nbytes, f"grad:{it}"),
+                1.0, True,
+            )
+            yield from ctx.compute(hf_master_secs, lbl_hf_master)
+            for k in range(cfg.script.cg_iters[it]):
+                yield from dispatch_collect(
+                    f"cg:{it}:{k}",
+                    PayloadStub(theta_nbytes, f"cg:{it}:{k}"),
+                    pol.cg_quorum, False,
+                )
+                yield from ctx.compute(cg_minimize_secs, lbl_cg_minimize)
+            for e in range(cfg.script.heldout_evals[it]):
+                yield from dispatch_collect(
+                    f"eval:{it}:{e}",
+                    PayloadStub(theta_nbytes, f"eval:{it}:{e}"),
+                    1.0, True,
+                )
+        tag = _TAG_WORK0 + phase[0]
+        for w in live:
+            yield from ctx.send(w, shutdown_stub, tag=tag)
+        return ctx.now
+
+    def ft_make_worker(widx: int) -> Callable:
+        def ft_worker(ctx: RankCtx):
+            rng = spawn(cfg.seed, "noise", widx)
+            yield from worker_load(ctx, widx)
+            gf = int(plan.grad_frames[widx])
+            hfr = int(plan.heldout_frames[widx])
+            gradient_secs = wl.gradient_seconds(gf, cores, tpc, rpn)
+            heldout_secs = wl.heldout_seconds(hfr, cores, tpc, rpn)
+            loss_stub = PayloadStub(16, "loss")
+            last_tag = -1
+            last_reply = loss_stub
+            while True:
+                msg = yield from ctx.recv(source=0, tag=ANY_TAG, timeout=None)
+                kind = msg.payload.kind
+                if kind == "shutdown":
+                    return ctx.now
+                if msg.tag == last_tag:
+                    # duplicate work (a master retry that crossed our
+                    # reply): retransmit the cached reply, don't recompute
+                    yield from ctx.send(0, last_reply, tag=msg.tag)
+                    continue
+                parts = kind.split(":")
+                op = parts[0]
+                if op == "grad":
+                    yield from ctx.compute(noisy(gradient_secs, rng), lbl_gradient)
+                    reply: PayloadStub = theta
+                elif op == "cg":
+                    it, k = int(parts[1]), int(parts[2])
+                    cf = int(plan.curv_frames[it][widx])
+                    secs = wl.curvature_product_seconds(cf, cores, tpc, rpn)
+                    if k == 0:
+                        secs += wl.curvature_setup_seconds(cf, cores, tpc, rpn)
+                    yield from ctx.compute(noisy(secs, rng), lbl_curvature)
+                    reply = theta
+                else:  # "eval"
+                    yield from ctx.compute(noisy(heldout_secs, rng), lbl_heldout)
+                    reply = loss_stub
+                yield from ctx.send(0, reply, tag=msg.tag)
+                last_tag = msg.tag
+                last_reply = reply
+
+        return ft_worker
+
+    return [ft_master] + [ft_make_worker(w) for w in range(cfg.n_workers)]
 
 
 # -------------------------------------------------------------- entry point
@@ -620,18 +873,51 @@ def simulate_training(
     policy = None
     if cfg.collective_selection == "auto":
         policy = CollectivePolicy.from_network(network, cfg.shape.ranks)
+    injector = None
+    if cfg.fault_plan is not None and not cfg.fault_plan.empty:
+        # rank 0 is spared from kill when a policy is attached: the
+        # master program models checkpoint-restart instead of dying
+        spare = (0,) if cfg.fault_policy is not None else ()
+        injector = FaultInjector(cfg.fault_plan, spare=spare)
+    recovery = RecoveryLog() if cfg.fault_policy is not None else None
     tracer = Tracer()
     comm = VComm(
         cfg.shape.ranks,
-        network=network,
+        # closed-form collective params come from the base model either
+        # way (the wrapper delegates them); only per-message p2p costs
+        # route through degraded windows
+        network=injector.wrap_network(network) if injector is not None else network,
         tracer=tracer,
         trace_p2p=trace_p2p,
         obs=obs,
         coll_policy=policy,
+        faults=injector,
     )
+    if obs is not None and (injector is not None or recovery is not None):
+        from repro.obs.metrics import counter_record
+
+        def _fault_records() -> list[dict]:
+            recs = []
+            if injector is not None:
+                recs.extend(injector.obs_records())
+            if recovery is not None:
+                recs.append(counter_record("train.recoveries", recovery.recoveries))
+                recs.append(
+                    counter_record(
+                        "train.excluded_ranks", len(recovery.excluded_ranks)
+                    )
+                )
+            return recs
+
+        obs.add_collector(_fault_records)
     load_done = [0.0]
-    programs = _make_programs(cfg, plan, load_done, network, policy)
+    programs = _make_programs(
+        cfg, plan, load_done, network, policy,
+        injector=injector, recovery=recovery,
+    )
     end_time, _values = comm.run(programs)
+    if injector is not None:
+        injector.record_degraded_spans(tracer, end_time)
     return SimRunResult(
         config=cfg,
         load_data_seconds=load_done[0],
@@ -639,4 +925,5 @@ def simulate_training(
         tracer=tracer,
         total_messages=comm.total_sends,
         total_bytes=comm.total_bytes,
+        recovery=recovery,
     )

@@ -62,6 +62,7 @@ class MasterSource:
         return parts[1:]  # drop the master's own placeholder
 
     def gradient(self, theta: np.ndarray) -> tuple[float, np.ndarray, int]:
+        """Broadcast theta, sum worker loss/gradient shards."""
         self.comm.bcast((CMD_GRADIENT, theta), root=0)
         loss_sum = 0.0
         grad = np.zeros_like(theta)
@@ -80,6 +81,8 @@ class MasterSource:
     def curvature_operator(
         self, theta: np.ndarray, lam: float, sample_seed: int
     ) -> Callable[[np.ndarray], np.ndarray]:
+        """Distributed damped Gauss-Newton operator: each apply fans a
+        vector out to workers and sums their curvature products."""
         self.comm.bcast((CMD_CURV_SETUP, theta, sample_seed), root=0)
         k = sample_size(self.curvature_total, self.curvature_fraction)
         setup = self._collect()  # workers ack with their sampled frame counts
@@ -97,6 +100,7 @@ class MasterSource:
         return op
 
     def heldout_loss(self, theta: np.ndarray) -> tuple[float, int]:
+        """Broadcast theta, sum worker held-out loss shards."""
         self.comm.bcast((CMD_HELDOUT, theta), root=0)
         loss_sum = 0.0
         frames = 0

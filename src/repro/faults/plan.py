@@ -1,0 +1,279 @@
+"""Fault plans: seeded, JSON-loadable schedules of machine misbehavior.
+
+A :class:`FaultPlan` is pure data — it names *what goes wrong and when*
+in virtual time, and nothing else.  The :mod:`repro.faults.inject`
+machinery compiles a plan into DES hooks; :mod:`repro.dist.simulated`
+decides how the trainer reacts (via a :class:`repro.faults.policy.
+FaultPolicy`).  Keeping the plan declarative makes runs replayable: the
+same plan + the same job seed reproduce the same simulated timeline and
+recovery log bit-for-bit (pinned by ``tests/test_faults.py``).
+
+Four event kinds model the failure classes of a torus machine:
+
+* :class:`NodeCrash` — fail-stop: the rank's process is killed at ``at``.
+* :class:`NodeSlowdown` — straggler: compute charges that *start* inside
+  ``[start, end)`` are multiplied by ``factor``.
+* :class:`LinkDegrade` — bandwidth/latency scaling on the links of a set
+  of nodes (or the whole fabric) over a window.
+* :class:`MessageDrop` — each matching message within the window is
+  dropped with probability ``probability`` (seeded, per-message draw).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from repro.util.rng import spawn
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "LinkDegrade",
+    "MessageDrop",
+    "NodeCrash",
+    "NodeSlowdown",
+]
+
+
+def _check_window(start: float, end: float, what: str) -> None:
+    """Validate a ``[start, end)`` virtual-time window."""
+    if not (start >= 0.0 and math.isfinite(start)):
+        raise ValueError(f"{what}: start must be finite and >= 0, got {start}")
+    if not (end > start):
+        raise ValueError(f"{what}: end must be > start, got [{start}, {end})")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Fail-stop crash of one rank at virtual time ``at``."""
+
+    rank: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"NodeCrash: rank must be >= 0, got {self.rank}")
+        if not (self.at >= 0.0 and math.isfinite(self.at)):
+            raise ValueError(f"NodeCrash: at must be finite and >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class NodeSlowdown:
+    """Straggler window: compute on ``rank`` runs ``factor`` times slower."""
+
+    rank: int
+    start: float
+    end: float
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"NodeSlowdown: rank must be >= 0, got {self.rank}")
+        _check_window(self.start, self.end, "NodeSlowdown")
+        if not (self.factor >= 1.0 and math.isfinite(self.factor)):
+            raise ValueError(
+                f"NodeSlowdown: factor must be finite and >= 1, got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Degrade the links touching ``nodes`` (``None`` = whole fabric).
+
+    ``bandwidth_factor`` scales link bandwidth (0.5 = half the bytes per
+    second); ``latency_factor`` multiplies per-hop and base latencies.
+    """
+
+    start: float
+    end: float
+    bandwidth_factor: float = 0.5
+    latency_factor: float = 1.0
+    nodes: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "LinkDegrade")
+        if not (0.0 < self.bandwidth_factor <= 1.0):
+            raise ValueError(
+                f"LinkDegrade: bandwidth_factor must be in (0, 1], "
+                f"got {self.bandwidth_factor}"
+            )
+        if not (self.latency_factor >= 1.0 and math.isfinite(self.latency_factor)):
+            raise ValueError(
+                f"LinkDegrade: latency_factor must be finite and >= 1, "
+                f"got {self.latency_factor}"
+            )
+        if self.nodes is not None:
+            object.__setattr__(self, "nodes", tuple(sorted(set(self.nodes))))
+
+
+@dataclass(frozen=True)
+class MessageDrop:
+    """Drop matching messages within a window with a seeded probability.
+
+    ``src``/``dst`` of ``None`` match any rank.  Each candidate message
+    gets one uniform draw from the plan's drop stream, in send order, so
+    the set of dropped messages is a pure function of the plan seed.
+    """
+
+    start: float
+    end: float
+    probability: float = 1.0
+    src: int | None = None
+    dst: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "MessageDrop")
+        if not (0.0 < self.probability <= 1.0):
+            raise ValueError(
+                f"MessageDrop: probability must be in (0, 1], got {self.probability}"
+            )
+
+
+FaultEvent = Union[NodeCrash, NodeSlowdown, LinkDegrade, MessageDrop]
+
+_KIND_TO_CLS = {
+    "node_crash": NodeCrash,
+    "node_slowdown": NodeSlowdown,
+    "link_degrade": LinkDegrade,
+    "message_drop": MessageDrop,
+}
+_CLS_TO_KIND = {cls: kind for kind, cls in _KIND_TO_CLS.items()}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded schedule of fault events.
+
+    ``seed`` feeds the per-message drop stream (via
+    :func:`repro.util.rng.spawn`); every other event is fully explicit.
+    """
+
+    seed: int = 0
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for ev in self.events:
+            if type(ev) not in _CLS_TO_KIND:
+                raise TypeError(f"unknown fault event type: {type(ev).__name__}")
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan schedules nothing (attaching it is a no-op)."""
+        return not self.events
+
+    def validate_ranks(self, ranks: int) -> None:
+        """Raise ``ValueError`` if any event names a rank outside ``[0, ranks)``."""
+        for ev in self.events:
+            targets: tuple[int, ...] = ()
+            if isinstance(ev, (NodeCrash, NodeSlowdown)):
+                targets = (ev.rank,)
+            elif isinstance(ev, MessageDrop):
+                targets = tuple(r for r in (ev.src, ev.dst) if r is not None)
+            for r in targets:
+                if r >= ranks:
+                    raise ValueError(
+                        f"{type(ev).__name__} targets rank {r} but the job "
+                        f"has only {ranks} ranks"
+                    )
+
+    def crash_time(self, rank: int) -> float | None:
+        """Earliest crash time scheduled for ``rank``, or ``None``."""
+        times = [ev.at for ev in self.events
+                 if isinstance(ev, NodeCrash) and ev.rank == rank]
+        return min(times) if times else None
+
+    # -- JSON round trip ------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to the documented JSON schema (see ``examples/faults/``)."""
+        out = {"seed": self.seed, "events": []}
+        for ev in self.events:
+            entry: dict = {"kind": _CLS_TO_KIND[type(ev)]}
+            for f in type(ev).__dataclass_fields__:
+                val = getattr(ev, f)
+                if isinstance(val, tuple):
+                    val = list(val)
+                entry[f] = val
+            out["events"].append(entry)
+        return json.dumps(out, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from its JSON form, validating every event."""
+        raw = json.loads(text)
+        if not isinstance(raw, dict):
+            raise ValueError("fault plan JSON must be an object")
+        events = []
+        for i, entry in enumerate(raw.get("events", [])):
+            kind = entry.get("kind")
+            ev_cls = _KIND_TO_CLS.get(kind)
+            if ev_cls is None:
+                raise ValueError(
+                    f"events[{i}]: unknown kind {kind!r} "
+                    f"(expected one of {sorted(_KIND_TO_CLS)})"
+                )
+            kwargs = {k: v for k, v in entry.items() if k != "kind"}
+            if "nodes" in kwargs and kwargs["nodes"] is not None:
+                kwargs["nodes"] = tuple(kwargs["nodes"])
+            try:
+                events.append(ev_cls(**kwargs))
+            except TypeError as err:
+                raise ValueError(f"events[{i}]: {err}") from None
+        return cls(seed=int(raw.get("seed", 0)), events=tuple(events))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FaultPlan":
+        """Load a plan from a JSON file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def save(self, path: str | Path) -> Path:
+        """Write the plan's JSON form to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    # -- seeded sampling (used by harness.scaling.run_fault_sweep) ------
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        ranks: int,
+        crash_rate: float = 0.0,
+        slowdown_rate: float = 0.0,
+        horizon: float = 1.0,
+        slowdown_factor: float = 3.0,
+        spare: tuple[int, ...] = (0,),
+    ) -> "FaultPlan":
+        """Draw a random plan: each non-spared rank crashes with probability
+        ``crash_rate`` (or straggles with probability ``slowdown_rate``) at a
+        uniform time inside the middle 80% of ``[0, horizon]``.
+
+        The draw is a pure function of ``(seed, ranks, rates, horizon)``,
+        so sweeps are replayable.
+        """
+        if not (0.0 <= crash_rate <= 1.0 and 0.0 <= slowdown_rate <= 1.0):
+            raise ValueError("rates must be in [0, 1]")
+        rng = spawn(seed, "fault-plan", ranks)
+        events: list[FaultEvent] = []
+        lo, hi = 0.1 * horizon, 0.9 * horizon
+        for rank in range(ranks):
+            u_crash = float(rng.random())
+            u_slow = float(rng.random())
+            t = lo + (hi - lo) * float(rng.random())
+            if rank in spare:
+                continue
+            if u_crash < crash_rate:
+                events.append(NodeCrash(rank=rank, at=t))
+            elif u_slow < slowdown_rate:
+                events.append(
+                    NodeSlowdown(rank=rank, start=t, end=hi,
+                                 factor=slowdown_factor)
+                )
+        return cls(seed=seed, events=tuple(events))

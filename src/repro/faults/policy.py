@@ -1,0 +1,119 @@
+"""Recovery policy and recovery log for fault-tolerant training.
+
+:class:`FaultPolicy` is the single opt-in knob shared by the simulated
+trainer (:func:`repro.dist.simulated.simulate_training`) and the real
+optimizer (:class:`repro.hf.optimizer.HessianFreeOptimizer`).  Leaving
+it ``None`` keeps both bit-identical to their fault-free behavior.
+
+:class:`RecoveryLog` records every recovery action the master takes
+(timeouts, retries, exclusions, renormalizations, partial batches,
+master restarts) with its virtual timestamp.  Its repr is part of the
+seeded-fault determinism golden: two runs of the same plan must produce
+the same log, byte for byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.sim.engine import SimError
+
+__all__ = ["FaultPolicy", "FaultRecoveryError", "RecoveryEvent", "RecoveryLog"]
+
+
+class FaultRecoveryError(SimError):
+    """Raised when recovery is impossible (e.g. every worker is dead)."""
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the trainer reacts to faults.  All fields have safe defaults.
+
+    The simulated HF master uses ``recv_timeout`` / ``max_retries`` /
+    ``backoff`` for its collection loop, ``cg_quorum`` for partial-batch
+    CG, and ``restart_seconds`` to charge a checkpoint-restart when the
+    plan crashes rank 0.  The real optimizer uses ``checkpoint_path`` /
+    ``checkpoint_every`` to persist state through
+    :mod:`repro.util.checkpoint`.
+    """
+
+    recv_timeout: float = 5.0
+    """Virtual seconds the master waits for one reply before retrying."""
+    max_retries: int = 2
+    """Retry rounds (work re-sent to silent workers) before giving up."""
+    backoff: float = 2.0
+    """Multiplier applied to ``recv_timeout`` after each retry round."""
+    cg_quorum: float = 1.0
+    """Fraction of live GN-sample workers required to advance a CG step."""
+    restart_seconds: float = 30.0
+    """Modeled cost of a master checkpoint-restart (fail-stop + reload)."""
+    checkpoint_path: str | None = None
+    """Where the real optimizer saves checkpoints (``None`` = don't)."""
+    checkpoint_every: int = 1
+    """Save a checkpoint every N accepted HF iterations."""
+
+    def __post_init__(self) -> None:
+        if not (self.recv_timeout > 0 and math.isfinite(self.recv_timeout)):
+            raise ValueError(
+                f"recv_timeout must be finite and > 0, got {self.recv_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not (self.backoff >= 1.0 and math.isfinite(self.backoff)):
+            raise ValueError(f"backoff must be finite and >= 1, got {self.backoff}")
+        if not (0.0 < self.cg_quorum <= 1.0):
+            raise ValueError(f"cg_quorum must be in (0, 1], got {self.cg_quorum}")
+        if not (self.restart_seconds >= 0.0 and math.isfinite(self.restart_seconds)):
+            raise ValueError(
+                f"restart_seconds must be finite and >= 0, got {self.restart_seconds}"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery action: what happened, when, and to which rank."""
+
+    time: float
+    kind: str
+    rank: int
+    detail: str = ""
+
+
+@dataclass
+class RecoveryLog:
+    """Ordered record of the master's recovery actions during one run."""
+
+    events: list[RecoveryEvent] = field(default_factory=list)
+
+    def add(self, time: float, kind: str, rank: int, detail: str = "") -> None:
+        """Append one recovery event."""
+        self.events.append(RecoveryEvent(time, kind, rank, detail))
+
+    @property
+    def excluded_ranks(self) -> tuple[int, ...]:
+        """Ranks the master permanently excluded, in exclusion order."""
+        return tuple(ev.rank for ev in self.events if ev.kind == "exclude")
+
+    @property
+    def recoveries(self) -> int:
+        """Count of recovery *actions* (everything except bare timeouts)."""
+        return sum(1 for ev in self.events if ev.kind != "timeout")
+
+    def counts(self) -> dict[str, int]:
+        """Event count per kind, in first-seen order (deterministic)."""
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def describe(self) -> str:
+        """Render the log as one line per event (stable across replays)."""
+        return "\n".join(
+            f"t={ev.time:.9g} {ev.kind} rank={ev.rank} {ev.detail}".rstrip()
+            for ev in self.events
+        )

@@ -33,6 +33,7 @@ class GemmCounter:
     calls: list[GemmCall] = field(default_factory=list)
 
     def record(self, label: str, m: int, n: int, k: int, precision: str = "sp", count: int = 1) -> None:
+        """Tally ``count`` GEMMs of shape (m, n, k) under ``label``."""
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
         self.calls.append(GemmCall(label, GemmProblem(m, n, k, precision), count))
@@ -45,6 +46,7 @@ class GemmCounter:
         )
 
     def labels(self) -> list[str]:
+        """Distinct labels in first-recorded order."""
         seen: dict[str, None] = {}
         for c in self.calls:
             seen.setdefault(c.label)

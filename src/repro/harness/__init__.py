@@ -22,12 +22,14 @@ from repro.harness.report import render_cycles, render_mpi_split, render_series,
 from repro.harness.scaling import (
     FIG1A_CONFIGS,
     FIG1B_CONFIGS,
+    FaultSweepPoint,
     OverlapAblation,
     ScalingPoint,
     collective_crossover,
     default_workload,
     efficiencies,
     run_config,
+    run_fault_sweep,
     run_fig1a,
     run_fig1b,
     run_overlap_ablation,
@@ -51,6 +53,7 @@ __all__ = [
     "render_table",
     "FIG1A_CONFIGS",
     "FIG1B_CONFIGS",
+    "FaultSweepPoint",
     "OverlapAblation",
     "ScalingPoint",
     "collective_crossover",
@@ -58,6 +61,7 @@ __all__ = [
     "default_workload",
     "efficiencies",
     "run_config",
+    "run_fault_sweep",
     "run_fig1a",
     "run_fig1b",
     "run_scaling_claim",

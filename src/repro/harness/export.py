@@ -58,6 +58,7 @@ def export_scaling_json(
 
 
 def export_scaling_csv(path: str | Path, points: Sequence[ScalingPoint]) -> Path:
+    """Write scaling-sweep points as a CSV table and return the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", newline="") as f:

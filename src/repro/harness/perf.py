@@ -357,12 +357,14 @@ def run_perf(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
 
 
 def write_bench_json(payload: dict[str, Any], path: str | Path) -> Path:
+    """Write the benchmark payload as stable, indented JSON."""
     out = Path(path)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return out
 
 
 def render_perf_text(payload: dict[str, Any]) -> str:
+    """Render the benchmark payload as an aligned text table."""
     lines = ["sim/vmpi perf (best of repeats, seconds):"]
     for section in ("micro", "macro", "collectives"):
         for name, r in payload.get(section, {}).items():

@@ -6,6 +6,7 @@ processes; beyond that ... sub-linear").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.bgq.network import TorusNetworkModel
 from repro.bgq.node import RunShape
@@ -13,17 +14,21 @@ from repro.dist.script import IterationScript
 from repro.dist.simulated import SimJobConfig, SimRunResult, simulate_training
 from repro.dist.timeline import RankBreakdown
 from repro.dist.workload import GEOMETRY_50HR, GEOMETRY_400HR, ModelGeometry, SimWorkload
+from repro.faults import FaultPlan, FaultPolicy
 from repro.speech.corpus import FRAMES_PER_HOUR
+from repro.util.rng import derive_seed
 from repro.vmpi.algoselect import CollectivePolicy
 
 __all__ = [
     "ScalingPoint",
+    "FaultSweepPoint",
     "FIG1A_CONFIGS",
     "FIG1B_CONFIGS",
     "OverlapAblation",
     "collective_crossover",
     "default_workload",
     "run_config",
+    "run_fault_sweep",
     "run_fig1a",
     "run_fig1b",
     "run_overlap_ablation",
@@ -222,6 +227,118 @@ def run_overlap_ablation(
         serial_seconds=_worker_gradsync(serial.result),
         overlap_seconds=_worker_gradsync(overlap.result),
     )
+
+
+@dataclass
+class FaultSweepPoint:
+    """Time-to-converge at one sampled fault rate."""
+
+    crash_rate: float
+    slowdown_rate: float
+    total_seconds: float
+    """Load + iteration time — the time-to-converge proxy (every run
+    completes the same represented iteration count, faults or not)."""
+    per_iteration_seconds: float
+    recoveries: int
+    excluded_ranks: tuple[int, ...]
+    plan: FaultPlan = field(repr=False, default=None)  # type: ignore[assignment]
+    result: SimRunResult = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def run_fault_sweep(
+    spec: str = "64-1-16",
+    hours: float = 0.5,
+    crash_rates: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2),
+    seed: int = 0,
+    slowdown_rate: float = 0.0,
+    script: IterationScript | None = None,
+    policy: FaultPolicy | None = None,
+    obs_dir: str | Path | None = None,
+) -> list[FaultSweepPoint]:
+    """Time-to-converge vs fault rate under the recovery policy.
+
+    A fault-free anchor run sizes everything: its total simulated time is
+    the horizon inside which :meth:`FaultPlan.sample` places crash and
+    straggler events, and (when ``policy`` is not given) its per-iteration
+    time sets the policy's ``recv_timeout`` — the detector threshold must
+    exceed the slowest honest phase or the master starts excluding live
+    workers (a full outer iteration is a safe upper bound on any single
+    phase).  Each rate then gets a sampled plan from its own derived seed
+    and one simulated run; rank 0 is always spared so the master survives
+    to drive recovery.
+
+    ``obs_dir``, when given, writes one metrics JSONL per rate
+    (``faults_rate{rate}.jsonl``) carrying the ``faults.injected{kind}``,
+    ``train.recoveries`` and ``train.excluded_ranks`` counters.
+
+    Deterministic end to end: same arguments, same points.
+    """
+    wl = default_workload(hours)
+    if script is None:
+        script = IterationScript(
+            cg_iters=(6, 8), heldout_evals=(3, 4), represented_iterations=20
+        )
+    shape = RunShape.parse(spec)
+    # Anchor: zero faults under *a* policy (the ft protocol, not the
+    # collective one — same protocol the faulty runs use).  recv_timeout
+    # never fires without faults, so the placeholder value is timing-
+    # neutral and the anchor is reusable as the rate-0 point.
+    anchor_policy = policy if policy is not None else FaultPolicy(recv_timeout=3600.0)
+    base = simulate_training(
+        SimJobConfig(
+            shape=shape, workload=wl, script=script, seed=seed,
+            fault_policy=anchor_policy,
+        )
+    )
+    horizon = base.load_data_seconds + base.iteration_seconds
+    if policy is None:
+        policy = FaultPolicy(
+            recv_timeout=max(base.per_iteration_seconds, 1e-6),
+            max_retries=2,
+        )
+
+    points: list[FaultSweepPoint] = []
+    for i, rate in enumerate(crash_rates):
+        plan = FaultPlan.sample(
+            derive_seed(seed, "fault-sweep", i),
+            shape.ranks,
+            crash_rate=rate,
+            slowdown_rate=slowdown_rate,
+            horizon=horizon,
+        )
+        obs = None
+        if obs_dir is not None:
+            from repro.obs.metrics import MetricsRegistry
+
+            obs = MetricsRegistry()
+        if rate == 0.0 and plan.empty and policy is anchor_policy and obs is None:
+            res = base  # the anchor already is this point
+        else:
+            res = simulate_training(
+                SimJobConfig(
+                    shape=shape, workload=wl, script=script, seed=seed,
+                    fault_plan=None if plan.empty else plan,
+                    fault_policy=policy,
+                ),
+                obs=obs,
+            )
+        if obs is not None:
+            out_dir = Path(obs_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            obs.to_jsonl(out_dir / f"faults_rate{rate:g}.jsonl")
+        points.append(
+            FaultSweepPoint(
+                crash_rate=rate,
+                slowdown_rate=slowdown_rate,
+                total_seconds=res.load_data_seconds + res.iteration_seconds,
+                per_iteration_seconds=res.per_iteration_seconds,
+                recoveries=res.recovery.recoveries if res.recovery else 0,
+                excluded_ranks=res.excluded_ranks,
+                plan=plan,
+                result=res,
+            )
+        )
+    return points
 
 
 def efficiencies(points: list[ScalingPoint]) -> list[float]:

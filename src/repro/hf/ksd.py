@@ -70,6 +70,8 @@ class KSDConfig:
 
 @dataclass
 class KSDResult:
+    """Trajectories and final parameters of one KSD run."""
+
     theta: np.ndarray
     heldout_trajectory: list[float] = field(default_factory=list)
     train_trajectory: list[float] = field(default_factory=list)
@@ -128,6 +130,7 @@ class KrylovSubspaceDescent:
         self.log = log or RunLog()
 
     def run(self, theta0: np.ndarray) -> KSDResult:
+        """Optimise from ``theta0`` with Krylov-subspace descent."""
         cfg = self.config
         theta = theta0.copy()
         prev_step: np.ndarray | None = None

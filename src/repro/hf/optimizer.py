@@ -25,13 +25,16 @@ to MPI workers).
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
 
+from repro.faults.policy import FaultPolicy
 from repro.hf.cg import cg_minimize
 from repro.hf.linesearch import armijo_backtrack
 from repro.hf.types import HFConfig, HFDataSource, HFIterationStats, HFResult
+from repro.util.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from repro.util.logging import RunLog
 from repro.util.timing import TimeLedger, WallTimer
 
@@ -49,11 +52,19 @@ class HessianFreeOptimizer:
         ledger: TimeLedger | None = None,
         precond_builder: Callable[[np.ndarray, float], np.ndarray] | None = None,
         obs: Any | None = None,
+        fault_policy: FaultPolicy | None = None,
     ) -> None:
         self.source = source
         self.config = config or HFConfig()
         self.log = log or RunLog()
         self.timer = WallTimer(ledger)
+        self.fault_policy = fault_policy
+        """Optional :class:`~repro.faults.policy.FaultPolicy` enabling
+        checkpoint-restart: when it carries a ``checkpoint_path``, the
+        loop saves a :class:`~repro.util.checkpoint.Checkpoint` every
+        ``checkpoint_every`` accepted iterations, and :meth:`run` can
+        resume from one via ``resume_from``.  Detached (the default),
+        the loop is byte-for-byte identical to the unpoliced one."""
         self.precond_builder = precond_builder
         """Optional ``(grad, lam) -> diagonal`` hook (the Martens
         preconditioner the paper explicitly omits; see
@@ -69,19 +80,54 @@ class HessianFreeOptimizer:
         (the default), the loop is byte-for-byte the uninstrumented one."""
 
     # ------------------------------------------------------------------ run
-    def run(self, theta0: np.ndarray) -> HFResult:
-        cfg = self.config
-        theta = theta0.copy()
-        d0 = np.zeros_like(theta)
-        lam = cfg.damping.lam0
-        with self.timer.section("heldout_loss"):
-            l_sum, l_n = self.source.heldout_loss(theta)
-        l_prev = l_sum / l_n
-        result = HFResult(theta=theta)
-        self.log.log("hf_start", heldout=l_prev, lam=lam, params=theta.size)
+    def run(
+        self, theta0: np.ndarray, resume_from: str | Path | None = None
+    ) -> HFResult:
+        """Run Algorithm 1 from ``theta0``, or resume a checkpoint.
 
-        iteration = 0
-        attempts = 0
+        ``resume_from`` restores theta, lambda, the CG warm start, the
+        iteration counter, *and* the attempt counter (stored in
+        checkpoint metadata) — the latter keeps ``sample_seed`` draws
+        aligned so a resumed trajectory matches the uninterrupted run
+        exactly.  Resuming counts one ``train.recoveries`` on ``obs``.
+        """
+        cfg = self.config
+        pol = self.fault_policy
+        if resume_from is not None:
+            with self.timer.section("checkpoint_restore"):
+                ckpt = load_checkpoint(resume_from)
+            theta = np.asarray(ckpt.theta, dtype=float).copy()
+            d0 = (
+                np.asarray(ckpt.d0, dtype=float).copy()
+                if ckpt.d0 is not None
+                else np.zeros_like(theta)
+            )
+            lam = float(ckpt.lam)
+            iteration = int(ckpt.iteration)
+            attempts = int(ckpt.metadata.get("attempts", iteration))
+            if "l_prev" in ckpt.metadata:
+                l_prev = float(ckpt.metadata["l_prev"])
+            else:
+                with self.timer.section("heldout_loss"):
+                    l_sum, l_n = self.source.heldout_loss(theta)
+                l_prev = l_sum / l_n
+            result = HFResult(theta=theta)
+            self.log.log(
+                "hf_resume", iteration=iteration, lam=lam, heldout=l_prev
+            )
+            if self.obs is not None:
+                self.obs.counter("train.recoveries").inc()
+        else:
+            theta = theta0.copy()
+            d0 = np.zeros_like(theta)
+            lam = cfg.damping.lam0
+            with self.timer.section("heldout_loss"):
+                l_sum, l_n = self.source.heldout_loss(theta)
+            l_prev = l_sum / l_n
+            result = HFResult(theta=theta)
+            self.log.log("hf_start", heldout=l_prev, lam=lam, params=theta.size)
+            iteration = 0
+            attempts = 0
         max_attempts = cfg.max_iterations * 4  # rejections retry with higher lambda
         while iteration < cfg.max_iterations and attempts < max_attempts:
             attempts += 1
@@ -192,6 +238,28 @@ class HessianFreeOptimizer:
                 heldout_evals=heldout_evals,
             )
             result.iterations.append(stats)
+            if (
+                pol is not None
+                and pol.checkpoint_path is not None
+                and iteration % pol.checkpoint_every == 0
+            ):
+                # d0 already holds the next iteration's momentum warm
+                # start; l_prev-to-be is l_new, so a resume replays the
+                # exact state the loop would carry into iteration+1.
+                with self.timer.section("checkpoint_save"):
+                    save_checkpoint(
+                        pol.checkpoint_path,
+                        Checkpoint(
+                            theta=theta,
+                            iteration=iteration,
+                            lam=lam,
+                            d0=d0,
+                            heldout_trajectory=[
+                                s.heldout_loss for s in result.iterations
+                            ],
+                            metadata={"attempts": attempts, "l_prev": l_new},
+                        ),
+                    )
             if self.obs is not None:
                 self._record_iteration(stats, op)
             self.log.log(

@@ -60,6 +60,7 @@ class FrameSource:
 
     # ------------------------------------------------------------- protocol
     def gradient(self, theta: np.ndarray) -> tuple[float, np.ndarray, int]:
+        """Summed loss and gradient over all training frames, chunked."""
         total = 0.0
         grad = np.zeros_like(theta)
         n = self.x.shape[0]
@@ -75,6 +76,7 @@ class FrameSource:
     def curvature_operator(
         self, theta: np.ndarray, lam: float, sample_seed: int
     ) -> Callable[[np.ndarray], np.ndarray]:
+        """Damped Gauss-Newton operator over a fresh frame sample."""
         idx = self.curvature_sample_indices(sample_seed)
         return GaussNewtonOperator(
             net=self.net,
@@ -87,6 +89,7 @@ class FrameSource:
         )
 
     def heldout_loss(self, theta: np.ndarray) -> tuple[float, int]:
+        """Summed loss and frame count over the held-out set."""
         total = 0.0
         n = self.heldout_x.shape[0]
         for lo in range(0, n, self.chunk_frames):
@@ -134,6 +137,7 @@ class SequenceSource:
 
     # ------------------------------------------------------------- protocol
     def gradient(self, theta: np.ndarray) -> tuple[float, np.ndarray, int]:
+        """Summed loss and gradient over all training utterances."""
         total = 0.0
         grad = np.zeros_like(theta)
         frames = 0
@@ -148,6 +152,7 @@ class SequenceSource:
     def curvature_operator(
         self, theta: np.ndarray, lam: float, sample_seed: int
     ) -> Callable[[np.ndarray], np.ndarray]:
+        """Damped Gauss-Newton operator over sampled whole utterances."""
         chosen = self.curvature_sample_utterances(sample_seed)
         xb, tb = _slice_batch(self.x, [self.spans[i] for i in chosen])
         return GaussNewtonOperator(
@@ -161,6 +166,7 @@ class SequenceSource:
         )
 
     def heldout_loss(self, theta: np.ndarray) -> tuple[float, int]:
+        """Summed loss and frame count over held-out utterances."""
         total = 0.0
         frames = 0
         for chunk in _utterance_chunks(self.heldout_spans, self.chunk_utterances):
@@ -172,6 +178,7 @@ class SequenceSource:
 
     # -------------------------------------------------------------- helpers
     def curvature_sample_utterances(self, sample_seed: int) -> np.ndarray:
+        """Deterministic utterance sample for one curvature batch."""
         n = len(self.spans)
         k = max(1, int(round(self.curvature_fraction * n)))
         rng = spawn(self.seed, "curvature", sample_seed)

@@ -22,6 +22,7 @@ class Activation:
     name: str
 
     def f(self, z: np.ndarray) -> np.ndarray:
+        """Apply the nonlinearity elementwise."""
         if self.name == "sigmoid":
             # stable: use tanh identity to avoid overflow in exp
             return 0.5 * (np.tanh(0.5 * z) + 1.0)

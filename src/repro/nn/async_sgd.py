@@ -54,6 +54,8 @@ class AsyncSGDConfig:
 
 @dataclass
 class AsyncSGDResult:
+    """Final parameters and loss trajectories of one async-SGD run."""
+
     theta: np.ndarray
     epoch_losses: list[float] = field(default_factory=list)
     heldout_losses: list[float] = field(default_factory=list)

@@ -66,6 +66,7 @@ class CrossEntropyLoss:
     def value_and_delta(
         self, logits: np.ndarray, targets: np.ndarray
     ) -> tuple[float, np.ndarray]:
+        """Per-frame loss and output-layer delta for one batch."""
         t = self._check(logits, targets)
         logp = log_softmax(logits)
         idx = np.arange(logits.shape[0])
@@ -109,6 +110,7 @@ class SquaredErrorLoss:
     def value_and_delta(
         self, logits: np.ndarray, targets: np.ndarray
     ) -> tuple[float, np.ndarray]:
+        """Per-frame loss and output-layer delta for one batch."""
         t = np.asarray(targets, dtype=logits.dtype)
         if t.shape != logits.shape:
             raise ValueError(
@@ -241,6 +243,7 @@ class SequenceMMILoss:
     def value_and_delta(
         self, logits: np.ndarray, targets: SequenceBatchTargets
     ) -> tuple[float, np.ndarray]:
+        """Batch MMI loss and output delta over utterance spans."""
         self._check(logits, targets)
         logp = log_softmax(logits)
         loglik = self.kappa * logp

@@ -97,6 +97,7 @@ class DNN:
         return self.layer_dims[-1]
 
     def describe(self) -> str:
+        """One-line architecture summary for logs and CLI output."""
         arch = " -> ".join(str(d) for d in self.layer_dims)
         return (
             f"DNN[{arch}] ({self.hidden_activation.name} hidden, "

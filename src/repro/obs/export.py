@@ -92,6 +92,7 @@ def chrome_trace(tracer: Any, time_scale: float = _VIRTUAL_US) -> dict[str, Any]
 
 
 def write_chrome_trace(tracer: Any, path: str | Path) -> Path:
+    """Write ``tracer``'s spans as Chrome trace-event JSON at ``path``."""
     out = Path(path)
     out.write_text(json.dumps(chrome_trace(tracer), sort_keys=True))
     return out

@@ -148,6 +148,7 @@ class CommStats:
         return ranked[:top] if top is not None else ranked
 
     def totals(self) -> dict[str, int]:
+        """Whole-run message/byte totals over all (src, dst) pairs."""
         self._fold()
         keys = sorted(self.pairs)
         return {
@@ -190,6 +191,7 @@ class CommStats:
         return recs
 
     def attach(self, registry: MetricsRegistry) -> "CommStats":
+        """Register this tracker's records as a collector; returns self."""
         registry.add_collector(self.records)
         return self
 
@@ -280,5 +282,6 @@ class CollectiveStats:
         return recs
 
     def attach(self, registry: MetricsRegistry) -> "CollectiveStats":
+        """Register this tracker's records as a collector; returns self."""
         registry.add_collector(self.records)
         return self

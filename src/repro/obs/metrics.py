@@ -70,6 +70,7 @@ def counter_record(name: str, value: int, **labels: LabelValue) -> dict[str, Any
 def gauge_record(
     name: str, value: float, peak: float | None = None, **labels: LabelValue
 ) -> dict[str, Any]:
+    """One gauge record for a collector, with an optional peak reading."""
     rec = {"metric": name, "type": "gauge", "labels": labels, "value": value}
     if peak is not None:
         rec["peak"] = peak
@@ -110,6 +111,7 @@ class Counter:
         self.value = 0
 
     def inc(self, n: int = 1) -> None:
+        """Add ``n`` (>= 0) to the running count."""
         if n < 0:
             raise ValueError(f"counter increments must be >= 0, got {n}")
         self.value += n
@@ -128,6 +130,7 @@ class Gauge:
         self.peak = 0.0
 
     def set(self, v: float) -> None:
+        """Record the latest reading, tracking the peak as a side effect."""
         self.value = v
         if v > self.peak:
             self.peak = v
@@ -165,6 +168,7 @@ class Histogram:
         self.total = 0.0
 
     def observe(self, v: float) -> None:
+        """Count ``v`` into its bucket and fold it into the sum."""
         self.counts[bisect_left(self.bounds, v)] += 1
         self.total += v
 
@@ -254,6 +258,8 @@ class MetricsRegistry:
     def histogram(
         self, name: str, bounds: Sequence[float] | None = None, **labels: LabelValue
     ) -> Histogram:
+        """The histogram registered under (name, labels); ``bounds`` is
+        required on first use and must not conflict afterwards."""
         key = (name, _canon_labels(labels))
         if key not in self._metrics and bounds is None:
             raise ValueError(f"first use of histogram {name!r} must supply bounds")

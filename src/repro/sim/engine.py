@@ -221,10 +221,12 @@ class SimProcess:
         "name",
         "body",
         "finished",
+        "killed",
         "value",
         "error",
         "_waiters",
         "_blocked_cmd",
+        "_park_entry",
     )
 
     def __init__(self, engine: "Engine", body: ProcessBody, name: str) -> None:
@@ -232,10 +234,15 @@ class SimProcess:
         self.name = name
         self.body = body
         self.finished = False
+        self.killed = False
         self.value: Any = None
         self.error: BaseException | None = None
         self._waiters: list[tuple[SimProcess, AllOf]] = []
         self._blocked_cmd: Any = None
+        self._park_entry: Any = None
+        """Cancel token of the currently parked Get, if any.  Only
+        :meth:`Engine.kill` reads it; stale tokens are harmless because
+        store ``_cancel`` is a no-op once the entry has been removed."""
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         if self.finished:
@@ -302,6 +309,7 @@ class Engine:
         self._ready: deque[tuple[int, int, Any, Any]] = deque()
         self._seq = 0
         self._now = 0.0
+        self._finish_time = 0.0
         self._processes: list[SimProcess] = []
         self._live = 0
         self._obs = None
@@ -351,6 +359,17 @@ class Engine:
         """Current virtual time (seconds by convention)."""
         return self._now
 
+    @property
+    def finish_time(self) -> float:
+        """Virtual time at which the last process (so far) finished.
+
+        Differs from :attr:`now` after a full :meth:`run` only when stale
+        timer events outlive every process — e.g. a satisfied
+        :class:`Get` timeout whose no-op expiry still drains from the
+        heap.  Callers reporting "when did the workload end" want this,
+        not the heap-drain time."""
+        return self._finish_time
+
     def schedule(self, delay: float, action: Callable[[], None]) -> None:
         """Run ``action`` after ``delay`` units of virtual time."""
         if delay == 0.0:
@@ -392,6 +411,40 @@ class Engine:
                 self._queue, (self._now + delay, self._seq, 1, store, item)
             )
         self._seq += 1
+
+    def kill(self, proc: SimProcess) -> bool:
+        """Fail-stop ``proc`` at the current virtual time.
+
+        The fault-injection hook (:mod:`repro.faults`): the process is
+        unparked from whatever it was blocked on, its generator is closed
+        (running ``finally`` blocks), and it finishes with value ``None``
+        and ``killed=True``.  ``AllOf`` waiters are woken as for a normal
+        finish; events already scheduled for the process (a pending
+        resume, a Get timeout) become stale and are dropped by
+        :meth:`_resume`'s killed guard.  Returns False if the process had
+        already finished (kill is then a no-op).
+        """
+        if proc.finished:
+            return False
+        cmd = proc._blocked_cmd
+        if proc._park_entry is not None and isinstance(cmd, Get):
+            cmd.store._cancel(proc._park_entry)
+        proc._park_entry = None
+        if isinstance(cmd, AllOf):
+            for child in cmd.processes:
+                try:
+                    child._waiters.remove((proc, cmd))
+                except ValueError:
+                    pass
+        proc.killed = True
+        try:
+            proc.body.close()
+        except BaseException:
+            # fail-stop: anything the body raises on the way down is lost
+            # with the node (we are modeling a crash, not a clean exit)
+            pass
+        self._finish(proc, None, None)
+        return True
 
     # -------------------------------------------------------------- stepping
     def run(self, until: float | None = None) -> float:
@@ -543,6 +596,10 @@ class Engine:
         appends.
         """
         if proc.finished:
+            if proc.killed:
+                # Stale event for a killed process (e.g. a pending resume
+                # or Get timeout scheduled before the kill): drop it.
+                return
             raise SimError(f"resuming finished process {proc.name}")
         proc._blocked_cmd = None
         try:
@@ -593,6 +650,7 @@ class Engine:
                 return
             proc._blocked_cmd = command
             entry = store._park(proc, command)
+            proc._park_entry = entry
             if command.timeout is not None:
                 self.schedule(
                     command.timeout,
@@ -638,6 +696,8 @@ class Engine:
         proc.value = value
         proc.error = error
         self._live -= 1
+        if self._now > self._finish_time:
+            self._finish_time = self._now
         for waiter, allof in proc._waiters:
             if all(p.finished for p in allof.processes):
                 results = [p.value for p in allof.processes]
@@ -654,9 +714,17 @@ class Engine:
     def _expire_get(self, store: Store, entry: Any, command: Get) -> None:
         """Timeout hook for :class:`Get`: if the getter is still parked,
         unpark it and throw :class:`GetTimeout` at its ``yield``."""
+        proc = entry[0]
+        if proc._blocked_cmd is not command:
+            # Stale expiry: this Get was satisfied and the process moved
+            # on.  The identity check is load-bearing — park entries are
+            # value-compared tuples, so a later Get by the same process
+            # for the same (source, tag) produces an *equal* entry and
+            # ``_cancel`` alone would unpark the wrong wait (observed as
+            # a timed-out receive microseconds after it was posted).
+            return
         if not store._cancel(entry):
             return  # satisfied before the timeout fired
-        proc = entry[0]
         what = _describe_command(command)
         self._resume(
             proc,

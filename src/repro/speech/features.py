@@ -60,6 +60,7 @@ class Normalizer:
 
     @classmethod
     def fit(cls, frames: np.ndarray, floor: float = 1e-6) -> "Normalizer":
+        """Estimate per-dimension mean/std from a frame matrix."""
         if frames.ndim != 2 or frames.shape[0] < 2:
             raise ValueError(
                 f"need a (frames >= 2, dim) matrix to fit, got {frames.shape}"
@@ -69,6 +70,7 @@ class Normalizer:
         return cls(mean=mean, std=std)
 
     def apply(self, frames: np.ndarray) -> np.ndarray:
+        """Standardize frames with the fitted statistics."""
         if frames.shape[-1] != self.mean.shape[0]:
             raise ValueError(
                 f"feature dim {frames.shape[-1]} != fitted dim {self.mean.shape[0]}"

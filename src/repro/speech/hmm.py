@@ -131,6 +131,7 @@ class HmmSampler:
 
     # -------------------------------------------------------------- lengths
     def sample_length(self, rng: np.random.Generator) -> int:
+        """Draw an utterance length (frames) from the clipped lognormal."""
         spec = self.spec
         mu = np.log(spec.mean_length) - 0.5 * spec.length_sigma**2
         t = int(round(float(rng.lognormal(mu, spec.length_sigma))))

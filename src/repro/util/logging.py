@@ -41,6 +41,7 @@ class RunLog:
     :func:`records_equal`."""
 
     def log(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Append one structured record (and echo it when configured)."""
         rec = {"seq": len(self.records), "event": event, **fields}
         if self.clock is not None:
             rec["t"] = self.clock()
@@ -53,6 +54,7 @@ class RunLog:
         return [r for r in self.records if r["event"] == event]
 
     def last(self, event: str) -> dict[str, Any] | None:
+        """Most recent record of ``event``, or None."""
         for r in reversed(self.records):
             if r["event"] == event:
                 return r

@@ -30,6 +30,7 @@ class TimeLedger:
     calls: dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
     def add(self, label: str, dt: float, calls: int = 1) -> None:
+        """Fold ``dt`` seconds (and ``calls`` invocations) into ``label``."""
         if dt < 0:
             raise ValueError(f"negative duration {dt!r} for {label!r}")
         self.seconds[label] += dt
@@ -41,6 +42,7 @@ class TimeLedger:
         return sum(self.seconds[k] for k in sorted(self.seconds))
 
     def merge(self, other: "TimeLedger") -> None:
+        """Fold another ledger's categories into this one, label-wise."""
         for k, v in other.seconds.items():
             self.seconds[k] += v
         for k, v in other.calls.items():
@@ -61,6 +63,7 @@ class WallTimer:
 
     @contextmanager
     def section(self, label: str):
+        """Context manager charging its wall-clock span to ``label``."""
         t0 = time.perf_counter()
         try:
             yield

@@ -57,10 +57,30 @@ _USE_COMM_DEFAULT = object()
 class RecvTimeoutError(SimError):
     """A matched receive waited longer than its timeout.
 
-    Carries rank, requested source/tag, and the virtual time in the
-    message — the lost-message diagnostic that previously manifested as
-    an engine-wide hang or a bare drained-queue deadlock.
+    The message names rank, requested source/tag, and the virtual time;
+    the same facts are attached as attributes (``rank``, ``source``,
+    ``tag``, ``timeout``, ``at`` — source/tag as requested, so
+    ``ANY_SOURCE`` / ``ANY_TAG`` stay ``-1``) so recovery code such as
+    the fault policy's master collection loop can act on *what* timed
+    out instead of parsing the string.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int | None = None,
+        source: int | None = None,
+        tag: int | None = None,
+        timeout: float | None = None,
+        at: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.source = source
+        self.tag = tag
+        self.timeout = timeout
+        self.at = at
 
 
 def _fmt_source(source: int) -> str:
@@ -228,11 +248,13 @@ class Mailbox:
 
     # ------------------------------------------------------- diagnostic hooks
     def describe_get(self, command: Get) -> str:
+        """Human-readable form of a blocked receive, for deadlock reports."""
         src = ANY_SOURCE if command.source is None else command.source
         tag = ANY_TAG if command.tag is None else command.tag
         return f"recv(source={_fmt_source(src)}, tag={_fmt_tag(tag)})"
 
     def waits_on(self, command: Get) -> str | None:
+        """Name of the rank a blocked receive waits on (None if any-source)."""
         if command.source is None or self._rank_names is None:
             return None
         return self._rank_names[command.source]
@@ -253,6 +275,7 @@ class VComm:
         check_collectives: bool = True,
         obs: Any | None = None,
         coll_policy: Any | None = None,
+        faults: Any | None = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"communicator needs >= 1 rank, got {size}")
@@ -291,6 +314,14 @@ class VComm:
         """Optional :class:`~repro.vmpi.algoselect.CollectivePolicy`;
         collectives called with ``algo="auto"`` consult it to pick the
         cheapest algorithm for (p, nbytes) on this network."""
+        self.faults = faults
+        """Optional :class:`~repro.faults.inject.FaultInjector`.  When
+        None (the default) the p2p send paths and :meth:`RankCtx.compute`
+        pay one attribute check each and nothing else — the same
+        zero-cost gating discipline as ``comm_stats``.  When set, sends
+        consult :meth:`~repro.faults.inject.FaultInjector.drop_message`
+        and compute charges are scaled by straggler windows; crash events
+        are armed against the rank processes in :meth:`run`."""
         self.coll_stats = None
         """Per-(op, algo) collective counts + per-op simulated-duration
         histograms (:class:`~repro.obs.hooks.CollectiveStats`), built iff
@@ -382,7 +413,14 @@ class VComm:
             self.engine.process(prog(ctx), name=self._rank_names[r])
             for r, (prog, ctx) in enumerate(zip(programs, ctxs))
         ]
+        if self.faults is not None:
+            self.faults.arm(self.engine, procs)
         t = self.engine.run(until=until)
+        if until is None:
+            # the run ends when the last rank finishes; stale timer
+            # events (satisfied recv timeouts draining from the heap)
+            # must not inflate the reported simulated time
+            t = self.engine.finish_time
         return t, [p.value for p in procs]
 
 
@@ -413,10 +451,18 @@ class RankCtx:
 
     # ------------------------------------------------------------ time charge
     def compute(self, seconds: float, label: str = "compute") -> Generator:
-        """Charge ``seconds`` of modeled computation to this rank."""
+        """Charge ``seconds`` of modeled computation to this rank.
+
+        If a fault injector is attached and a straggler window covers the
+        charge's start time, the charge is multiplied by the window's
+        slowdown factor."""
         if seconds < 0:
             raise ValueError(f"negative compute time {seconds}")
-        t0 = self.comm.engine._now
+        comm = self.comm
+        t0 = comm.engine._now
+        faults = comm.faults
+        if faults is not None:
+            seconds = faults.scale_compute(self.rank, float(seconds), t0)
         yield float(seconds)
         self.record_span(label, t0)
 
@@ -438,7 +484,9 @@ class RankCtx:
         log = comm._obs_log
         if log is not None:
             log.append((self.rank, dest, nbytes))
-        comm.engine.put_later(max(delay, inj), comm._inboxes[dest], msg)
+        faults = comm.faults
+        if faults is None or not faults.drop_message(self.rank, dest, t0):
+            comm.engine.put_later(max(delay, inj), comm._inboxes[dest], msg)
         if inj > 0:
             yield inj + 0.0
         if comm.trace_p2p and comm.tracer is not None:
@@ -470,7 +518,9 @@ class RankCtx:
         log = comm._obs_log
         if log is not None:
             log.append((self.rank, dest, nbytes))
-        comm.engine.put_later(max(delay, inj), comm._inboxes[dest], msg)
+        faults = comm.faults
+        if faults is None or not faults.drop_message(self.rank, dest, t0):
+            comm.engine.put_later(max(delay, inj), comm._inboxes[dest], msg)
         return inj
 
     def recv_cmd(self, source: int | None, tag: int | None) -> "Get":
@@ -514,7 +564,12 @@ class RankCtx:
                 f"rank {self.rank}: {detail} timed out after {timeout:g} "
                 f"virtual seconds at t={self.now:g} — sender never "
                 "injected a matching message (lost-message or protocol "
-                "mismatch)"
+                "mismatch)",
+                rank=self.rank,
+                source=source,
+                tag=tag,
+                timeout=timeout,  # type: ignore[arg-type]
+                at=self.now,
             ) from None
         if comm.trace_p2p and comm.tracer is not None:
             comm.tracer.record(self._name, "mpi_recv", t0, comm.engine._now)
@@ -541,7 +596,9 @@ class RankCtx:
         log = comm._obs_log
         if log is not None:
             log.append((self.rank, dest, nbytes))
-        comm.engine.put_later(max(delay, inj), comm._inboxes[dest], msg_out)
+        faults = comm.faults
+        if faults is None or not faults.drop_message(self.rank, dest, t0):
+            comm.engine.put_later(max(delay, inj), comm._inboxes[dest], msg_out)
         msg_in = yield from self.recv(source=source, tag=tag)
         # ensure at least injection time elapsed on our side
         elapsed = self.now - t0

@@ -51,6 +51,7 @@ class UniformNetwork:
     injection_bandwidth: float | None = None
 
     def p2p_time(self, src: int, dst: int, nbytes: int, now: float = 0.0) -> float:
+        """Uniform latency-plus-serialization cost (zero for self-sends)."""
         if nbytes < 0:
             raise ValueError(f"negative message size {nbytes}")
         if src == dst:
@@ -58,6 +59,7 @@ class UniformNetwork:
         return self.latency + nbytes / self.bandwidth
 
     def injection_time(self, nbytes: int) -> float:
+        """Sender-side occupancy before the message is on the wire."""
         bw = self.injection_bandwidth or self.bandwidth
         return self.latency * 0.5 + nbytes / bw
 

@@ -79,6 +79,7 @@ class ThreadRankComm:
 
     # ------------------------------------------------------------------- p2p
     def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        """Deposit ``payload`` in ``dest``'s inbox and wake its waiters."""
         if not 0 <= dest < self.size:
             raise ValueError(f"send to invalid rank {dest}")
         cond = self._fabric.conds[dest]
@@ -87,6 +88,7 @@ class ThreadRankComm:
             cond.notify_all()
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> _Envelope:
+        """Block until a matching envelope arrives; FIFO per (src, tag)."""
         cond = self._fabric.conds[self.rank]
         inbox = self._fabric.inboxes[self.rank]
 
@@ -116,6 +118,7 @@ class ThreadRankComm:
         self._fabric.barrier.wait(timeout=self.timeout)
 
     def bcast(self, value: Any = None, root: int = 0, tag: int = 900_001) -> Any:
+        """Root sends ``value`` to every rank; all ranks return it."""
         if self.size == 1:
             return value
         if self.rank == root:
@@ -126,6 +129,7 @@ class ThreadRankComm:
         return self.recv(source=root, tag=tag).payload
 
     def gather(self, value: Any, root: int = 0, tag: int = 900_002) -> list[Any] | None:
+        """Collect one value per rank at ``root`` (None elsewhere)."""
         if self.size == 1:
             return [value]
         if self.rank == root:
@@ -154,10 +158,12 @@ class ThreadRankComm:
         return acc
 
     def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Reduce-to-root then broadcast: every rank gets the reduction."""
         acc = self.reduce(value, op=op, root=0, tag=900_004)
         return self.bcast(acc, root=0, tag=900_005)
 
     def scatter(self, values: Sequence[Any] | None, root: int = 0, tag: int = 900_006) -> Any:
+        """Root hands ``values[r]`` to each rank r; returns this rank's item."""
         if self.size == 1:
             assert values is not None
             return values[0]

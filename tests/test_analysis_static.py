@@ -366,7 +366,9 @@ class TestSuppression:
 # ------------------------------------------------------ VMPI004 tag collision
 class TestTagCollision:
     def test_reserved_band_constant_flagged(self):
-        report = lint("ACK_TAG = 1_000_008\n", path="src/proto.py")
+        report = lint(
+            "ACK_TAG = 1_000_008\n", path="src/proto.py", rule_ids=["VMPI004"]
+        )
         (f,) = report.findings
         assert f.rule == "VMPI004"
         assert "reserved" in f.message
@@ -513,3 +515,99 @@ class TestLintCli:
 
     def test_unknown_rule_exits_2(self, tmp_path, capsys):
         assert main(["lint", "--select", "NOPE999", str(tmp_path)]) == 2
+
+
+# --------------------------------------------------- DOC001 docstring coverage
+class TestDocstringCoverage:
+    """DOC001 only fires on paths under ``src/`` (the library tree)."""
+
+    def doc_lint(self, code, path="src/repro/mod.py"):
+        return lint(code, path=path, rule_ids=["DOC001"])
+
+    def test_missing_module_class_and_function_docstrings(self):
+        report = self.doc_lint(
+            """\
+            import os
+
+
+            class Widget:
+                def render(self):
+                    a = 1
+                    return a
+
+
+            def helper(x):
+                y = x + 1
+                return y
+            """
+        )
+        got = {(f.line, f.message.split("'")[1] if "'" in f.message else "<module>")
+               for f in report.findings}
+        assert got == {(1, "<module>"), (4, "Widget"), (5, "render"), (10, "helper")}
+        assert all(f.severity is Severity.WARNING for f in report.findings)
+
+    def test_documented_tree_is_clean(self):
+        report = self.doc_lint(
+            '''\
+            """Module docstring."""
+
+
+            class Widget:
+                """A documented class."""
+
+                def render(self):
+                    """Render it."""
+                    a = 1
+                    return a
+            '''
+        )
+        assert report.findings == []
+
+    def test_private_nested_and_trivial_exempt(self):
+        report = self.doc_lint(
+            '''\
+            """Module docstring."""
+
+
+            def _private(x):
+                y = x + 1
+                return y
+
+
+            def delegate(x):
+                return _private(x)
+
+
+            class _Hidden:
+                def inside_private_class(self):
+                    a = 1
+                    return a
+
+
+            def factory():
+                """Build a closure (its body is implementation detail)."""
+                def nested(x):
+                    y = x * 2
+                    return y
+                return nested
+            '''
+        )
+        assert report.findings == []
+
+    def test_paths_outside_src_are_exempt(self):
+        report = self.doc_lint("import os\n", path="tests/test_mod.py")
+        assert report.findings == []
+
+    def test_inline_suppression(self):
+        report = self.doc_lint(
+            '''\
+            """Module docstring."""
+
+
+            def bare(x):  # repro: noqa(DOC001) - signature is the doc
+                y = x + 1
+                return y
+            '''
+        )
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["DOC001"]
