@@ -42,13 +42,20 @@ def ensure_linted():
     """
     if os.environ.get("REPRO_SKIP_LINT") == "1":
         return None
-    from repro.analysis import lint_paths
+    from repro.analysis import LintCache, lint_paths
 
     raw = os.environ.get("REPRO_LINT_SELECT", "")
     select = [r.strip() for r in raw.split(",") if r.strip()] or None
     root = Path(__file__).resolve().parent.parent
     paths = [str(root / p) for p in ("benchmarks", "examples") if (root / p).exists()]
-    report = lint_paths(paths, rule_ids=select)
+    cache = (
+        None
+        if os.environ.get("REPRO_LINT_NO_CACHE") == "1"
+        else LintCache.default(root, select)
+    )
+    report = lint_paths(paths, rule_ids=select, cache=cache)
+    if cache is not None:
+        cache.save()
     if report.exit_code:
         raise AssertionError(
             "repro lint found findings in benchmark/example scripts:\n"

@@ -9,6 +9,13 @@ suite mask, say, a nondeterministic collective schedule.
 Set ``REPRO_SKIP_LINT=1`` to bypass (e.g. while iterating on code that
 is mid-refactor and known-dirty), or ``REPRO_LINT_SELECT=DET001,VMPI002``
 to run only specific rules (same syntax as ``repro lint --select``).
+
+The gate carries the content-hash lint cache
+(``.repro_lint_cache.json`` at the repo root): unchanged files replay
+their cached verdicts, so back-to-back pytest runs only re-analyze
+edited files.  The cache is keyed by a hash of the analyzer itself —
+editing any rule invalidates it wholesale.  ``REPRO_LINT_NO_CACHE=1``
+disables it.
 """
 
 from __future__ import annotations
@@ -35,9 +42,17 @@ def pytest_sessionstart(session: pytest.Session) -> None:
     paths = [str(root / p) for p in LINT_PATHS if (root / p).exists()]
     if not paths:
         return
-    from repro.analysis import lint_paths
+    from repro.analysis import LintCache, lint_paths
 
-    report = lint_paths(paths, rule_ids=lint_select_from_env())
+    select = lint_select_from_env()
+    cache = (
+        None
+        if os.environ.get("REPRO_LINT_NO_CACHE") == "1"
+        else LintCache.default(root, select)
+    )
+    report = lint_paths(paths, rule_ids=select, cache=cache)
+    if cache is not None:
+        cache.save()
     if report.exit_code:
         print(report.render_text())
         pytest.exit(

@@ -30,6 +30,7 @@ Suppress an intentional pattern inline with ``# repro: noqa(RULE_ID)``
 plus a justifying comment.
 """
 
+from repro.analysis.cache import LintCache, analysis_signature
 from repro.analysis.findings import Finding, Severity, suppressions_in
 from repro.analysis.rules import Rule, RuleInfo, all_rules, get_rule, register
 from repro.analysis.runner import LintReport, lint_paths, lint_source
@@ -38,6 +39,7 @@ from repro.analysis.runtime import CollectiveOrderChecker, CollectiveOrderError
 # Importing the rule modules populates the registry.
 from repro.analysis import comm_rules as _comm_rules  # noqa: F401
 from repro.analysis import determinism_rules as _det_rules  # noqa: F401
+from repro.analysis import protocol_rules as _protocol_rules  # noqa: F401
 
 __all__ = [
     "Finding",
@@ -48,6 +50,8 @@ __all__ = [
     "all_rules",
     "get_rule",
     "register",
+    "LintCache",
+    "analysis_signature",
     "LintReport",
     "lint_paths",
     "lint_source",

@@ -26,6 +26,7 @@ __all__ = [
     "comm_call_name",
     "call_kwarg",
     "call_arg",
+    "expand_suppressions",
     "walk_excluding_nested_defs",
 ]
 
@@ -95,7 +96,7 @@ class ModuleContext:
             tree=tree,
             parents=parents,
             generator_functions=gens,
-            suppressions=suppressions_in(source),
+            suppressions=expand_suppressions(tree, suppressions_in(source)),
         )
 
     # ------------------------------------------------------------- queries
@@ -115,6 +116,48 @@ class ModuleContext:
         """True when ``node`` sits inside a generator function."""
         fn = self.enclosing_function(node)
         return fn is not None and fn in self.generator_functions
+
+
+def expand_suppressions(
+    tree: ast.Module, raw: Mapping[int, frozenset[str]]
+) -> Mapping[int, frozenset[str]]:
+    """Spread each ``# repro: noqa(...)`` over its whole statement.
+
+    A finding is reported at the line of the offending AST node, which
+    for a multi-line call is usually the opening line — but the natural
+    place for the comment is often the closing paren (or a long
+    argument's line).  A noqa on *any physical line* of a statement must
+    suppress findings on every line of that statement.
+
+    Compound statements (``if``/``for``/``def``/...) are restricted to
+    their *header* lines: a noqa on an ``if`` condition must not blanket
+    the entire suite below it.  The innermost (shortest) covering
+    statement wins, so a noqa inside a nested call still scopes to the
+    enclosing simple statement, not the surrounding function.
+    """
+    if not raw:
+        return dict(raw)
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or start
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = min(end, body[0].lineno - 1)
+        if end >= start:
+            spans.append((start, end))
+    out: dict[int, set[str]] = {k: set(v) for k, v in raw.items()}
+    for line, rules in raw.items():
+        best: tuple[int, int] | None = None
+        for s, e in spans:
+            if s <= line <= e and (best is None or e - s < best[1] - best[0]):
+                best = (s, e)
+        if best is not None:
+            for covered in range(best[0], best[1] + 1):
+                out.setdefault(covered, set()).update(rules)
+    return {k: frozenset(v) for k, v in out.items()}
 
 
 def _is_generator_fn(fn: ast.AST) -> bool:

@@ -1,0 +1,819 @@
+"""Interprocedural payload/endpoint dataflow for the protocol rules.
+
+The message-protocol lints (VMPI006/VMPI007 in
+:mod:`repro.analysis.protocol_rules`) need to answer, for every
+point-to-point communication call in a *module group* (all files in one
+package directory — ``dist/``, ``vmpi/``, ``hf/`` ...), three questions
+the raw AST does not: who is the peer, which tag stream does the call
+participate in, and how many bytes (or what tuple shape) does the
+payload carry?  This module builds those answers as per-function
+symbolic summaries:
+
+* **Endpoint extraction** — every ``ctx.send`` / ``ctx.post`` /
+  ``ctx.sendrecv`` / ``ctx.recv`` / ``ctx.recv_cmd`` /
+  ``ctx.recv_timeout`` call becomes an :class:`Endpoint` carrying the
+  resolved peer expression, tag, and payload info.
+* **Symbolic evaluation** — payload sizes are resolved by walking
+  assignments through the lexical scope chain (function, enclosing
+  closures, module constants): ``PayloadStub(n, kind)`` constructors,
+  ``np.zeros/empty/ones/full/arange`` with dtype-aware element sizes,
+  ``struct.pack``/``struct.calcsize`` with literal formats, ``bytes`` /
+  ``str`` literals, tuple literals (shape arity), and integer arithmetic
+  over module/scope constants.
+* **Call-graph edges** — a send whose payload is a function *parameter*
+  stays symbolic in the module summary; the group resolver
+  (:func:`resolve_group`) joins it against every recorded call site of
+  that function across the group and adopts the size iff all call sites
+  agree (the master's ``dispatch_collect`` pattern).
+* **Unpack inference** — a receive whose message payload is
+  tuple-unpacked (``a, b = msg.payload``) records the unpack arity; a
+  receive whose payload ``.kind`` is inspected records ``kind_dispatch``
+  (a deliberately polymorphic stream, exempt from size matching).
+
+Summaries are plain-data (``to_dict`` / ``from_dict``) so the lint
+cache can persist one per file and replay it into a later run without
+re-parsing the source.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct as _struct
+from dataclasses import dataclass, field, replace
+from pathlib import PurePath
+from typing import Any, Iterable, Mapping
+
+from repro.analysis.astutil import ModuleContext, dotted_name, walk_excluding_nested_defs
+
+__all__ = [
+    "PayloadInfo",
+    "TagRef",
+    "Endpoint",
+    "ModuleSummary",
+    "GroupState",
+    "module_summary",
+    "group_key",
+    "SEND_METHODS",
+    "RECV_METHODS",
+]
+
+SEND_METHODS = frozenset({"send", "post"})
+"""``RankCtx`` methods that inject one message toward a peer."""
+
+RECV_METHODS = frozenset({"recv", "recv_cmd", "recv_timeout"})
+"""``RankCtx`` methods that consume one message from the inbox."""
+
+_SCALAR_BYTES = 8
+"""Wire size of a bare number, mirroring ``costmodel.nbytes_of``."""
+
+_DTYPE_BYTES = {
+    "float64": 8, "float32": 4, "float16": 2,
+    "int64": 8, "int32": 4, "int16": 2, "int8": 1,
+    "uint64": 8, "uint32": 4, "uint16": 2, "uint8": 1,
+    "complex128": 16, "complex64": 8, "bool": 1, "bool_": 1,
+    "double": 8, "single": 4,
+}
+
+_NP_SIZED_CTORS = frozenset({"zeros", "empty", "ones", "full"})
+
+_MAX_DEPTH = 8
+"""Bound on symbolic-resolution recursion (self-referential assignments
+and deep constant chains both terminate here)."""
+
+_AMBIGUOUS = object()
+"""Scope-env marker: name assigned more than once — unresolvable."""
+
+
+# --------------------------------------------------------------- summaries
+@dataclass(frozen=True)
+class PayloadInfo:
+    """What the analyzer knows about one payload expression."""
+
+    nbytes: int | None = None
+    """Resolved wire size, when the expression evaluates to a constant."""
+    arity: int | None = None
+    """Tuple-literal length (the payload's unpackable shape)."""
+    kind: str | None = None
+    """``PayloadStub`` kind string, when literal."""
+    stub: bool = False
+    """True when the payload is definitely a ``PayloadStub`` (a scalar
+    shape: tuple-unpacking it is always wrong)."""
+    param: str | None = None
+    """``"func:name"`` when the payload is an unresolved function
+    parameter — the group resolver joins it against recorded call sites."""
+
+    @property
+    def resolved(self) -> bool:
+        return self.nbytes is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "nbytes": self.nbytes,
+            "arity": self.arity,
+            "kind": self.kind,
+            "stub": self.stub,
+            "param": self.param,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "PayloadInfo":
+        return cls(
+            nbytes=d.get("nbytes"),
+            arity=d.get("arity"),
+            kind=d.get("kind"),
+            stub=bool(d.get("stub", False)),
+            param=d.get("param"),
+        )
+
+
+UNKNOWN_PAYLOAD = PayloadInfo()
+
+
+@dataclass(frozen=True)
+class TagRef:
+    """A communication call's tag argument, as resolved as it gets."""
+
+    value: int | None = None
+    """Constant tag, when resolvable inside the module."""
+    name: str | None = None
+    """Bare constant name left for group-level resolution (the tag
+    constant may live in a sibling module of the group)."""
+    wildcard: bool = False
+    """``ANY_TAG`` (or an omitted receive tag)."""
+    explicit: bool = True
+    """False when the argument was omitted and defaulted.  Implicit
+    tag-0 sends are excluded from stream matching: unrelated helpers all
+    default to tag 0 and would cross-match."""
+
+    @property
+    def dynamic(self) -> bool:
+        """True when the tag could not be pinned to a constant."""
+        return self.value is None and self.name is None and not self.wildcard
+
+    def to_dict(self) -> dict:
+        return {
+            "value": self.value,
+            "name": self.name,
+            "wildcard": self.wildcard,
+            "explicit": self.explicit,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "TagRef":
+        return cls(
+            value=d.get("value"),
+            name=d.get("name"),
+            wildcard=bool(d.get("wildcard", False)),
+            explicit=bool(d.get("explicit", True)),
+        )
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One communication call site, symbolically summarized."""
+
+    op: str
+    """``"send"`` or ``"recv"`` (``sendrecv`` contributes one of each)."""
+    call: str
+    """Display name of the call (``ctx.send``, ``ctx.recv_cmd``, ...)."""
+    path: str
+    line: int
+    func: str
+    """Enclosing function name (``<module>`` at module level)."""
+    peer: str
+    """Textual peer expression, for messages (``"0"``, ``"leader"``)."""
+    peer_value: int | None
+    """Resolved constant peer rank, when the expression is constant."""
+    tag: TagRef
+    payload: PayloadInfo = UNKNOWN_PAYLOAD
+    unpack_arity: int | None = None
+    """Receives: arity of a tuple-unpack of the message payload."""
+    kind_dispatch: bool = False
+    """Receives: the payload's ``.kind`` is inspected (polymorphic
+    stream by design)."""
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "call": self.call,
+            "path": self.path,
+            "line": self.line,
+            "func": self.func,
+            "peer": self.peer,
+            "peer_value": self.peer_value,
+            "tag": self.tag.to_dict(),
+            "payload": self.payload.to_dict(),
+            "unpack_arity": self.unpack_arity,
+            "kind_dispatch": self.kind_dispatch,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "Endpoint":
+        return cls(
+            op=d["op"],
+            call=d["call"],
+            path=d["path"],
+            line=d["line"],
+            func=d["func"],
+            peer=d["peer"],
+            peer_value=d.get("peer_value"),
+            tag=TagRef.from_dict(d["tag"]),
+            payload=PayloadInfo.from_dict(d["payload"]),
+            unpack_arity=d.get("unpack_arity"),
+            kind_dispatch=bool(d.get("kind_dispatch", False)),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """One module's contribution to the group-level protocol tables."""
+
+    path: str
+    constants: dict[str, int] = field(default_factory=dict)
+    """Module-level integer constants (tag tables)."""
+    endpoints: list[Endpoint] = field(default_factory=list)
+    calls: dict[str, list[dict[str, dict]]] = field(default_factory=dict)
+    """Call sites by callee name: one ``{param: PayloadInfo dict}``
+    binding per recorded call (the call-graph edges)."""
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "constants": self.constants,
+            "endpoints": [e.to_dict() for e in self.endpoints],
+            "calls": self.calls,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "ModuleSummary":
+        return cls(
+            path=d["path"],
+            constants=dict(d.get("constants", {})),
+            endpoints=[Endpoint.from_dict(e) for e in d.get("endpoints", [])],
+            calls={k: list(v) for k, v in d.get("calls", {}).items()},
+        )
+
+
+def group_key(path: str) -> str:
+    """Module-group identity: the containing directory.
+
+    ``src/repro/dist/simulated.py`` and ``src/repro/dist/protocol.py``
+    share a protocol namespace; ``vmpi/`` is a different one."""
+    return PurePath(path).parent.as_posix()
+
+
+# -------------------------------------------------------- scope resolution
+class _Scopes:
+    """Lexical environments for one module: name -> defining expression.
+
+    A name assigned exactly once in a scope binds to its value
+    expression; more than once (or via loops/aug-assign) is
+    ``_AMBIGUOUS``.  Lookup walks function -> enclosing closures ->
+    module, mirroring Python's lexical scoping for the read-only subset
+    the analyzer needs."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self._envs: dict[ast.AST | None, dict[str, Any]] = {}
+
+    def env(self, fn: ast.AST | None) -> dict[str, Any]:
+        cached = self._envs.get(fn)
+        if cached is not None:
+            return cached
+        body_holder = fn if fn is not None else self.ctx.tree
+        env: dict[str, Any] = {}
+        for node in walk_excluding_nested_defs(body_holder):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    env[target.id] = (
+                        _AMBIGUOUS if target.id in env else node.value
+                    )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    env[node.target.id] = (
+                        _AMBIGUOUS if node.target.id in env else node.value
+                    )
+            elif isinstance(node, (ast.AugAssign, ast.For)):
+                target = node.target
+                for t in ast.walk(target):
+                    if isinstance(t, ast.Name):
+                        env[t.id] = _AMBIGUOUS
+        self._envs[fn] = env
+        return env
+
+    def chain(self, node: ast.AST) -> list[dict[str, Any]]:
+        """Environments visible from ``node``, innermost first."""
+        out = []
+        fn: ast.AST | None = self.ctx.enclosing_function(node)
+        while fn is not None:
+            out.append(self.env(fn))
+            fn = self.ctx.enclosing_function(fn)
+        out.append(self.env(None))
+        return out
+
+    def lookup(self, name: str, chain: Iterable[dict[str, Any]]) -> Any:
+        for env in chain:
+            if name in env:
+                return env[name]
+        return None
+
+
+def _expr_text(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return "<expr>"
+
+
+def _const_int(node: ast.AST) -> int | None:
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and type(node.operand.value) is int
+    ):
+        return -node.operand.value
+    return None
+
+
+class _Evaluator:
+    """Symbolic expression evaluation against a scope chain."""
+
+    def __init__(self, scopes: _Scopes) -> None:
+        self.scopes = scopes
+
+    # ------------------------------------------------------------- integers
+    def eval_int(self, node: ast.AST, chain, depth: int = 0) -> int | None:
+        """Resolve ``node`` to a constant int, or None."""
+        if depth > _MAX_DEPTH or node is None:
+            return None
+        lit = _const_int(node)
+        if lit is not None:
+            return lit
+        if isinstance(node, ast.Name):
+            bound = self.scopes.lookup(node.id, chain)
+            if bound is None or bound is _AMBIGUOUS:
+                return None
+            return self.eval_int(bound, chain, depth + 1)
+        if isinstance(node, ast.BinOp):
+            left = self.eval_int(node.left, chain, depth + 1)
+            right = self.eval_int(node.right, chain, depth + 1)
+            if left is None or right is None:
+                return None
+            op = node.op
+            if isinstance(op, ast.Add):
+                return left + right
+            if isinstance(op, ast.Sub):
+                return left - right
+            if isinstance(op, ast.Mult):
+                return left * right
+            if isinstance(op, ast.FloorDiv) and right != 0:
+                return left // right
+            if isinstance(op, ast.LShift) and 0 <= right < 64:
+                return left << right
+            return None
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in ("struct.calcsize", "calcsize") and node.args:
+                return self._calcsize(node.args[0])
+            if name == "len" and len(node.args) == 1:
+                payload = self.eval_payload(node.args[0], chain, depth + 1)
+                return payload.arity
+            if name == "int" and len(node.args) == 1:
+                return self.eval_int(node.args[0], chain, depth + 1)
+        if isinstance(node, ast.Attribute) and node.attr == "nbytes":
+            payload = self.eval_payload(node.value, chain, depth + 1)
+            return payload.nbytes
+        return None
+
+    @staticmethod
+    def _calcsize(fmt: ast.AST) -> int | None:
+        if isinstance(fmt, ast.Constant) and isinstance(fmt.value, str):
+            try:
+                return _struct.calcsize(fmt.value)
+            except _struct.error:
+                return None
+        return None
+
+    # ------------------------------------------------------------- payloads
+    def eval_payload(self, node: ast.AST, chain, depth: int = 0) -> PayloadInfo:
+        """Resolve a payload expression to its wire size / shape."""
+        if depth > _MAX_DEPTH or node is None:
+            return UNKNOWN_PAYLOAD
+        if isinstance(node, ast.Constant):
+            return self._const_payload(node.value)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            elems = [
+                self.eval_payload(e, chain, depth + 1) for e in node.elts
+            ]
+            sizes = [e.nbytes for e in elems]
+            total = sum(sizes) if all(s is not None for s in sizes) else None
+            return PayloadInfo(nbytes=total, arity=len(node.elts))
+        if isinstance(node, ast.Name):
+            bound = self.scopes.lookup(node.id, chain)
+            if bound is None or bound is _AMBIGUOUS:
+                return UNKNOWN_PAYLOAD
+            return self.eval_payload(bound, chain, depth + 1)
+        if isinstance(node, ast.Call):
+            return self._call_payload(node, chain, depth)
+        if isinstance(node, ast.IfExp):
+            # `x if cond else y` with both arms agreeing is resolvable
+            a = self.eval_payload(node.body, chain, depth + 1)
+            b = self.eval_payload(node.orelse, chain, depth + 1)
+            if a == b:
+                return a
+            return UNKNOWN_PAYLOAD
+        return UNKNOWN_PAYLOAD
+
+    @staticmethod
+    def _const_payload(value: object) -> PayloadInfo:
+        if isinstance(value, bool) or value is None:
+            return PayloadInfo(nbytes=0 if value is None else _SCALAR_BYTES)
+        if isinstance(value, (int, float, complex)):
+            return PayloadInfo(nbytes=_SCALAR_BYTES)
+        if isinstance(value, bytes):
+            return PayloadInfo(nbytes=len(value))
+        if isinstance(value, str):
+            return PayloadInfo(nbytes=len(value.encode("utf-8")))
+        return UNKNOWN_PAYLOAD
+
+    def _call_payload(self, node: ast.Call, chain, depth: int) -> PayloadInfo:
+        name = dotted_name(node.func)
+        if name is None:
+            return UNKNOWN_PAYLOAD
+        base = name.rsplit(".", 1)[-1]
+        if base == "PayloadStub":
+            nbytes = (
+                self.eval_int(node.args[0], chain, depth + 1)
+                if node.args
+                else self._kw_int(node, "nbytes", chain, depth)
+            )
+            kind = None
+            if len(node.args) > 1:
+                if isinstance(node.args[1], ast.Constant) and isinstance(
+                    node.args[1].value, str
+                ):
+                    kind = node.args[1].value
+            else:
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "kind"
+                        and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)
+                    ):
+                        kind = kw.value.value
+            return PayloadInfo(nbytes=nbytes, kind=kind, stub=True)
+        if name.startswith(("np.", "numpy.")) and base in _NP_SIZED_CTORS:
+            count = self._shape_count(node.args[0], chain, depth) if node.args else None
+            if count is None:
+                return UNKNOWN_PAYLOAD
+            dtype_arg_index = 2 if base == "full" else 1
+            elem = self._dtype_bytes(node, dtype_arg_index, chain)
+            if elem is None:
+                return UNKNOWN_PAYLOAD
+            return PayloadInfo(nbytes=count * elem)
+        if name.startswith(("np.", "numpy.")) and base == "arange":
+            count = (
+                self.eval_int(node.args[0], chain, depth + 1)
+                if len(node.args) == 1
+                else None
+            )
+            if count is None:
+                return UNKNOWN_PAYLOAD
+            elem = self._dtype_bytes(node, None, chain)
+            return PayloadInfo(nbytes=count * (elem or _SCALAR_BYTES))
+        if name.startswith(("np.", "numpy.")) and base == "zeros_like":
+            if node.args:
+                return replace(
+                    self.eval_payload(node.args[0], chain, depth + 1),
+                    kind=None,
+                )
+            return UNKNOWN_PAYLOAD
+        if name in ("struct.pack", "pack") and node.args:
+            size = self._calcsize(node.args[0])
+            if size is not None:
+                return PayloadInfo(nbytes=size)
+        return UNKNOWN_PAYLOAD
+
+    def _kw_int(self, node: ast.Call, kwname: str, chain, depth: int) -> int | None:
+        for kw in node.keywords:
+            if kw.arg == kwname:
+                return self.eval_int(kw.value, chain, depth + 1)
+        return None
+
+    def _shape_count(self, shape: ast.AST, chain, depth: int) -> int | None:
+        if isinstance(shape, (ast.Tuple, ast.List)):
+            total = 1
+            for dim in shape.elts:
+                d = self.eval_int(dim, chain, depth + 1)
+                if d is None:
+                    return None
+                total *= d
+            return total
+        return self.eval_int(shape, chain, depth + 1)
+
+    def _dtype_bytes(self, node: ast.Call, pos: int | None, chain) -> int | None:
+        """Element width of an array constructor's dtype (default f64)."""
+        dtype: ast.AST | None = None
+        if pos is not None and len(node.args) > pos:
+            dtype = node.args[pos]
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                dtype = kw.value
+        if dtype is None:
+            return _SCALAR_BYTES
+        if isinstance(dtype, ast.Constant) and isinstance(dtype.value, str):
+            return _DTYPE_BYTES.get(dtype.value)
+        name = dotted_name(dtype)
+        if name is not None:
+            return _DTYPE_BYTES.get(name.rsplit(".", 1)[-1])
+        return None
+
+
+# ---------------------------------------------------------- tag resolution
+def _eval_tag(
+    expr: ast.AST | None,
+    ev: _Evaluator,
+    chain,
+    *,
+    is_recv: bool,
+) -> TagRef:
+    """Resolve a tag argument: constant, named constant, wildcard, or
+    dynamic.  Omitted tags default to 0 on sends (implicit) and
+    ``ANY_TAG`` on receives."""
+    if expr is None:
+        if is_recv:
+            return TagRef(wildcard=True, explicit=False)
+        return TagRef(value=0, explicit=False)
+    for n in ast.walk(expr):
+        if isinstance(n, ast.Attribute) and n.attr == "ANY_TAG":
+            return TagRef(wildcard=True)
+        if isinstance(n, ast.Name) and n.id == "ANY_TAG":
+            return TagRef(wildcard=True)
+    if isinstance(expr, ast.Constant) and expr.value is None:
+        # recv_cmd(source, None) — wildcard by the Get convention
+        return TagRef(wildcard=True)
+    value = ev.eval_int(expr, chain)
+    if value is not None:
+        if is_recv and value == -1:
+            return TagRef(wildcard=True)
+        return TagRef(value=value)
+    if isinstance(expr, ast.Name):
+        return TagRef(name=expr.id)
+    return TagRef()
+
+
+def _arg(call: ast.Call, index: int, name: str) -> ast.expr | None:
+    if len(call.args) > index:
+        return call.args[index]
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+# -------------------------------------------------------------- extraction
+def _is_ctx_method(call: ast.Call, methods: frozenset[str]) -> str | None:
+    fn = call.func
+    if (
+        isinstance(fn, ast.Attribute)
+        and fn.attr in methods
+        and isinstance(fn.value, ast.Name)
+        and fn.value.id == "ctx"
+    ):
+        return fn.attr
+    return None
+
+
+def _function_name(ctx: ModuleContext, node: ast.AST) -> str:
+    fn = ctx.enclosing_function(node)
+    if fn is None:
+        return "<module>"
+    return fn.name  # type: ignore[union-attr]
+
+
+def _recv_usage(
+    ctx: ModuleContext, call: ast.Call
+) -> tuple[int | None, bool]:
+    """(tuple-unpack arity, kind-dispatch?) for one receive call.
+
+    Looks at how the received message's ``.payload`` is consumed: via a
+    bound name (``msg = yield from ctx.recv(...)`` then ``msg.payload``)
+    or directly (``(yield from ctx.recv(...)).payload``)."""
+    holder: ast.AST | None = ctx.parent(call)
+    # unwrap `yield from <call>` / `yield <call>` wrappers
+    while isinstance(holder, (ast.YieldFrom, ast.Yield)):
+        holder = ctx.parent(holder)
+    arity: int | None = None
+    dispatch = False
+    payload_nodes: list[ast.AST] = []
+    if isinstance(holder, ast.Attribute) and holder.attr == "payload":
+        payload_nodes.append(holder)
+    elif (
+        isinstance(holder, ast.Assign)
+        and len(holder.targets) == 1
+        and isinstance(holder.targets[0], ast.Name)
+    ):
+        bound = holder.targets[0].id
+        fn = ctx.enclosing_function(call)
+        scope = fn if fn is not None else ctx.tree
+        for n in walk_excluding_nested_defs(scope):
+            if (
+                isinstance(n, ast.Attribute)
+                and n.attr == "payload"
+                and isinstance(n.value, ast.Name)
+                and n.value.id == bound
+            ):
+                payload_nodes.append(n)
+    for pn in payload_nodes:
+        parent = ctx.parent(pn)
+        if isinstance(parent, ast.Attribute) and parent.attr == "kind":
+            dispatch = True
+        elif (
+            isinstance(parent, ast.Assign)
+            and parent.value is pn
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], (ast.Tuple, ast.List))
+        ):
+            arity = len(parent.targets[0].elts)
+    return arity, dispatch
+
+
+def _module_constants(ctx: ModuleContext) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = _const_int(node.value)
+            if isinstance(target, ast.Name) and value is not None:
+                out[target.id] = value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value = _const_int(node.value)
+            if isinstance(node.target, ast.Name) and value is not None:
+                out[node.target.id] = value
+    return out
+
+
+def _param_table(ctx: ModuleContext) -> dict[str, list[str]]:
+    """Function name -> positional parameter names, for defs whose name
+    is unique in the module (ambiguous names get no call-graph edges)."""
+    seen: dict[str, list[str] | None] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            params = [a.arg for a in node.args.args]
+            seen[node.name] = None if node.name in seen else params
+    return {k: v for k, v in seen.items() if v is not None}
+
+
+def module_summary(ctx: ModuleContext) -> ModuleSummary:
+    """Extract (and memoize on ``ctx``) this module's endpoint summary."""
+    cached = getattr(ctx, "_dataflow_summary", None)
+    if cached is not None:
+        return cached
+    scopes = _Scopes(ctx)
+    ev = _Evaluator(scopes)
+    summary = ModuleSummary(path=ctx.path, constants=_module_constants(ctx))
+    params = _param_table(ctx)
+
+    def payload_info(expr: ast.AST | None, node: ast.AST, chain) -> PayloadInfo:
+        if expr is None:
+            return UNKNOWN_PAYLOAD
+        info = ev.eval_payload(expr, chain)
+        if info is UNKNOWN_PAYLOAD and isinstance(expr, ast.Name):
+            # maybe a parameter of the enclosing function: leave a
+            # call-graph reference for the group resolver
+            fn = ctx.enclosing_function(node)
+            if fn is not None and any(
+                a.arg == expr.id for a in fn.args.args  # type: ignore[union-attr]
+            ):
+                return PayloadInfo(param=f"{fn.name}:{expr.id}")  # type: ignore[union-attr]
+        return info
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = scopes.chain(node)
+        method = _is_ctx_method(node, SEND_METHODS | RECV_METHODS | {"sendrecv"})
+        if method is not None:
+            func = _function_name(ctx, node)
+            if method in SEND_METHODS or method == "sendrecv":
+                dest = _arg(node, 0, "dest")
+                tag = _eval_tag(
+                    _arg(node, 2 if method == "sendrecv" else 2, "tag")
+                    if method != "sendrecv"
+                    else _arg(node, 3, "tag"),
+                    ev, chain, is_recv=False,
+                )
+                summary.endpoints.append(
+                    Endpoint(
+                        op="send",
+                        call=f"ctx.{method}",
+                        path=ctx.path,
+                        line=node.lineno,
+                        func=func,
+                        peer=_expr_text(dest) if dest is not None else "?",
+                        peer_value=(
+                            ev.eval_int(dest, chain) if dest is not None else None
+                        ),
+                        tag=tag,
+                        payload=payload_info(_arg(node, 1, "payload"), node, chain),
+                    )
+                )
+            if method in RECV_METHODS or method == "sendrecv":
+                if method == "sendrecv":
+                    source = _arg(node, 2, "source")
+                    tag = _eval_tag(_arg(node, 3, "tag"), ev, chain, is_recv=True)
+                else:
+                    source = _arg(node, 0, "source")
+                    tag = _eval_tag(_arg(node, 1, "tag"), ev, chain, is_recv=True)
+                arity, dispatch = _recv_usage(ctx, node)
+                summary.endpoints.append(
+                    Endpoint(
+                        op="recv",
+                        call=f"ctx.{method}",
+                        path=ctx.path,
+                        line=node.lineno,
+                        func=func,
+                        peer=_expr_text(source) if source is not None else "ANY_SOURCE",
+                        peer_value=(
+                            ev.eval_int(source, chain) if source is not None else None
+                        ),
+                        tag=tag,
+                        unpack_arity=arity,
+                        kind_dispatch=dispatch,
+                    )
+                )
+            continue
+        # call-graph edge: a direct call to a module function, with each
+        # argument's payload info recorded under the callee's param name
+        if isinstance(node.func, ast.Name) and node.func.id in params:
+            names = params[node.func.id]
+            binding: dict[str, dict] = {}
+            for i, arg in enumerate(node.args):
+                if i < len(names):
+                    binding[names[i]] = ev.eval_payload(arg, chain).to_dict()
+            for kw in node.keywords:
+                if kw.arg in names:
+                    binding[kw.arg] = ev.eval_payload(kw.value, chain).to_dict()
+            if binding:
+                summary.calls.setdefault(node.func.id, []).append(binding)
+    ctx._dataflow_summary = summary  # type: ignore[attr-defined]
+    return summary
+
+
+# ----------------------------------------------------------- group joining
+@dataclass
+class GroupState:
+    """Accumulated summaries for one module group within a lint run."""
+
+    constants: dict[str, int] = field(default_factory=dict)
+    endpoints: list[Endpoint] = field(default_factory=list)
+    calls: dict[str, list[dict[str, dict]]] = field(default_factory=dict)
+
+    def absorb(self, summary: ModuleSummary) -> None:
+        """Merge one module's constants, endpoints, and call edges."""
+        self.constants.update(summary.constants)
+        self.endpoints.extend(summary.endpoints)
+        for fn, sites in summary.calls.items():
+            self.calls.setdefault(fn, []).extend(sites)
+
+
+def resolve_group(state: GroupState) -> list[Endpoint]:
+    """Finish group-level resolution: named tag constants and
+    call-graph parameter payloads.  Returns new endpoint objects;
+    anything still unresolved stays symbolic (and the rules skip it)."""
+    resolved: list[Endpoint] = []
+    for e in state.endpoints:
+        tag = e.tag
+        if tag.name is not None:
+            value = state.constants.get(tag.name)
+            tag = (
+                TagRef(value=value, explicit=tag.explicit)
+                if value is not None
+                else tag
+            )
+        payload = e.payload
+        if payload.param is not None:
+            fn, pname = payload.param.split(":", 1)
+            infos = [
+                PayloadInfo.from_dict(site[pname])
+                for site in state.calls.get(fn, ())
+                if pname in site
+            ]
+            sizes = {i.nbytes for i in infos}
+            if infos and None not in sizes and len(sizes) == 1:
+                # every call site agrees on the payload size
+                kinds = {i.kind for i in infos}
+                stub = all(i.stub for i in infos)
+                payload = PayloadInfo(
+                    nbytes=sizes.pop(),
+                    kind=kinds.pop() if len(kinds) == 1 else None,
+                    stub=stub,
+                )
+        if tag is not e.tag or payload is not e.payload:
+            e = replace(e, tag=tag, payload=payload)
+        resolved.append(e)
+    return resolved

@@ -14,11 +14,16 @@ import ast
 from pathlib import PurePath
 from typing import Iterable
 
-from repro.analysis.astutil import ModuleContext, dotted_name
+from repro.analysis.astutil import (
+    ModuleContext,
+    dotted_name,
+    is_ctx_comm_call,
+    walk_excluding_nested_defs,
+)
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules import Rule, RuleInfo, register
 
-__all__ = ["DirectRngRule", "UnorderedReductionRule"]
+__all__ = ["DirectRngRule", "UnorderedReductionRule", "WallClockRule"]
 
 
 def _in_tests_dir(path: str) -> bool:
@@ -146,3 +151,104 @@ class UnorderedReductionRule(Rule):
                     hint="fold over sorted(...) or an explicitly "
                     "rank-ordered sequence",
                 )
+
+
+_WALLCLOCK_DOTTED = frozenset(
+    {
+        "time.time", "time.time_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+        "datetime.now", "datetime.utcnow",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.date.today", "date.today",
+    }
+)
+
+_WALLCLOCK_BARE = frozenset(
+    {
+        # `from time import perf_counter`-style imports; bare `time` is
+        # too ambiguous to match (any callable could be named that)
+        "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns", "time_ns",
+    }
+)
+
+_DES_DIRS = frozenset({"sim", "vmpi"})
+"""Package directories whose code runs *under* the discrete-event
+engine; every module there lives on virtual time."""
+
+
+@register
+class WallClockRule(Rule):
+    """DET003: wall-clock reads inside DES-driven code paths.
+
+    The simulator's entire output is a function of virtual time
+    (``ctx.now`` / the engine clock); a ``time.time()`` or
+    ``perf_counter()`` read inside the DES core or inside a rank
+    program leaks host wall-clock into results that must be
+    machine-independent — two runs of the same seed stop agreeing the
+    moment a timestamp lands in a payload or a span.  Harness-side
+    benchmarking code (which *measures* the simulator from outside) is
+    legal and out of scope.
+    """
+
+    info = RuleInfo(
+        id="DET003",
+        name="wall-clock-in-des",
+        severity=Severity.WARNING,
+        rationale="wall-clock reads inside DES-driven code make results "
+        "host-dependent; only simulated time (ctx.now) is legal there",
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not _in_tests_dir(ctx.path)
+
+    @staticmethod
+    def _in_des_dir(path: str) -> bool:
+        return bool(_DES_DIRS.intersection(PurePath(path).parts))
+
+    @staticmethod
+    def _rank_programs(ctx: ModuleContext) -> set[ast.AST]:
+        """Generator functions that perform vmpi communication — the
+        functions the DES engine drives on virtual time."""
+        out: set[ast.AST] = set()
+        for fn in ctx.generator_functions:
+            for node in walk_excluding_nested_defs(fn):
+                if isinstance(node, ast.Call) and is_ctx_comm_call(node):
+                    out.add(fn)
+                    break
+        return out
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        """Flag wall-clock reads in DES packages or rank programs."""
+        whole_module = self._in_des_dir(ctx.path)
+        programs = None if whole_module else self._rank_programs(ctx)
+        if not whole_module and not programs:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name not in _WALLCLOCK_DOTTED and name not in _WALLCLOCK_BARE:
+                continue
+            if not whole_module:
+                fn = ctx.enclosing_function(node)
+                covered = False
+                while fn is not None:
+                    if fn in programs:  # type: ignore[operator]
+                        covered = True
+                        break
+                    fn = ctx.enclosing_function(fn)
+                if not covered:
+                    continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                f"wall-clock read ({name}) inside DES-driven code; only "
+                "simulated time is legal here",
+                hint="use ctx.now / the engine clock, or hoist the "
+                "measurement into the harness",
+            )

@@ -59,6 +59,18 @@ class Finding:
             "hint": self.hint,
         }
 
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "Finding":
+        """Inverse of :meth:`to_dict` (cache replay)."""
+        return cls(
+            rule=d["rule"],
+            severity=Severity(d["severity"]),
+            path=d["path"],
+            line=d["line"],
+            message=d["message"],
+            hint=d.get("hint", ""),
+        )
+
 
 NOQA_PATTERN = re.compile(
     r"#\s*repro:\s*noqa\(\s*(?P<rules>[A-Za-z0-9_,\s*]+)\s*\)"

@@ -1,0 +1,268 @@
+"""Message-protocol pairing rules (VMPI006 / VMPI007).
+
+Both rules consume the symbolic endpoint summaries built by
+:mod:`repro.analysis.dataflow` and reason at the *module group* level
+(one package directory = one protocol namespace): tag constants defined
+in one file resolve sends in a sibling, and a send whose payload is a
+function parameter is sized from that function's call sites anywhere in
+the group.
+
+The rules run in the ``start_run``/``finish_run`` lifecycle via the
+cacheable ``summarize``/``absorb`` API — per-module extraction happens
+once (or is replayed from the lint cache) and all findings are emitted
+after the whole run has been absorbed.
+
+Both rules are deliberately conservative.  A tag stream only
+participates when its tag resolves to a constant *and* was written
+explicitly (the implicit ``tag=0`` default on sends would cross-match
+unrelated helpers); a wildcard or dynamically-tagged receive in the
+group pardons every orphan-send candidate, and a dynamically-tagged
+send pardons every orphan-recv candidate.  Streams whose receiver
+dispatches on ``msg.payload.kind`` are polymorphic by design and exempt
+from shape matching.
+"""
+
+from __future__ import annotations
+
+from pathlib import PurePath
+from typing import Iterable
+
+from repro.analysis.astutil import ModuleContext
+from repro.analysis.dataflow import (
+    Endpoint,
+    GroupState,
+    ModuleSummary,
+    group_key,
+    module_summary,
+    resolve_group,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, RuleInfo, register
+
+__all__ = ["PayloadMismatchRule", "OrphanEndpointRule"]
+
+
+def _in_tests_dir(path: str) -> bool:
+    return "tests" in PurePath(path).parts
+
+
+class _ProtocolRule(Rule):
+    """Shared summarize/absorb plumbing for the endpoint rules."""
+
+    def __init__(self) -> None:
+        self._groups: dict[str, GroupState] = {}
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # Test modules stage half-protocols (a lone send fixture) on
+        # purpose; their endpoints never pair with production streams.
+        return not _in_tests_dir(ctx.path)
+
+    def start_run(self) -> None:
+        self._groups = {}
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()  # all findings are cross-module, emitted in finish_run
+
+    def summarize(self, ctx: ModuleContext) -> dict | None:
+        return module_summary(ctx).to_dict()
+
+    def absorb(self, path: str, summary: dict) -> None:
+        parsed = ModuleSummary.from_dict(summary)
+        self._groups.setdefault(group_key(path), GroupState()).absorb(parsed)
+
+    # ------------------------------------------------------------- helpers
+    def _finding(self, e: Endpoint, message: str, hint: str = "") -> Finding:
+        return Finding(
+            rule=self.info.id,
+            severity=self.info.severity,
+            path=e.path,
+            line=e.line,
+            message=message,
+            hint=hint,
+        )
+
+    @staticmethod
+    def _streams(endpoints: list[Endpoint]):
+        """Group resolved endpoints into explicit constant-tag streams.
+
+        Returns ``(streams, senders, receivers)`` where ``streams`` maps
+        each explicitly written, constant-resolved tag value to its
+        (sends, exact-tag recvs)."""
+        sends = [e for e in endpoints if e.op == "send"]
+        recvs = [e for e in endpoints if e.op == "recv"]
+        streams: dict[int, tuple[list[Endpoint], list[Endpoint]]] = {}
+        for e in sends:
+            if e.tag.explicit and e.tag.value is not None:
+                streams.setdefault(e.tag.value, ([], []))[0].append(e)
+        for e in recvs:
+            if e.tag.explicit and e.tag.value is not None and not e.tag.wildcard:
+                streams.setdefault(e.tag.value, ([], []))[1].append(e)
+        return streams, sends, recvs
+
+
+@register
+class PayloadMismatchRule(_ProtocolRule):
+    """VMPI006: send payload disagrees with what the matching recv
+    unpacks (shape) or with its sibling sends (size/kind) on one
+    explicit tag stream.
+
+    Three concrete mismatches, all of which surface at runtime as a
+    wrong simulated byte count or an ``AttributeError`` deep inside a
+    rank program:
+
+    * two sends on one tag stream resolve to *different* payload sizes
+      — a truncated-``PayloadStub`` protocol (one side shrank, the
+      other didn't);
+    * a receive tuple-unpacks the payload while a matching send ships a
+      ``PayloadStub`` (scalar shape) or a tuple of different arity;
+    * one tag stream carries distinct literal ``PayloadStub`` kinds and
+      no receiver dispatches on ``payload.kind`` — two sub-protocols
+      silently sharing a stream.
+    """
+
+    info = RuleInfo(
+        id="VMPI006",
+        name="payload-mismatch",
+        severity=Severity.WARNING,
+        rationale="a tagged send whose payload size/shape disagrees with "
+        "the matching recv (or sibling sends) corrupts the modeled "
+        "byte count or crashes the unpack",
+    )
+
+    def finish_run(self) -> Iterable[Finding]:
+        for group in sorted(self._groups):
+            endpoints = resolve_group(self._groups[group])
+            streams, _sends, _recvs = self._streams(endpoints)
+            for tag_value in sorted(streams):
+                sends, recvs = streams[tag_value]
+                if not sends or not recvs:
+                    continue  # pairing problems are VMPI007's business
+                if any(r.kind_dispatch for r in recvs):
+                    continue  # polymorphic stream by design
+                yield from self._check_sizes(tag_value, sends)
+                yield from self._check_arity(tag_value, sends, recvs)
+                yield from self._check_kinds(tag_value, sends)
+
+    def _check_sizes(self, tag_value: int, sends: list[Endpoint]):
+        sized = [e for e in sends if e.payload.nbytes is not None]
+        if len({e.payload.nbytes for e in sized}) < 2:
+            return
+        first = min(sized, key=lambda e: (e.path, e.line))
+        for e in sized:
+            if e.payload.nbytes != first.payload.nbytes:
+                yield self._finding(
+                    e,
+                    f"send of {e.payload.nbytes} byte(s) on tag "
+                    f"{tag_value} conflicts with the "
+                    f"{first.payload.nbytes}-byte send at "
+                    f"{first.path}:{first.line} on the same stream",
+                    hint="size both ends from one shared constant, or "
+                    "split the protocols onto distinct tags",
+                )
+
+    def _check_arity(
+        self, tag_value: int, sends: list[Endpoint], recvs: list[Endpoint]
+    ):
+        for r in recvs:
+            if r.unpack_arity is None:
+                continue
+            for e in sends:
+                if e.payload.stub:
+                    yield self._finding(
+                        e,
+                        f"send on tag {tag_value} ships a PayloadStub "
+                        f"(scalar shape) but the matching recv at "
+                        f"{r.path}:{r.line} tuple-unpacks "
+                        f"{r.unpack_arity} value(s)",
+                        hint="send a tuple of matching arity, or stop "
+                        "unpacking the stub payload",
+                    )
+                elif (
+                    e.payload.arity is not None
+                    and e.payload.arity != r.unpack_arity
+                ):
+                    yield self._finding(
+                        e,
+                        f"send on tag {tag_value} ships a "
+                        f"{e.payload.arity}-tuple but the matching recv "
+                        f"at {r.path}:{r.line} unpacks "
+                        f"{r.unpack_arity} value(s)",
+                        hint="make the send tuple and the recv unpack "
+                        "agree on arity",
+                    )
+
+    def _check_kinds(self, tag_value: int, sends: list[Endpoint]):
+        kinded = [e for e in sends if e.payload.kind is not None]
+        kinds = sorted({e.payload.kind for e in kinded})
+        if len(kinds) < 2:
+            return
+        first = min(kinded, key=lambda e: (e.path, e.line))
+        yield self._finding(
+            first,
+            f"tag {tag_value} stream carries distinct PayloadStub kinds "
+            f"{kinds} and no receiver dispatches on payload.kind — "
+            "two sub-protocols are sharing one stream",
+            hint="split the kinds onto distinct tags, or dispatch on "
+            "msg.payload.kind at the receiver",
+        )
+
+
+@register
+class OrphanEndpointRule(_ProtocolRule):
+    """VMPI007: a tagged send with no reachable matching recv in the
+    module group, or a tagged recv no send can ever satisfy.
+
+    An orphan send accumulates undelivered messages (and its modeled
+    bytes never land); an orphan recv deadlocks its rank program the
+    first time the protocol reaches it.  Only explicitly written,
+    constant-resolved tags participate; any wildcard/dynamic receive in
+    the group pardons send candidates (it could consume anything) and
+    any dynamically-tagged send pardons recv candidates.
+    """
+
+    info = RuleInfo(
+        id="VMPI007",
+        name="orphan-endpoint",
+        severity=Severity.WARNING,
+        rationale="a tagged send with no matching recv (or vice versa) "
+        "is an unreachable protocol arm: lost messages or deadlock",
+    )
+
+    def finish_run(self) -> Iterable[Finding]:
+        for group in sorted(self._groups):
+            endpoints = resolve_group(self._groups[group])
+            streams, sends, recvs = self._streams(endpoints)
+            # An unresolved tag (dynamic expression, or a name the group
+            # never defines) could take any value at runtime: treat its
+            # side as able to match everything.
+            any_catchall_recv = any(
+                r.tag.wildcard or r.tag.value is None for r in recvs
+            )
+            any_dynamic_send = any(e.tag.value is None for e in sends)
+            for tag_value in sorted(streams):
+                tagged_sends, tagged_recvs = streams[tag_value]
+                if tagged_sends and not tagged_recvs and not any_catchall_recv:
+                    for e in tagged_sends:
+                        yield self._finding(
+                            e,
+                            f"{e.call} with tag {tag_value} has no "
+                            f"matching recv anywhere in module group "
+                            f"'{group}'",
+                            hint="add the consuming recv to the paired "
+                            "rank program, or delete the dead send",
+                        )
+                if tagged_recvs and not tagged_sends and not any_dynamic_send:
+                    # implicit tag-0 sends still satisfy an explicit
+                    # tag=0 recv — only explicit sends populate streams,
+                    # so check the full send list here
+                    if any(e.tag.value == tag_value for e in sends):
+                        continue
+                    for r in tagged_recvs:
+                        yield self._finding(
+                            r,
+                            f"{r.call} with tag {tag_value} can never be "
+                            f"satisfied: no send in module group "
+                            f"'{group}' uses this tag",
+                            hint="add the producing send, or fix the tag "
+                            "constant this recv waits on",
+                        )

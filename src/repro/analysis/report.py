@@ -1,0 +1,183 @@
+"""Machine-readable lint reporting: SARIF, baselines, timing stats.
+
+``repro lint`` grew up as a dev-loop tool printing one line per
+finding; CI wants stable machine formats instead.  This module renders
+a :class:`~repro.analysis.runner.LintReport` as SARIF 2.1.0 (the format
+code-scanning UIs ingest), filters findings against a *baseline* file
+(adopt a new rule without fixing a hundred historical findings on day
+one), and renders the per-rule timing table behind ``--stats``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import all_rules
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import LintReport
+
+__all__ = [
+    "to_sarif",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+    "render_stats",
+]
+
+_SARIF_SCHEMA = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(report: "LintReport") -> str:
+    """Render a report as a single-run SARIF 2.1.0 log."""
+    rules = [
+        {
+            "id": r.info.id,
+            "name": r.info.name,
+            "shortDescription": {"text": r.info.name},
+            "fullDescription": {"text": r.info.rationale},
+            "defaultConfiguration": {
+                "level": _sarif_level(r.info.severity)
+            },
+        }
+        for r in all_rules()
+    ]
+    results = []
+    for f in report.findings:
+        message = f.message
+        if f.hint:
+            message += f" (fix: {f.hint})"
+        results.append(
+            {
+                "ruleId": f.rule,
+                "level": "error" if f.severity is Severity.ERROR else "warning",
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": Path(f.path).as_posix()
+                            },
+                            "region": {"startLine": max(1, f.line)},
+                        }
+                    }
+                ],
+            }
+        )
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/analysis"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
+def _sarif_level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+# ---------------------------------------------------------------- baseline
+def _baseline_key(f: Finding) -> tuple[str, str, str]:
+    """Identity of a finding for baseline matching.
+
+    Deliberately *excludes* the line number: a baselined finding must
+    stay baselined when unrelated edits shift it a few lines, else the
+    baseline churns on every commit.  (rule, path, message) is stable —
+    messages embed the protocol facts, not positions of the finding
+    itself.
+    """
+    return (f.rule, f.path, f.message)
+
+
+def load_baseline(path: str | Path) -> dict[tuple[str, str, str], int]:
+    """Read a baseline file written by :func:`write_baseline`.
+
+    Returns a multiset (key -> occurrence count): a baseline that
+    recorded one finding with a given key pardons exactly one live
+    occurrence, so *duplicating* a baselined defect still fails CI.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = data.get("findings", data) if isinstance(data, dict) else data
+    out: dict[tuple[str, str, str], int] = {}
+    for e in entries:
+        key = (e["rule"], e["path"], e["message"])
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+def apply_baseline(
+    report: "LintReport", baseline: dict[tuple[str, str, str], int]
+) -> list[Finding]:
+    """Move baselined findings out of ``report.findings``; return them.
+
+    The report's exit code then reflects only *new* findings."""
+    remaining = dict(baseline)
+    kept: list[Finding] = []
+    matched: list[Finding] = []
+    for f in report.findings:
+        key = _baseline_key(f)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched.append(f)
+        else:
+            kept.append(f)
+    report.findings = kept
+    report.baselined.extend(matched)
+    return matched
+
+
+def write_baseline(report: "LintReport", path: str | Path) -> int:
+    """Snapshot current findings as the accepted baseline."""
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,  # informational; matching ignores it
+            "message": f.message,
+        }
+        for f in report.findings
+    ]
+    Path(path).write_text(
+        json.dumps({"findings": entries}, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+# ------------------------------------------------------------------- stats
+def render_stats(report: "LintReport") -> str:
+    """Per-rule timing table (slowest first) plus cache counters."""
+    lines = ["rule timings (check + summarize + finish, this run):"]
+    if report.rule_seconds:
+        width = max(len(r) for r in report.rule_seconds)
+        for rule, secs in sorted(
+            report.rule_seconds.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {rule:<{width}}  {secs * 1e3:8.2f} ms")
+    else:
+        lines.append("  (no rules ran)")
+    lines.append(
+        f"cache: {report.cache_hits} hit(s), {report.cache_misses} miss(es)"
+        if report.cache_hits or report.cache_misses
+        else "cache: disabled"
+    )
+    lines.append(f"files: {report.files_checked}")
+    return "\n".join(lines)

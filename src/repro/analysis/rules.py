@@ -50,6 +50,23 @@ class Rule(abc.ABC):
         run, so inline suppressions still apply).  Default: nothing."""
         return ()
 
+    def summarize(self, ctx: ModuleContext) -> dict | None:
+        """Produce this module's JSON-serializable contribution to the
+        rule's cross-module state, or None for per-module rules.
+
+        The runner feeds the summary straight back through
+        :meth:`absorb` — and the lint cache persists it, so on a cache
+        hit the module's state is replayed without re-parsing the file.
+        Cross-module rules must therefore build their ``finish_run``
+        findings *only* from absorbed summaries, never from state
+        gathered in :meth:`check` (which is skipped for cached files).
+        """
+        return None
+
+    def absorb(self, path: str, summary: dict) -> None:
+        """Fold one module summary (fresh or cache-replayed) into the
+        run state accumulated since :meth:`start_run`."""
+
     @abc.abstractmethod
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
         """Yield findings for ``ctx``.  Must not raise on odd code."""
@@ -106,5 +123,6 @@ def _ensure_loaded() -> None:
         comm_rules,
         determinism_rules,
         doc_rules,
+        protocol_rules,
         tag_rules,
     )

@@ -92,6 +92,29 @@ class TagCollisionRule(Rule):
     def start_run(self) -> None:
         self._sites = []
 
+    def summarize(self, ctx: ModuleContext) -> dict | None:
+        """Tag-constant definitions, as cacheable plain data."""
+        sites = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            value = _int_value(node.value) if node.value else None
+            if value is None:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and _is_tag_name(target.id):
+                    sites.append(
+                        {"line": node.lineno, "name": target.id, "value": value}
+                    )
+        return {"sites": sites}
+
+    def absorb(self, path: str, summary: dict) -> None:
+        for s in summary.get("sites", ()):
+            self._sites.append(_TagSite(path, s["line"], s["name"], s["value"]))
+
     def finish_run(self) -> Iterable[Finding]:
         """Emit collision findings for tag values claimed by more than
         one protocol phase across the whole run."""
@@ -136,9 +159,9 @@ class TagCollisionRule(Rule):
                         continue
                     if not _is_tag_name(target.id):
                         continue
-                    self._sites.append(
-                        _TagSite(ctx.path, node.lineno, target.id, value)
-                    )
+                    # run-level collision state flows through
+                    # summarize/absorb (cache-safe); check() only emits
+                    # the per-module reserved-band findings
                     if value >= RESERVED_TAG_BASE:
                         yield self.finding(
                             ctx,

@@ -219,7 +219,17 @@ def cmd_calibrate(args: argparse.Namespace) -> None:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the static rank-program verifier (see :mod:`repro.analysis`)."""
+    from pathlib import Path
+
     from repro.analysis import all_rules, lint_paths
+    from repro.analysis.cache import LintCache
+    from repro.analysis.report import (
+        apply_baseline,
+        load_baseline,
+        render_stats,
+        to_sarif,
+        write_baseline,
+    )
 
     if args.rules:
         for rule in all_rules():
@@ -231,12 +241,39 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if args.select
         else None
     )
+    fmt = args.format or ("json" if args.json else "text")
+    cache = None if args.no_cache else LintCache.default(Path.cwd(), select)
     try:
-        report = lint_paths(args.paths, rule_ids=select)
+        report = lint_paths(args.paths, rule_ids=select, cache=cache)
     except (FileNotFoundError, KeyError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
-    print(report.to_json() if args.json else report.render_text())
+    if cache is not None:
+        cache.save()
+    if args.write_baseline:
+        n = write_baseline(report, args.write_baseline)
+        print(f"wrote baseline {args.write_baseline} ({n} finding(s))")
+        return 0
+    if args.baseline:
+        try:
+            apply_baseline(report, load_baseline(args.baseline))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro lint: bad baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+    if fmt == "json":
+        output = report.to_json()
+    elif fmt == "sarif":
+        output = to_sarif(report)
+    else:
+        output = report.render_text()
+    if args.out:
+        Path(args.out).write_text(output + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(output)
+    if args.stats:
+        # keep machine formats parseable on stdout
+        print(render_stats(report), file=sys.stderr if fmt != "text" else sys.stdout)
     return report.exit_code
 
 
@@ -439,7 +476,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=["src", "examples", "benchmarks"],
         help="files or directories to lint (default: src examples benchmarks)",
     )
-    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (alias for --format json)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default=None,
+        help="output format (default: text; sarif is SARIF 2.1.0 for CI upload)",
+    )
+    lint.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="ignore findings recorded in this baseline file (exit code "
+        "reflects only new findings)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="snapshot current findings as the accepted baseline and exit 0",
+    )
+    lint.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule timing and cache hit/miss counters",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-hash lint cache (.repro_lint_cache.json)",
+    )
     lint.add_argument(
         "--select",
         default=None,

@@ -1,0 +1,299 @@
+"""Unit tests for the endpoint dataflow layer (repro.analysis.dataflow)."""
+
+import textwrap
+
+from repro.analysis.astutil import ModuleContext
+from repro.analysis.dataflow import (
+    GroupState,
+    ModuleSummary,
+    group_key,
+    module_summary,
+    resolve_group,
+)
+
+
+def summarize(code, path="src/proto/mod.py"):
+    return module_summary(ModuleContext.parse(path, textwrap.dedent(code)))
+
+
+def endpoints(code, **kw):
+    return summarize(code, **kw).endpoints
+
+
+class TestSendExtraction:
+    def test_stub_send_fully_resolved(self):
+        (e,) = endpoints(
+            """\
+            def program(ctx):
+                yield from ctx.send(3, PayloadStub(64, "theta"), tag=7)
+            """
+        )
+        assert e.op == "send" and e.call == "ctx.send"
+        assert e.peer_value == 3
+        assert e.tag.value == 7 and e.tag.explicit
+        assert e.payload.nbytes == 64
+        assert e.payload.kind == "theta"
+        assert e.payload.stub
+
+    def test_default_tag_is_implicit_zero(self):
+        (e,) = endpoints(
+            """\
+            def program(ctx):
+                yield from ctx.send(1, "x")
+            """
+        )
+        assert e.tag.value == 0 and not e.tag.explicit
+
+    def test_tag_constant_resolved_through_module_scope(self):
+        (e,) = endpoints(
+            """\
+            _TAG_DATA = 70 + 7
+
+            def program(ctx):
+                yield from ctx.send(1, "x", tag=_TAG_DATA)
+            """
+        )
+        assert e.tag.value == 77
+
+    def test_unresolved_tag_name_left_for_group_resolution(self):
+        (e,) = endpoints(
+            """\
+            def program(ctx):
+                yield from ctx.send(1, "x", tag=TAG_ELSEWHERE)
+            """
+        )
+        assert e.tag.value is None and e.tag.name == "TAG_ELSEWHERE"
+
+    def test_post_is_a_send_endpoint(self):
+        (e,) = endpoints(
+            """\
+            def program(ctx):
+                inj = ctx.post(2, PayloadStub(8, "cmd"), tag=5)
+                yield inj
+            """
+        )
+        assert e.op == "send" and e.call == "ctx.post"
+
+
+class TestPayloadEvaluation:
+    def payload(self, expr, prelude=""):
+        (e,) = endpoints(
+            f"{prelude}\n"
+            "def program(ctx):\n"
+            f"    yield from ctx.send(1, {expr}, tag=9)\n"
+        )
+        return e.payload
+
+    def test_scalars_are_eight_bytes(self):
+        assert self.payload("1.5").nbytes == 8
+
+    def test_str_is_utf8_length(self):
+        assert self.payload("'héllo'").nbytes == 6
+
+    def test_bytes_literal_length(self):
+        assert self.payload("b'abcd'").nbytes == 4
+
+    def test_tuple_literal_arity_and_total(self):
+        info = self.payload("(1.0, 2.0, 3.0)")
+        assert info.arity == 3 and info.nbytes == 24
+
+    def test_np_zeros_default_dtype(self):
+        assert self.payload("np.zeros((4, 8))").nbytes == 4 * 8 * 8
+
+    def test_np_zeros_dtype_keyword(self):
+        assert self.payload("np.zeros(10, dtype=np.float32)").nbytes == 40
+
+    def test_np_empty_string_dtype(self):
+        assert self.payload("np.empty(6, dtype='int16')").nbytes == 12
+
+    def test_np_arange(self):
+        assert self.payload("np.arange(5)").nbytes == 40
+
+    def test_struct_pack_literal_format(self):
+        assert self.payload("struct.pack('<ii', a, b)").nbytes == 8
+
+    def test_nbytes_attribute_of_known_array(self):
+        info = self.payload(
+            "PayloadStub(buf.nbytes, 'grad')",
+            prelude="buf = np.zeros(16, dtype=np.float64)",
+        )
+        assert info.nbytes == 128
+
+    def test_closure_scope_resolution(self):
+        (e,) = endpoints(
+            """\
+            def make(theta_bytes):
+                theta = PayloadStub(256, "theta")
+
+                def program(ctx):
+                    yield from ctx.send(1, theta, tag=4)
+
+                return program
+            """
+        )
+        assert e.payload.nbytes == 256 and e.payload.kind == "theta"
+
+    def test_reassigned_name_is_ambiguous(self):
+        (e,) = endpoints(
+            """\
+            def program(ctx):
+                reply = PayloadStub(8, "a")
+                reply = PayloadStub(16, "b")
+                yield from ctx.send(1, reply, tag=4)
+            """
+        )
+        assert e.payload.nbytes is None
+
+    def test_parameter_payload_marked_for_call_graph(self):
+        ends = endpoints(
+            """\
+            def dispatch(ctx, payload):
+                yield from ctx.send(1, payload, tag=4)
+            """
+        )
+        assert ends[0].payload.param == "dispatch:payload"
+
+
+class TestRecvExtraction:
+    def test_explicit_tag_and_source(self):
+        (e,) = endpoints(
+            """\
+            def program(ctx):
+                msg = yield from ctx.recv(source=0, tag=7)
+                return msg
+            """
+        )
+        assert e.op == "recv" and e.peer_value == 0 and e.tag.value == 7
+
+    def test_omitted_tag_is_wildcard(self):
+        (e,) = endpoints(
+            """\
+            def program(ctx):
+                msg = yield from ctx.recv(source=0)
+                return msg
+            """
+        )
+        assert e.tag.wildcard
+
+    def test_any_tag_is_wildcard(self):
+        (e,) = endpoints(
+            """\
+            def program(ctx):
+                msg = yield from ctx.recv(source=0, tag=ANY_TAG)
+                return msg
+            """
+        )
+        assert e.tag.wildcard
+
+    def test_tuple_unpack_arity_recorded(self):
+        (e,) = endpoints(
+            """\
+            def program(ctx):
+                msg = yield from ctx.recv(source=0, tag=7)
+                a, b, c = msg.payload
+                return a
+            """
+        )
+        assert e.unpack_arity == 3
+
+    def test_direct_payload_unpack(self):
+        (e,) = endpoints(
+            """\
+            def program(ctx):
+                a, b = (yield from ctx.recv(source=0, tag=7)).payload
+                return a
+            """
+        )
+        assert e.unpack_arity == 2
+
+    def test_kind_dispatch_detected(self):
+        (e,) = endpoints(
+            """\
+            def program(ctx):
+                msg = yield from ctx.recv(source=0, tag=7)
+                if msg.payload.kind == "shutdown":
+                    return None
+            """
+        )
+        assert e.kind_dispatch
+
+    def test_recv_cmd_none_tag_is_wildcard(self):
+        (e,) = endpoints(
+            """\
+            def program(ctx):
+                msg = yield ctx.recv_cmd(0, None)
+                return msg
+            """
+        )
+        assert e.op == "recv" and e.tag.wildcard
+
+
+class TestGroupResolution:
+    def test_group_key_is_directory(self):
+        assert group_key("src/repro/dist/simulated.py") == "src/repro/dist"
+        assert group_key("src/repro/vmpi/comm.py") == "src/repro/vmpi"
+
+    def test_tag_name_resolved_from_sibling_module(self):
+        consts = summarize("TAG_X = 41\n", path="src/proto/tags.py")
+        users = summarize(
+            """\
+            def program(ctx):
+                yield from ctx.send(1, "x", tag=TAG_X)
+            """,
+            path="src/proto/master.py",
+        )
+        state = GroupState()
+        state.absorb(consts)
+        state.absorb(users)
+        (e,) = [r for r in resolve_group(state) if r.op == "send"]
+        assert e.tag.value == 41
+
+    def test_call_graph_param_resolved_when_sites_agree(self):
+        summary = summarize(
+            """\
+            def dispatch(ctx, payload):
+                yield from ctx.send(1, payload, tag=4)
+
+            def master(ctx):
+                yield from dispatch(ctx, PayloadStub(64, "grad"))
+                yield from dispatch(ctx, PayloadStub(64, "cg"))
+            """
+        )
+        state = GroupState()
+        state.absorb(summary)
+        (send,) = [e for e in resolve_group(state) if e.op == "send"]
+        assert send.payload.nbytes == 64
+        assert send.payload.stub
+        assert send.payload.kind is None  # kinds disagree across sites
+
+    def test_call_graph_param_unresolved_when_sites_disagree(self):
+        summary = summarize(
+            """\
+            def dispatch(ctx, payload):
+                yield from ctx.send(1, payload, tag=4)
+
+            def master(ctx):
+                yield from dispatch(ctx, PayloadStub(64, "grad"))
+                yield from dispatch(ctx, PayloadStub(32, "grad"))
+            """
+        )
+        state = GroupState()
+        state.absorb(summary)
+        (send,) = [e for e in resolve_group(state) if e.op == "send"]
+        assert send.payload.nbytes is None
+
+    def test_summary_roundtrips_through_dict(self):
+        summary = summarize(
+            """\
+            TAG_A = 3
+
+            def program(ctx):
+                yield from ctx.send(1, PayloadStub(16, "x"), tag=TAG_A)
+                msg = yield from ctx.recv(source=0, tag=TAG_A)
+                a, b = msg.payload
+            """
+        )
+        clone = ModuleSummary.from_dict(summary.to_dict())
+        assert clone.constants == summary.constants
+        assert clone.endpoints == summary.endpoints
+        assert clone.calls == summary.calls

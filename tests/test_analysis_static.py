@@ -100,7 +100,8 @@ class TestUnconsumedComm:
             """\
             def ping(ctx):
                 return ctx.send(1, "x", tag=3)
-            """
+            """,
+            rule_ids=["VMPI001"],  # half-protocol fixture trips VMPI007
         )
         assert report.findings == []
 
@@ -261,7 +262,8 @@ class TestWildcardRecv:
                 for _ in range(8):
                     msg = yield from ctx.recv()
                     ack = yield from ctx.recv(source=msg.src, tag=5)
-            """
+            """,
+            rule_ids=["VMPI003"],  # half-protocol fixture trips VMPI007
         )
         (f,) = report.findings
         assert f.rule == "VMPI003" and f.line == 3
@@ -273,7 +275,8 @@ class TestWildcardRecv:
                 for _ in range(8):
                     msg = yield from ctx.recv(source=ANY_SOURCE, tag=9)
                     ack = yield from ctx.recv(source=msg.src, tag=5)
-            """
+            """,
+            rule_ids=["VMPI003"],  # half-protocol fixture trips VMPI007
         )
         assert report.findings == []
 
@@ -611,3 +614,664 @@ class TestDocstringCoverage:
         )
         assert report.findings == []
         assert [f.rule for f in report.suppressed] == ["DOC001"]
+
+
+# --------------------------------------------- VMPI006 payload size/shape
+class TestPayloadMismatch:
+    """Golden fixtures for the interprocedural payload lint."""
+
+    def plint(self, code, **kw):
+        kw.setdefault("rule_ids", ["VMPI006"])
+        return lint(code, **kw)
+
+    def test_conflicting_sizes_on_one_stream_flagged(self):
+        report = self.plint(
+            """\
+            TAG_W = 5
+
+            def master(ctx):
+                yield from ctx.send(1, PayloadStub(64, "theta"), tag=TAG_W)
+
+            def retry(ctx):
+                yield from ctx.send(1, PayloadStub(32, "theta"), tag=TAG_W)
+
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=TAG_W)
+                return msg
+            """
+        )
+        (f,) = report.findings
+        assert f.rule == "VMPI006"
+        assert f.severity is Severity.WARNING
+        assert "32" in f.message and "64" in f.message and "conflicts" in f.message
+        assert f.line == 7  # the later, disagreeing send
+
+    def test_truncated_stub_vs_tuple_unpack_flagged(self):
+        report = self.plint(
+            """\
+            def master(ctx):
+                yield from ctx.send(1, PayloadStub(8, "hdr"), tag=3)
+
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=3)
+                a, b = msg.payload
+                return a
+            """
+        )
+        (f,) = report.findings
+        assert "PayloadStub" in f.message and "tuple-unpack" in f.message
+
+    def test_tuple_arity_mismatch_flagged(self):
+        report = self.plint(
+            """\
+            def master(ctx):
+                yield from ctx.send(1, (1.0, 2.0, 3.0), tag=3)
+
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=3)
+                a, b = msg.payload
+                return a
+            """
+        )
+        (f,) = report.findings
+        assert "3-tuple" in f.message and "2 value(s)" in f.message
+
+    def test_matching_arity_clean(self):
+        report = self.plint(
+            """\
+            def master(ctx):
+                yield from ctx.send(1, (1.0, 2.0), tag=3)
+
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=3)
+                a, b = msg.payload
+                return a
+            """
+        )
+        assert report.findings == []
+
+    def test_kind_mix_without_dispatch_flagged(self):
+        report = self.plint(
+            """\
+            def master(ctx):
+                yield from ctx.send(1, PayloadStub(64, "bundle"), tag=9)
+                yield from ctx.send(2, PayloadStub(64, "shard"), tag=9)
+
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=9)
+                return msg
+            """
+        )
+        (f,) = report.findings
+        assert "bundle" in f.message and "shard" in f.message
+
+    def test_kind_dispatching_recv_exempts_stream(self):
+        report = self.plint(
+            """\
+            def master(ctx):
+                yield from ctx.send(1, PayloadStub(64, "work"), tag=9)
+                yield from ctx.send(1, PayloadStub(4, "shutdown"), tag=9)
+
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=9)
+                if msg.payload.kind == "shutdown":
+                    return None
+            """
+        )
+        assert report.findings == []
+
+    def test_implicit_default_tags_do_not_cross_match(self):
+        # two unrelated helpers both defaulting to tag 0 must not be
+        # treated as one stream
+        report = self.plint(
+            """\
+            def a(ctx):
+                yield from ctx.send(1, PayloadStub(64, "a"))
+
+            def b(ctx):
+                yield from ctx.send(1, PayloadStub(32, "b"))
+
+            def c(ctx):
+                msg = yield from ctx.recv(source=0, tag=0)
+                return msg
+            """
+        )
+        assert report.findings == []
+
+    def test_interprocedural_param_payload_resolved(self):
+        # the master's dispatch-helper pattern: the payload reaches the
+        # send as a function parameter, sized from its call sites
+        report = self.plint(
+            """\
+            def dispatch(ctx, payload):
+                yield from ctx.send(1, payload, tag=7)
+
+            def master(ctx):
+                yield from dispatch(ctx, PayloadStub(64, "grad"))
+                yield from dispatch(ctx, PayloadStub(64, "cg"))
+
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=7)
+                a, b = msg.payload
+                return a
+            """
+        )
+        (f,) = report.findings
+        assert "PayloadStub" in f.message and f.line == 2
+
+    def test_cross_module_stream_via_lint_paths(self, tmp_path):
+        (tmp_path / "tags.py").write_text("TAG_DATA = 41\n")
+        (tmp_path / "master.py").write_text(
+            "def master(ctx):\n"
+            "    yield from ctx.send(1, PayloadStub(8, 'hdr'), tag=TAG_DATA)\n"
+        )
+        (tmp_path / "worker.py").write_text(
+            "def worker(ctx):\n"
+            "    msg = yield from ctx.recv(source=0, tag=TAG_DATA)\n"
+            "    a, b = msg.payload\n"
+        )
+        report = lint_paths([tmp_path], rule_ids=["VMPI006"])
+        (f,) = report.findings
+        assert f.path.endswith("master.py")
+
+    def test_suppressed_at_send_site(self):
+        report = self.plint(
+            """\
+            def master(ctx):
+                yield from ctx.send(1, PayloadStub(64, "bundle"), tag=9)  # repro: noqa(VMPI006) deliberate
+                yield from ctx.send(2, PayloadStub(64, "shard"), tag=9)
+
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=9)
+                return msg
+            """
+        )
+        assert report.findings == []
+        (s,) = report.suppressed
+        assert s.rule == "VMPI006"
+
+    def test_tests_dir_exempt(self):
+        report = self.plint(
+            """\
+            def master(ctx):
+                yield from ctx.send(1, PayloadStub(8, "hdr"), tag=3)
+
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=3)
+                a, b = msg.payload
+            """,
+            path="tests/fixtures/proto.py",
+        )
+        assert report.findings == []
+
+
+# --------------------------------------------- VMPI007 orphan endpoints
+class TestOrphanEndpoint:
+    def olint(self, code, **kw):
+        kw.setdefault("rule_ids", ["VMPI007"])
+        return lint(code, **kw)
+
+    def test_orphan_send_flagged(self):
+        report = self.olint(
+            """\
+            def master(ctx):
+                yield from ctx.send(1, PayloadStub(8, "x"), tag=4)
+            """
+        )
+        (f,) = report.findings
+        assert f.rule == "VMPI007"
+        assert "no matching recv" in f.message and "tag 4" in f.message
+
+    def test_orphan_recv_flagged(self):
+        report = self.olint(
+            """\
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=9)
+                return msg
+            """
+        )
+        (f,) = report.findings
+        assert "never be satisfied" in f.message
+
+    def test_paired_stream_clean(self):
+        report = self.olint(
+            """\
+            def master(ctx):
+                yield from ctx.send(1, PayloadStub(8, "x"), tag=4)
+
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=4)
+                return msg
+            """
+        )
+        assert report.findings == []
+
+    def test_wildcard_recv_pardons_sends(self):
+        report = self.olint(
+            """\
+            def master(ctx):
+                yield from ctx.send(1, PayloadStub(8, "x"), tag=4)
+
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=ANY_TAG)
+                return msg
+            """
+        )
+        assert report.findings == []
+
+    def test_dynamic_send_tag_pardons_recvs(self):
+        report = self.olint(
+            """\
+            def master(ctx, t):
+                yield from ctx.send(1, PayloadStub(8, "x"), tag=t)
+
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=9)
+                return msg
+            """
+        )
+        assert report.findings == []
+
+    def test_implicit_default_send_satisfies_tag_zero_recv(self):
+        report = self.olint(
+            """\
+            def master(ctx):
+                yield from ctx.send(1, PayloadStub(8, "x"))
+
+            def worker(ctx):
+                msg = yield from ctx.recv(source=0, tag=0)
+                return msg
+            """
+        )
+        assert report.findings == []
+
+    def test_cross_module_pairing_via_lint_paths(self, tmp_path):
+        # the matching recv lives in a sibling module of the group
+        (tmp_path / "master.py").write_text(
+            "def master(ctx):\n"
+            "    yield from ctx.send(1, PayloadStub(8, 'x'), tag=4)\n"
+        )
+        (tmp_path / "worker.py").write_text(
+            "def worker(ctx):\n"
+            "    msg = yield from ctx.recv(source=0, tag=4)\n"
+        )
+        report = lint_paths([tmp_path], rule_ids=["VMPI007"])
+        assert report.findings == []
+
+    def test_suppressed_at_site(self):
+        report = self.olint(
+            """\
+            def master(ctx):
+                yield from ctx.send(1, PayloadStub(8, "x"), tag=4)  # repro: noqa(VMPI007) peer recv is external
+            """
+        )
+        assert report.findings == []
+        (s,) = report.suppressed
+        assert s.rule == "VMPI007"
+
+    def test_tests_dir_exempt(self):
+        report = self.olint(
+            """\
+            def master(ctx):
+                yield from ctx.send(1, PayloadStub(8, "x"), tag=4)
+            """,
+            path="tests/fixtures/half.py",
+        )
+        assert report.findings == []
+
+
+# ------------------------------------------------ DET003 wall-clock in DES
+class TestWallClock:
+    def wlint(self, code, path="src/repro/sim/mod.py"):
+        return lint(code, path=path, rule_ids=["DET003"])
+
+    def test_des_package_module_flagged(self):
+        report = self.wlint(
+            """\
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        (f,) = report.findings
+        assert f.rule == "DET003"
+        assert "time.time" in f.message and f.line == 4
+
+    def test_rank_program_outside_des_dirs_flagged(self):
+        report = self.wlint(
+            """\
+            import time
+
+            def program(ctx):
+                t0 = time.perf_counter()
+                yield from ctx.send(1, "x")
+                return time.perf_counter() - t0
+            """,
+            path="src/repro/dist/prog.py",
+        )
+        assert len(report.findings) == 2
+        assert all("perf_counter" in f.message for f in report.findings)
+
+    def test_plain_function_outside_des_dirs_clean(self):
+        # harness-side benchmarking measures the simulator from outside
+        report = self.wlint(
+            """\
+            import time
+
+            def bench():
+                return time.perf_counter()
+            """,
+            path="src/repro/harness/bench.py",
+        )
+        assert report.findings == []
+
+    def test_virtual_time_clean(self):
+        report = self.wlint(
+            """\
+            def program(ctx):
+                t0 = ctx.now
+                yield from ctx.send(1, "x")
+                ctx.record_span("phase", t0)
+            """,
+            path="src/repro/dist/prog.py",
+        )
+        assert report.findings == []
+
+    def test_tests_dir_exempt(self):
+        report = self.wlint(
+            "import time\nT0 = time.time()\n", path="tests/sim/test_x.py"
+        )
+        assert report.findings == []
+
+    def test_suppressed(self):
+        report = self.wlint(
+            """\
+            import time
+
+            def stamp():
+                return time.time()  # repro: noqa(DET003) host timestamp for log files only
+            """
+        )
+        assert report.findings == []
+        (s,) = report.suppressed
+        assert s.rule == "DET003"
+
+
+# -------------------------------------------------------- multi-line noqa
+class TestMultilineNoqa:
+    def test_noqa_on_any_physical_line_of_statement(self):
+        # the finding is reported at the call's opening line; the noqa
+        # sits on the closing-paren line — regression for the span fix
+        report = lint(
+            """\
+            def program(ctx):
+                yield from ctx.recv(source=0)
+                ctx.send(
+                    1,
+                    "payload",
+                )  # repro: noqa(VMPI001) fixture: multi-line statement
+            """
+        )
+        assert report.findings == []
+        (s,) = report.suppressed
+        assert s.rule == "VMPI001" and s.line == 3
+
+    def test_noqa_on_interior_argument_line(self):
+        report = lint(
+            """\
+            def program(ctx):
+                yield from ctx.recv(source=0)
+                ctx.send(
+                    1,  # repro: noqa(VMPI001) fixture: interior line
+                    "payload",
+                )
+            """
+        )
+        assert report.findings == []
+        assert [s.rule for s in report.suppressed] == ["VMPI001"]
+
+    def test_compound_header_noqa_does_not_blanket_body(self):
+        report = lint(
+            """\
+            def program(ctx):
+                yield from ctx.recv(source=0)
+                if True:  # repro: noqa(VMPI001) header-scoped only
+                    ctx.send(1, "x")
+            """
+        )
+        assert any(f.rule == "VMPI001" and f.line == 4 for f in report.findings)
+
+    def test_wrong_rule_on_other_line_still_no_suppress(self):
+        report = lint(
+            """\
+            def program(ctx):
+                yield from ctx.recv(source=0)
+                ctx.send(
+                    1,
+                    "payload",
+                )  # repro: noqa(DET001)
+            """
+        )
+        assert any(f.rule == "VMPI001" for f in report.findings)
+
+
+# ------------------------------------------------------------- lint cache
+class TestLintCache:
+    def fresh_cache(self, tmp_path, rule_ids=None):
+        from repro.analysis.cache import LintCache, analysis_signature
+
+        return LintCache(tmp_path / "cache.json", analysis_signature(rule_ids))
+
+    def test_warm_run_replays_identical_report(self, tmp_path):
+        from repro.analysis.cache import LintCache, analysis_signature
+
+        target = tmp_path / "prog.py"
+        target.write_text(
+            "def program(ctx):\n"
+            "    yield from ctx.recv(source=0)\n"
+            "    ctx.send(1, 'x')  # repro: noqa(VMPI001) fixture\n"
+        )
+        sig = analysis_signature(None)
+        cache_file = tmp_path / "cache.json"
+        c1 = LintCache(cache_file, sig)
+        r1 = lint_paths([target], cache=c1)
+        c1.save()
+        c2 = LintCache(cache_file, sig)
+        r2 = lint_paths([target], cache=c2)
+        assert c2.hits == 1 and c2.misses == 0
+        assert [f.to_dict() for f in r2.findings] == [f.to_dict() for f in r1.findings]
+        assert [f.to_dict() for f in r2.suppressed] == [f.to_dict() for f in r1.suppressed]
+
+    def test_edited_file_invalidates_its_entry(self, tmp_path):
+        from repro.analysis.cache import LintCache, analysis_signature
+
+        target = tmp_path / "prog.py"
+        target.write_text("def program(ctx):\n    yield from ctx.send(1, 'x')\n")
+        sig = analysis_signature(None)
+        cache_file = tmp_path / "cache.json"
+        c1 = LintCache(cache_file, sig)
+        assert lint_paths([target], cache=c1).findings == []
+        c1.save()
+        # introduce a violation: the re-lint must pick it up, not replay
+        target.write_text(
+            "def program(ctx):\n"
+            "    yield from ctx.recv(source=0)\n"
+            "    ctx.send(1, 'x')\n"
+        )
+        c2 = LintCache(cache_file, sig)
+        report = lint_paths([target], cache=c2)
+        assert c2.misses == 1
+        assert [f.rule for f in report.findings] == ["VMPI001"]
+
+    def test_cross_module_findings_survive_full_cache_replay(self, tmp_path):
+        # run-level rules (tag collisions, protocol pairing) must stay
+        # exact when every file is served from the cache
+        from repro.analysis.cache import LintCache, analysis_signature
+
+        (tmp_path / "a_proto.py").write_text("TAG_RESULT = 55\n")
+        (tmp_path / "b_proto.py").write_text("ACK_TAG = 55\n")
+        sig = analysis_signature(["VMPI004"])
+        cache_file = tmp_path / "cache.json"
+        c1 = LintCache(cache_file, sig)
+        r1 = lint_paths([tmp_path], rule_ids=["VMPI004"], cache=c1)
+        c1.save()
+        c2 = LintCache(cache_file, sig)
+        r2 = lint_paths([tmp_path], rule_ids=["VMPI004"], cache=c2)
+        assert c2.misses == 0 and c2.hits == 2
+        assert [f.to_dict() for f in r1.findings] == [f.to_dict() for f in r2.findings]
+        assert any("collides" in f.message for f in r2.findings)
+
+    def test_cached_suppressions_apply_to_finish_run_findings(self, tmp_path):
+        from repro.analysis.cache import LintCache, analysis_signature
+
+        (tmp_path / "a_proto.py").write_text("TAG_RESULT = 55\n")
+        (tmp_path / "b_proto.py").write_text(
+            "ACK_TAG = 55  # repro: noqa(VMPI004) shares a_proto's stream\n"
+        )
+        sig = analysis_signature(["VMPI004"])
+        cache_file = tmp_path / "cache.json"
+        c1 = LintCache(cache_file, sig)
+        lint_paths([tmp_path], rule_ids=["VMPI004"], cache=c1)
+        c1.save()
+        c2 = LintCache(cache_file, sig)
+        report = lint_paths([tmp_path], rule_ids=["VMPI004"], cache=c2)
+        assert report.findings == []
+        assert [s.rule for s in report.suppressed] == ["VMPI004"]
+
+    def test_analyzer_edit_invalidates_signature(self, tmp_path):
+        from repro.analysis.cache import LintCache
+
+        target = tmp_path / "prog.py"
+        target.write_text("X = 1\n")
+        cache_file = tmp_path / "cache.json"
+        c1 = LintCache(cache_file, "signature-one")
+        lint_paths([target], cache=c1)
+        c1.save()
+        c2 = LintCache(cache_file, "signature-two")
+        lint_paths([target], cache=c2)
+        assert c2.hits == 0 and c2.misses == 1
+
+    def test_corrupt_cache_file_degrades_to_full_lint(self, tmp_path):
+        from repro.analysis.cache import LintCache
+
+        target = tmp_path / "prog.py"
+        target.write_text("X = 1\n")
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json at all")
+        cache = LintCache(cache_file, "sig")
+        report = lint_paths([target], cache=cache)
+        assert report.files_checked == 1
+        cache.save()  # must rewrite a valid file
+        assert LintCache(cache_file, "sig").lookup is not None
+
+    def test_warm_cache_at_least_3x_faster_over_src(self, tmp_path):
+        # acceptance criterion: warm-cache lint over src/ >= 3x cold
+        import time as _time
+        from pathlib import Path
+
+        from repro.analysis.cache import LintCache, analysis_signature
+
+        repo_root = Path(__file__).resolve().parents[1]
+        sig = analysis_signature(None)
+        cache_file = tmp_path / "cache.json"
+        t0 = _time.perf_counter()
+        c1 = LintCache(cache_file, sig)
+        r1 = lint_paths(["src"], root=repo_root, cache=c1)
+        c1.save()
+        cold = _time.perf_counter() - t0
+        t1 = _time.perf_counter()
+        c2 = LintCache(cache_file, sig)
+        r2 = lint_paths(["src"], root=repo_root, cache=c2)
+        warm = _time.perf_counter() - t1
+        assert c2.misses == 0 and c2.hits == r2.files_checked
+        assert [f.to_dict() for f in r1.findings] == [f.to_dict() for f in r2.findings]
+        assert warm * 3 <= cold, f"warm {warm:.3f}s not 3x faster than cold {cold:.3f}s"
+
+
+# --------------------------------------------------- CI-grade reporting
+class TestReporting:
+    def seeded_violation(self, tmp_path):
+        bad = tmp_path / "bad_program.py"
+        bad.write_text(
+            "def program(ctx):\n"
+            "    yield from ctx.recv(source=0)\n"
+            "    ctx.send(1, 'x', tag=7)\n"
+        )
+        return bad
+
+    def test_sarif_output(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = self.seeded_violation(tmp_path)
+        rc = main(["lint", "--format", "sarif", str(bad)])
+        log = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"VMPI006", "VMPI007", "DET003"} <= rule_ids
+        (res,) = [r for r in run["results"] if r["ruleId"] == "VMPI001"]
+        assert res["level"] == "error"
+        assert res["locations"][0]["physicalLocation"]["region"]["startLine"] == 3
+
+    def test_sarif_to_file_with_out(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = self.seeded_violation(tmp_path)
+        out = tmp_path / "lint.sarif"
+        rc = main(["lint", "--format", "sarif", "--out", str(out), str(bad)])
+        assert rc == 1
+        assert json.loads(out.read_text())["version"] == "2.1.0"
+
+    def test_baseline_roundtrip(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = self.seeded_violation(tmp_path)
+        baseline = tmp_path / "lint_baseline.json"
+        assert main(["lint", "--write-baseline", str(baseline), str(bad)]) == 0
+        capsys.readouterr()
+        # baselined findings no longer fail the run ...
+        rc = main(["lint", "--baseline", str(baseline), str(bad)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 baselined" in out
+        # ... but a new finding still does
+        bad.write_text(
+            bad.read_text() + "\n\ndef extra(ctx):\n"
+            "    yield from ctx.recv(source=0)\n"
+            "    ctx.send(2, 'y', tag=8)\n"
+        )
+        rc = main(["lint", "--baseline", str(baseline), str(bad)])
+        assert rc == 1
+
+    def test_stats_output(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        good = tmp_path / "good.py"
+        good.write_text("def program(ctx):\n    yield from ctx.send(1, 'x')\n")
+        rc = main(["lint", "--stats", str(good)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rule timings" in out
+        assert "VMPI006" in out and "cache:" in out
+
+    def test_cli_cache_used_across_invocations(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        good = tmp_path / "good.py"
+        good.write_text("def program(ctx):\n    yield from ctx.send(1, 'x')\n")
+        assert main(["lint", str(good)]) == 0
+        assert (tmp_path / ".repro_lint_cache.json").exists()
+        capsys.readouterr()
+        assert main(["lint", "--stats", str(good)]) == 0
+        assert "1 hit(s)" in capsys.readouterr().out
+
+    def test_no_cache_flag(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        good = tmp_path / "good.py"
+        good.write_text("def program(ctx):\n    yield from ctx.send(1, 'x')\n")
+        assert main(["lint", "--no-cache", str(good)]) == 0
+        assert not (tmp_path / ".repro_lint_cache.json").exists()
+
+
+class TestNewRuleRegistry:
+    def test_registry_has_the_protocol_and_wallclock_rules(self):
+        ids = {r.info.id for r in all_rules()}
+        assert {"VMPI006", "VMPI007", "DET003"} <= ids
