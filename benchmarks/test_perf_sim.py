@@ -20,8 +20,10 @@ run reports (event counts, peak queue depths, outstanding-message HWMs)
 are simulated quantities, so they must match the baseline bit-for-bit.
 """
 
+import gc
 import json
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
@@ -57,6 +59,13 @@ OBS_BUDGET_RATIO = 1.05
 # cannot re-prove 5 %, but a complexity-class regression in the hooks
 # (per-event dict arithmetic, an eager fold) lands well above this.
 OBS_PATHOLOGICAL_RATIO = 1.75
+
+# The SPMD fast-path acceptance gate: at 16384 ranks the vector executor
+# must beat the per-generator scalar scheduler by at least this factor.
+# (Measured headroom is ~40x; 5x survives the noisiest CI machine.)
+SPMD_SPEEDUP_FLOOR = 5.0
+SPMD_SPEEDUP_SHAPE = "16384-4-16"
+SPMD_SCALAR_ANCHOR = "1024-4-16"
 
 
 def _baseline():
@@ -94,10 +103,11 @@ def test_perf_suite(benchmark):
             f"macro/{name}: {got['best_s']:.2f}s exceeds "
             f"{WALL_BUDGET_FACTOR}x baseline {base['best_s']:.2f}s"
         )
-        assert got["obs_ratio"] < OBS_PATHOLOGICAL_RATIO, (
-            f"macro/{name}: obs-attached run cost {got['obs_ratio']:.2f}x "
-            f"the plain run — the hooks regressed far past the 5% budget"
-        )
+        if "obs_ratio" in got:  # shapes above the obs-interleave cap skip it
+            assert got["obs_ratio"] < OBS_PATHOLOGICAL_RATIO, (
+                f"macro/{name}: obs-attached run cost {got['obs_ratio']:.2f}x "
+                f"the plain run — the hooks regressed far past the 5% budget"
+            )
 
 
 def test_sim_collectives():
@@ -135,6 +145,71 @@ def test_sim_collectives():
         )
 
 
+def _best_wall(fn, repeats=2):
+    """Min-over-repeats wall clock with the collector parked (the same
+    protocol as the harness timer)."""
+    was_enabled = gc.isenabled()
+    walls = []
+    try:
+        gc.disable()
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            walls.append(time.perf_counter() - t0)
+            gc.collect()
+    finally:
+        if was_enabled:
+            gc.enable()
+    return min(walls)
+
+
+def test_vector_spmd_speedup_at_16k():
+    """The tentpole acceptance gate: at 16384 ranks the SPMD vector fast
+    path is >= 5x faster than the scalar per-generator scheduler.
+
+    Running the scalar path at 16k directly would take most of a minute,
+    so its cost is extrapolated linearly from a live 1024-rank scalar
+    run.  The extrapolation is *conservative*: scalar event count grows
+    O(p log p) and the heap O(log(events)) on top, so linear-in-p
+    understates the true 16k scalar wall — the measured ratio is ~40x
+    against the understated denominator's ~8x requirement.
+    """
+    anchor_ranks = int(SPMD_SCALAR_ANCHOR.split("-")[0])
+    gate_ranks = int(SPMD_SPEEDUP_SHAPE.split("-")[0])
+    # Same shape, both paths: the numbers the gate compares are walls
+    # for *identical* virtual work.
+    scalar_anchor = bench_macro(SPMD_SCALAR_ANCHOR, vector=False)
+    vector_anchor = bench_macro(SPMD_SCALAR_ANCHOR, vector=True)
+    assert scalar_anchor == vector_anchor, (
+        "vector fast path diverged from the scalar scheduler at "
+        f"{SPMD_SCALAR_ANCHOR}: {vector_anchor} != {scalar_anchor}"
+    )
+    scalar_wall = _best_wall(
+        lambda: bench_macro(SPMD_SCALAR_ANCHOR, vector=False)
+    )
+    vector_wall = _best_wall(
+        lambda: bench_macro(SPMD_SPEEDUP_SHAPE, vector=True)
+    )
+    scalar_extrapolated = scalar_wall * (gate_ranks // anchor_ranks)
+    speedup = scalar_extrapolated / vector_wall
+    print(
+        f"\nSPMD speedup at {SPMD_SPEEDUP_SHAPE}: {speedup:.1f}x "
+        f"(vector {vector_wall:.3f}s vs scalar extrapolated "
+        f"{scalar_extrapolated:.3f}s from {scalar_wall:.3f}s @ "
+        f"{SPMD_SCALAR_ANCHOR})"
+    )
+    assert speedup >= SPMD_SPEEDUP_FLOOR, (
+        f"SPMD fast path speedup {speedup:.2f}x at {SPMD_SPEEDUP_SHAPE} "
+        f"is below the {SPMD_SPEEDUP_FLOOR}x acceptance floor"
+    )
+    baseline = _baseline()
+    if baseline and SPMD_SPEEDUP_SHAPE in baseline.get("macro", {}):
+        got = bench_macro(SPMD_SPEEDUP_SHAPE, vector=True)
+        base = baseline["macro"][SPMD_SPEEDUP_SHAPE]
+        assert got["virtual_finish"] == base["virtual_finish"]
+        assert got["messages"] == base["messages"]
+
+
 def test_macro_invariants_against_baseline():
     """One 1024-rank run, checked against the committed baseline without
     the full timed suite — the cheap timeline-preservation gate."""
@@ -154,6 +229,8 @@ def test_baseline_obs_overhead_within_budget():
     if baseline is None:
         return
     for name, base in baseline["macro"].items():
+        if "obs_ratio" not in base:  # above the obs-interleave cap
+            continue
         assert base["obs_ratio"] <= OBS_BUDGET_RATIO, (
             f"macro/{name}: committed obs_ratio {base['obs_ratio']:.3f} "
             f"exceeds the {OBS_BUDGET_RATIO}x budget — optimize the hooks "

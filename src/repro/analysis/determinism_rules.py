@@ -23,7 +23,12 @@ from repro.analysis.astutil import (
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules import Rule, RuleInfo, register
 
-__all__ = ["DirectRngRule", "UnorderedReductionRule", "WallClockRule"]
+__all__ = [
+    "DirectRngRule",
+    "UnorderedReductionRule",
+    "WallClockRule",
+    "SpmdRankLoopRule",
+]
 
 
 def _in_tests_dir(path: str) -> bool:
@@ -252,3 +257,125 @@ class WallClockRule(Rule):
                 hint="use ctx.now / the engine clock, or hoist the "
                 "measurement into the harness",
             )
+
+
+_SPMD_MARKER = "# repro: spmd-vectorized"
+"""Marker comment declaring code SPMD-vectorizable: every rank executes
+the same program there, so per-rank state must live in arrays and
+per-rank work in array operations.  Inside a function (or directly above
+its ``def``) the marker scopes to that function; at module level it
+scopes to the whole file."""
+
+_RANK_COUNT_NAMES = frozenset(
+    {"ranks", "size", "nranks", "n_ranks", "num_ranks", "world_size"}
+)
+"""Trailing attribute/name segments that denote a rank count (for
+``range(...)`` bounds) or a rank collection (for direct iteration)."""
+
+
+@register
+class SpmdRankLoopRule(Rule):
+    """DET004: per-rank Python loop inside SPMD-vectorized code.
+
+    The vector fast path exists because interpreting one Python step per
+    rank is what caps the simulator at a few thousand ranks; a region
+    marked ``# repro: spmd-vectorized`` promises that per-rank work is
+    expressed as numpy operations over the rank axis (the marked code
+    may still loop over tree *levels* or cost *classes* — those are
+    O(log p) and O(classes), not O(p)).  A ``for r in range(engine.ranks)``
+    reintroduces the O(p) interpreter cost the marker claims is absent,
+    and on the sharded engine it silently reads rank state owned by
+    another shard's time window.
+    """
+
+    info = RuleInfo(
+        id="DET004",
+        name="per-rank-loop-in-spmd",
+        severity=Severity.WARNING,
+        rationale="scalar per-rank loops inside SPMD-vectorized regions "
+        "defeat the fast path's sub-O(p) event count and break shard "
+        "ownership of rank state",
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not _in_tests_dir(ctx.path) and _SPMD_MARKER in ctx.source
+
+    @staticmethod
+    def _per_rank_iter(it: ast.expr) -> str | None:
+        """Display name when ``it`` iterates per rank, else None."""
+        name = dotted_name(it)
+        if name is not None and name.split(".")[-1] == "ranks":
+            return name
+        if isinstance(it, ast.Call):
+            fn = it.func
+            if isinstance(fn, ast.Name) and fn.id == "range":
+                for arg in it.args:
+                    n = dotted_name(arg)
+                    if n is not None and n.split(".")[-1] in _RANK_COUNT_NAMES:
+                        return f"range({n})"
+        return None
+
+    @staticmethod
+    def _marked_regions(
+        ctx: ModuleContext,
+    ) -> tuple[bool, set[ast.AST]]:
+        """Resolve markers: ``(module_wide, marked_functions)``.
+
+        A marker line inside a function's span marks the innermost such
+        function; a marker directly above a ``def`` (or its first
+        decorator) marks that function; anywhere else it marks the whole
+        module.
+        """
+        functions = [
+            fn
+            for fn in ast.walk(ctx.tree)
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        module_wide = False
+        marked: set[ast.AST] = set()
+        for i, line in enumerate(ctx.source.splitlines()):
+            if _SPMD_MARKER not in line:
+                continue
+            lineno = i + 1
+            inner = None
+            for fn in functions:
+                end = getattr(fn, "end_lineno", fn.lineno)
+                if fn.lineno <= lineno <= end:
+                    if inner is None or fn.lineno > inner.lineno:
+                        inner = fn
+            if inner is None:
+                for fn in functions:
+                    start = min(
+                        [d.lineno for d in fn.decorator_list] + [fn.lineno]
+                    )
+                    if start == lineno + 1:
+                        inner = fn
+                        break
+            if inner is not None:
+                marked.add(inner)
+            else:
+                module_wide = True
+        return module_wide, marked
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        """Flag per-rank ``for`` loops inside marked regions."""
+        module_wide, marked = self._marked_regions(ctx)
+        roots: Iterable[ast.AST] = [ctx.tree] if module_wide else marked
+        seen: set[ast.AST] = set()
+        for root in roots:
+            for node in ast.walk(root):
+                if not isinstance(node, ast.For) or node in seen:
+                    continue
+                seen.add(node)
+                name = self._per_rank_iter(node.iter)
+                if name is None:
+                    continue
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"per-rank Python loop (over {name}) inside "
+                    "SPMD-vectorized code; the fast path requires array "
+                    "ops over the rank axis",
+                    hint="vectorize with numpy over the rank axis, or "
+                    "drop the spmd-vectorized marker for this region",
+                )

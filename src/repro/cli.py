@@ -289,7 +289,12 @@ def cmd_perf(args: argparse.Namespace) -> int:
 
     if args.faults:
         return _perf_faults(args)
-    payload = run_perf(repeats=args.repeats, quick=args.quick)
+    ranks = (
+        [int(r) for r in args.ranks.split(",") if r] if args.ranks else None
+    )
+    payload = run_perf(
+        repeats=args.repeats, quick=args.quick, ranks=ranks, shards=args.shards
+    )
     if args.json:
         out = write_bench_json(payload, args.out or BENCH_FILENAME)
         print(f"wrote {out}")
@@ -561,6 +566,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the fault-injection sweep (time-to-converge vs crash rate) "
         "instead of the hot-path benchmarks",
+    )
+    perf.add_argument(
+        "--ranks",
+        default=None,
+        metavar="R1,R2,...",
+        help="comma-separated rank counts for the macro sweep "
+        "(e.g. 16384,65536,262144), replacing the default shape list",
+    )
+    perf.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run macro legs on the sharded engine with N OS processes "
+        "(power of two; virtual results are identical to --shards 1)",
     )
     perf.set_defaults(func=cmd_perf, command="perf")
     trace = sub.add_parser(

@@ -856,6 +856,8 @@ def simulate_training(
     cfg: SimJobConfig,
     obs: object | None = None,
     trace_p2p: bool = False,
+    vector: bool | None = None,
+    shards: int = 1,
 ) -> SimRunResult:
     """Run one simulated training configuration to completion.
 
@@ -867,6 +869,19 @@ def simulate_training(
     goldens).  ``trace_p2p`` additionally records per-message
     ``mpi_send``/``mpi_recv`` spans (heavy at scale; meant for
     ``repro trace`` exports of small shapes).
+
+    ``vector`` controls the SPMD fast path
+    (:mod:`repro.dist.vectorized`): ``None`` follows the
+    ``REPRO_SIM_VECTOR`` env toggle (default on), ``False`` forces the
+    scalar scheduler, ``True`` requests the fast path.  Either way the
+    fast path only engages when the run is eligible (see
+    :func:`repro.dist.vectorized.vector_eligible`; DESIGN.md §6e) —
+    heterogeneous runs (faults, recovery, staged load, serial bcast,
+    overlap, non-power-of-two ranks, small-theta shapes) fall back to
+    the per-process scheduler, and simulated results are bit-identical
+    on both paths.  ``shards > 1`` additionally partitions the vector
+    kernels across OS processes (:mod:`repro.sim.shard`); it is ignored
+    on the scalar path.
     """
     plan = _build_plan(cfg)
     network = cfg.network
@@ -915,11 +930,18 @@ def simulate_training(
 
         obs.add_collector(_fault_records)
     load_done = [0.0]
-    programs = _make_programs(
-        cfg, plan, load_done, network, policy,
-        injector=injector, recovery=recovery,
-    )
-    end_time, _values = comm.run(programs)
+    from repro.dist.vectorized import run_vectorized, vector_eligible, vector_enabled
+
+    if vector_enabled(vector) and vector_eligible(cfg, network, trace_p2p):
+        end_time = run_vectorized(
+            cfg, plan, network, policy, comm, load_done, shards=shards
+        )
+    else:
+        programs = _make_programs(
+            cfg, plan, load_done, network, policy,
+            injector=injector, recovery=recovery,
+        )
+        end_time, _values = comm.run(programs)
     if injector is not None:
         injector.record_degraded_spans(tracer, end_time)
     return SimRunResult(

@@ -1,0 +1,584 @@
+"""Vectorized SPMD fast path: whole-phase array execution of the trainer.
+
+When every rank runs the same program shape — the synchronous collective
+protocol of :mod:`repro.dist.simulated` with no faults, no gradient
+overlap, binomial modeled collectives, and a power-of-two communicator —
+the per-iteration schedule is a fixed sequence of *homogeneous phases*:
+a modeled-collective barrier (4-byte sync reduce + 4-byte go bcast +
+closed-form transfer charge), a per-worker compute charge, a master
+compute charge, or a real 16-byte binomial loss reduction.  This module
+replays that schedule as numpy operations over the per-rank clock vector
+— one heap event per phase via :class:`repro.sim.engine.VectorPhase`
+instead of O(ranks) generator steps per collective — and reproduces the
+scalar scheduler's virtual times, message counts, span totals, and comm
+matrices bit for bit (asserted by tests/test_sim_vector.py and gated by
+the determinism goldens).
+
+Bit-identity discipline (DESIGN.md §6e):
+
+* every floating-point expression replicates the scalar code's exact
+  operation sequence — ``max(t_send + transfer, end_wire) - t_send`` for
+  delivery delay, ``(t0 + s) - t0`` for span durations — never an
+  algebraically equal rewrite;
+* per-edge message costs come from the network model's *own* scalar
+  ``p2p_time``/``wire_time``/``injection_time`` calls, evaluated once
+  per cost-equivalence class (same-node flag + torus hop count + byte
+  count) and gathered back over the edge arrays — the formulas are
+  never re-derived in numpy;
+* per-rank clock folds follow each rank's program order: the binomial
+  tree sweeps process levels in the same ascending (reduce) /
+  descending (bcast) mask order the generators execute, and per-edge
+  wire-busy state is keyed exactly like the scalar scheduler's
+  ``(src, dst)`` map.
+"""
+
+# repro: spmd-vectorized  (module-wide: per-rank work is array ops; see DET004)
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.bgq.kernel import CnkNoise
+from repro.bgq.network import TorusNetworkModel
+from repro.dist.timeline import COLL, COMPUTE, P2P, label
+from repro.sim.engine import VectorPhase
+from repro.vmpi.collcost import bcast_cost, collective_params, reduce_cost
+from repro.vmpi.collectives import binomial_levels
+from repro.vmpi.costmodel import UniformNetwork
+
+__all__ = ["run_vectorized", "vector_eligible", "vector_enabled"]
+
+_SYNC_BYTES = 4
+"""Sync/go stub size inside a modeled collective's emergent barrier."""
+
+_LOSS_BYTES = 16
+"""Loss payload reduced through the real binomial tree every eval."""
+
+
+def vector_enabled(vector: bool | None) -> bool:
+    """Resolve the run-level switch: an explicit ``vector`` argument wins,
+    otherwise the ``REPRO_SIM_VECTOR`` env toggle (default on)."""
+    if vector is not None:
+        return bool(vector)
+    return os.environ.get("REPRO_SIM_VECTOR", "1") != "0"
+
+
+def vector_eligible(cfg: Any, network: Any, trace_p2p: bool) -> bool:
+    """True iff the run is exactly the homogeneous SPMD protocol the
+    vector executor replays bit-identically.
+
+    Any failing condition falls back to the per-process scalar scheduler
+    (DESIGN.md §6e lists the same conditions from the design side):
+
+    * no per-message tracing (``trace_p2p`` materializes p2p spans);
+    * no fault plan and no fault policy (faults/recovery are
+      heterogeneous by construction);
+    * binomial broadcast, no gradient overlap (serial bcast and the
+      bucketed overlap pipeline take different code paths per rank);
+    * ``load_data_mode`` master or parallel_io (the staged relay's
+      leader/member split is heterogeneous);
+    * noise model is exactly :class:`~repro.bgq.kernel.CnkNoise` (its
+      ``perturb`` is the identity and draws nothing from the rng);
+    * ``segment_bytes >= 16`` so the 4/16-byte control payloads are
+      never segmented by the tree algorithms;
+    * power-of-two ranks (full tree levels, no remainder branches) with
+      the theta fast path active (``theta_bytes > segment_bytes`` and
+      ``ranks > 8``), so every theta collective is a modeled barrier;
+    * the network is exactly :class:`TorusNetworkModel` or
+      :class:`UniformNetwork`, whose p2p costs are pure in
+      (same-node flag, hop count, nbytes) — the property the
+      class-representative cost tables rely on.
+    """
+    p = cfg.shape.ranks
+    wl = cfg.workload
+    return (
+        not trace_p2p
+        and (cfg.fault_plan is None or cfg.fault_plan.empty)
+        and cfg.fault_policy is None
+        and cfg.bcast_algorithm == "binomial"
+        and not cfg.overlap_gradient
+        and cfg.load_data_mode in ("master", "parallel_io")
+        and type(cfg.noise) is CnkNoise
+        and cfg.segment_bytes >= _LOSS_BYTES
+        and p > 8
+        and p & (p - 1) == 0
+        and wl.theta_bytes > cfg.segment_bytes
+        and type(network) in (TorusNetworkModel, UniformNetwork)
+    )
+
+
+# ------------------------------------------------------------- cost tables
+def _torus_hops(dims: tuple[int, ...], a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact torus hop counts between node index arrays ``a`` and ``b``.
+
+    Integer-only replica of ``TorusShape.coords`` + per-dimension ring
+    distance; used solely to *classify* edges — the actual costs still
+    come from the model's scalar calls.
+    """
+    total = np.zeros(a.shape, dtype=np.int64)
+    rem_a = a.astype(np.int64, copy=True)
+    rem_b = b.astype(np.int64, copy=True)
+    for d in reversed(dims):
+        ca = rem_a % d
+        rem_a //= d
+        cb = rem_b % d
+        rem_b //= d
+        diff = np.abs(ca - cb)
+        total += np.minimum(diff, d - diff)
+    return total
+
+
+def _edge_costs(
+    network: Any, src: np.ndarray, dst: np.ndarray, nbytes: Any
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-edge ``(transfer, wire)`` arrays via the model's own scalar calls.
+
+    Edges are grouped into cost-equivalence classes — ``(key, nbytes)``
+    where ``key`` is the torus hop count (-1 for same-node) or a single
+    class on the uniform model — and one representative edge per class is
+    priced with ``p2p_time``/``wire_time``.  Exact because both eligible
+    models' costs depend only on the class key and the byte count.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    n = src.size
+    sizes = np.broadcast_to(np.asarray(nbytes, dtype=np.int64), (n,))
+    if type(network) is UniformNetwork:
+        key = np.zeros(n, dtype=np.int64)  # tree edges never self-send
+    else:
+        rpn = network.ranks_per_node
+        node_s = src // rpn
+        node_d = dst // rpn
+        hops = _torus_hops(network.torus.dims, node_s, node_d)
+        key = np.where(node_s == node_d, np.int64(-1), hops)
+    classes = np.stack([key, sizes], axis=1)
+    uniq, inv = np.unique(classes, axis=0, return_inverse=True)
+    first = np.empty(len(uniq), dtype=np.int64)
+    first[inv[::-1]] = np.arange(n - 1, -1, -1)  # first edge of each class
+    transfer = np.empty(len(uniq), dtype=np.float64)
+    wire = np.empty(len(uniq), dtype=np.float64)
+    for c, j in enumerate(first):
+        s, d, b = int(src[j]), int(dst[j]), int(sizes[j])
+        transfer[c] = network.p2p_time(s, d, b)
+        wire[c] = network.wire_time(s, d, b)
+    return transfer[inv], wire[inv]
+
+
+# ----------------------------------------------------------------- executor
+class _VectorRun:
+    """Precomputed schedule + mutable clock state for one eligible run.
+
+    ``cur[r]`` is rank ``r``'s virtual clock; ``busy_up[r]`` /
+    ``busy_dn[r]`` mirror the scalar scheduler's per-``(src, dst)``
+    wire-busy map for the one up-tree edge ``(r, parent(r))`` and the one
+    down-tree edge ``(parent(r), r)`` each non-root rank owns.  Kernel
+    operations (tree sweeps, compute charges) go through
+    :attr:`backend` so the sharded runtime can farm out the block-local
+    work (``repro.sim.shard``); everything observable (spans, collective
+    stats, message accounting) stays on the coordinator.
+    """
+
+    def __init__(
+        self,
+        cfg: Any,
+        plan: Any,
+        network: Any,
+        policy: Any,
+        comm: Any,
+        load_done: list[float],
+    ) -> None:
+        self.cfg = cfg
+        self.plan = plan
+        self.network = network
+        self.comm = comm
+        self.load_done = load_done
+        self.tracer = comm.tracer
+
+        p = self.p = cfg.shape.ranks
+        wl = cfg.workload
+        shape = cfg.shape
+        cores, tpc, rpn = (
+            shape.cores_per_rank,
+            shape.threads_per_core,
+            shape.ranks_per_node,
+        )
+
+        self.cur = np.zeros(p, dtype=np.float64)
+        self.busy_up = np.zeros(p, dtype=np.float64)
+        self.busy_dn = np.zeros(p, dtype=np.float64)
+
+        self.levels = binomial_levels(p)
+        # (transfer, wire) per level, shared by both sweep directions:
+        # both models' costs are symmetric in (src, dst).
+        self.cost_sets = [
+            [_edge_costs(network, s, r, _SYNC_BYTES) for _, s, r in self.levels],
+            [_edge_costs(network, s, r, _LOSS_BYTES) for _, s, r in self.levels],
+        ]
+        self.inj_sets = [
+            network.injection_time(_SYNC_BYTES),
+            network.injection_time(_LOSS_BYTES),
+        ]
+
+        # theta routing frozen once, exactly like _make_programs
+        theta_nbytes = wl.theta_bytes
+        alpha, coll_bw = collective_params(network)
+        if policy is not None:
+            algo, cost = policy.bcast_choice(p, theta_nbytes)
+            b_algo, b_cost = str(algo), cost
+            algo, cost = policy.reduce_choice(p, theta_nbytes)
+            r_algo, r_cost = str(algo), cost
+        else:
+            b_algo = r_algo = "fixed"
+            b_cost = bcast_cost(p, theta_nbytes, alpha, coll_bw)
+            r_cost = reduce_cost(p, theta_nbytes, alpha, coll_bw)
+
+        # invariant per-worker compute charges (the scalar programs hoist
+        # these identically; CnkNoise.perturb is the identity)
+        grad_secs = wl.per_worker_seconds("gradient", plan.grad_frames, cores, tpc, rpn)
+        held_secs = wl.per_worker_seconds(
+            "heldout", plan.heldout_frames, cores, tpc, rpn
+        )
+        hf_master_secs = wl.master_vector_op_seconds(4.0)
+        cg_minimize_secs = wl.master_vector_op_seconds(6.0)
+
+        lbl_sync_master = label(COLL, "sync_weights_master")
+        lbl_sync = label(COLL, "sync_weights")
+        lbl_cg_bcast = label(COLL, "cg_bcast")
+        lbl_cg_reduce = label(COLL, "cg_reduce")
+        lbl_reduce_grad = label(COLL, "reduce_gradient")
+        lbl_reduce_loss = label(COLL, "reduce_loss")
+        lbl_gradient = label(COMPUTE, "gradient_loss")
+        lbl_curvature = label(COMPUTE, "worker_curvature_product")
+        lbl_heldout = label(COMPUTE, "heldout_loss")
+
+        self.backend: Any = _InlineBackend(self)
+        self.phases: list[Callable[[float], tuple[float, Any]]] = []
+        self.kernel_ops: list[tuple] = []
+        self.n_barriers = 0
+        self.n_loss = 0
+
+        self.phases.append(self._load_phase())
+        for it in range(cfg.script.n_iterations):
+            self._add_barrier("bcast", b_algo, b_cost, lbl_sync_master, lbl_sync)
+            self._add_compute_workers(grad_secs, lbl_gradient)
+            self._add_barrier(
+                "reduce", r_algo, r_cost, lbl_reduce_grad, lbl_reduce_grad
+            )
+            self._add_compute_master(hf_master_secs, label(COMPUTE, "hf_master"))
+            setup = wl.per_worker_seconds(
+                "curvature_setup", plan.curv_frames[it], cores, tpc, rpn
+            )
+            product = wl.per_worker_seconds(
+                "curvature_product", plan.curv_frames[it], cores, tpc, rpn
+            )
+            first_product = product + setup  # scalar order: product += setup
+            for k in range(cfg.script.cg_iters[it]):
+                self._add_barrier(
+                    "bcast", b_algo, b_cost, lbl_cg_bcast, lbl_cg_bcast
+                )
+                self._add_compute_workers(
+                    first_product if k == 0 else product, lbl_curvature
+                )
+                self._add_barrier(
+                    "reduce", r_algo, r_cost, lbl_cg_reduce, lbl_cg_reduce
+                )
+                self._add_compute_master(
+                    cg_minimize_secs, label(COMPUTE, "cg_minimize")
+                )
+            for _e in range(cfg.script.heldout_evals[it]):
+                self._add_barrier(
+                    "bcast", b_algo, b_cost, lbl_sync_master, lbl_sync
+                )
+                self._add_compute_workers(held_secs, lbl_heldout)
+                self._add_loss_reduce(lbl_reduce_loss)
+
+    # ---------------------------------------------------------- tree kernels
+    def up_sweep(self, cost_idx: int, lo: int = 0, hi: int | None = None) -> None:
+        """Ascending-mask reduce sweep over levels ``[lo, hi)``; each rank
+        sends to its parent at the level of its lowest set bit, exactly
+        the order ``_reduce_once`` executes."""
+        cur, busy = self.cur, self.busy_up
+        costs = self.cost_sets[cost_idx]
+        inj = self.inj_sets[cost_idx]
+        sl = slice(lo, hi)
+        for (_m, leaves, parents), (transfer, wire) in zip(
+            self.levels[sl], costs[sl]
+        ):
+            self._level(cur, busy, leaves, parents, leaves, transfer, wire, inj)
+
+    def down_sweep(self, cost_idx: int, lo: int = 0, hi: int | None = None) -> None:
+        """Descending-mask bcast sweep over levels ``[lo, hi)`` (indices in
+        ascending-level terms; processed reversed): each parent sends to
+        its children in descending-mask order, as ``_bcast_once`` does."""
+        cur, busy = self.cur, self.busy_dn
+        costs = self.cost_sets[cost_idx]
+        inj = self.inj_sets[cost_idx]
+        sl = slice(lo, hi)
+        for (_m, leaves, parents), (transfer, wire) in zip(
+            reversed(self.levels[sl]), reversed(costs[sl])
+        ):
+            self._level(cur, busy, parents, leaves, leaves, transfer, wire, inj)
+
+    @staticmethod
+    def _level(
+        cur: np.ndarray,
+        busy: np.ndarray,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        edge_key: np.ndarray,
+        transfer: np.ndarray,
+        wire: np.ndarray,
+        inj: float,
+    ) -> None:
+        """One tree level, replicating the scalar send path float-for-float:
+        ``_delivery_delay``'s wire-busy fold, arrival as
+        ``t_send + max(delay, injection)``, sender charged the injection,
+        receiver resumed at ``max(clock, arrival)``."""
+        t_send = cur[senders]
+        start = np.maximum(busy[edge_key], t_send)
+        end_wire = start + wire
+        busy[edge_key] = end_wire
+        delay = np.maximum(t_send + transfer, end_wire) - t_send
+        arrival = t_send + np.maximum(delay, inj)
+        cur[senders] = t_send + inj
+        cur[receivers] = np.maximum(cur[receivers], arrival)
+
+    # --------------------------------------------------------- phase builders
+    def _op(self, op: tuple) -> tuple:
+        self.kernel_ops.append(op)
+        return op
+
+    def _end(self) -> tuple[float, Any]:
+        return float(self.cur.max()), None
+
+    def _load_phase(self) -> Callable[[float], tuple[float, Any]]:
+        cfg = self.cfg
+        if cfg.load_data_mode == "parallel_io":
+            io_secs = float(self.plan.shard_bytes.sum()) / cfg.io_aggregate_bandwidth
+            lbl = label(COMPUTE, "load_data")
+
+            def run_io(_now: float) -> tuple[float, Any]:
+                cur = self.cur
+                new = cur[1:] + io_secs
+                d = new - cur[1:]
+                cur[1:] = new
+                if self.tracer is not None:
+                    self.tracer.add_bulk(lbl, 1, d)
+                self.load_done[0] = 0.0
+                return self._end()
+
+            return run_io
+
+        lbl = label(P2P, "load_data")
+
+        def run_master(_now: float) -> tuple[float, Any]:
+            p = self.p
+            network = self.network
+            shard = self.plan.shard_bytes
+            dst = np.arange(1, p, dtype=np.int64)
+            src = np.zeros(p - 1, dtype=np.int64)
+            uniq, inv = np.unique(shard, return_inverse=True)
+            injs = np.array(
+                [network.injection_time(int(b)) for b in uniq], dtype=np.float64
+            )[inv]
+            # the master's clock is the left fold of the injection times
+            # (ctx.send yields each one); cumsum IS that left fold
+            csum = np.cumsum(injs)
+            t_send = np.concatenate(([0.0], csum[:-1]))
+            transfer, wire = _edge_costs(network, src, dst, shard)
+            end_wire = t_send + wire  # first use of every (0, w) pair
+            delay = np.maximum(t_send + transfer, end_wire) - t_send
+            arrival = t_send + np.maximum(delay, injs)
+            cur = self.cur
+            cur[0] = csum[-1]
+            cur[1:] = arrival
+            # the load send seeds wire-busy on (0, w); only the root's
+            # tree children (power-of-two w) ever reuse that edge
+            pow2 = (dst & (dst - 1)) == 0
+            self.busy_dn[dst[pow2]] = end_wire[pow2]
+            if self.tracer is not None:
+                self.tracer.add_bulk(lbl, 0, cur.copy())  # spans start at 0.0
+            self.load_done[0] = float(cur[0])
+            return self._end()
+
+        return run_master
+
+    def _add_barrier(
+        self, op: str, algo: str, cost: float, lbl_master: str, lbl_worker: str
+    ) -> None:
+        self.n_barriers += 1
+        up = self._op(("up", 0))
+        down = self._op(("down", 0))
+        addc = self._op(("add", float(cost))) if cost > 0 else None
+
+        def run(_now: float) -> tuple[float, Any]:
+            cur = self.cur
+            coll = self.comm.coll_stats
+            backend = self.backend
+            t0 = cur.copy()
+            backend.run_op(up)
+            if coll is not None:
+                coll.on_bulk("reduce", "binomial", cur - t0)
+                t1 = cur.copy()
+            backend.run_op(down)
+            if coll is not None:
+                coll.on_bulk("bcast", "binomial", cur - t1)
+            if addc is not None:
+                backend.run_op(addc)
+            d = cur - t0
+            if self.tracer is not None:
+                if lbl_master == lbl_worker:
+                    self.tracer.add_bulk(lbl_master, 0, d)
+                else:
+                    self.tracer.add_bulk(lbl_master, 0, d[:1])
+                    self.tracer.add_bulk(lbl_worker, 1, d[1:])
+            if coll is not None:
+                coll.on_bulk(op, algo, d)
+            return self._end()
+
+        self.phases.append(run)
+
+    def _add_loss_reduce(self, lbl: str) -> None:
+        self.n_loss += 1
+        up = self._op(("up", 1))
+
+        def run(_now: float) -> tuple[float, Any]:
+            cur = self.cur
+            t0 = cur.copy()
+            self.backend.run_op(up)
+            d = cur - t0
+            if self.tracer is not None:
+                self.tracer.add_bulk(lbl, 0, d)
+            coll = self.comm.coll_stats
+            if coll is not None:
+                coll.on_bulk("reduce", "binomial", d)
+            return self._end()
+
+        self.phases.append(run)
+
+    def _add_compute_workers(self, secs: np.ndarray, lbl: str) -> None:
+        op = self._op(("cw", secs))
+
+        def run(_now: float) -> tuple[float, Any]:
+            cur = self.cur
+            old = cur[1:].copy()
+            self.backend.run_op(op)
+            d = cur[1:] - old
+            if self.tracer is not None:
+                self.tracer.add_bulk(lbl, 1, d)
+            return self._end()
+
+        self.phases.append(run)
+
+    def _add_compute_master(self, secs: float, lbl: str) -> None:
+        def run(_now: float) -> tuple[float, Any]:
+            cur = self.cur
+            c0 = cur[0]
+            new = c0 + secs
+            cur[0] = new
+            if self.tracer is not None:
+                self.tracer.add_bulk(lbl, 0, np.array([new - c0]))
+            return self._end()
+
+        self.phases.append(run)
+
+    # --------------------------------------------------------------- run/stats
+    def execute(self) -> float:
+        engine = self.comm.engine
+        if self.tracer is not None:
+            self.tracer.register_bulk(self.comm._rank_names)
+
+        def driver():
+            for fn in self.phases:
+                yield VectorPhase(fn)
+
+        engine.process(driver(), name="vector")
+        end = engine.run()
+        self._final_stats()
+        return float(end)
+
+    def _final_stats(self) -> None:
+        """Aggregate message accounting, exactly what the scalar path would
+        have counted send by send."""
+        p = self.p
+        edges = p - 1
+        msgs = edges * (2 * self.n_barriers + self.n_loss)
+        nbytes = edges * (
+            _SYNC_BYTES * 2 * self.n_barriers + _LOSS_BYTES * self.n_loss
+        )
+        loaded = self.cfg.load_data_mode == "master"
+        if loaded:
+            msgs += edges
+            nbytes += int(self.plan.shard_bytes.sum())
+        self.comm.bulk_account(msgs, nbytes)
+        stats = self.comm.comm_stats
+        if stats is None:
+            return
+        if loaded:
+            stats.on_bulk(
+                np.zeros(edges, dtype=np.int64),
+                np.arange(1, p, dtype=np.int64),
+                self.plan.shard_bytes,
+                1,
+            )
+        for _m, leaves, parents in self.levels:
+            stats.on_bulk(leaves, parents, _SYNC_BYTES, self.n_barriers)
+            stats.on_bulk(parents, leaves, _SYNC_BYTES, self.n_barriers)
+            if self.n_loss:
+                stats.on_bulk(leaves, parents, _LOSS_BYTES, self.n_loss)
+
+
+class _InlineBackend:
+    """Single-process kernel execution: ops run directly on the full arrays."""
+
+    __slots__ = ("run",)
+
+    def __init__(self, run: _VectorRun) -> None:
+        self.run = run
+
+    def run_op(self, op: tuple) -> None:
+        kind = op[0]
+        r = self.run
+        if kind == "up":
+            r.up_sweep(op[1])
+        elif kind == "down":
+            r.down_sweep(op[1])
+        elif kind == "add":
+            r.cur += op[1]
+        elif kind == "cw":
+            r.cur[1:] += op[1]
+        else:  # pragma: no cover - schedule and executor are built together
+            raise ValueError(f"unknown kernel op {op!r}")
+
+
+def run_vectorized(
+    cfg: Any,
+    plan: Any,
+    network: Any,
+    policy: Any,
+    comm: Any,
+    load_done: list[float],
+    shards: int = 1,
+) -> float:
+    """Execute one eligible SPMD run on the vector fast path.
+
+    Returns the virtual end time (``== Engine.finish_time``).  With
+    ``shards > 1`` the block-local kernel work is partitioned across OS
+    processes by :class:`repro.sim.shard.ShardPool`; results are
+    bit-identical to ``shards == 1`` because every shard executes the
+    same float operations on disjoint array slices.
+    """
+    run = _VectorRun(cfg, plan, network, policy, comm, load_done)
+    if shards > 1:
+        from repro.sim.shard import ShardPool
+
+        pool = ShardPool(run, shards, obs=comm.obs)
+        run.backend = pool
+        try:
+            return run.execute()
+        finally:
+            pool.close()
+    return run.execute()

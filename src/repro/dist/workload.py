@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import cached_property
 
+import numpy as np
+
 from repro.gemm.perf import GemmPerfModel, GemmProblem
 
 __all__ = ["ModelGeometry", "SimWorkload", "GEOMETRY_50HR", "GEOMETRY_400HR"]
@@ -175,6 +177,28 @@ class SimWorkload:
         """Forward only (plus sequence scoring if enabled)."""
         t = self._pass_seconds(frames, cores, tpc, 1.0, rpn)
         return t + self._seq_fb_seconds(frames, cores, tpc)
+
+    def per_worker_seconds(
+        self, kind: str, frames, cores: float, tpc: int, rpn: int = 1
+    ):
+        """Vectorized per-worker phase times for the SPMD fast path.
+
+        ``frames`` is an integer array of per-worker frame counts;
+        returns a float64 array where element ``i`` is **the identical
+        scalar call** ``<kind>_seconds(int(frames[i]), cores, tpc, rpn)``
+        — the model is evaluated once per *unique* frame count (balanced
+        partitioning repeats counts heavily) and gathered back, so the
+        result is bit-for-bit what the per-rank program loop computes,
+        at O(unique) model cost.  ``kind`` is one of ``gradient``,
+        ``curvature_setup``, ``curvature_product``, ``heldout``.
+        """
+        fn = getattr(self, f"{kind}_seconds")
+        frames = np.asarray(frames)
+        uniq, inverse = np.unique(frames, return_inverse=True)
+        vals = np.array(
+            [fn(int(f), cores, tpc, rpn) for f in uniq], dtype=np.float64
+        )
+        return vals[inverse].reshape(frames.shape)
 
     def master_vector_op_seconds(self, ops: float = 6.0) -> float:
         """CG bookkeeping on the master: ``ops`` sweeps over theta,

@@ -65,7 +65,16 @@ __all__ = [
 BENCH_FILENAME = "BENCH_sim_vmpi.json"
 
 MACRO_SHAPES = ("1024-4-16", "4096-4-16")
+LARGE_MACRO_SHAPES = ("16384-4-16", "65536-4-16", "262144-4-16")
+"""Vector-fast-path scale points: only reachable in reasonable wall time
+because the SPMD executor replays whole phases as array ops."""
 QUICK_MACRO_SHAPES = ("256-4-16",)
+
+OBS_INTERLEAVE_MAX_RANKS = 16384
+"""Largest macro shape timed with the obs-attached interleave; beyond it
+the plain run alone is timed (the obs overhead estimate is already
+established on the smaller shapes, and per-rank metric materialization
+at 65k+ ranks would dominate the measurement)."""
 
 
 # --------------------------------------------------------------------- micro
@@ -144,10 +153,18 @@ def bench_bcast_fanout(ranks: int = 256, rounds: int = 16) -> dict[str, Any]:
 
 
 # --------------------------------------------------------------------- macro
-def bench_macro(shape: str = "4096-4-16", obs: Any | None = None) -> dict[str, Any]:
+def bench_macro(
+    shape: str = "4096-4-16",
+    obs: Any | None = None,
+    vector: bool | None = None,
+    shards: int = 1,
+) -> dict[str, Any]:
     """One full simulated training run — the acceptance-criterion
     configuration (one outer iteration standing for 30).  ``obs`` is an
-    optional :class:`~repro.obs.metrics.MetricsRegistry` to attach."""
+    optional :class:`~repro.obs.metrics.MetricsRegistry` to attach;
+    ``vector``/``shards`` select the SPMD fast path / sharded engine
+    exactly as on :func:`~repro.dist.simulated.simulate_training` (the
+    virtual invariants are identical on every path)."""
     from repro.bgq import RunShape
     from repro.dist import IterationScript, SimJobConfig, simulate_training
     from repro.harness.scaling import default_workload
@@ -158,7 +175,7 @@ def bench_macro(shape: str = "4096-4-16", obs: Any | None = None) -> dict[str, A
         script=IterationScript((10,), (3,), represented_iterations=30),
         seed=7,
     )
-    res = simulate_training(cfg, obs=obs)
+    res = simulate_training(cfg, obs=obs, vector=vector, shards=shards)
     return {
         "virtual_finish": res.load_data_seconds + res.iteration_seconds,
         "messages": res.total_messages,
@@ -215,7 +232,7 @@ def registry_metrics_block(reg: Any) -> dict[str, Any]:
 
 
 def bench_macro_obs(
-    shape: str, registry_sink: list[Any] | None = None
+    shape: str, registry_sink: list[Any] | None = None, shards: int = 1
 ) -> dict[str, Any]:
     """:func:`bench_macro` with a fresh metrics registry attached — the
     instrumented engine loop and comm hooks (the observability overhead
@@ -229,7 +246,7 @@ def bench_macro_obs(
     from repro.obs import MetricsRegistry
 
     reg = MetricsRegistry()
-    result = bench_macro(shape, obs=reg)
+    result = bench_macro(shape, obs=reg, shards=shards)
     if registry_sink is not None:
         registry_sink.append(reg)
     return result
@@ -288,11 +305,19 @@ def _time(fn: Callable[[], dict[str, Any]], repeats: int) -> dict[str, Any]:
     return _time_interleaved([fn], repeats)[0]
 
 
-def run_perf(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
+def run_perf(
+    repeats: int = 3,
+    quick: bool = False,
+    ranks: list[int] | None = None,
+    shards: int = 1,
+) -> dict[str, Any]:
     """Run every benchmark; returns the ``BENCH_sim_vmpi.json`` payload.
 
     ``quick`` shrinks the workloads for smoke-testing the harness itself
-    (CI); published baselines use the default sizes.
+    (CI); published baselines use the default sizes.  ``ranks`` replaces
+    the macro shape list with ``<r>-4-16`` entries (the ``repro perf
+    --ranks 16384,65536,262144`` sweep); ``shards`` runs the macro legs
+    on the sharded engine (virtual invariants are unaffected).
     """
     if quick:
         micro = {
@@ -308,8 +333,10 @@ def run_perf(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
             "p2p_ping_ring": bench_ping_ring,
             "bcast_fanout": bench_bcast_fanout,
         }
-        shapes = MACRO_SHAPES
+        shapes = MACRO_SHAPES + LARGE_MACRO_SHAPES
         coll_spec = MACRO_SHAPES[0]
+    if ranks:
+        shapes = tuple(f"{r}-4-16" for r in ranks)
     payload: dict[str, Any] = {
         "benchmark": "sim_vmpi",
         "protocol": {
@@ -317,6 +344,7 @@ def run_perf(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
             "timer": "time.perf_counter",
             "gc": "disabled during timed region",
             "estimator": "min over repeats (best_s)",
+            "shards": shards,
         },
         "micro": {},
         "macro": {},
@@ -328,11 +356,16 @@ def run_perf(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
         lambda: bench_collectives(coll_spec), repeats
     )
     for shape in shapes:
+        if int(shape.split("-")[0]) > OBS_INTERLEAVE_MAX_RANKS:
+            payload["macro"][shape] = _time(
+                lambda s=shape: bench_macro(s, shards=shards), repeats
+            )
+            continue
         sink: list[Any] = []
         entry, obs_entry = _time_interleaved(
             [
-                lambda s=shape: bench_macro(s),
-                lambda s=shape: bench_macro_obs(s, sink),
+                lambda s=shape: bench_macro(s, shards=shards),
+                lambda s=shape: bench_macro_obs(s, sink, shards=shards),
             ],
             repeats,
         )

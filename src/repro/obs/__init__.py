@@ -24,7 +24,12 @@ with it both off and on), and detached code paths pay nothing.
 
 from repro.obs.fmt import fmt_fields, fmt_scalar
 from repro.obs.hooks import MESSAGE_SIZE_BOUNDS, CommStats
-from repro.obs.export import chrome_trace, write_chrome_trace, write_metrics_jsonl
+from repro.obs.export import (
+    StreamingMetricsWriter,
+    chrome_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -48,6 +53,7 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "write_metrics_jsonl",
+    "StreamingMetricsWriter",
     "counter_record",
     "gauge_record",
     "histogram_record",

@@ -27,6 +27,7 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "write_metrics_jsonl",
+    "StreamingMetricsWriter",
 ]
 
 _RANK_NAME = re.compile(r"^rank(\d+)$")
@@ -98,6 +99,55 @@ def write_chrome_trace(tracer: Any, path: str | Path) -> Path:
     return out
 
 
+class StreamingMetricsWriter:
+    """Incremental JSONL metrics sink: one record per line, flushed as
+    written, nothing buffered for the run's lifetime.
+
+    Long sweeps (the 262k-rank scaling recipe, the fault sweep) emit
+    metric records continuously; building the whole dump in memory and
+    writing at exit both bloats the peak footprint and loses everything
+    on a crash.  The streaming writer makes each record durable the
+    moment it is produced:
+
+    >>> with StreamingMetricsWriter(path) as w:
+    ...     w.write({"record": "run", "shape": spec})
+    ...     w.write_snapshot(registry)
+
+    Records serialize with sorted keys (stable diffs); numpy scalars
+    degrade via their ``item()`` like the batch writer.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self.records_written = 0
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Serialize one record, write it, and flush it to the OS."""
+        self._fh.write(json.dumps(record, sort_keys=True, default=_default) + "\n")
+        self._fh.flush()
+        self.records_written += 1
+
+    def write_snapshot(self, registry: MetricsRegistry) -> int:
+        """Stream every record of a registry snapshot; returns the count."""
+        n = 0
+        for rec in registry.snapshot():
+            self.write(rec)
+            n += 1
+        return n
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "StreamingMetricsWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
 def write_metrics_jsonl(
     registry: MetricsRegistry,
     path: str | Path,
@@ -107,15 +157,14 @@ def write_metrics_jsonl(
 
     ``extra_records`` are appended after the snapshot in caller order —
     run-level context (shape, seed, workload) that is not a metric.
+    Implemented over :class:`StreamingMetricsWriter`, so each record
+    hits the file as it serializes instead of accumulating in memory.
     """
-    records = registry.snapshot()
-    if extra_records:
-        records = records + list(extra_records)
-    out = Path(path)
-    out.write_text(
-        "".join(json.dumps(rec, sort_keys=True, default=_default) + "\n" for rec in records)
-    )
-    return out
+    with StreamingMetricsWriter(path) as writer:
+        writer.write_snapshot(registry)
+        for rec in extra_records or ():
+            writer.write(rec)
+    return writer.path
 
 
 def _default(obj: Any) -> Any:

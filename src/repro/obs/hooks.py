@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
@@ -67,7 +69,7 @@ class CommStats:
     benchmark shapes.
     """
 
-    __slots__ = ("size", "log", "pairs", "size_hist", "_folded")
+    __slots__ = ("size", "log", "bulk", "pairs", "size_hist", "_folded", "_bulk_folded")
 
     def __init__(self, size: int) -> None:
         self.size = size
@@ -75,11 +77,25 @@ class CommStats:
         """Hook-order event log: ``(src, dst, nbytes)`` for a send,
         ``(src, dst, -1)`` for a consume.  Order is what makes the
         replayed high-water marks exact."""
+        self.bulk: list[tuple[Any, Any, Any, int]] = []
+        """Vectorized-path event log: ``(src_array, dst_array, nbytes,
+        count)`` entries, each describing ``count`` repetitions of a
+        send-then-consume on every listed pair (``nbytes`` scalar or a
+        per-pair array).  Per-pair message counts, byte counts, and the
+        size histogram fold exactly — bit-identical to the scalar
+        scheduler's replay.  The outstanding high-water mark folds as
+        the phase-steady-state 1 per pair: the vector executor runs each
+        collective phase atomically, so transient cross-phase backlogs
+        (e.g. a slow root still consuming a loss-tree message when the
+        next barrier's sync stub lands) are not modeled — HWMs from bulk
+        entries are a lower bound, excluded from cross-path equivalence
+        checks (tests/test_sim_vector.py)."""
         self.pairs: dict[tuple[int, int], list[int]] = {}
         """``(src, dst) -> [messages, bytes, outstanding, hwm]``, built
         lazily from :attr:`log`; always read through a report method."""
         self.size_hist = Histogram(MESSAGE_SIZE_BOUNDS)
         self._folded = 0  # log prefix already folded into ``pairs``
+        self._bulk_folded = 0  # bulk prefix already folded into ``pairs``
 
     # ------------------------------------------------------------ hot hooks
     def on_send(self, src: int, dst: int, nbytes: int) -> None:
@@ -88,30 +104,58 @@ class CommStats:
     def on_consume(self, src: int, dst: int) -> None:
         self.log.append((src, dst, -1))
 
+    def on_bulk(self, src, dst, nbytes, count: int = 1) -> None:
+        """Record ``count`` send+consume rounds on each ``(src[i], dst[i])``
+        pair of ``nbytes[i]`` (or scalar ``nbytes``) bytes apiece."""
+        self.bulk.append((src, dst, nbytes, count))
+
     # ------------------------------------------------------------- reports
     def _fold(self) -> None:
         """Replay unfolded log entries into the per-pair rows."""
         log = self.log
-        if self._folded == len(log):
-            return
         pairs = self.pairs
         observe = self.size_hist.observe
-        for i in range(self._folded, len(log)):
-            src, dst, nb = log[i]
-            row = pairs.get((src, dst))
-            if row is None:
-                row = pairs[(src, dst)] = [0, 0, 0, 0]
-            if nb >= 0:
-                row[0] += 1
-                row[1] += nb
-                out = row[2] + 1
-                row[2] = out
-                if out > row[3]:
-                    row[3] = out
-                observe(nb)
-            else:
-                row[2] -= 1
-        self._folded = len(log)
+        if self._folded != len(log):
+            for i in range(self._folded, len(log)):
+                src, dst, nb = log[i]
+                row = pairs.get((src, dst))
+                if row is None:
+                    row = pairs[(src, dst)] = [0, 0, 0, 0]
+                if nb >= 0:
+                    row[0] += 1
+                    row[1] += nb
+                    out = row[2] + 1
+                    row[2] = out
+                    if out > row[3]:
+                        row[3] = out
+                    observe(nb)
+                else:
+                    row[2] -= 1
+            self._folded = len(log)
+        bulk = self.bulk
+        if self._bulk_folded != len(bulk):
+            counts = self.size_hist.counts
+            bucket_of = self.size_hist.bucket_of
+            for i in range(self._bulk_folded, len(bulk)):
+                src, dst, nbytes, count = bulk[i]
+                scalar_nb = not hasattr(nbytes, "__len__")
+                for j in range(len(src)):
+                    s, d = int(src[j]), int(dst[j])
+                    nb = int(nbytes) if scalar_nb else int(nbytes[j])
+                    row = pairs.get((s, d))
+                    if row is None:
+                        row = pairs[(s, d)] = [0, 0, 0, 0]
+                    row[0] += count
+                    row[1] += nb * count
+                    # each send is consumed before the pair is reused, so
+                    # outstanding peaks at current + 1 and returns
+                    if row[2] + 1 > row[3]:
+                        row[3] = row[2] + 1
+                    counts[bucket_of(nb)] += count
+                    # integer byte sizes sum exactly in float64, so the
+                    # histogram sum is order-independent here
+                    self.size_hist.total += nb * count
+            self._bulk_folded = len(bulk)
 
     def outstanding(self, src: int, dst: int) -> int:
         """Messages sent ``src -> dst`` not yet consumed by a receive."""
@@ -223,38 +267,65 @@ class CollectiveStats:
     overhead on the collective path is one list append.
     """
 
-    __slots__ = ("log", "counts", "durations", "_folded")
+    __slots__ = ("log", "bulk", "counts", "durations", "_folded", "_bulk_folded")
 
     def __init__(self) -> None:
         self.log: list[tuple[str, str, float]] = []
         """Hook-order event log: ``(op, algo, simulated seconds)``."""
+        self.bulk: list[tuple[str, str, Any]] = []
+        """Vectorized-path event log: ``(op, algo, durations_array)``
+        entries — one array of per-rank durations per collective phase.
+        Bucket counts fold exactly (bucketing is order-independent); the
+        histogram ``sum`` accumulates in array order rather than the
+        scalar scheduler's global event interleave, so it is the one
+        collective statistic that is not bit-comparable across paths."""
         self.counts: dict[tuple[str, str], int] = {}
         """``(op, algo) -> completions``, built lazily from :attr:`log`;
         always read through a report method."""
         self.durations: dict[str, Histogram] = {}
         """``op -> simulated-duration histogram`` (fixed bounds)."""
         self._folded = 0  # log prefix already folded
+        self._bulk_folded = 0  # bulk prefix already folded
 
     # ------------------------------------------------------------ hot hook
     def on_collective(self, op: str, algo: str, seconds: float) -> None:
         self.log.append((op, algo, seconds))
 
+    def on_bulk(self, op: str, algo: str, durations) -> None:
+        """Record one completed collective per element of ``durations``."""
+        self.bulk.append((op, algo, durations))
+
     # ------------------------------------------------------------- reports
     def _fold(self) -> None:
         log = self.log
-        if self._folded == len(log):
-            return
         counts = self.counts
         durations = self.durations
-        for i in range(self._folded, len(log)):
-            op, algo, seconds = log[i]
-            key = (op, algo)
-            counts[key] = counts.get(key, 0) + 1
-            hist = durations.get(op)
-            if hist is None:
-                hist = durations[op] = Histogram(COLLECTIVE_SECONDS_BOUNDS)
-            hist.observe(seconds)
-        self._folded = len(log)
+        if self._folded != len(log):
+            for i in range(self._folded, len(log)):
+                op, algo, seconds = log[i]
+                key = (op, algo)
+                counts[key] = counts.get(key, 0) + 1
+                hist = durations.get(op)
+                if hist is None:
+                    hist = durations[op] = Histogram(COLLECTIVE_SECONDS_BOUNDS)
+                hist.observe(seconds)
+            self._folded = len(log)
+        bulk = self.bulk
+        if self._bulk_folded != len(bulk):
+            for i in range(self._bulk_folded, len(bulk)):
+                op, algo, arr = bulk[i]
+                key = (op, algo)
+                counts[key] = counts.get(key, 0) + len(arr)
+                hist = durations.get(op)
+                if hist is None:
+                    hist = durations[op] = Histogram(COLLECTIVE_SECONDS_BOUNDS)
+                idx = np.searchsorted(hist.bounds, arr, side="left")
+                binned = np.bincount(idx, minlength=len(hist.counts))
+                for b, n in enumerate(binned):
+                    if n:
+                        hist.counts[b] += int(n)
+                hist.total += float(arr.sum())
+            self._bulk_folded = len(bulk)
 
     def algo_report(self) -> list[tuple[tuple[str, str], int]]:
         """``((op, algo), completions)`` rows, sorted by (op, algo)."""

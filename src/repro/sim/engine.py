@@ -37,6 +37,7 @@ __all__ = [
     "Get",
     "Put",
     "AllOf",
+    "VectorPhase",
     "Store",
     "DeadlockError",
     "GetTimeout",
@@ -213,6 +214,26 @@ class AllOf:
         self.processes = processes
 
 
+class VectorPhase:
+    """Execute one batched SPMD phase as a single heap event.
+
+    The vectorized fast path (:mod:`repro.dist.vectorized`) drives a
+    whole homogeneous rank population from one process.  Yielding a
+    ``VectorPhase`` calls ``fn(now) -> (end, value)`` synchronously:
+    ``fn`` advances every rank's clock with array operations and returns
+    the virtual time at which the driving process resumes (``end`` must
+    be ``>= now``) plus the value delivered at the ``yield``.  One event
+    replaces the N-generator-step interleaving the scalar scheduler
+    would perform for the same phase; the exact eligibility conditions
+    and fallback rules are in DESIGN.md §6e.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[float], tuple[float, Any]]) -> None:
+        self.fn = fn
+
+
 class SimProcess:
     """A running simulated process wrapping a generator body."""
 
@@ -320,6 +341,10 @@ class Engine:
         self._obs_events = [0, 0, 0]  # resume / put / action, by kind
         self._obs_peak_heap = 0
         self._obs_peak_ready = 0
+        self._vector_phases = 0
+        """Count of :class:`VectorPhase` commands dispatched — always
+        maintained (not just under obs) so tests can assert the fast
+        path actually engaged."""
 
     # ----------------------------------------------------------- observability
     def attach_obs(self, registry: Any) -> None:
@@ -348,6 +373,7 @@ class Engine:
             counter_record("sim.events", resume, kind="resume"),
             counter_record("sim.events", put, kind="put"),
             counter_record("sim.events", action, kind="action"),
+            counter_record("sim.vector_phases", self._vector_phases),
             counter_record("sim.processes", len(self._processes)),
             gauge_record("sim.heap_depth", len(self._queue), peak=float(self._obs_peak_heap)),
             gauge_record("sim.ready_depth", len(self._ready), peak=float(self._obs_peak_ready)),
@@ -456,6 +482,12 @@ class Engine:
         """
         if self._obs is not None:
             return self._run_instrumented(until)
+        if until is not None and self._now > until:
+            # The clock already sits past ``until``: firing anything
+            # (even zero-delay ready entries, which are stamped at the
+            # current time) would run events later than the cap, and
+            # rewinding to ``until`` would move the clock backward.
+            return self._now
         queue = self._queue
         ready = self._ready
         heappop = heapq.heappop
@@ -498,6 +530,8 @@ class Engine:
         pre-pop length majorizes every length since the previous pop and
         the sampled maximum equals the true maximum.
         """
+        if until is not None and self._now > until:
+            return self._now  # same past-the-cap guard as the plain loop
         queue = self._queue
         ready = self._ready
         heappop = heapq.heappop
@@ -671,6 +705,15 @@ class Engine:
                 for p in command.processes:
                     if not p.finished:
                         p._waiters.append((proc, command))
+        elif cls is VectorPhase:
+            end, value = command.fn(self._now)
+            self._vector_phases += 1
+            proc._blocked_cmd = command
+            if end <= self._now:
+                self._ready.append((self._seq, 0, proc, value))
+            else:
+                heapq.heappush(self._queue, (end, self._seq, 0, proc, value))
+            self._seq += 1
         elif isinstance(command, Timeout):  # pragma: no cover - subclass path
             proc._blocked_cmd = command
             self.schedule(command.delay, lambda: self._resume(proc, None))

@@ -1,0 +1,200 @@
+"""Sharded execution of the vectorized SPMD kernel across OS processes.
+
+:class:`ShardPool` partitions the rank vector of a
+:class:`repro.dist.vectorized._VectorRun` into ``shards`` contiguous
+blocks — contiguous ranks are contiguous nodes on the torus
+(``node = rank // ranks_per_node``), so each block is a torus
+sub-partition — and executes the block-local portion of every kernel
+operation in a dedicated forked worker process.  The per-rank clock and
+wire-busy vectors live in shared memory; workers mutate disjoint slices,
+so the run is bit-identical to the single-process inline backend (and to
+the scalar per-generator scheduler) by construction: every array element
+is written by exactly one process, with exactly the same float
+operations in exactly the same order.
+
+Work split (DESIGN.md §6e)
+--------------------------
+With block size ``S = ranks // shards`` (both powers of two), a binomial
+tree level of mask ``m`` is *block-local* iff ``m < S``: a sender at
+level ``m`` has ``lowbit(rank) == m``, so ``rank mod S`` also has low
+bit ``m`` and the partner ``rank ∓ m`` stays inside the same block.
+Workers therefore execute
+
+* the ascending reduce levels ``m = 1 .. S/2`` restricted to their
+  block (before the coordinator folds the ``log2(shards)`` cross-shard
+  levels ``m >= S``),
+* the descending bcast levels ``m = S/2 .. 1`` (after the coordinator's
+  cross levels),
+* their slice of per-worker compute charges and closed-form cost adds.
+
+Synchronization is a conservative time-window protocol realized with
+two process barriers per kernel op: the coordinator releases a window,
+workers advance their block through everything block-local, and the
+window closes before any cross-shard tree level touches boundary state.
+The safe lookahead is :func:`repro.vmpi.costmodel.min_cross_latency` —
+the minimum latency of any message crossing a shard boundary; whenever
+the observed clock spread across shards exceeds it, an optimistic
+window of that width would have had to stall, which the coordinator
+reports through the ``sim.shard.window_stalls`` counter and the
+``sim.shard.window_spread_seconds`` gauge (per-shard op counts land in
+``sim.shard.kernel_ops``).
+"""
+
+# repro: spmd-vectorized  (module-wide: per-rank work is array ops; see DET004)
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.vmpi.costmodel import min_cross_latency
+
+__all__ = ["ShardPool"]
+
+
+def _local_sweep(run: Any, cost_idx: int, b0: int, b1: int, up: bool) -> None:
+    """Block-local tree levels for the block ``[b0, b1)``.
+
+    Mirrors ``_VectorRun.up_sweep``/``down_sweep`` exactly, restricted
+    to the block's slice of each level's leaf arrays: level mask ``m``
+    strides leaves ``2m`` apart, so the block's leaves occupy indices
+    ``[b0 // 2m, b1 // 2m)`` of the level arrays.
+    """
+    size = b1 - b0
+    n_local = size.bit_length() - 1
+    cur = run.cur
+    busy = run.busy_up if up else run.busy_dn
+    costs = run.cost_sets[cost_idx]
+    inj = run.inj_sets[cost_idx]
+    order = range(n_local) if up else range(n_local - 1, -1, -1)
+    for i in order:
+        _m, leaves, parents = run.levels[i]
+        transfer, wire = costs[i]
+        stride = 2 << i
+        j0, j1 = b0 // stride, b1 // stride
+        lv, pr = leaves[j0:j1], parents[j0:j1]
+        t, w = transfer[j0:j1], wire[j0:j1]
+        if up:
+            run._level(cur, busy, lv, pr, lv, t, w, inj)
+        else:
+            run._level(cur, busy, pr, lv, lv, t, w, inj)
+
+
+def _worker_loop(run: Any, b0: int, b1: int, start_b: Any, end_b: Any) -> None:
+    """One shard worker: replay the static kernel schedule on one block."""
+    cur = run.cur
+    try:
+        for op in run.kernel_ops:
+            start_b.wait()
+            kind = op[0]
+            if kind == "up":
+                _local_sweep(run, op[1], b0, b1, up=True)
+            elif kind == "down":
+                _local_sweep(run, op[1], b0, b1, up=False)
+            elif kind == "add":
+                cur[b0:b1] += op[1]
+            elif kind == "cw":
+                lo = max(b0, 1)
+                cur[lo:b1] += op[1][lo - 1 : b1 - 1]
+            end_b.wait()
+    except threading.BrokenBarrierError:
+        return  # coordinator aborted the run; exit quietly
+
+
+class ShardPool:
+    """Kernel backend farming block-local work out to forked processes.
+
+    Drop-in for ``_VectorRun``'s inline backend: the coordinator calls
+    :meth:`run_op` for each kernel op in schedule order; two barriers
+    bracket the workers' block-local window, and the coordinator folds
+    the cross-shard tree levels outside it (before the window for
+    descending bcast sweeps, after it for ascending reduce sweeps).
+    Must be installed *before* :meth:`_VectorRun.execute` and closed
+    afterwards; construction rebinds the run's state vectors onto
+    shared memory and forks, so the static schedule (levels, cost
+    tables, compute charges) is inherited copy-on-write.
+    """
+
+    def __init__(self, run: Any, shards: int, obs: Any = None) -> None:
+        p = run.p
+        if shards < 2 or shards & (shards - 1) or p % shards:
+            raise ValueError(
+                f"shards must be a power of two >= 2 dividing ranks: "
+                f"{shards} shards over {p} ranks"
+            )
+        if not self.supported():
+            raise RuntimeError("sharded execution requires fork-capable multiprocessing")
+        self.run = run
+        self.shards = shards
+        self._block = p // shards
+        self._n_local = self._block.bit_length() - 1
+        self.lookahead = min_cross_latency(run.network, p, shards)
+
+        ctx = multiprocessing.get_context("fork")
+        # Rebind clock + wire-busy state onto shared memory before forking;
+        # zero-initialized exactly like the arrays they replace (execute()
+        # has not started, so nothing is lost).
+        for name in ("cur", "busy_up", "busy_dn"):
+            raw = ctx.RawArray("d", p)
+            shared = np.frombuffer(raw, dtype=np.float64)
+            shared[:] = getattr(run, name)
+            setattr(run, name, shared)
+        self._start = ctx.Barrier(shards + 1)
+        self._end = ctx.Barrier(shards + 1)
+
+        self._stalls = self._spread = None
+        self._op_counters: list[Any] = []
+        if obs is not None:
+            self._stalls = obs.counter("sim.shard.window_stalls")
+            self._spread = obs.gauge("sim.shard.window_spread_seconds")
+            self._op_counters = [
+                obs.counter("sim.shard.kernel_ops", shard=q) for q in range(shards)
+            ]
+
+        self._procs = []
+        for q in range(shards):
+            b0 = q * self._block
+            proc = ctx.Process(
+                target=_worker_loop,
+                args=(run, b0, b0 + self._block, self._start, self._end),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    @staticmethod
+    def supported() -> bool:
+        """True where fork-based shared-memory workers are available."""
+        return hasattr(os, "fork")
+
+    def run_op(self, op: tuple) -> None:
+        """Execute one kernel op across the pool (coordinator side)."""
+        r = self.run
+        kind = op[0]
+        if kind == "down":
+            r.down_sweep(op[1], lo=self._n_local)
+        self._start.wait()
+        self._end.wait()
+        if kind == "up":
+            r.up_sweep(op[1], lo=self._n_local)
+        for c in self._op_counters:
+            c.inc()
+        if self._stalls is not None and kind in ("up", "down"):
+            spread = float(r.cur.max() - r.cur.min())
+            self._spread.set(spread)
+            if spread > self.lookahead:
+                self._stalls.inc()
+
+    def close(self) -> None:
+        """Tear the pool down; safe after both clean and aborted runs."""
+        self._start.abort()
+        self._end.abort()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive cleanup
+                proc.terminate()
+                proc.join(timeout=1.0)

@@ -34,14 +34,29 @@ class Span(NamedTuple):
 
 
 class Tracer:
-    """Collects spans; queryable by process and by label."""
+    """Collects spans; queryable by process and by label.
 
-    __slots__ = ("spans", "_by_process", "_all")
+    Two recording surfaces share the aggregate store: :meth:`record`
+    takes one span at a time (the scalar scheduler path), and
+    :meth:`add_bulk` folds a whole population's durations for one label
+    in a single array operation (the vectorized SPMD path, which never
+    materialises per-rank ``Span`` objects — ``spans`` stays empty for
+    bulk-recorded processes).  Per-process totals are bit-identical
+    between the two surfaces because a rank's spans arrive in its
+    program order on both paths and the bulk fold is an elementwise
+    left-fold in that same order.
+    """
+
+    __slots__ = ("spans", "_by_process", "_all", "_bulk", "_bulk_index", "_bulk_names")
 
     def __init__(self, spans: list[Span] | None = None) -> None:
         self.spans: list[Span] = []
         self._by_process: dict[str, dict[str, float]] = {}
         self._all: dict[str, float] = {}
+        # bulk (vectorized) aggregates: label -> [(base_row, ndarray)]
+        self._bulk: dict[str, list[tuple[int, object]]] = {}
+        self._bulk_index: dict[str, int] = {}
+        self._bulk_names: list[str] = []
         if spans:
             for s in spans:
                 self.record(s.process, s.label, s.start, s.end)
@@ -64,6 +79,37 @@ class Tracer:
         agg[label] = agg.get(label, 0.0) + duration
         self._all[label] = self._all.get(label, 0.0) + duration
         return span
+
+    # ------------------------------------------------------- bulk (vectorized)
+    def register_bulk(self, names: list[str]) -> None:
+        """Declare the process rows bulk arrays index into.
+
+        ``names[i]`` is the process name whose durations live at row
+        ``i`` of every array later passed to :meth:`add_bulk` (offset by
+        that call's ``base``).  The vectorized executor registers
+        ``["rank0", ..., "rankN-1"]`` once per run.
+        """
+        self._bulk_names = list(names)
+        self._bulk_index = {n: i for i, n in enumerate(self._bulk_names)}
+
+    def add_bulk(self, label: str, base: int, values) -> None:
+        """Fold per-process durations for ``label`` in one array op.
+
+        ``values[j]`` is the duration charged to registered row
+        ``base + j``; rows outside ``[base, base + len(values))`` do not
+        gain the label (mirroring span recording, where a process that
+        never records a label has no key in its totals).  Repeated calls
+        with the same ``(label, base, len)`` accumulate elementwise in
+        call order — for each row that is exactly the float-addition
+        order of per-span recording in program order, so per-process
+        totals match the scalar path bit-for-bit.
+        """
+        segments = self._bulk.setdefault(label, [])
+        for seg_base, arr in segments:
+            if seg_base == base and len(arr) == len(values):  # type: ignore[arg-type]
+                arr += values  # type: ignore[operator]
+                return
+        segments.append((base, values.copy()))
 
     @classmethod
     def merge(cls, *tracers: "Tracer") -> "Tracer":
@@ -88,13 +134,50 @@ class Tracer:
         return merged
 
     def totals(self, process: str | None = None) -> dict[str, float]:
-        """Total duration per label, optionally restricted to one process."""
+        """Total duration per label, optionally restricted to one process.
+
+        Per-process totals are bit-stable across the scalar and bulk
+        recording surfaces.  Global totals (``process=None``) sum bulk
+        rows with an array reduction, whose fold order differs from the
+        scalar path's global event interleave — compare per-process
+        totals, not global ones, across scheduler paths.
+        """
         if process is None:
-            return dict(self._all)
-        return dict(self._by_process.get(process, ()))
+            out = dict(self._all)
+            for label, segments in self._bulk.items():
+                acc = out.get(label, 0.0)
+                for _, arr in segments:
+                    acc += float(arr.sum())  # type: ignore[attr-defined]
+                out[label] = acc
+            return out
+        out = dict(self._by_process.get(process, ()))
+        idx = self._bulk_index.get(process)
+        if idx is not None:
+            for label, segments in self._bulk.items():
+                for base, arr in segments:
+                    if base <= idx < base + len(arr):  # type: ignore[arg-type]
+                        out[label] = out.get(label, 0.0) + float(arr[idx - base])  # type: ignore[index]
+        return out
 
     def by_process(self) -> dict[str, dict[str, float]]:
-        return {p: dict(d) for p, d in self._by_process.items()}
+        """Per-process label totals, spanning both recording surfaces."""
+        out = {p: dict(d) for p, d in self._by_process.items()}
+        for name in self._bulk_names:
+            if self._bulk:
+                merged = self.totals(name)
+                if merged:
+                    out[name] = merged
+        return out
 
     def processes(self) -> list[str]:
-        return list(self._by_process)
+        """Names of processes with at least one span or bulk row."""
+        names = list(self._by_process)
+        seen = set(names)
+        for n in self._bulk_names:
+            if n not in seen and any(
+                base <= self._bulk_index[n] < base + len(arr)  # type: ignore[arg-type]
+                for segs in self._bulk.values()
+                for base, arr in segs
+            ):
+                names.append(n)
+        return names

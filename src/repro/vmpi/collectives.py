@@ -28,6 +28,7 @@ from repro.vmpi.ops import SUM, CONCAT, ReduceOp
 
 __all__ = [
     "bcast",
+    "binomial_levels",
     "serial_bcast",
     "reduce",
     "allreduce",
@@ -90,6 +91,41 @@ def _record(ctx: RankCtx, operation: str) -> None:
     checker = ctx.comm.collective_checker
     if checker is not None:
         checker.record(ctx.rank, operation)
+
+
+_LEVELS_CACHE: dict[int, list[tuple[int, np.ndarray, np.ndarray]]] = {}
+
+
+def binomial_levels(size: int) -> list[tuple[int, np.ndarray, np.ndarray]]:
+    """Edge schedule of the root-0 binomial tree over ``size`` ranks.
+
+    Returns ``[(mask, leaves, parents), ...]`` in ascending ``mask``
+    order, where at level ``mask`` the edges connect ``leaves[i]``
+    (ranks whose lowest set bit is ``mask``) with ``parents[i] =
+    leaves[i] - mask``.  Ascending order is exactly the up-sweep of
+    :func:`reduce`'s ``_reduce_once`` (each rank sends at the level of
+    its lowest set bit); the reversed list is the down-sweep of
+    :func:`bcast`'s ``_bcast_once`` (each parent sends to its children
+    in descending-mask order).  The vectorized SPMD executor
+    (`repro.dist.vectorized`) replays whole levels as array operations
+    against this schedule instead of stepping ``size`` generators.
+
+    ``size`` must be a power of two — the vector fast path only claims
+    eligibility for power-of-two communicators, where every tree level
+    is full and the scalar algorithms take no remainder branches.
+    """
+    levels = _LEVELS_CACHE.get(size)
+    if levels is None:
+        if size < 1 or size & (size - 1):
+            raise ValueError(f"binomial_levels requires a power of two, got {size}")
+        levels = []
+        mask = 1
+        while mask < size:
+            leaves = np.arange(mask, size, 2 * mask, dtype=np.int64)
+            levels.append((mask, leaves, leaves - mask))
+            mask <<= 1
+        _LEVELS_CACHE[size] = levels
+    return levels
 
 
 def bcast(

@@ -389,6 +389,17 @@ class VComm:
     def total_bytes(self) -> int:
         return self._bytes_sent
 
+    def bulk_account(self, messages: int, nbytes: int) -> None:
+        """Fold a batch of vector-path messages into the send totals.
+
+        The vectorized SPMD executor models whole tree levels without
+        calling ``post``/``send``, so it reports its message traffic
+        here in aggregate; ``total_sends``/``total_bytes`` stay equal to
+        what the scalar scheduler would have counted message by message.
+        """
+        self._sends += messages
+        self._bytes_sent += nbytes
+
     # ------------------------------------------------------------------- run
     def run(
         self,

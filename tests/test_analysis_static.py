@@ -998,6 +998,105 @@ class TestWallClock:
         assert s.rule == "DET003"
 
 
+# ----------------------------------------- DET004 per-rank loop in SPMD code
+class TestSpmdRankLoop:
+    def slint(self, code, path="src/repro/dist/vec.py"):
+        return lint(code, path=path, rule_ids=["DET004"])
+
+    def test_range_over_rank_count_in_marked_function(self):
+        report = self.slint(
+            """\
+            def charge(engine, costs):
+                # repro: spmd-vectorized
+                for r in range(engine.ranks):
+                    costs[r] += 1.0
+            """
+        )
+        (f,) = report.findings
+        assert f.rule == "DET004"
+        assert "range(engine.ranks)" in f.message and f.line == 3
+
+    def test_direct_iteration_over_ranks_in_marked_module(self):
+        report = self.slint(
+            """\
+            # repro: spmd-vectorized
+
+            def drain(engine):
+                for r in engine.ranks:
+                    r.flush()
+            """
+        )
+        (f,) = report.findings
+        assert f.rule == "DET004" and "engine.ranks" in f.message
+
+    def test_marker_above_def_scopes_to_that_function_only(self):
+        report = self.slint(
+            """\
+            # repro: spmd-vectorized
+            def fast(run):
+                for r in range(run.size):
+                    pass
+
+            def slow(run):
+                for r in range(run.size):
+                    pass
+            """
+        )
+        (f,) = report.findings
+        assert f.line == 3  # only the marked function's loop
+
+    def test_level_and_class_loops_clean(self):
+        # O(log p) / O(classes) loops are exactly what marked code keeps
+        report = self.slint(
+            """\
+            # repro: spmd-vectorized
+
+            def sweep(run):
+                for level in run.levels:
+                    pass
+                for i in range(run.n_iterations):
+                    pass
+            """
+        )
+        assert report.findings == []
+
+    def test_unmarked_code_exempt(self):
+        report = self.slint(
+            """\
+            def scalar(engine):
+                for r in range(engine.ranks):
+                    pass
+            """
+        )
+        assert report.findings == []
+
+    def test_tests_dir_exempt(self):
+        report = self.slint(
+            """\
+            # repro: spmd-vectorized
+            def check(engine):
+                for r in range(engine.ranks):
+                    pass
+            """,
+            path="tests/test_vec.py",
+        )
+        assert report.findings == []
+
+    def test_suppressed(self):
+        report = self.slint(
+            """\
+            # repro: spmd-vectorized
+
+            def debug_dump(engine):
+                for r in range(engine.ranks):  # repro: noqa(DET004) cold diagnostic path
+                    print(r)
+            """
+        )
+        assert report.findings == []
+        (s,) = report.suppressed
+        assert s.rule == "DET004"
+
+
 # -------------------------------------------------------- multi-line noqa
 class TestMultilineNoqa:
     def test_noqa_on_any_physical_line_of_statement(self):

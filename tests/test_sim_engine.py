@@ -174,6 +174,40 @@ def test_run_until_caps_time():
     assert t == 10.0
 
 
+def _until_scenario(eng):
+    """Stepped run: two sleepers crossing several ``until`` caps."""
+
+    def proc(delays):
+        for d in delays:
+            yield Timeout(d)
+
+    eng.process(proc([3.0, 3.0, 3.0]), "a")
+    eng.process(proc([5.0, 5.0]), "b")
+    trail = []
+    for cap in (1.0, 4.0, 4.0, 0.5, 9.0, None):
+        t = eng.run(until=cap)
+        trail.append((t, eng.now, eng.finish_time))
+    return trail
+
+
+def test_run_until_plain_and_instrumented_agree():
+    """``run(until=...)`` must behave identically on the plain loop and
+    the obs-instrumented loop: same capped times, same ``now``, same
+    ``finish_time``, including re-entry with a cap already in the past
+    (which must be a no-op, never a clock rewind or an early event)."""
+    from repro.obs import MetricsRegistry
+
+    plain = _until_scenario(Engine())
+    eng = Engine()
+    eng.attach_obs(MetricsRegistry())
+    instrumented = _until_scenario(eng)
+    assert plain == instrumented
+    # caps 4.0 repeated and 0.5 in the past: clock parks, never rewinds
+    assert [t for t, _, _ in plain] == [1.0, 4.0, 4.0, 4.0, 9.0, 10.0]
+    # finish_time tracks completed work, not the parked cap
+    assert plain[-1] == (10.0, 10.0, 10.0)
+
+
 def test_process_return_values():
     def proc(v):
         yield Timeout(0.1)

@@ -1,0 +1,208 @@
+"""Vectorized-vs-generator equivalence for the SPMD fast path.
+
+The vector executor (:mod:`repro.dist.vectorized`) must reproduce the
+per-process scalar scheduler bit for bit: virtual finish times, message
+and byte totals, per-rank span totals, and the obs metric snapshot —
+with three documented exclusions where the two paths legitimately
+differ:
+
+* ``sim.events`` / ``sim.vector_phases`` counters and the
+  ``sim.heap_depth`` / ``sim.ready_depth`` peak gauges (the entire
+  point of the fast path is executing *fewer, bigger* events);
+* the ``comm.coll.seconds`` histogram ``sum`` field (the bulk fold adds
+  per-phase duration arrays in a different order than the global event
+  interleave; the bucket *counts* are still bit-identical);
+* outstanding-message high-water marks (``comm.outstanding_hwm``,
+  ``comm.pair.outstanding_hwm``): phases run atomically on the vector
+  path, so transient cross-phase backlogs (a slow root consuming a
+  loss-tree message after the next barrier's stub lands) report the
+  steady-state 1 instead of the scalar interleave's occasional 2;
+* the tracer's *global* totals (same fold-order caveat — per-process
+  totals are the bit-stable surface, per ``Tracer.totals``).
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.bgq import RunShape
+from repro.dist import IterationScript, SimJobConfig, simulate_training
+from repro.harness.scaling import default_workload
+from repro.obs import MetricsRegistry
+
+SCRIPT = IterationScript((2,), (2,), represented_iterations=30)
+
+
+def _cfg(spec, **kwargs):
+    return SimJobConfig(
+        shape=RunShape.parse(spec),
+        workload=default_workload(50.0),
+        script=SCRIPT,
+        seed=7,
+        **kwargs,
+    )
+
+
+def _run(spec, vector, obs=None, shards=1, cfg=None):
+    return simulate_training(
+        cfg or _cfg(spec), obs=obs, vector=vector, shards=shards
+    )
+
+
+def _metric_index(reg):
+    out = {}
+    for rec in reg.snapshot():
+        key = (rec["metric"], json.dumps(rec.get("labels", {}), sort_keys=True))
+        out[key] = rec
+    return out
+
+
+def _vector_phases(reg):
+    return next(
+        rec["value"]
+        for rec in reg.snapshot()
+        if rec["metric"] == "sim.vector_phases"
+    )
+
+
+def _events_total(reg):
+    return sum(
+        rec["value"] for rec in reg.snapshot() if rec["metric"] == "sim.events"
+    )
+
+
+@pytest.mark.parametrize("spec", ["64-4-16", "256-4-16"])
+def test_vector_matches_scalar_bit_for_bit(spec):
+    a = _run(spec, vector=False)
+    b = _run(spec, vector=True)
+    assert a.load_data_seconds == b.load_data_seconds
+    assert a.iteration_seconds == b.iteration_seconds
+    assert a.total_messages == b.total_messages
+    assert a.total_bytes == b.total_bytes
+    ranks = int(spec.split("-")[0])
+    for r in (0, 1, 2, ranks // 2, ranks - 1):
+        ta, tb = a.tracer.totals(f"rank{r}"), b.tracer.totals(f"rank{r}")
+        assert set(ta) == set(tb)
+        for k in ta:
+            assert ta[k] == tb[k], (r, k)
+
+
+def test_vector_env_toggle(monkeypatch):
+    """``REPRO_SIM_VECTOR=0|1`` forces the path when ``vector`` is None,
+    observable through the ``sim.vector_phases`` counter."""
+    counts = {}
+    for env in ("0", "1"):
+        monkeypatch.setenv("REPRO_SIM_VECTOR", env)
+        reg = MetricsRegistry()
+        _run("64-4-16", vector=None, obs=reg)
+        counts[env] = (_vector_phases(reg), _events_total(reg))
+    assert counts["0"][0] == 0
+    assert counts["1"][0] > 0
+    # the fast path's raison d'être: far fewer engine events
+    assert counts["1"][1] < counts["0"][1] / 50
+
+
+def test_vector_metrics_snapshot_matches_scalar():
+    ra, rb = MetricsRegistry(), MetricsRegistry()
+    a = _run("64-4-16", vector=False, obs=ra)
+    b = _run("64-4-16", vector=True, obs=rb)
+    assert a.iteration_seconds == b.iteration_seconds
+    ia, ib = _metric_index(ra), _metric_index(rb)
+    assert set(ia) == set(ib)
+    excluded = (
+        "sim.events",  # one heap event per phase, by design
+        "sim.vector_phases",
+        "sim.heap_depth",  # ditto: queue depths scale with event count
+        "sim.ready_depth",
+        "sim.processes",  # one driver generator instead of P rank programs
+        "comm.outstanding_hwm",  # cross-phase backlog transients
+        "comm.pair.outstanding_hwm",
+    )
+    for key in ia:
+        metric = key[0]
+        if metric in excluded:
+            continue
+        va = dict(ia[key])
+        vb = dict(ib[key])
+        if metric == "comm.coll.seconds":
+            # histogram `sum` folds in a different order; counts must match
+            va.pop("sum")
+            vb.pop("sum")
+        assert va == vb, key
+
+
+def test_vector_fallback_on_heterogeneous_config():
+    """Ineligible configs (here: the staged load relay) run the scalar
+    scheduler even with the fast path requested — and stay correct."""
+    reg = MetricsRegistry()
+    cfg = _cfg("64-4-16", load_data_mode="staged")
+    res = simulate_training(cfg, obs=reg, vector=True)
+    assert _vector_phases(reg) == 0
+    assert res.iteration_seconds > 0
+
+
+def test_vector_fallback_on_non_power_of_two():
+    reg = MetricsRegistry()
+    cfg = SimJobConfig(
+        shape=RunShape.parse("48-4-16"),
+        workload=default_workload(50.0),
+        script=IterationScript((1,), (1,), represented_iterations=30),
+        seed=7,
+    )
+    simulate_training(cfg, obs=reg, vector=True)
+    assert _vector_phases(reg) == 0
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="sharded engine needs fork-capable multiprocessing",
+)
+def test_sharded_matches_single_shard_bit_for_bit():
+    a = _run("64-4-16", vector=True, shards=1)
+    b = _run("64-4-16", vector=True, shards=4)
+    assert a.load_data_seconds == b.load_data_seconds
+    assert a.iteration_seconds == b.iteration_seconds
+    assert a.total_messages == b.total_messages
+    assert a.total_bytes == b.total_bytes
+    for r in (0, 15, 16, 32, 63):
+        assert a.tracer.totals(f"rank{r}") == b.tracer.totals(f"rank{r}")
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="sharded engine needs fork-capable multiprocessing",
+)
+def test_shard_obs_counters():
+    reg = MetricsRegistry()
+    res = _run("64-4-16", vector=True, shards=2, obs=reg)
+    assert res.iteration_seconds > 0
+    idx = _metric_index(reg)
+    ops = [v["value"] for (m, _), v in idx.items() if m == "sim.shard.kernel_ops"]
+    assert len(ops) == 2 and ops[0] == ops[1] > 0
+    assert ("sim.shard.window_stalls", "{}") in idx
+    assert ("sim.shard.window_spread_seconds", "{}") in idx
+
+
+def test_shard_count_validation():
+    from repro.dist.vectorized import _VectorRun  # noqa: F401 - import check
+    from repro.sim.shard import ShardPool
+
+    class _Stub:
+        p = 64
+
+    with pytest.raises(ValueError):
+        ShardPool(_Stub(), 3)
+    with pytest.raises(ValueError):
+        ShardPool(_Stub(), 1)
+
+
+def test_run_shape_unchanged_by_vector_default():
+    """The default path (env unset) must be the vector fast path for
+    eligible shapes — the PR flips it on by default."""
+    env = os.environ.get("REPRO_SIM_VECTOR")
+    assert env is None or env == "1"
+    reg = MetricsRegistry()
+    _run("64-4-16", vector=None, obs=reg)
+    assert _vector_phases(reg) > 0
