@@ -251,3 +251,39 @@ def test_obs_metrics_match_baseline():
     base = baseline["macro"]["1024-4-16"]
     assert got["virtual_finish"] == base["virtual_finish"]
     assert registry_metrics_block(sink[-1]) == base["metrics"]
+
+
+def _obs_legs():
+    """Fast-path obs-overhead legs: vectorized always; sharded where the
+    platform can fork."""
+    import multiprocessing
+
+    legs = [("vector", {"vector": True})]
+    if "fork" in multiprocessing.get_all_start_methods():
+        legs.append(("shards4", {"vector": True, "shards": 4}))
+    return legs
+
+
+def test_obs_overhead_vector_and_sharded_paths():
+    """The obs budget covers every execution path, not just the scalar
+    scheduler: attach a registry to a vectorized 1024-rank macro run and
+    to a sharded (``shards=4``) one, and bound the live obs-attached /
+    plain wall ratio.  (The committed <= 5 % proof lives in the
+    baseline; the live gate catches a complexity-class regression in
+    the bulk-surface hooks on either path.)"""
+    for name, kw in _obs_legs():
+        plain = bench_macro("1024-4-16", **kw)
+        attached = bench_macro_obs("1024-4-16", **kw)
+        assert attached == plain, (
+            f"{name}: attaching obs changed the virtual outcome "
+            f"({attached} != {plain})"
+        )
+        plain_wall = _best_wall(lambda: bench_macro("1024-4-16", **kw))
+        obs_wall = _best_wall(lambda: bench_macro_obs("1024-4-16", **kw))
+        ratio = obs_wall / plain_wall
+        print(f"\nobs ratio [{name}]: {ratio:.3f} "
+              f"(obs {obs_wall:.3f}s / plain {plain_wall:.3f}s)")
+        assert ratio < OBS_PATHOLOGICAL_RATIO, (
+            f"{name}: obs-attached macro cost {ratio:.2f}x the plain run "
+            f"— the fast-path hooks regressed far past the 5% budget"
+        )

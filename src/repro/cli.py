@@ -10,6 +10,8 @@
     python -m repro.cli lint             # static rank-program verifier
     python -m repro.cli perf             # DES/vmpi hot-path benchmarks
     python -m repro.cli trace 4096-4-16 --out trace.json   # Perfetto export
+    python -m repro.cli report 1024-4-16 --out report.md   # markdown run report
+    python -m repro.cli obs diff a.jsonl b.jsonl           # regression gate
 
 Flags of general interest: ``--hours`` (corpus size), ``--iters``
 (simulated HF iterations), ``--seed``.  ``lint`` takes paths plus
@@ -20,7 +22,12 @@ Flags of general interest: ``--hours`` (corpus size), ``--iters``
 ``trace`` takes a run shape (or a known example script) and writes a
 Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``.
 ``--fault-plan PATH`` on ``train`` / ``trace`` injects a JSON fault plan
-(see ``examples/faults/``).
+(see ``examples/faults/``).  ``report`` renders one simulated run as a
+self-contained markdown document (configuration, exact time
+attribution, critical path, Fig-4 per-phase breakdown) and with
+``--counterflow 64,512,4096`` appends the partition-size sweep;
+``obs diff`` aligns two JSONL metric dumps and exits 1 when any metric
+regresses past the relative threshold.
 """
 
 from __future__ import annotations
@@ -365,14 +372,15 @@ def _resolve_trace_target(target: str) -> str:
     return target
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
-    """Export a simulated run as Chrome trace-event JSON (Perfetto)."""
+def _sim_config(args: argparse.Namespace, spec: str):
+    """Build a :class:`SimJobConfig` from shared CLI flags, sizing the
+    failure detector off a fault-free anchor run when a plan is given
+    (the timeout must exceed the slowest honest phase; one full
+    iteration is a safe upper bound on any single phase)."""
     from repro.bgq import RunShape
     from repro.dist import SimJobConfig, simulate_training
     from repro.harness import default_workload
-    from repro.obs import MetricsRegistry, write_chrome_trace, write_metrics_jsonl
 
-    spec = _resolve_trace_target(args.target)
     shape = RunShape.parse(spec)
     workload = default_workload(args.hours)
     script = _script(args)
@@ -382,9 +390,6 @@ def cmd_trace(args: argparse.Namespace) -> int:
         from repro.faults import FaultPlan, FaultPolicy
 
         fault_plan = FaultPlan.from_file(args.fault_plan)
-        # the failure detector's timeout must exceed the slowest honest
-        # phase; a fault-free anchor run sizes it (one full iteration is
-        # a safe upper bound on any single phase)
         anchor = simulate_training(
             SimJobConfig(
                 shape=shape, workload=workload, script=script, seed=args.seed,
@@ -394,7 +399,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         fault_policy = FaultPolicy(
             recv_timeout=max(anchor.per_iteration_seconds, 1e-6)
         )
-    cfg = SimJobConfig(
+    return SimJobConfig(
         shape=shape,
         workload=workload,
         script=script,
@@ -402,8 +407,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         fault_policy=fault_policy,
     )
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Export a simulated run as Chrome trace-event JSON (Perfetto)."""
+    from repro.dist import simulate_training
+    from repro.obs import MetricsRegistry, write_chrome_trace, write_metrics_jsonl
+
+    spec = _resolve_trace_target(args.target)
+    cfg = _sim_config(args, spec)
     reg = MetricsRegistry()
-    res = simulate_training(cfg, obs=reg, trace_p2p=args.p2p)
+    # the export wants per-rank spans, which the vector fast path never
+    # materialises — force the scalar scheduler (timeline identical)
+    res = simulate_training(cfg, obs=reg, trace_p2p=args.p2p, vector=False)
     if res.recovery is not None and res.recovery.events:
         print("recovery log:")
         for line in res.recovery.describe().splitlines():
@@ -438,6 +454,79 @@ def cmd_trace(args: argparse.Namespace) -> int:
         )
         print(f"wrote {mout}")
     return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Build a self-contained markdown run report (attribution,
+    critical path, per-phase breakdown, comm pairs, fault summary)."""
+    import json
+    from pathlib import Path
+
+    from repro.dist import simulate_training
+    from repro.harness import (
+        build_run_report,
+        counterflow_records,
+        render_counterflow,
+        report_records,
+        run_counterflow,
+    )
+    from repro.obs import MetricsRegistry
+
+    sweep_ranks = (
+        tuple(int(r) for r in args.counterflow.split(",") if r)
+        if args.counterflow
+        else None
+    )
+    points = None
+    if sweep_ranks:
+        points = run_counterflow(
+            sweep_ranks, script=_script(args), hours=args.hours, seed=args.seed
+        )
+    if args.target is None and points is not None:
+        # sweep-only mode: no single-run section, just the Fig-4 table
+        doc = "# Counter-flow sweep\n\n" + render_counterflow(points) + "\n"
+        records = counterflow_records(points)
+    else:
+        spec = args.target or "1024-4-16"
+        cfg = _sim_config(args, spec)
+        reg = MetricsRegistry()
+        res = simulate_training(cfg, obs=reg)
+        doc = build_run_report(
+            res, reg, title=f"Simulated run report: {spec}",
+            counterflow_points=points,
+        )
+        records = report_records(res, reg)
+        if points is not None:
+            records.extend(counterflow_records(points))
+    if args.out:
+        Path(args.out).write_text(doc, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(doc, end="")
+    if args.json:
+        with Path(args.json).open("w", encoding="utf-8") as fh:
+            for rec in records:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    """Diff two JSONL metric dumps; exit 1 when any metric regresses."""
+    import json
+
+    from repro.obs import diff_files
+
+    try:
+        report = diff_files(args.a, args.b, threshold=args.threshold)
+    except OSError as exc:
+        print(f"repro obs diff: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), sort_keys=True))
+    else:
+        print(report.render_text())
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -611,6 +700,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="record one span per p2p message (large traces; timeline unchanged)",
     )
     trace.set_defaults(func=cmd_trace, command="trace")
+    report = sub.add_parser(
+        "report",
+        help="self-contained markdown report of a simulated run "
+        "(attribution, critical path, Fig-4 breakdown)",
+        parents=[shared],
+    )
+    report.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="run shape ('ranks-rpn-threads'; default 1024-4-16). With "
+        "--counterflow and no target, only the sweep table is built",
+    )
+    report.add_argument(
+        "--counterflow",
+        default=None,
+        metavar="R1,R2,...",
+        help="also run the Fig-4 counter-flow sweep over these rank "
+        "counts (e.g. 64,512,4096) and append its table",
+    )
+    report.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the markdown report to PATH instead of stdout",
+    )
+    report.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the run's metric records as JSONL (the "
+        "'repro obs diff' input)",
+    )
+    report.set_defaults(func=cmd_report, command="report")
+    obs = sub.add_parser(
+        "obs",
+        help="observability utilities (currently: cross-run metric diff)",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    odiff = obs_sub.add_parser(
+        "diff",
+        help="diff two JSONL metric dumps; exit 1 on regression",
+    )
+    odiff.add_argument("a", help="baseline metrics JSONL")
+    odiff.add_argument("b", help="candidate metrics JSONL")
+    odiff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative-increase threshold flagged as regression "
+        "(default 0.05 = 5%%)",
+    )
+    odiff.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable diff report on stdout",
+    )
+    odiff.set_defaults(func=cmd_obs_diff, command="obs")
     return parser
 
 

@@ -190,6 +190,15 @@ class SimRunResult:
     total_bytes: int = 0
     recovery: RecoveryLog | None = field(repr=False, default=None)
     """Recovery actions taken by the master (fault-policy runs only)."""
+    finish_time: float = 0.0
+    """Exact ``Engine.finish_time`` of the run (the bit-level anchor of
+    the attribution invariant — NOT ``load + iteration``, whose float
+    re-sum can differ in the last ulp)."""
+    rank_end_times: list[float] | None = field(repr=False, default=None)
+    """Per-rank virtual finish times (names the run's straggler)."""
+    phase_log: list[tuple[str, float, int]] | None = field(repr=False, default=None)
+    """Vector fast path's ``(label, end, straggler)`` dependency log;
+    ``None`` on the scalar path (which records spans instead)."""
 
     @property
     def excluded_ranks(self) -> tuple[int, ...]:
@@ -248,6 +257,32 @@ class SimRunResult:
                 for k, v in d.items():
                     d_acc[k] = d_acc.get(k, 0.0) + v / len(ranks)
         return acc
+
+    def attribution(self, ranks: "list[int] | None" = None):
+        """Exact per-rank time attribution (:mod:`repro.obs.attrib`).
+
+        ``ranks`` restricts the per-rank set; by default the master, the
+        straggler, and an evenly spaced worker sample are attributed
+        (full enumeration at 100k ranks is pointless in a report).
+        """
+        from repro.obs.attrib import attribute_run, worker_sample
+
+        if ranks is None:
+            p = self.config.shape.ranks
+            picked = [0] + worker_sample(p)
+            ends = self.rank_end_times
+            if ends:
+                straggler = max(range(len(ends)), key=lambda r: (ends[r], -r))
+                if straggler not in picked:
+                    picked.append(straggler)
+            ranks = sorted(set(picked))
+        return attribute_run(self, ranks)
+
+    def critical_path(self):
+        """The run's critical path (:mod:`repro.obs.critpath`)."""
+        from repro.obs.critpath import critical_path
+
+        return critical_path(self)
 
 
 # --------------------------------------------------------------- planning
@@ -929,11 +964,19 @@ def simulate_training(
             return recs
 
         obs.add_collector(_fault_records)
+    if obs is not None:
+        from repro.obs.attrib import phase_records
+
+        spec = (
+            f"{cfg.shape.ranks}-{cfg.shape.ranks_per_node}"
+            f"-{cfg.shape.threads_per_rank}"
+        )
+        obs.add_collector(lambda: phase_records(tracer, cfg.shape.ranks, spec))
     load_done = [0.0]
     from repro.dist.vectorized import run_vectorized, vector_eligible, vector_enabled
 
     if vector_enabled(vector) and vector_eligible(cfg, network, trace_p2p):
-        end_time = run_vectorized(
+        end_time, phase_log = run_vectorized(
             cfg, plan, network, policy, comm, load_done, shards=shards
         )
     else:
@@ -942,6 +985,7 @@ def simulate_training(
             injector=injector, recovery=recovery,
         )
         end_time, _values = comm.run(programs)
+        phase_log = None
     if injector is not None:
         injector.record_degraded_spans(tracer, end_time)
     return SimRunResult(
@@ -952,4 +996,7 @@ def simulate_training(
         total_messages=comm.total_sends,
         total_bytes=comm.total_bytes,
         recovery=recovery,
+        finish_time=end_time,
+        rank_end_times=comm.rank_finish_times,
+        phase_log=phase_log,
     )

@@ -256,6 +256,12 @@ class _VectorRun:
 
         self.backend: Any = _InlineBackend(self)
         self.phases: list[Callable[[float], tuple[float, Any]]] = []
+        self.phase_labels: list[str] = []
+        """One label per phase (the worker-side span label), parallel to
+        :attr:`phases`; the executor logs ``(label, end, straggler)``
+        per phase so the critical-path pass works at phase granularity
+        without leaving the fast path."""
+        self.phase_log: list[tuple[str, float, int]] = []
         self.kernel_ops: list[tuple] = []
         self.n_barriers = 0
         self.n_loss = 0
@@ -359,6 +365,7 @@ class _VectorRun:
         if cfg.load_data_mode == "parallel_io":
             io_secs = float(self.plan.shard_bytes.sum()) / cfg.io_aggregate_bandwidth
             lbl = label(COMPUTE, "load_data")
+            self.phase_labels.append(lbl)
 
             def run_io(_now: float) -> tuple[float, Any]:
                 cur = self.cur
@@ -373,6 +380,7 @@ class _VectorRun:
             return run_io
 
         lbl = label(P2P, "load_data")
+        self.phase_labels.append(lbl)
 
         def run_master(_now: float) -> tuple[float, Any]:
             p = self.p
@@ -410,6 +418,7 @@ class _VectorRun:
         self, op: str, algo: str, cost: float, lbl_master: str, lbl_worker: str
     ) -> None:
         self.n_barriers += 1
+        self.phase_labels.append(lbl_worker)
         up = self._op(("up", 0))
         down = self._op(("down", 0))
         addc = self._op(("add", float(cost))) if cost > 0 else None
@@ -443,6 +452,7 @@ class _VectorRun:
 
     def _add_loss_reduce(self, lbl: str) -> None:
         self.n_loss += 1
+        self.phase_labels.append(lbl)
         up = self._op(("up", 1))
 
         def run(_now: float) -> tuple[float, Any]:
@@ -460,6 +470,7 @@ class _VectorRun:
         self.phases.append(run)
 
     def _add_compute_workers(self, secs: np.ndarray, lbl: str) -> None:
+        self.phase_labels.append(lbl)
         op = self._op(("cw", secs))
 
         def run(_now: float) -> tuple[float, Any]:
@@ -474,6 +485,8 @@ class _VectorRun:
         self.phases.append(run)
 
     def _add_compute_master(self, secs: float, lbl: str) -> None:
+        self.phase_labels.append(lbl)
+
         def run(_now: float) -> tuple[float, Any]:
             cur = self.cur
             c0 = cur[0]
@@ -490,14 +503,22 @@ class _VectorRun:
         engine = self.comm.engine
         if self.tracer is not None:
             self.tracer.register_bulk(self.comm._rank_names)
+        log = self.phase_log
+        cur = self.cur
 
         def driver():
-            for fn in self.phases:
+            for fn, lbl in zip(self.phases, self.phase_labels):
                 yield VectorPhase(fn)
+                # phase-granular dependency edge: when the phase ended and
+                # which rank's clock set that end (the straggler) — the
+                # aggregate critical path the obs layer walks instead of
+                # per-rank spans (which the fast path never materialises)
+                log.append((lbl, float(cur.max()), int(cur.argmax())))
 
         engine.process(driver(), name="vector")
         end = engine.run()
         self._final_stats()
+        self.comm.set_rank_finish_times(cur)
         return float(end)
 
     def _final_stats(self) -> None:
@@ -562,14 +583,17 @@ def run_vectorized(
     comm: Any,
     load_done: list[float],
     shards: int = 1,
-) -> float:
+) -> tuple[float, list[tuple[str, float, int]]]:
     """Execute one eligible SPMD run on the vector fast path.
 
-    Returns the virtual end time (``== Engine.finish_time``).  With
-    ``shards > 1`` the block-local kernel work is partitioned across OS
-    processes by :class:`repro.sim.shard.ShardPool`; results are
-    bit-identical to ``shards == 1`` because every shard executes the
-    same float operations on disjoint array slices.
+    Returns ``(virtual end time, phase log)`` where the end time equals
+    ``Engine.finish_time`` and the phase log holds one
+    ``(label, end, straggler_rank)`` entry per executed phase — the
+    aggregate-level dependency chain the critical-path pass consumes.
+    With ``shards > 1`` the block-local kernel work is partitioned
+    across OS processes by :class:`repro.sim.shard.ShardPool`; results
+    are bit-identical to ``shards == 1`` because every shard executes
+    the same float operations on disjoint array slices.
     """
     run = _VectorRun(cfg, plan, network, policy, comm, load_done)
     if shards > 1:
@@ -578,7 +602,7 @@ def run_vectorized(
         pool = ShardPool(run, shards, obs=comm.obs)
         run.backend = pool
         try:
-            return run.execute()
+            return run.execute(), run.phase_log
         finally:
             pool.close()
-    return run.execute()
+    return run.execute(), run.phase_log

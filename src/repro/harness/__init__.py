@@ -7,11 +7,23 @@
 * :mod:`~repro.harness.calibrate` — real-run control-flow extraction
   feeding the simulator;
 * :mod:`~repro.harness.report` — text renderers matching the paper's
-  rows/series.
+  rows/series;
+* :mod:`~repro.harness.counterflow` — the Fig-4 per-phase
+  compute-vs-comm sweep across partition sizes;
+* :mod:`~repro.harness.runreport` — self-contained markdown run
+  reports (``repro report``).
 """
 
 from repro.harness.breakdown import BREAKDOWN_CONFIGS, ConfigBreakdown, run_breakdowns
 from repro.harness.calibrate import CalibrationRun, calibrated_script
+from repro.harness.counterflow import (
+    DEFAULT_COUNTERFLOW_RANKS,
+    counterflow_from_dumps,
+    counterflow_records,
+    render_counterflow,
+    run_counterflow,
+)
+from repro.harness.runreport import build_run_report, report_records
 from repro.harness.export import (
     export_breakdowns_json,
     export_scaling_csv,
@@ -69,4 +81,11 @@ __all__ = [
     "bgq_hours",
     "run_table1",
     "xeon_hours",
+    "DEFAULT_COUNTERFLOW_RANKS",
+    "counterflow_from_dumps",
+    "counterflow_records",
+    "render_counterflow",
+    "run_counterflow",
+    "build_run_report",
+    "report_records",
 ]

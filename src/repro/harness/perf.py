@@ -232,7 +232,10 @@ def registry_metrics_block(reg: Any) -> dict[str, Any]:
 
 
 def bench_macro_obs(
-    shape: str, registry_sink: list[Any] | None = None, shards: int = 1
+    shape: str,
+    registry_sink: list[Any] | None = None,
+    shards: int = 1,
+    vector: bool | None = None,
 ) -> dict[str, Any]:
     """:func:`bench_macro` with a fresh metrics registry attached — the
     instrumented engine loop and comm hooks (the observability overhead
@@ -242,11 +245,13 @@ def bench_macro_obs(
     excluded so ``_time(bench_macro_obs)`` measures hot-path overhead,
     not the one-time export cost.  ``registry_sink``, if given, receives
     the attached registry (via ``append``) for post-timing inspection.
+    ``vector``/``shards`` pass through to :func:`bench_macro`, so the
+    overhead gate covers the SPMD fast path and the sharded engine too.
     """
     from repro.obs import MetricsRegistry
 
     reg = MetricsRegistry()
-    result = bench_macro(shape, obs=reg, shards=shards)
+    result = bench_macro(shape, obs=reg, vector=vector, shards=shards)
     if registry_sink is not None:
         registry_sink.append(reg)
     return result

@@ -1,0 +1,203 @@
+"""Self-contained markdown run reports (``repro report``).
+
+One simulated run -> one markdown document a reviewer can read without
+the repo at hand: the configuration, the exact per-rank time
+attribution, the critical path that explains the finish time, the
+Fig-4 per-phase breakdown, the heaviest communication pairs, and the
+fault/recovery summary.  The same driver can append the counter-flow
+sweep table, and ``repro report --json`` emits the run's metric records
+so a later ``repro obs diff`` can gate against the report's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["build_run_report", "report_records"]
+
+
+def _config_section(result: Any) -> list[str]:
+    cfg = result.config
+    shape = cfg.shape
+    lines = [
+        "## Configuration",
+        "",
+        "| field | value |",
+        "|---|---|",
+        f"| shape | {shape.ranks}-{shape.ranks_per_node}-{shape.threads_per_rank} |",
+        f"| seed | {cfg.seed} |",
+        f"| iterations | {cfg.script.n_iterations} "
+        f"(representing {cfg.script.represented_iterations}) |",
+        f"| train frames | {cfg.workload.train_frames} |",
+        f"| virtual finish | {result.finish_time!r} s |",
+        f"| load phase | {result.load_data_seconds:.6g} s |",
+        f"| messages | {result.total_messages} |",
+        f"| bytes | {result.total_bytes} |",
+        f"| execution | {'vector (phase log)' if result.phase_log else 'scalar (spans)'} |",
+    ]
+    return lines
+
+
+def _attribution_section(result: Any) -> list[str]:
+    att = result.attribution()
+    lines = [
+        "## Time attribution",
+        "",
+        "Per-rank split of the virtual finish time; each row sums to the",
+        f"run's finish time ({att.finish_time!r} s) *bitwise* — `wait` is",
+        "the exact residual, so no virtual second is unaccounted.",
+        "",
+        "| rank | compute (s) | comm (s) | recovery (s) | wait (s) |",
+        "|---|---|---|---|---|",
+    ]
+    for a in att.ranks:
+        tag = str(a.rank)
+        if a.rank == 0:
+            tag += " (master)"
+        if a.rank == att.straggler_rank:
+            tag += " (straggler)"
+        lines.append(
+            f"| {tag} | {a.compute:.6g} | {a.comm:.6g} "
+            f"| {a.recovery:.6g} | {a.wait:.6g} |"
+        )
+    lines.append("")
+    lines.append(f"Straggler rank (latest finisher): {att.straggler_rank}.")
+    return lines
+
+
+def _critpath_section(result: Any) -> list[str]:
+    cp = result.critical_path()
+    lines = [
+        "## Critical path",
+        "",
+        cp.describe(),
+        "",
+        "| # | rank | label | phase | start (s) | duration (s) |",
+        "|---|---|---|---|---|---|",
+    ]
+    top = cp.top_steps(10)
+    index = {id(s): i for i, s in enumerate(cp.steps)}
+    for s in top:
+        lines.append(
+            f"| {index[id(s)]} | {s.rank} | {s.label} | {s.phase} "
+            f"| {s.start:.6g} | {s.duration:.6g} |"
+        )
+    cats = cp.by_category()
+    split = ", ".join(f"{k}: {cats[k]:.6g} s" for k in sorted(cats))
+    lines += ["", f"Path split — {split}."]
+    return lines
+
+
+def _phase_section(result: Any) -> list[str]:
+    from repro.obs.attrib import phase_flow_rows
+
+    rows = phase_flow_rows(result.tracer, result.config.shape.ranks)
+    lines = [
+        "## Per-phase breakdown (Fig-4 view)",
+        "",
+        "| phase | role | kind | seconds |",
+        "|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row['phase']} | {row['role']} | {row['kind']} "
+            f"| {row['seconds']:.6g} |"
+        )
+    return lines
+
+
+def _comm_section(registry: Any) -> list[str]:
+    pairs = [
+        (rec["value"], rec["labels"]["src"], rec["labels"]["dst"])
+        for rec in registry.snapshot()
+        if rec["metric"] == "comm.pair.bytes"
+    ]
+    lines = ["## Top communication pairs", ""]
+    if not pairs:
+        lines.append("No per-pair traffic recorded.")
+        return lines
+    lines += ["| src | dst | bytes |", "|---|---|---|"]
+    for nbytes, src, dst in sorted(
+        pairs, key=lambda t: (-t[0], t[1], t[2])
+    )[:5]:
+        lines.append(f"| {src} | {dst} | {nbytes} |")
+    return lines
+
+
+def _fault_section(result: Any) -> list[str]:
+    lines = ["## Faults and recovery", ""]
+    rec = result.recovery
+    plan = result.config.fault_plan
+    if plan is None and rec is None:
+        lines.append("Fault-free run (no plan, no recovery policy).")
+        return lines
+    if plan is not None:
+        lines.append(f"Fault plan: {len(plan.events)} event(s).")
+    if rec is not None:
+        lines.append(
+            f"Recovery actions: {rec.recoveries}; "
+            f"excluded ranks: {list(rec.excluded_ranks) or 'none'}."
+        )
+        if rec.events:
+            lines += ["", "```", rec.describe(), "```"]
+    return lines
+
+
+def build_run_report(
+    result: Any,
+    registry: Any,
+    title: str = "Simulated run report",
+    counterflow_points: list[dict[str, Any]] | None = None,
+) -> str:
+    """Render one run (plus optional counter-flow sweep) as markdown.
+
+    ``result`` is a :class:`~repro.dist.simulated.SimRunResult`;
+    ``registry`` the obs registry attached to the same run.  The
+    document is self-contained — every number it cites is in the text.
+    """
+    sections = [
+        [f"# {title}", ""],
+        _config_section(result),
+        _attribution_section(result),
+        _critpath_section(result),
+        _phase_section(result),
+        _comm_section(registry),
+        _fault_section(result),
+    ]
+    if counterflow_points:
+        from repro.harness.counterflow import render_counterflow
+
+        sections.append(
+            [
+                "## Counter-flow sweep",
+                "",
+                render_counterflow(counterflow_points),
+            ]
+        )
+    return "\n\n".join("\n".join(s) for s in sections) + "\n"
+
+
+def report_records(result: Any, registry: Any) -> list[dict[str, Any]]:
+    """The run's metric records plus an attribution summary record.
+
+    This is the ``repro report --json`` payload: the full obs snapshot
+    (which already carries ``train.phase_seconds``) followed by one
+    ``record: attribution`` line per attributed rank — everything
+    ``repro obs diff`` needs to gate a later run against this one.
+    """
+    records = list(registry.snapshot())
+    att = result.attribution()
+    for a in att.ranks:
+        records.append({"record": "attribution", **a.as_dict()})
+    cp = result.critical_path()
+    records.append(
+        {
+            "record": "critical_path",
+            "granularity": cp.granularity,
+            "steps": len(cp.steps),
+            "straggler_rank": cp.straggler_rank,
+            "straggler_phase": cp.straggler_phase,
+            "by_category": cp.by_category(),
+        }
+    )
+    return records

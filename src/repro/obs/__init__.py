@@ -12,7 +12,14 @@ instead of fragmented ad-hoc counters:
   traffic matrices and outstanding-message high-water marks for the
   virtual MPI layer;
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
-  ``chrome://tracing``) and flat JSONL metric dumps.
+  ``chrome://tracing``) and flat JSONL metric dumps;
+* :mod:`repro.obs.attrib` — exact per-rank time attribution
+  (``compute + comm + recovery + wait == finish_time`` bitwise) and the
+  Fig-4 counter-flow phase rows;
+* :mod:`repro.obs.critpath` — critical-path extraction over the run's
+  dependency structure (span- or phase-granular);
+* :mod:`repro.obs.diff` — cross-run metric diffing with relative
+  regression thresholds (the ``repro obs diff`` CI gate).
 
 Attachment points: ``Engine.attach_obs(registry)``,
 ``VComm(obs=registry)``, ``HessianFreeOptimizer(obs=registry)``,
@@ -22,6 +29,16 @@ registry never changes a simulated timeline (the determinism goldens run
 with it both off and on), and detached code paths pay nothing.
 """
 
+from repro.obs.attrib import (
+    RankAttribution,
+    RunAttribution,
+    attribute_rank,
+    attribute_run,
+    phase_flow_rows,
+    phase_records,
+)
+from repro.obs.critpath import CriticalPath, PathStep, critical_path
+from repro.obs.diff import DiffReport, MetricDelta, diff_files, diff_records
 from repro.obs.fmt import fmt_fields, fmt_scalar
 from repro.obs.hooks import MESSAGE_SIZE_BOUNDS, CommStats
 from repro.obs.export import (
@@ -60,4 +77,17 @@ __all__ = [
     "series_record",
     "fmt_scalar",
     "fmt_fields",
+    "RankAttribution",
+    "RunAttribution",
+    "attribute_rank",
+    "attribute_run",
+    "phase_flow_rows",
+    "phase_records",
+    "CriticalPath",
+    "PathStep",
+    "critical_path",
+    "DiffReport",
+    "MetricDelta",
+    "diff_files",
+    "diff_records",
 ]

@@ -1,0 +1,250 @@
+"""Cross-run metric diffing with regression gating.
+
+Aligns two metrics dumps (JSONL snapshots from
+:class:`~repro.obs.export.StreamingMetricsWriter`, ``repro report
+--json`` output, or any line stream of ``{"metric": ..., "labels": ...,
+"value"|"total": ...}`` records) key-by-key and computes per-metric
+deltas.  A metric *regresses* when it **increases** by more than a
+relative threshold — every metric in the simulator's dumps (seconds,
+bytes, event counts, queue depths) is cost-like, so improvements never
+flag.  ``repro obs diff a.jsonl b.jsonl`` renders the result and exits
+nonzero on regression, which is what CI gates on.
+
+Alignment key is ``(metric, canonical-JSON labels)``; keys present on
+only one side are reported as added/removed, never as regressions.
+Records without a scalar value (series dumps, histogram bound arrays)
+are skipped.  Thresholds are configurable globally and per metric
+prefix (longest prefix wins), e.g. ``{"sim.": 0.25}`` to loosen the
+engine counters while keeping the default on ``train.*`` times.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "MetricDelta",
+    "DiffReport",
+    "diff_files",
+    "diff_records",
+    "load_metric_records",
+]
+
+DEFAULT_THRESHOLD = 0.05
+"""Default relative-increase threshold (5%) above which a metric is a
+regression; the committed baselines gate with this unless overridden."""
+
+
+def _as_float(value: Any) -> float | None:
+    """Scalar view of a record value; None when there is none.
+
+    String forms (``"NaN"``, ``"Infinity"``) round-trip the writer's
+    non-finite sanitization.
+    """
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return None
+    return None
+
+
+def load_metric_records(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL dump, keeping metric records only.
+
+    Non-record lines (report prose, config echoes) and blank lines are
+    skipped, so the loader accepts both raw snapshot files and the
+    ``repro report --json`` output.
+    """
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(obj, dict) and "metric" in obj:
+                records.append(obj)
+    return records
+
+
+def _index(records: Iterable[dict[str, Any]]) -> dict[tuple[str, str], float]:
+    out: dict[tuple[str, str], float] = {}
+    for rec in records:
+        value = _as_float(rec.get("value", rec.get("total")))
+        if value is None:
+            continue
+        labels = rec.get("labels", {})
+        key = (str(rec["metric"]), json.dumps(labels, sort_keys=True))
+        out[key] = value
+    return out
+
+
+def _threshold_for(
+    metric: str, default: float, overrides: dict[str, float] | None
+) -> float:
+    if not overrides:
+        return default
+    best_len = -1
+    best = default
+    for prefix, thr in overrides.items():
+        if metric.startswith(prefix) and len(prefix) > best_len:
+            best_len = len(prefix)
+            best = thr
+    return best
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One aligned metric: values on both sides and the verdict."""
+
+    metric: str
+    labels: str
+    """Canonical-JSON label string (the alignment key's second half)."""
+    a: float
+    b: float
+    threshold: float
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+    @property
+    def relative(self) -> float:
+        """Relative change vs ``a`` (+inf when growing from zero)."""
+        if self.a != 0.0:
+            return self.delta / self.a
+        return math.inf if self.delta > 0.0 else 0.0
+
+    @property
+    def regressed(self) -> bool:
+        """True when ``b`` exceeds ``a`` by more than the threshold."""
+        return self.delta > 0.0 and self.relative > self.threshold
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready view (``repro obs diff --json``)."""
+        rel = self.relative
+        return {
+            "metric": self.metric,
+            "labels": json.loads(self.labels),
+            "a": self.a,
+            "b": self.b,
+            "delta": self.delta,
+            "relative": rel if math.isfinite(rel) else repr(rel),
+            "threshold": self.threshold,
+            "regressed": self.regressed,
+        }
+
+
+@dataclass
+class DiffReport:
+    """Outcome of aligning two metric dumps."""
+
+    deltas: list[MetricDelta] = field(default_factory=list)
+    added: list[tuple[str, str]] = field(default_factory=list)
+    """Keys present only in the newer dump (never a regression)."""
+    removed: list[tuple[str, str]] = field(default_factory=list)
+    """Keys present only in the older dump (never a regression)."""
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        """Regressed deltas, worst relative increase first."""
+        return sorted(
+            (d for d in self.deltas if d.regressed),
+            key=lambda d: (-d.relative, d.metric, d.labels),
+        )
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 when any aligned metric regressed."""
+        return 1 if self.regressions else 0
+
+    def render_text(self, max_rows: int = 20) -> str:
+        """Human-readable summary (the CLI's default output)."""
+        lines = [
+            f"compared {len(self.deltas)} aligned metrics "
+            f"(+{len(self.added)} added, -{len(self.removed)} removed)"
+        ]
+        regs = self.regressions
+        if not regs:
+            lines.append("no regressions")
+        else:
+            lines.append(f"{len(regs)} REGRESSION(S):")
+            for d in regs[:max_rows]:
+                rel = d.relative
+                rel_s = f"{rel:+.1%}" if math.isfinite(rel) else "+inf"
+                lines.append(
+                    f"  {d.metric} {d.labels}: {d.a:.6g} -> {d.b:.6g} "
+                    f"({rel_s}, threshold {d.threshold:.1%})"
+                )
+            if len(regs) > max_rows:
+                lines.append(f"  ... and {len(regs) - max_rows} more")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready view of the full report."""
+        return {
+            "aligned": len(self.deltas),
+            "added": [{"metric": m, "labels": json.loads(l)} for m, l in self.added],
+            "removed": [
+                {"metric": m, "labels": json.loads(l)} for m, l in self.removed
+            ],
+            "regressions": [d.as_dict() for d in self.regressions],
+            "exit_code": self.exit_code,
+        }
+
+
+def diff_records(
+    a: Iterable[dict[str, Any]],
+    b: Iterable[dict[str, Any]],
+    threshold: float = DEFAULT_THRESHOLD,
+    thresholds: dict[str, float] | None = None,
+) -> DiffReport:
+    """Align two record streams and compute the delta report.
+
+    ``thresholds`` maps metric-name prefixes to per-metric relative
+    thresholds; the longest matching prefix wins over ``threshold``.
+    """
+    ia, ib = _index(a), _index(b)
+    report = DiffReport()
+    for key in sorted(ia.keys() & ib.keys()):
+        metric, labels = key
+        report.deltas.append(
+            MetricDelta(
+                metric=metric,
+                labels=labels,
+                a=ia[key],
+                b=ib[key],
+                threshold=_threshold_for(metric, threshold, thresholds),
+            )
+        )
+    report.added = sorted(ib.keys() - ia.keys())
+    report.removed = sorted(ia.keys() - ib.keys())
+    return report
+
+
+def diff_files(
+    path_a: str | Path,
+    path_b: str | Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    thresholds: dict[str, float] | None = None,
+) -> DiffReport:
+    """File-level convenience wrapper over :func:`diff_records`."""
+    return diff_records(
+        load_metric_records(path_a),
+        load_metric_records(path_b),
+        threshold=threshold,
+        thresholds=thresholds,
+    )

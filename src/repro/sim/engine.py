@@ -242,6 +242,7 @@ class SimProcess:
         "name",
         "body",
         "finished",
+        "finished_at",
         "killed",
         "value",
         "error",
@@ -255,6 +256,9 @@ class SimProcess:
         self.name = name
         self.body = body
         self.finished = False
+        self.finished_at = 0.0
+        """Virtual time at which the process finished (0.0 while live);
+        the critical-path pass uses it to name the straggler exactly."""
         self.killed = False
         self.value: Any = None
         self.error: BaseException | None = None
@@ -736,6 +740,7 @@ class Engine:
 
     def _finish(self, proc: SimProcess, value: Any, error: BaseException | None) -> None:
         proc.finished = True
+        proc.finished_at = self._now
         proc.value = value
         proc.error = error
         self._live -= 1

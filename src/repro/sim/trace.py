@@ -159,6 +159,23 @@ class Tracer:
                         out[label] = out.get(label, 0.0) + float(arr[idx - base])  # type: ignore[index]
         return out
 
+    def spans_by_process(self) -> dict[str, list[Span]]:
+        """Recorded spans grouped per process, each group sorted by
+        ``(start, end)``.
+
+        Only the span surface contributes — bulk (vectorized) aggregates
+        never materialise :class:`Span` objects, so bulk-recorded
+        processes are absent.  This is the walk order the critical-path
+        extraction (:mod:`repro.obs.critpath`) consumes: within a
+        process, a span's predecessor is simply the previous list entry.
+        """
+        out: dict[str, list[Span]] = {}
+        for s in self.spans:
+            out.setdefault(s.process, []).append(s)
+        for group in out.values():
+            group.sort(key=lambda s: (s.start, s.end))
+        return out
+
     def by_process(self) -> dict[str, dict[str, float]]:
         """Per-process label totals, spanning both recording surfaces."""
         out = {p: dict(d) for p, d in self._by_process.items()}

@@ -360,6 +360,10 @@ class VComm:
         messages between the same pair serialize at link bandwidth —
         without this, pipelined segment streams would exceed the link
         rate."""
+        self._rank_finish_times: list[float] | None = None
+        """Per-rank virtual finish times, populated by :meth:`run` (or by
+        the vector executor from its clock vector); consumed by the
+        critical-path / attribution passes in :mod:`repro.obs`."""
 
     def _delivery_delay(self, src: int, dst: int, nbytes: int, now: float) -> float:
         """Delay until the message lands in the destination inbox,
@@ -432,7 +436,24 @@ class VComm:
             # events (satisfied recv timeouts draining from the heap)
             # must not inflate the reported simulated time
             t = self.engine.finish_time
+        self._rank_finish_times = [p.finished_at for p in procs]
         return t, [p.value for p in procs]
+
+    @property
+    def rank_finish_times(self) -> list[float] | None:
+        """Per-rank virtual finish times of the last :meth:`run` (the
+        vector executor records its final clock vector here); ``None``
+        before any run completes."""
+        return self._rank_finish_times
+
+    def set_rank_finish_times(self, times: list[float]) -> None:
+        """Record per-rank finish times on behalf of an executor that
+        bypasses :meth:`run` (the vectorized SPMD path)."""
+        if len(times) != self.size:
+            raise ValueError(
+                f"got {len(times)} finish times for {self.size} ranks"
+            )
+        self._rank_finish_times = [float(t) for t in times]
 
 
 class RankCtx:

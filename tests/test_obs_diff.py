@@ -1,0 +1,233 @@
+"""Cross-run metric diff + ``repro report`` / ``repro obs diff`` CLI.
+
+The committed ``benchmarks/BASELINE_counterflow.jsonl`` is the pinned
+Fig-4 breakdown; regenerating any subset of it must produce bit-equal
+records (exit 0), and a synthetic >= 10 % regression must be caught
+with a nonzero exit — that pair of properties is what lets CI gate on
+``repro obs diff``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.obs.diff import (
+    DEFAULT_THRESHOLD,
+    MetricDelta,
+    diff_files,
+    diff_records,
+    load_metric_records,
+)
+
+BASELINE = Path(__file__).parent.parent / "benchmarks" / "BASELINE_counterflow.jsonl"
+
+
+def _rec(metric, value, **labels):
+    return {"metric": metric, "value": value, "labels": labels}
+
+
+class TestDiffRecords:
+    def test_identical_runs_have_no_regressions(self):
+        a = [_rec("m", 1.0, shape="64"), _rec("n", 2.0)]
+        rep = diff_records(a, [dict(r) for r in a])
+        assert rep.regressions == [] and rep.exit_code == 0
+        assert len(rep.deltas) == 2
+
+    def test_regression_over_threshold_flags(self):
+        rep = diff_records([_rec("m", 1.0)], [_rec("m", 1.2)])
+        (d,) = rep.regressions
+        assert d.relative > DEFAULT_THRESHOLD and rep.exit_code == 1
+
+    def test_improvement_never_flags(self):
+        rep = diff_records([_rec("m", 1.0)], [_rec("m", 0.5)])
+        assert rep.regressions == [] and rep.exit_code == 0
+
+    def test_at_threshold_does_not_flag(self):
+        # the gate is strictly-greater: at-or-below the threshold is
+        # tolerated (dyadic values keep the ratios exactly representable)
+        rep = diff_records([_rec("m", 1.0)], [_rec("m", 1.046875)])
+        assert rep.exit_code == 0
+        rep = diff_records([_rec("m", 1.0)], [_rec("m", 1.0625)])
+        assert rep.exit_code == 1
+        rep = diff_records(
+            [_rec("m", 1.0)], [_rec("m", 1.0625)], threshold=0.0625
+        )
+        assert rep.exit_code == 0  # exactly at threshold: not a regression
+
+    def test_growth_from_zero_is_infinite_relative(self):
+        rep = diff_records([_rec("m", 0.0)], [_rec("m", 0.001)])
+        (d,) = rep.regressions
+        assert d.relative == float("inf")
+
+    def test_added_and_removed_are_not_regressions(self):
+        rep = diff_records(
+            [_rec("gone", 1.0), _rec("kept", 1.0)],
+            [_rec("kept", 1.0), _rec("new", 9.0)],
+        )
+        assert rep.exit_code == 0
+        assert [k[0] for k in rep.removed] == ["gone"]
+        assert [k[0] for k in rep.added] == ["new"]
+
+    def test_labels_distinguish_series(self):
+        a = [_rec("m", 1.0, rank="0"), _rec("m", 5.0, rank="1")]
+        b = [_rec("m", 5.0, rank="1"), _rec("m", 1.0, rank="0")]
+        rep = diff_records(a, b)  # order-insensitive alignment
+        assert rep.regressions == [] and len(rep.deltas) == 2
+
+    def test_per_metric_threshold_longest_prefix_wins(self):
+        a = [_rec("train.loss", 1.0), _rec("train.wall", 1.0)]
+        b = [_rec("train.loss", 1.08), _rec("train.wall", 1.08)]
+        rep = diff_records(
+            a, b, thresholds={"train": 0.5, "train.loss": 0.01}
+        )
+        (d,) = rep.regressions
+        assert d.metric == "train.loss" and d.threshold == 0.01
+
+    def test_counter_totals_align_too(self):
+        rep = diff_records(
+            [{"metric": "c", "total": 10, "labels": {}}],
+            [{"metric": "c", "total": 12, "labels": {}}],
+        )
+        (d,) = rep.regressions
+        assert d.a == 10.0 and d.b == 12.0
+
+    def test_render_text_names_the_worst_offender(self):
+        rep = diff_records([_rec("m", 1.0)], [_rec("m", 2.0)])
+        text = rep.render_text()
+        assert "m" in text and "regression" in text.lower()
+
+    def test_to_json_round_trips(self):
+        rep = diff_records([_rec("m", 1.0)], [_rec("m", 2.0)])
+        doc = json.loads(json.dumps(rep.to_json()))
+        assert doc["exit_code"] == 1 and doc["regressions"]
+
+
+class TestLoadRecords:
+    def test_skips_non_metric_lines(self, tmp_path):
+        p = tmp_path / "d.jsonl"
+        p.write_text(
+            "not json at all\n"
+            + json.dumps({"record": "run", "shape": "8-1-16"})
+            + "\n"
+            + json.dumps(_rec("m", 1.0))
+            + "\n"
+        )
+        recs = load_metric_records(p)
+        assert len(recs) == 1 and recs[0]["metric"] == "m"
+
+    def test_non_finite_strings_round_trip(self):
+        d = MetricDelta("m", (), float("nan"), 1.0, 0.05)
+        assert not d.regressed  # NaN baseline cannot regress
+        rep = diff_records([_rec("m", "NaN")], [_rec("m", "NaN")])
+        assert rep.exit_code == 0
+
+
+class TestCliDiffGate:
+    """The CI contract: regenerate a counter-flow point, gate it against
+    the committed baseline."""
+
+    def _regen_64(self, tmp_path):
+        out = tmp_path / "fresh.jsonl"
+        rc = main(
+            ["report", "--counterflow", "64",
+             "--json", str(out), "--out", str(tmp_path / "cf.md")]
+        )
+        assert rc == 0
+        return out
+
+    def test_fresh_counterflow_matches_committed_baseline(self, tmp_path, capsys):
+        fresh = self._regen_64(tmp_path)
+        rc = main(["obs", "diff", str(BASELINE), str(fresh)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        # the 512/4096 points exist only in the baseline: removed, not
+        # regressed
+        assert "removed" in out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        fresh = self._regen_64(tmp_path)
+        recs = [json.loads(line) for line in fresh.read_text().splitlines()]
+        bumped = 0
+        for r in recs:
+            if r.get("metric") == "train.phase_seconds":
+                r["value"] *= 1.15  # >= 10% synthetic regression
+                bumped += 1
+        assert bumped
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("".join(json.dumps(r) + "\n" for r in recs))
+        rc = main(["obs", "diff", str(BASELINE), str(bad)])
+        assert rc == 1
+        assert "regression" in capsys.readouterr().out.lower()
+
+    def test_tighter_threshold_flag(self, tmp_path, capsys):
+        fresh = self._regen_64(tmp_path)
+        recs = [json.loads(line) for line in fresh.read_text().splitlines()]
+        for r in recs:
+            if r.get("metric") == "train.phase_seconds":
+                r["value"] *= 1.03  # inside 5%, outside 1%
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("".join(json.dumps(r) + "\n" for r in recs))
+        assert main(["obs", "diff", str(BASELINE), str(bad)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["obs", "diff", str(BASELINE), str(bad), "--threshold", "0.01"]
+        ) == 1
+        capsys.readouterr()
+
+    def test_json_output_mode(self, tmp_path, capsys):
+        fresh = self._regen_64(tmp_path)
+        capsys.readouterr()  # drain the regen's "wrote ..." lines
+        rc = main(["obs", "diff", str(fresh), str(fresh), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["exit_code"] == 0 and doc["regressions"] == []
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(["obs", "diff", str(tmp_path / "nope.jsonl"), str(BASELINE)])
+        assert rc == 2
+        capsys.readouterr()
+
+
+class TestCliReport:
+    def test_report_markdown_has_all_sections(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        dump = tmp_path / "report.jsonl"
+        rc = main(
+            ["report", "8-1-16", "--hours", "0.5", "--iters", "1",
+             "--out", str(out), "--json", str(dump)]
+        )
+        assert rc == 0
+        text = out.read_text()
+        for heading in (
+            "# Simulated run report",
+            "## Configuration",
+            "## Time attribution",
+            "## Critical path",
+            "## Per-phase breakdown (Fig-4 view)",
+            "## Top communication pairs",
+            "## Faults and recovery",
+        ):
+            assert heading in text, heading
+        assert "(straggler)" in text and "straggler rank" in text
+        recs = [json.loads(line) for line in dump.read_text().splitlines()]
+        kinds = {r.get("record") for r in recs}
+        assert {"attribution", "critical_path"} <= kinds
+        assert any(r.get("metric") == "train.phase_seconds" for r in recs)
+        capsys.readouterr()
+
+    def test_report_prints_to_stdout_without_out(self, capsys):
+        rc = main(["report", "8-1-16", "--hours", "0.5", "--iters", "1"])
+        assert rc == 0
+        assert "## Critical path" in capsys.readouterr().out
+
+    def test_counterflow_sweep_renders_table(self, tmp_path, capsys):
+        out = tmp_path / "cf.md"
+        rc = main(
+            ["report", "--counterflow", "64,128", "--out", str(out)]
+        )
+        assert rc == 0
+        text = out.read_text()
+        assert "Counter-flow sweep" in text
+        assert "64-4-16" in text and "128-4-16" in text
+        assert "worker_mean" in text and "master" in text
+        capsys.readouterr()

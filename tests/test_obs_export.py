@@ -5,7 +5,8 @@ import json
 import pytest
 
 from repro.cli import TRACEABLE_EXAMPLES, _resolve_trace_target, main
-from repro.obs import chrome_trace, write_chrome_trace
+from repro.obs import StreamingMetricsWriter, chrome_trace, write_chrome_trace
+from repro.obs.export import phase_windows
 from repro.sim import Tracer
 
 
@@ -20,7 +21,11 @@ def _demo_tracer() -> Tracer:
 class TestChromeTrace:
     def test_span_events_have_chrome_fields(self):
         doc = chrome_trace(_demo_tracer())
-        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        spans = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["cat"] != "phase"
+        ]
         assert len(spans) == 3
         for e in spans:
             assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(e)
@@ -40,9 +45,30 @@ class TestChromeTrace:
 
     def test_process_name_metadata(self):
         doc = chrome_trace(_demo_tracer())
-        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
-        assert {m["args"]["name"] for m in meta} == {"rank0", "rank3", "loader"}
-        assert all(m["name"] == "process_name" for m in meta)
+        names = [
+            e for e in doc["traceEvents"] if e["name"] == "process_name"
+        ]
+        assert {m["args"]["name"] for m in names} == {
+            "rank0", "rank3", "loader", "phases",
+        }
+        assert all(m["ph"] == "M" for m in names)
+
+    def test_process_sort_index_pins_display_order(self):
+        doc = chrome_trace(_demo_tracer())
+        sorts = {
+            e["pid"]: e["args"]["sort_index"]
+            for e in doc["traceEvents"]
+            if e["name"] == "process_sort_index"
+        }
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["name"] == "process_name"
+        }
+        assert set(sorts) == set(names)  # every track is pinned
+        phase_pid = next(p for p, n in names.items() if n == "phases")
+        assert sorts[phase_pid] == -1  # phase track sorts first
+        assert sorts[0] == 0 and sorts[3] == 3  # ranks keep their order
 
     def test_unlabelled_span_category(self):
         tr = Tracer()
@@ -54,7 +80,110 @@ class TestChromeTrace:
         path = write_chrome_trace(_demo_tracer(), tmp_path / "t.json")
         doc = json.loads(path.read_text())
         assert doc["otherData"]["clock"] == "virtual"
-        assert len(doc["traceEvents"]) == 6  # 3 spans + 3 metadata
+        spans = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["cat"] != "phase"
+        ]
+        assert len(spans) == 3
+
+
+class TestPhaseTrack:
+    def test_windows_merge_consecutive_same_phase_master_spans(self):
+        tr = Tracer()
+        tr.record("rank0", "p2p.load_data", 0.0, 1.0)
+        tr.record("rank0", "compute.gradient_loss", 1.0, 3.0)
+        tr.record("rank0", "coll.reduce_gradient", 3.0, 4.0)  # same phase
+        tr.record("rank0", "compute.cg_minimize", 4.0, 5.0)
+        tr.record("rank1", "compute.gradient_loss", 0.0, 9.0)  # not master
+        assert phase_windows(tr) == [
+            ("load", 0.0, 1.0),
+            ("gradient", 1.0, 4.0),
+            ("cg", 4.0, 5.0),
+        ]
+
+    def test_trace_document_carries_zoom_presets(self):
+        tr = Tracer()
+        tr.record("rank0", "p2p.load_data", 0.0, 1.0)
+        tr.record("rank0", "compute.gradient_loss", 1.0, 3.0)
+        doc = chrome_trace(tr)
+        windows = [
+            e for e in doc["traceEvents"]
+            if e.get("cat") == "phase" and e["ph"] == "X"
+        ]
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in windows] == ["phase:load", "phase:gradient"]
+        assert [e["name"] for e in instants] == ["begin:load", "begin:gradient"]
+        assert all(e["s"] == "g" for e in instants)  # global markers
+        assert len({e["pid"] for e in windows}) == 1  # one dedicated track
+
+    def test_phase_track_can_be_disabled(self):
+        doc = chrome_trace(_demo_tracer(), phase_track=False)
+        assert not [e for e in doc["traceEvents"] if e.get("cat") == "phase"]
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["name"] == "process_name"
+        }
+        assert "phases" not in names
+
+
+class TestStreamingWriter:
+    def test_non_finite_floats_serialize_as_strings(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with StreamingMetricsWriter(path) as w:
+            w.write(
+                {
+                    "metric": "diverged",
+                    "value": float("nan"),
+                    "nested": {"vals": [1.0, float("inf"), float("-inf")]},
+                }
+            )
+        (rec,) = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rec["value"] == "NaN"
+        assert rec["nested"]["vals"] == [1.0, "Infinity", "-Infinity"]
+
+    def test_numpy_non_finite_sanitizes_like_builtin(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = tmp_path / "m.jsonl"
+        with StreamingMetricsWriter(path) as w:
+            w.write({"metric": "x", "value": np.float64("nan")})
+            w.write({"metric": "y", "value": np.float32(2.5)})
+        recs = [json.loads(line) for line in path.read_text().splitlines()]
+        assert recs[0]["value"] == "NaN"
+        assert recs[1]["value"] == 2.5
+
+    def test_snapshot_records_are_durable_after_write(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        path = tmp_path / "m.jsonl"
+        writer = StreamingMetricsWriter(path)
+        n = writer.write_snapshot(reg)
+        assert n == writer.records_written == 1
+        # durable before close: the snapshot fsync (or per-write flush)
+        # already pushed every record to the file
+        on_disk = [json.loads(line) for line in path.read_text().splitlines()]
+        assert on_disk and on_disk[0]["metric"] == "c"
+        writer.close()
+        writer.close()  # idempotent
+
+    def test_fsync_failure_degrades_to_flush(self, tmp_path, monkeypatch):
+        import os as _os
+
+        def boom(fd):
+            raise OSError("no fsync here")
+
+        monkeypatch.setattr(_os, "fsync", boom)
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1)
+        path = tmp_path / "m.jsonl"
+        with StreamingMetricsWriter(path) as w:
+            assert w.write_snapshot(reg) == 1  # no raise
+        assert path.read_text().count("\n") == 1
 
 
 class TestTraceTargetResolution:
@@ -87,7 +216,11 @@ class TestCliTrace:
         assert "wrote" in capsys.readouterr().out
 
         doc = json.loads(out.read_text())
-        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        spans = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["cat"] != "phase"
+        ]
         assert spans
         for e in spans:
             assert e["ph"] == "X" and e["ts"] >= 0.0 and e["dur"] >= 0.0
@@ -95,9 +228,9 @@ class TestCliTrace:
         meta_names = {
             e["args"]["name"]
             for e in doc["traceEvents"]
-            if e["ph"] == "M"
+            if e["name"] == "process_name"
         }
-        assert meta_names == {f"rank{r}" for r in range(8)}
+        assert meta_names == {f"rank{r}" for r in range(8)} | {"phases"}
 
         recs = [json.loads(line) for line in metrics.read_text().splitlines()]
         metrics_seen = {r.get("metric") for r in recs}
