@@ -300,7 +300,11 @@ def cmd_perf(args: argparse.Namespace) -> int:
         [int(r) for r in args.ranks.split(",") if r] if args.ranks else None
     )
     payload = run_perf(
-        repeats=args.repeats, quick=args.quick, ranks=ranks, shards=args.shards
+        repeats=args.repeats,
+        quick=args.quick,
+        ranks=ranks,
+        shards=args.shards,
+        speculate=args.speculate,
     )
     if args.json:
         out = write_bench_json(payload, args.out or BENCH_FILENAME)
@@ -670,6 +674,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run macro legs on the sharded engine with N OS processes "
         "(power of two; virtual results are identical to --shards 1)",
+    )
+    perf.add_argument(
+        "--speculate",
+        action="store_true",
+        help="with --shards: optimistic shard windows (checkpoint + "
+        "rollback) instead of the two-barrier protocol; virtual results "
+        "are identical, window stalls drop to actual rollbacks",
     )
     perf.set_defaults(func=cmd_perf, command="perf")
     trace = sub.add_parser(

@@ -23,7 +23,9 @@ What this reproduces (and what the tests assert):
 
 from __future__ import annotations
 
+import logging
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -45,7 +47,7 @@ from repro.faults import (
 )
 from repro.sim.engine import Timeout
 from repro.sim.trace import Tracer
-from repro.nn.parallel_sgd import GradientBucketPlan, overlap_schedule
+from repro.nn.parallel_sgd import exposed_comm_model
 from repro.speech.hmm import HmmSpec
 from repro.util.rng import spawn
 from repro.vmpi.algoselect import CollectivePolicy
@@ -53,6 +55,8 @@ from repro.vmpi.collcost import bcast_cost, collective_params, reduce_cost
 from repro.vmpi.collectives import bcast, reduce, serial_bcast
 from repro.vmpi.comm import ANY_SOURCE, ANY_TAG, RankCtx, RecvTimeoutError, VComm
 from repro.vmpi.costmodel import NetworkModel, PayloadStub
+
+_log = logging.getLogger(__name__)
 
 __all__ = ["SimJobConfig", "SimRunResult", "simulate_training"]
 
@@ -199,6 +203,10 @@ class SimRunResult:
     phase_log: list[tuple[str, float, int]] | None = field(repr=False, default=None)
     """Vector fast path's ``(label, end, straggler)`` dependency log;
     ``None`` on the scalar path (which records spans instead)."""
+    execution_path: str = "scalar"
+    """Which executor produced the (path-invariant) numbers: ``scalar``,
+    ``vector``, ``vector+sharded``, or ``speculative`` (the sharded
+    pool's optimistic window protocol)."""
 
     @property
     def excluded_ranks(self) -> tuple[int, ...]:
@@ -465,20 +473,17 @@ def _make_programs(
         layer_bytes = [
             (i * o + o) * wl.dtype_bytes for i, o in wl.geometry.layer_pairs()
         ]
-        bucket_plan = GradientBucketPlan.from_layers(
-            layer_bytes, cfg.gradient_bucket_bytes
+        # shared with the vector fast path: both paths build the bucket
+        # plan, per-bucket reduction prices and exposed-comm schedule
+        # through this one constructor, so every rank's overlap charge
+        # is bit-identical on either executor
+        _bucket_plan, _exposed = exposed_comm_model(
+            layer_bytes,
+            cfg.gradient_bucket_bytes,
+            theta_nbytes,
+            lambda b: _reduce_model(b)[1],
         )
-        bucket_costs = [_reduce_model(b)[1] for b in bucket_plan.bucket_bytes]
-        # layer bytes sum exactly to theta_bytes, so fracs partition the
-        # gradient compute the way the buckets partition the vector
-        bucket_fracs = [b / theta_nbytes for b in bucket_plan.bucket_bytes]
         grad_algo = theta_reduce_algo + "+overlap"
-
-        def _exposed(gradient_seconds: float) -> float:
-            _, exp = overlap_schedule(
-                [gradient_seconds * f for f in bucket_fracs], bucket_costs
-            )
-            return exp
 
     # span labels, composed once per run instead of once per span
     lbl_sync_master = label(COLL, "sync_weights_master")
@@ -893,6 +898,7 @@ def simulate_training(
     trace_p2p: bool = False,
     vector: bool | None = None,
     shards: int = 1,
+    speculate: bool | None = None,
 ) -> SimRunResult:
     """Run one simulated training configuration to completion.
 
@@ -910,13 +916,23 @@ def simulate_training(
     ``REPRO_SIM_VECTOR`` env toggle (default on), ``False`` forces the
     scalar scheduler, ``True`` requests the fast path.  Either way the
     fast path only engages when the run is eligible (see
-    :func:`repro.dist.vectorized.vector_eligible`; DESIGN.md §6e) —
-    heterogeneous runs (faults, recovery, staged load, serial bcast,
-    overlap, non-power-of-two ranks, small-theta shapes) fall back to
-    the per-process scheduler, and simulated results are bit-identical
-    on both paths.  ``shards > 1`` additionally partitions the vector
-    kernels across OS processes (:mod:`repro.sim.shard`); it is ignored
-    on the scalar path.
+    :func:`repro.dist.vectorized.vector_fallback_reason`; DESIGN.md
+    §6e) — heterogeneous runs (faults, recovery, staged load, serial
+    bcast, non-power-of-two ranks, small-theta shapes) fall back to the
+    per-process scheduler, and simulated results are bit-identical on
+    both paths.  ``collective_selection="auto"`` and
+    ``overlap_gradient`` runs stay on the fast path.  When a requested
+    vector run falls back, the reason is recorded as a
+    ``sim.vector.fallback{reason=...}`` counter (if ``obs`` is
+    attached) and a debug log line, so a silent scalar-path regression
+    is observable instead of just slow.  ``shards > 1`` additionally
+    partitions the vector kernels across OS processes
+    (:mod:`repro.sim.shard`); it is ignored on the scalar path.
+    ``speculate`` selects the sharded pool's optimistic window protocol
+    (checkpointed per-shard clock slices, rollback on cross-shard
+    causality violation) instead of the conservative two-barrier
+    protocol; ``None`` follows the ``REPRO_SIM_SPECULATE`` env toggle
+    (default off).  Committed results are bit-identical either way.
     """
     plan = _build_plan(cfg)
     network = cfg.network
@@ -973,19 +989,45 @@ def simulate_training(
         )
         obs.add_collector(lambda: phase_records(tracer, cfg.shape.ranks, spec))
     load_done = [0.0]
-    from repro.dist.vectorized import run_vectorized, vector_eligible, vector_enabled
+    from repro.dist.vectorized import (
+        run_vectorized,
+        vector_enabled,
+        vector_fallback_reason,
+    )
 
-    if vector_enabled(vector) and vector_eligible(cfg, network, trace_p2p):
+    fallback = (
+        vector_fallback_reason(cfg, network, trace_p2p)
+        if vector_enabled(vector)
+        else "disabled"
+    )
+    if fallback is None:
+        if speculate is None:
+            speculate = os.environ.get("REPRO_SIM_SPECULATE", "0") == "1"
+        if shards > 1:
+            execution_path = "speculative" if speculate else "vector+sharded"
+        else:
+            execution_path = "vector"
         end_time, phase_log = run_vectorized(
-            cfg, plan, network, policy, comm, load_done, shards=shards
+            cfg, plan, network, policy, comm, load_done,
+            shards=shards, speculate=bool(speculate),
         )
     else:
+        # only a *requested* fast path that could not engage is a
+        # fallback worth counting; an explicit vector=False is not
+        if fallback != "disabled":
+            if obs is not None:
+                obs.counter("sim.vector.fallback", reason=fallback).inc()
+            _log.debug(
+                "vector fast path fallback (reason=%s): %d ranks on the "
+                "scalar scheduler", fallback, cfg.shape.ranks,
+            )
         programs = _make_programs(
             cfg, plan, load_done, network, policy,
             injector=injector, recovery=recovery,
         )
         end_time, _values = comm.run(programs)
         phase_log = None
+        execution_path = "scalar"
     if injector is not None:
         injector.record_degraded_spans(tracer, end_time)
     return SimRunResult(
@@ -999,4 +1041,5 @@ def simulate_training(
         finish_time=end_time,
         rank_end_times=comm.rank_finish_times,
         phase_log=phase_log,
+        execution_path=execution_path,
     )

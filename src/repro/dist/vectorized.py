@@ -1,12 +1,16 @@
 """Vectorized SPMD fast path: whole-phase array execution of the trainer.
 
 When every rank runs the same program shape — the synchronous collective
-protocol of :mod:`repro.dist.simulated` with no faults, no gradient
-overlap, binomial modeled collectives, and a power-of-two communicator —
-the per-iteration schedule is a fixed sequence of *homogeneous phases*:
-a modeled-collective barrier (4-byte sync reduce + 4-byte go bcast +
-closed-form transfer charge), a per-worker compute charge, a master
-compute charge, or a real 16-byte binomial loss reduction.  This module
+protocol of :mod:`repro.dist.simulated` with no faults, binomial control
+trees, and a power-of-two communicator — the per-iteration schedule is a
+fixed sequence of *homogeneous phases*: a modeled-collective barrier
+(4-byte sync reduce + 4-byte go bcast + closed-form transfer charge,
+priced either by the fixed closed forms or by the same memoized
+``collective_selection="auto"`` policy the scalar path consults), a
+per-worker compute charge, a master compute charge, a real 16-byte
+binomial loss reduction, or — with ``overlap_gradient`` — a per-rank
+exposed-communication charge from the DDP-style bucketed
+:func:`~repro.nn.parallel_sgd.overlap_schedule`.  This module
 replays that schedule as numpy operations over the per-rank clock vector
 — one heap event per phase via :class:`repro.sim.engine.VectorPhase`
 instead of O(ranks) generator steps per collective — and reproduces the
@@ -44,12 +48,23 @@ import numpy as np
 from repro.bgq.kernel import CnkNoise
 from repro.bgq.network import TorusNetworkModel
 from repro.dist.timeline import COLL, COMPUTE, P2P, label
+from repro.nn.parallel_sgd import exposed_comm_model
 from repro.sim.engine import VectorPhase
-from repro.vmpi.collcost import bcast_cost, collective_params, reduce_cost
+from repro.vmpi.collcost import (
+    bcast_cost,
+    collective_params,
+    fixed_reduce_cost_fn,
+    reduce_cost,
+)
 from repro.vmpi.collectives import binomial_levels
 from repro.vmpi.costmodel import UniformNetwork
 
-__all__ = ["run_vectorized", "vector_eligible", "vector_enabled"]
+__all__ = [
+    "run_vectorized",
+    "vector_eligible",
+    "vector_enabled",
+    "vector_fallback_reason",
+]
 
 _SYNC_BYTES = 4
 """Sync/go stub size inside a modeled collective's emergent barrier."""
@@ -66,48 +81,76 @@ def vector_enabled(vector: bool | None) -> bool:
     return os.environ.get("REPRO_SIM_VECTOR", "1") != "0"
 
 
-def vector_eligible(cfg: Any, network: Any, trace_p2p: bool) -> bool:
-    """True iff the run is exactly the homogeneous SPMD protocol the
-    vector executor replays bit-identically.
+def vector_fallback_reason(cfg: Any, network: Any, trace_p2p: bool) -> str | None:
+    """Why the run cannot take the vector fast path, or ``None`` if it can.
 
-    Any failing condition falls back to the per-process scalar scheduler
-    (DESIGN.md §6e lists the same conditions from the design side):
+    The run is eligible iff it is exactly the homogeneous SPMD protocol
+    the vector executor replays bit-identically — including
+    ``collective_selection="auto"`` (the vector path prices every phase
+    through the same memoized :class:`~repro.vmpi.algoselect.\
+CollectivePolicy` the scalar path consults) and ``overlap_gradient``
+    (the bucketed pipeline becomes a per-rank exposed-comm vector
+    phase).  Any failing condition falls back to the per-process scalar
+    scheduler; the returned slug labels the
+    ``sim.vector.fallback{reason=...}`` counter
+    :func:`~repro.dist.simulated.simulate_training` records so silent
+    scalar-path regressions are observable (DESIGN.md §6e lists the
+    same conditions as an eligibility matrix):
 
-    * no per-message tracing (``trace_p2p`` materializes p2p spans);
-    * no fault plan and no fault policy (faults/recovery are
-      heterogeneous by construction);
-    * binomial broadcast, no gradient overlap (serial bcast and the
-      bucketed overlap pipeline take different code paths per rank);
-    * ``load_data_mode`` master or parallel_io (the staged relay's
-      leader/member split is heterogeneous);
-    * noise model is exactly :class:`~repro.bgq.kernel.CnkNoise` (its
-      ``perturb`` is the identity and draws nothing from the rng);
-    * ``segment_bytes >= 16`` so the 4/16-byte control payloads are
-      never segmented by the tree algorithms;
-    * power-of-two ranks (full tree levels, no remainder branches) with
-      the theta fast path active (``theta_bytes > segment_bytes`` and
-      ``ranks > 8``), so every theta collective is a modeled barrier;
-    * the network is exactly :class:`TorusNetworkModel` or
-      :class:`UniformNetwork`, whose p2p costs are pure in
-      (same-node flag, hop count, nbytes) — the property the
-      class-representative cost tables rely on.
+    * ``trace_p2p`` — per-message tracing materializes p2p spans;
+    * ``fault_plan`` / ``fault_policy`` — faults and recovery are
+      heterogeneous by construction;
+    * ``serial_bcast`` — the serial broadcast is a per-rank chain, not
+      a tree sweep;
+    * ``staged_load`` — the staged relay's leader/member split is
+      heterogeneous (master and parallel_io load are vectorizable);
+    * ``noise_model`` — anything but :class:`~repro.bgq.kernel.CnkNoise`
+      (whose ``perturb`` is the identity and draws nothing from the
+      rng) makes per-rank compute charges rng-order-dependent;
+    * ``segmented_control`` — ``segment_bytes < 16`` would segment the
+      4/16-byte control payloads inside the tree algorithms;
+    * ``small_comm`` / ``non_pow2_ranks`` — the theta fast path needs
+      ``ranks > 8``, and full tree levels need a power of two;
+    * ``theta_not_fast_path`` — ``theta_bytes <= segment_bytes`` makes
+      theta collectives execute message-by-message;
+    * ``network_model`` — only :class:`TorusNetworkModel` and
+      :class:`UniformNetwork` have p2p costs pure in (same-node flag,
+      hop count, nbytes), the property the class-representative cost
+      tables rely on.
     """
     p = cfg.shape.ranks
     wl = cfg.workload
-    return (
-        not trace_p2p
-        and (cfg.fault_plan is None or cfg.fault_plan.empty)
-        and cfg.fault_policy is None
-        and cfg.bcast_algorithm == "binomial"
-        and not cfg.overlap_gradient
-        and cfg.load_data_mode in ("master", "parallel_io")
-        and type(cfg.noise) is CnkNoise
-        and cfg.segment_bytes >= _LOSS_BYTES
-        and p > 8
-        and p & (p - 1) == 0
-        and wl.theta_bytes > cfg.segment_bytes
-        and type(network) in (TorusNetworkModel, UniformNetwork)
-    )
+    if trace_p2p:
+        return "trace_p2p"
+    if cfg.fault_plan is not None and not cfg.fault_plan.empty:
+        return "fault_plan"
+    if cfg.fault_policy is not None:
+        return "fault_policy"
+    if cfg.bcast_algorithm != "binomial":
+        return "serial_bcast"
+    if cfg.load_data_mode not in ("master", "parallel_io"):
+        return "staged_load"
+    if type(cfg.noise) is not CnkNoise:
+        return "noise_model"
+    if cfg.segment_bytes < _LOSS_BYTES:
+        return "segmented_control"
+    if p <= 8:
+        return "small_comm"
+    if p & (p - 1):
+        return "non_pow2_ranks"
+    if wl.theta_bytes <= cfg.segment_bytes:
+        return "theta_not_fast_path"
+    if type(network) not in (TorusNetworkModel, UniformNetwork):
+        return "network_model"
+    return None
+
+
+def vector_eligible(cfg: Any, network: Any, trace_p2p: bool) -> bool:
+    """True iff the run is exactly the homogeneous SPMD protocol the
+    vector executor replays bit-identically (the conditions — and the
+    per-condition fallback slugs — live on
+    :func:`vector_fallback_reason`)."""
+    return vector_fallback_reason(cfg, network, trace_p2p) is None
 
 
 # ------------------------------------------------------------- cost tables
@@ -241,6 +284,36 @@ class _VectorRun:
         held_secs = wl.per_worker_seconds(
             "heldout", plan.heldout_frames, cores, tpc, rpn
         )
+
+        # DDP-style bucketed gradient overlap: the same cost model the
+        # scalar trainer builds (one exposed-comm charge per rank in
+        # place of the full theta reduction), evaluated once per unique
+        # per-worker gradient time and gathered back over the rank
+        # vector.  The master's charge replicates the scalar master's
+        # slowest-worker nominal compute.
+        overlap_cost = None
+        grad_algo = r_algo
+        if cfg.overlap_gradient:
+            layer_bytes = [
+                (i * o + o) * wl.dtype_bytes for i, o in wl.geometry.layer_pairs()
+            ]
+            cost_fn = (
+                policy.reduce_cost_fn(p)
+                if policy is not None
+                else fixed_reduce_cost_fn(p, network)
+            )
+            _bucket_plan, exposed = exposed_comm_model(
+                layer_bytes, cfg.gradient_bucket_bytes, theta_nbytes, cost_fn
+            )
+            grad_algo = r_algo + "+overlap"
+            overlap_cost = np.empty(p, dtype=np.float64)
+            overlap_cost[0] = exposed(
+                wl.gradient_seconds(int(plan.grad_frames.max()), cores, tpc, rpn)
+            )
+            uniq, inv = np.unique(grad_secs, return_inverse=True)
+            overlap_cost[1:] = np.array(
+                [exposed(float(g)) for g in uniq], dtype=np.float64
+            )[inv]
         hf_master_secs = wl.master_vector_op_seconds(4.0)
         cg_minimize_secs = wl.master_vector_op_seconds(6.0)
 
@@ -270,9 +343,21 @@ class _VectorRun:
         for it in range(cfg.script.n_iterations):
             self._add_barrier("bcast", b_algo, b_cost, lbl_sync_master, lbl_sync)
             self._add_compute_workers(grad_secs, lbl_gradient)
-            self._add_barrier(
-                "reduce", r_algo, r_cost, lbl_reduce_grad, lbl_reduce_grad
-            )
+            if overlap_cost is None:
+                self._add_barrier(
+                    "reduce", r_algo, r_cost, lbl_reduce_grad, lbl_reduce_grad
+                )
+            else:
+                # bucketed pipeline: the full gradient compute is already
+                # charged above; the reduction leaves only each rank's
+                # exposed communication
+                self._add_barrier(
+                    "reduce",
+                    grad_algo,
+                    overlap_cost,
+                    lbl_reduce_grad,
+                    lbl_reduce_grad,
+                )
             self._add_compute_master(hf_master_secs, label(COMPUTE, "hf_master"))
             setup = wl.per_worker_seconds(
                 "curvature_setup", plan.curv_frames[it], cores, tpc, rpn
@@ -415,13 +500,26 @@ class _VectorRun:
         return run_master
 
     def _add_barrier(
-        self, op: str, algo: str, cost: float, lbl_master: str, lbl_worker: str
+        self,
+        op: str,
+        algo: str,
+        cost: float | np.ndarray,
+        lbl_master: str,
+        lbl_worker: str,
     ) -> None:
+        """Modeled-collective phase: binomial sync/go stub sweeps plus the
+        closed-form transfer charge — a scalar (same charge on every
+        rank) or a per-rank vector (the overlap pipeline's exposed-comm
+        charges, zero where a rank's compute hides everything — adding
+        0.0 is exactly the scalar path's skipped charge)."""
         self.n_barriers += 1
         self.phase_labels.append(lbl_worker)
         up = self._op(("up", 0))
         down = self._op(("down", 0))
-        addc = self._op(("add", float(cost))) if cost > 0 else None
+        if isinstance(cost, np.ndarray):
+            addc = self._op(("addv", cost)) if cost.any() else None
+        else:
+            addc = self._op(("add", float(cost))) if cost > 0 else None
 
         def run(_now: float) -> tuple[float, Any]:
             cur = self.cur
@@ -430,13 +528,16 @@ class _VectorRun:
             t0 = cur.copy()
             backend.run_op(up)
             if coll is not None:
+                backend.drain()
                 coll.on_bulk("reduce", "binomial", cur - t0)
                 t1 = cur.copy()
             backend.run_op(down)
             if coll is not None:
+                backend.drain()
                 coll.on_bulk("bcast", "binomial", cur - t1)
             if addc is not None:
                 backend.run_op(addc)
+            backend.drain()
             d = cur - t0
             if self.tracer is not None:
                 if lbl_master == lbl_worker:
@@ -457,8 +558,10 @@ class _VectorRun:
 
         def run(_now: float) -> tuple[float, Any]:
             cur = self.cur
+            backend = self.backend
             t0 = cur.copy()
-            self.backend.run_op(up)
+            backend.run_op(up)
+            backend.drain()
             d = cur - t0
             if self.tracer is not None:
                 self.tracer.add_bulk(lbl, 0, d)
@@ -475,8 +578,10 @@ class _VectorRun:
 
         def run(_now: float) -> tuple[float, Any]:
             cur = self.cur
+            backend = self.backend
             old = cur[1:].copy()
-            self.backend.run_op(op)
+            backend.run_op(op)
+            backend.drain()
             d = cur[1:] - old
             if self.tracer is not None:
                 self.tracer.add_bulk(lbl, 1, d)
@@ -569,10 +674,15 @@ class _InlineBackend:
             r.down_sweep(op[1])
         elif kind == "add":
             r.cur += op[1]
+        elif kind == "addv":
+            r.cur += op[1]
         elif kind == "cw":
             r.cur[1:] += op[1]
         else:  # pragma: no cover - schedule and executor are built together
             raise ValueError(f"unknown kernel op {op!r}")
+
+    def drain(self) -> None:
+        """No-op: inline ops complete synchronously."""
 
 
 def run_vectorized(
@@ -583,6 +693,7 @@ def run_vectorized(
     comm: Any,
     load_done: list[float],
     shards: int = 1,
+    speculate: bool = False,
 ) -> tuple[float, list[tuple[str, float, int]]]:
     """Execute one eligible SPMD run on the vector fast path.
 
@@ -593,13 +704,16 @@ def run_vectorized(
     With ``shards > 1`` the block-local kernel work is partitioned
     across OS processes by :class:`repro.sim.shard.ShardPool`; results
     are bit-identical to ``shards == 1`` because every shard executes
-    the same float operations on disjoint array slices.
+    the same float operations on disjoint array slices.  ``speculate``
+    additionally selects the pool's optimistic window protocol
+    (checkpoint + rollback instead of two barriers per kernel op) —
+    committed values are identical either way.
     """
     run = _VectorRun(cfg, plan, network, policy, comm, load_done)
     if shards > 1:
         from repro.sim.shard import ShardPool
 
-        pool = ShardPool(run, shards, obs=comm.obs)
+        pool = ShardPool(run, shards, obs=comm.obs, speculate=speculate)
         run.backend = pool
         try:
             return run.execute(), run.phase_log

@@ -158,13 +158,19 @@ def bench_macro(
     obs: Any | None = None,
     vector: bool | None = None,
     shards: int = 1,
+    speculate: bool = False,
+    auto_overlap: bool = False,
 ) -> dict[str, Any]:
     """One full simulated training run — the acceptance-criterion
     configuration (one outer iteration standing for 30).  ``obs`` is an
     optional :class:`~repro.obs.metrics.MetricsRegistry` to attach;
-    ``vector``/``shards`` select the SPMD fast path / sharded engine
-    exactly as on :func:`~repro.dist.simulated.simulate_training` (the
-    virtual invariants are identical on every path)."""
+    ``vector``/``shards``/``speculate`` select the SPMD fast path /
+    sharded engine / optimistic shard windows exactly as on
+    :func:`~repro.dist.simulated.simulate_training` (the virtual
+    invariants are identical on every path — the reported ``path``
+    names which executor produced them).  ``auto_overlap`` switches the
+    config to ``collective_selection="auto"`` with the bucketed
+    gradient-overlap pipeline — the paper-configuration macro leg."""
     from repro.bgq import RunShape
     from repro.dist import IterationScript, SimJobConfig, simulate_training
     from repro.harness.scaling import default_workload
@@ -174,11 +180,19 @@ def bench_macro(
         workload=default_workload(50.0),
         script=IterationScript((10,), (3,), represented_iterations=30),
         seed=7,
+        **(
+            {"collective_selection": "auto", "overlap_gradient": True}
+            if auto_overlap
+            else {}
+        ),
     )
-    res = simulate_training(cfg, obs=obs, vector=vector, shards=shards)
+    res = simulate_training(
+        cfg, obs=obs, vector=vector, shards=shards, speculate=speculate
+    )
     return {
         "virtual_finish": res.load_data_seconds + res.iteration_seconds,
         "messages": res.total_messages,
+        "path": res.execution_path,
     }
 
 
@@ -212,6 +226,27 @@ def bench_collectives(spec: str = "1024-4-16", hours: float = 2.0) -> dict[str, 
     }
 
 
+def shard_metrics_block(reg: Any) -> dict[str, Any]:
+    """Condense the ``sim.shard.*`` surface of an obs snapshot into the
+    BENCH json ``shard_metrics`` block (stalls, rollbacks, speculation
+    depth).  Unlike the virtual invariants these are *wall-clock
+    sensitive* on the speculative path — rollback counts depend on OS
+    scheduling — so they are reported, never baseline-compared."""
+    out: dict[str, Any] = {}
+    for rec in reg.snapshot():
+        name = rec["metric"]
+        if not name.startswith("sim.shard."):
+            continue
+        key = name[len("sim.shard.") :]
+        if name == "sim.shard.kernel_ops":
+            out["kernel_ops"] = out.get("kernel_ops", 0) + rec["value"]
+        elif "peak" in rec:
+            out[key] = rec["peak"]
+        else:
+            out[key] = rec["value"]
+    return out
+
+
 def registry_metrics_block(reg: Any) -> dict[str, Any]:
     """Condense an obs snapshot into the BENCH json ``metrics`` block."""
     events: dict[str, int] = {}
@@ -236,6 +271,8 @@ def bench_macro_obs(
     registry_sink: list[Any] | None = None,
     shards: int = 1,
     vector: bool | None = None,
+    speculate: bool = False,
+    auto_overlap: bool = False,
 ) -> dict[str, Any]:
     """:func:`bench_macro` with a fresh metrics registry attached — the
     instrumented engine loop and comm hooks (the observability overhead
@@ -251,7 +288,14 @@ def bench_macro_obs(
     from repro.obs import MetricsRegistry
 
     reg = MetricsRegistry()
-    result = bench_macro(shape, obs=reg, vector=vector, shards=shards)
+    result = bench_macro(
+        shape,
+        obs=reg,
+        vector=vector,
+        shards=shards,
+        speculate=speculate,
+        auto_overlap=auto_overlap,
+    )
     if registry_sink is not None:
         registry_sink.append(reg)
     return result
@@ -315,6 +359,7 @@ def run_perf(
     quick: bool = False,
     ranks: list[int] | None = None,
     shards: int = 1,
+    speculate: bool = False,
 ) -> dict[str, Any]:
     """Run every benchmark; returns the ``BENCH_sim_vmpi.json`` payload.
 
@@ -322,7 +367,13 @@ def run_perf(
     (CI); published baselines use the default sizes.  ``ranks`` replaces
     the macro shape list with ``<r>-4-16`` entries (the ``repro perf
     --ranks 16384,65536,262144`` sweep); ``shards`` runs the macro legs
-    on the sharded engine (virtual invariants are unaffected).
+    on the sharded engine and ``speculate`` switches its shard windows
+    to the optimistic rollback protocol (virtual invariants are
+    unaffected either way; sharded legs additionally report a
+    ``shard_metrics`` block with the window stall / rollback counts).
+    Every macro shape also gets an ``<shape>+auto+overlap`` leg — the
+    paper configuration (auto-selected collectives + bucketed gradient
+    overlap) timed on the same executor.
     """
     if quick:
         micro = {
@@ -350,6 +401,7 @@ def run_perf(
             "gc": "disabled during timed region",
             "estimator": "min over repeats (best_s)",
             "shards": shards,
+            "speculate": speculate,
         },
         "micro": {},
         "macro": {},
@@ -361,37 +413,102 @@ def run_perf(
         lambda: bench_collectives(coll_spec), repeats
     )
     for shape in shapes:
-        if int(shape.split("-")[0]) > OBS_INTERLEAVE_MAX_RANKS:
-            payload["macro"][shape] = _time(
-                lambda s=shape: bench_macro(s, shards=shards), repeats
+        legs = {shape: False, f"{shape}+auto+overlap": True}
+        for name, auto_overlap in legs.items():
+            if int(shape.split("-")[0]) > OBS_INTERLEAVE_MAX_RANKS:
+                entry = _time(
+                    lambda s=shape, ao=auto_overlap: bench_macro(
+                        s, shards=shards, speculate=speculate, auto_overlap=ao
+                    ),
+                    repeats,
+                )
+                if shards > 1:
+                    # one untimed obs-attached run just for the shard
+                    # window telemetry (stalls / rollbacks) — these
+                    # shapes skip the timed obs interleave by design
+                    sink: list[Any] = []
+                    bench_macro_obs(
+                        shape,
+                        sink,
+                        shards=shards,
+                        speculate=speculate,
+                        auto_overlap=auto_overlap,
+                    )
+                    entry["shard_metrics"] = shard_metrics_block(sink[-1])
+                payload["macro"][name] = entry
+                continue
+            sink = []
+            entry, obs_entry = _time_interleaved(
+                [
+                    lambda s=shape, ao=auto_overlap: bench_macro(
+                        s, shards=shards, speculate=speculate, auto_overlap=ao
+                    ),
+                    lambda s=shape, ao=auto_overlap: bench_macro_obs(
+                        s, sink, shards=shards, speculate=speculate, auto_overlap=ao
+                    ),
+                ],
+                repeats,
             )
-            continue
-        sink: list[Any] = []
-        entry, obs_entry = _time_interleaved(
-            [
-                lambda s=shape: bench_macro(s, shards=shards),
-                lambda s=shape: bench_macro_obs(s, sink, shards=shards),
-            ],
-            repeats,
-        )
-        if obs_entry["virtual_finish"] != entry["virtual_finish"]:
-            raise AssertionError(
-                f"obs-attached run changed the timeline for {shape}: "
-                f"{obs_entry['virtual_finish']!r} != {entry['virtual_finish']!r}"
-            )
-        entry["obs_best_s"] = obs_entry["best_s"]
-        entry["obs_walls_s"] = obs_entry["walls_s"]
-        # Overhead estimate: ratio of the two min-over-rounds walls.
-        # Scheduler/frequency noise only ever *adds* time, so each leg's
-        # minimum converges down onto its intrinsic cost as rounds
-        # accumulate, and interleaving gives both legs equal exposure to
-        # the machine's fast/slow epochs.  (Per-round pairwise ratios are
-        # NOT robust here: one noise spike inside a single leg of a
-        # round swings that round's ratio by tens of percent.)
-        entry["obs_ratio"] = obs_entry["best_s"] / entry["best_s"]
-        entry["metrics"] = registry_metrics_block(sink[-1])
-        payload["macro"][shape] = entry
+            if obs_entry["virtual_finish"] != entry["virtual_finish"]:
+                raise AssertionError(
+                    f"obs-attached run changed the timeline for {name}: "
+                    f"{obs_entry['virtual_finish']!r} != "
+                    f"{entry['virtual_finish']!r}"
+                )
+            entry["obs_best_s"] = obs_entry["best_s"]
+            entry["obs_walls_s"] = obs_entry["walls_s"]
+            # Overhead estimate: ratio of the two min-over-rounds walls.
+            # Scheduler/frequency noise only ever *adds* time, so each
+            # leg's minimum converges down onto its intrinsic cost as
+            # rounds accumulate, and interleaving gives both legs equal
+            # exposure to the machine's fast/slow epochs.  (Per-round
+            # pairwise ratios are NOT robust here: one noise spike inside
+            # a single leg of a round swings that round's ratio by tens
+            # of percent.)
+            entry["obs_ratio"] = obs_entry["best_s"] / entry["best_s"]
+            entry["metrics"] = registry_metrics_block(sink[-1])
+            if shards > 1:
+                entry["shard_metrics"] = shard_metrics_block(sink[-1])
+            payload["macro"][name] = entry
+    payload["shard_windows"] = _shard_window_report(shapes)
     return payload
+
+
+SHARD_WINDOW_SHARDS = 4
+
+
+def _shard_window_report(shapes: tuple[str, ...]) -> dict[str, Any]:
+    """Conservative-vs-speculative shard-window telemetry at the largest
+    macro shape (the ISSUE's 262k evidence: the optimistic protocol
+    drops ``window_stalls`` to the actual rollback count with zero
+    result divergence).
+
+    Untimed single runs — the numbers of interest are the window
+    counters, not wall clock.  Rollback counts on the speculative path
+    depend on OS scheduling, so this section is reported in the BENCH
+    json but never baseline-compared (the baseline loops only walk the
+    ``micro``/``macro`` sections).
+    """
+    from repro.sim.shard import ShardPool
+
+    shape = max(shapes, key=lambda s: int(s.split("-")[0]))
+    if not ShardPool.supported() or int(shape.split("-")[0]) < 4 * SHARD_WINDOW_SHARDS:
+        return {"skipped": "fork unavailable or shape too small"}
+    report: dict[str, Any] = {"shape": shape, "shards": SHARD_WINDOW_SHARDS}
+    for mode, speculate in (("conservative", False), ("speculative", True)):
+        sink: list[Any] = []
+        result = bench_macro_obs(
+            shape, sink, shards=SHARD_WINDOW_SHARDS, speculate=speculate
+        )
+        report[mode] = {**result, "shard_metrics": shard_metrics_block(sink[-1])}
+    if report["speculative"]["virtual_finish"] != report["conservative"]["virtual_finish"]:
+        raise AssertionError(
+            "speculative shard windows diverged from the conservative "
+            f"protocol at {shape}: "
+            f"{report['speculative']['virtual_finish']!r} != "
+            f"{report['conservative']['virtual_finish']!r}"
+        )
+    return report
 
 
 def write_bench_json(payload: dict[str, Any], path: str | Path) -> Path:
@@ -421,8 +538,23 @@ def render_perf_text(payload: dict[str, Any]) -> str:
                 extra = f"  [virtual_finish={r['virtual_finish']!r}"
                 if "messages" in r:
                     extra += f", messages={r['messages']}"
+                if "path" in r:
+                    extra += f", path={r['path']}"
                 extra += "]"
             lines.append(f"  {section}/{name}: {r['best_s']:.3f}  ({walls}){extra}")
+            if "shard_metrics" in r:
+                sm = r["shard_metrics"]
+                parts = [
+                    f"{k}={sm[k]:g}"
+                    for k in (
+                        "window_stalls",
+                        "rollbacks",
+                        "speculated_windows",
+                        "commit_depth",
+                    )
+                    if k in sm
+                ]
+                lines.append(f"    shard windows: {', '.join(parts)}")
             if "obs_best_s" in r:
                 ratio = r.get(
                     "obs_ratio",
@@ -433,4 +565,21 @@ def render_perf_text(payload: dict[str, Any]) -> str:
                     f"events={r['metrics']['events_total']}, "
                     f"peak_heap={r['metrics']['peak_heap_depth']:g})"
                 )
+    sw = payload.get("shard_windows")
+    if sw and "skipped" not in sw:
+        lines.append(f"shard windows ({sw['shape']}, shards={sw['shards']}):")
+        for mode in ("conservative", "speculative"):
+            r = sw[mode]
+            sm = r["shard_metrics"]
+            parts = [
+                f"{k}={sm[k]:g}"
+                for k in (
+                    "window_stalls",
+                    "rollbacks",
+                    "speculated_windows",
+                    "commit_depth",
+                )
+                if k in sm
+            ]
+            lines.append(f"  {mode} (path={r['path']}): {', '.join(parts)}")
     return "\n".join(lines)

@@ -37,6 +37,7 @@ __all__ = [
     "sync_sgd_comm_cost",
     "CommCostComparison",
     "GradientBucketPlan",
+    "exposed_comm_model",
     "overlap_schedule",
 ]
 
@@ -206,6 +207,43 @@ def overlap_schedule(
         t_comm = start + m
     total = t_comm if t_comm > t_ready else t_ready
     return total, total - t_ready
+
+
+def exposed_comm_model(
+    layer_bytes: list[int],
+    cap_bytes: int,
+    total_bytes: int,
+    reduce_cost_fn,
+) -> tuple[GradientBucketPlan, "callable"]:
+    """Build the bucketed-overlap cost model once per run.
+
+    Coalesces ``layer_bytes`` (forward order) into ``cap_bytes`` buckets,
+    prices each bucket's reduction with ``reduce_cost_fn(bucket_bytes)``
+    and partitions a rank's gradient compute by byte fraction of
+    ``total_bytes``.  Returns ``(plan, exposed)`` where
+    ``exposed(gradient_seconds)`` is the communication time the pipeline
+    cannot hide behind that rank's compute — the only gradient-sync
+    charge an overlapping trainer pays.
+
+    Both the scalar scheduler (:mod:`repro.dist.simulated`) and the SPMD
+    vector fast path (:mod:`repro.dist.vectorized`) construct their
+    overlap phase through this one function, so their per-rank exposed
+    costs are bit-identical by construction.
+    """
+    plan = GradientBucketPlan.from_layers(layer_bytes, cap_bytes)
+    bucket_costs = [reduce_cost_fn(b) for b in plan.bucket_bytes]
+    # layer bytes sum exactly to total_bytes, so fracs partition the
+    # gradient compute the way the buckets partition the vector
+    bucket_fracs = [b / total_bytes for b in plan.bucket_bytes]
+
+    def exposed(gradient_seconds: float) -> float:
+        """Exposed (unhidden) communication for one rank's gradient."""
+        _, exp = overlap_schedule(
+            [gradient_seconds * f for f in bucket_fracs], bucket_costs
+        )
+        return exp
+
+    return plan, exposed
 
 
 def sync_sgd_comm_cost(

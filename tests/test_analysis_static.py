@@ -1097,6 +1097,42 @@ class TestSpmdRankLoop:
         assert s.rule == "DET004"
 
 
+class TestSpmdMarkerAudit:
+    """Audit of the real SPMD fast-path modules: they must carry the
+    module-wide ``# repro: spmd-vectorized`` marker, lint clean under
+    DET004, and — the fixture half — an unmarked per-rank loop slipped
+    into any of them must be caught."""
+
+    MODULES = (
+        "src/repro/dist/vectorized.py",
+        "src/repro/sim/shard.py",
+    )
+
+    @staticmethod
+    def _read(rel):
+        import pathlib
+
+        return (pathlib.Path(__file__).resolve().parents[1] / rel).read_text()
+
+    @pytest.mark.parametrize("rel", MODULES)
+    def test_fast_path_module_marked_and_clean(self, rel):
+        src = self._read(rel)
+        assert "# repro: spmd-vectorized" in src, rel
+        report = lint_source(src, path=rel, rule_ids=["DET004"])
+        assert report.findings == [], rel
+
+    @pytest.mark.parametrize("rel", MODULES)
+    def test_unmarked_rank_loop_in_fast_path_module_caught(self, rel):
+        probe = (
+            "\n\ndef _audit_probe(engine, costs):\n"
+            "    for r in range(engine.ranks):\n"
+            "        costs[r] += 1.0\n"
+        )
+        report = lint_source(self._read(rel) + probe, path=rel, rule_ids=["DET004"])
+        (f,) = report.findings
+        assert f.rule == "DET004" and "range(engine.ranks)" in f.message, rel
+
+
 # -------------------------------------------------------- multi-line noqa
 class TestMultilineNoqa:
     def test_noqa_on_any_physical_line_of_statement(self):

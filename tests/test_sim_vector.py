@@ -198,6 +198,160 @@ def test_shard_count_validation():
         ShardPool(_Stub(), 1)
 
 
+VARIANTS = {
+    "auto": {"collective_selection": "auto"},
+    "overlap": {"overlap_gradient": True},
+    "auto+overlap": {"collective_selection": "auto", "overlap_gradient": True},
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("spec", ["16-4-16", "64-4-16", "1024-4-16"])
+def test_vector_matches_scalar_auto_and_overlap(spec, variant):
+    """Bit-equivalence goldens for the widened fast path: auto-selected
+    collectives and the bucketed gradient-overlap pipeline (and their
+    combination) must reproduce the scalar scheduler exactly — finish
+    times, message/byte totals, and sampled per-rank span totals."""
+    cfg_a = _cfg(spec, **VARIANTS[variant])
+    cfg_b = _cfg(spec, **VARIANTS[variant])
+    a = simulate_training(cfg_a, vector=False)
+    reg = MetricsRegistry()
+    b = simulate_training(cfg_b, vector=True, obs=reg)
+    assert _vector_phases(reg) > 0, "variant fell off the fast path"
+    assert a.load_data_seconds == b.load_data_seconds
+    assert a.iteration_seconds == b.iteration_seconds
+    assert a.total_messages == b.total_messages
+    assert a.total_bytes == b.total_bytes
+    ranks = int(spec.split("-")[0])
+    for r in (0, 1, ranks // 2, ranks - 1):
+        ta, tb = a.tracer.totals(f"rank{r}"), b.tracer.totals(f"rank{r}")
+        assert set(ta) == set(tb)
+        for k in ta:
+            assert ta[k] == tb[k], (variant, r, k)
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_vector_metrics_snapshot_matches_scalar_auto_and_overlap(variant):
+    """The full obs snapshot (minus the documented exclusions) must
+    agree between the paths for the newly-eligible variants too —
+    including the per-algorithm ``comm.coll.seconds`` label sets the
+    auto policy and the ``+overlap`` algo suffix introduce."""
+    ra, rb = MetricsRegistry(), MetricsRegistry()
+    a = simulate_training(_cfg("64-4-16", **VARIANTS[variant]), vector=False, obs=ra)
+    b = simulate_training(_cfg("64-4-16", **VARIANTS[variant]), vector=True, obs=rb)
+    assert a.iteration_seconds == b.iteration_seconds
+    ia, ib = _metric_index(ra), _metric_index(rb)
+    excluded = (
+        "sim.events",
+        "sim.vector_phases",
+        "sim.heap_depth",
+        "sim.ready_depth",
+        "sim.processes",
+        "comm.outstanding_hwm",
+        "comm.pair.outstanding_hwm",
+    )
+    assert {k for k in ia if k[0] not in excluded} == {
+        k for k in ib if k[0] not in excluded
+    }
+    for key in ia:
+        metric = key[0]
+        if metric in excluded:
+            continue
+        va, vb = dict(ia[key]), dict(ib[key])
+        if metric == "comm.coll.seconds":
+            va.pop("sum")
+            vb.pop("sum")
+        assert va == vb, (variant, key)
+
+
+def test_vector_fallback_reason_recorded():
+    """An ineligible vector request lands on the scalar path with the
+    blocking precondition recorded: a ``sim.vector.fallback`` counter
+    labelled with the reason slug (one per fallback)."""
+    from repro.dist.vectorized import vector_fallback_reason
+
+    cases = {
+        "staged_load": _cfg("64-4-16", load_data_mode="staged"),
+        "serial_bcast": _cfg("64-4-16", bcast_algorithm="serial"),
+        "small_comm": _cfg("8-4-16"),
+    }
+    for want, cfg in cases.items():
+        reg = MetricsRegistry()
+        simulate_training(cfg, obs=reg, vector=True)
+        idx = _metric_index(reg)
+        key = ("sim.vector.fallback", json.dumps({"reason": want}))
+        assert key in idx and idx[key]["value"] == 1, (want, sorted(idx))
+    # an *eligible* run must not record any fallback
+    reg = MetricsRegistry()
+    simulate_training(_cfg("64-4-16"), obs=reg, vector=True)
+    assert not any(m == "sim.vector.fallback" for m, _ in _metric_index(reg))
+    # the reason helper is the single source of truth the counter uses
+    assert (
+        vector_fallback_reason(_cfg("64-4-16"), object(), trace_p2p=True)
+        == "trace_p2p"
+    )
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="sharded engine needs fork-capable multiprocessing",
+)
+@pytest.mark.parametrize("shards", [1, 2, 4, 8])
+def test_speculative_rollback_determinism(shards):
+    """Seeded runs must be bit-identical for every shard count with
+    speculation on or off — rollback repair may fire at arbitrary
+    (wall-clock-dependent) points, but committed values never differ."""
+    base = _run("64-4-16", vector=True, shards=1)
+    for speculate in (False, True):
+        if shards == 1 and speculate:
+            continue  # the pool (and thus speculation) starts at 2 shards
+        r = simulate_training(
+            _cfg("64-4-16"), vector=True, shards=shards, speculate=speculate
+        )
+        assert r.load_data_seconds == base.load_data_seconds
+        assert r.iteration_seconds == base.iteration_seconds
+        assert r.total_messages == base.total_messages
+        assert r.total_bytes == base.total_bytes
+        for r_ in (0, 31, 32, 63):
+            assert r.tracer.totals(f"rank{r_}") == base.tracer.totals(
+                f"rank{r_}"
+            ), (shards, speculate)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="sharded engine needs fork-capable multiprocessing",
+)
+def test_speculative_rollback_repair_is_exact(monkeypatch):
+    """With the optimistic gather's spin budget forced to zero every
+    snapshot takes whatever export columns are there — mostly stale, so
+    validation rolls back and repairs constantly.  Committed results
+    must still be bit-identical, and the repair traffic must show up on
+    the speculative counters."""
+    import repro.sim.shard as shard_mod
+
+    monkeypatch.setattr(shard_mod, "_SPIN_BUDGET", 0)
+    base = _run("256-4-16", vector=True, shards=1)
+    rollbacks = 0
+    for _attempt in range(3):
+        reg = MetricsRegistry()
+        r = simulate_training(
+            _cfg("256-4-16"), obs=reg, vector=True, shards=8, speculate=True
+        )
+        assert r.iteration_seconds == base.iteration_seconds
+        assert r.total_messages == base.total_messages
+        idx = _metric_index(reg)
+        assert idx[("sim.shard.speculated_windows", "{}")]["value"] > 0
+        rb = idx.get(("sim.shard.rollbacks", "{}"))
+        stalls = idx[("sim.shard.window_stalls", "{}")]["value"]
+        rollbacks += rb["value"] if rb else 0
+        # speculative stalls are exactly the rolled-back windows
+        assert stalls == (rb["value"] if rb else 0)
+        if rollbacks:
+            break
+    assert rollbacks > 0, "zero-budget snapshots never raced a peer"
+
+
 def test_run_shape_unchanged_by_vector_default():
     """The default path (env unset) must be the vector fast path for
     eligible shapes — the PR flips it on by default."""
