@@ -1,0 +1,57 @@
+"""Serve the trained speech decoder under heavy user traffic.
+
+Three scenes on the discrete-event serving simulator:
+
+1. a healthy cluster at moderate load (the baseline latency profile),
+2. the same cluster pushed past saturation (queueing, shedding,
+   timeout-bounded tails),
+3. a 64-replica cluster with an autoscaler absorbing a mid-run replica
+   crash (the fault plan from ``examples/faults/serve_crash_64.json``).
+
+    python examples/serving.py
+"""
+
+from repro.faults import FaultPlan
+from repro.harness import capacity_rps, render_saturation, run_saturation_sweep
+from repro.serve import ArrivalSpec, AutoscalePolicy, ServeConfig, simulate_serving
+
+
+def main() -> None:
+    cap = capacity_rps(8)
+    print(f"8-replica cluster, analytic capacity {cap:.1f} requests/s\n")
+
+    healthy = ServeConfig(
+        replicas=8, arrivals=ArrivalSpec(rate=0.6 * cap), horizon_s=30.0, seed=1
+    )
+    print(simulate_serving(healthy).summary())
+    print()
+
+    overloaded = ServeConfig(
+        replicas=8,
+        arrivals=ArrivalSpec(kind="bursty", rate=1.3 * cap),
+        horizon_s=30.0,
+        seed=1,
+        queue_capacity=64,
+        request_timeout_s=6.0,
+    )
+    print(simulate_serving(overloaded).summary())
+    print()
+
+    crash = ServeConfig(
+        replicas=64,
+        arrivals=ArrivalSpec(rate=0.8 * capacity_rps(64)),
+        horizon_s=30.0,
+        seed=1,
+        autoscale=AutoscalePolicy(min_replicas=48, step=8),
+        fault_plan=FaultPlan.from_file("examples/faults/serve_crash_64.json"),
+    )
+    result = simulate_serving(crash)
+    print(result.summary())
+    print()
+
+    print("saturation sweep (quick):")
+    print(render_saturation(run_saturation_sweep(quick=True)))
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@
     python -m repro.cli calibrate        # extract an IterationScript from a real run
     python -m repro.cli lint             # static rank-program verifier
     python -m repro.cli perf             # DES/vmpi hot-path benchmarks
+    python -m repro.cli serve            # inference serving under load
     python -m repro.cli trace 4096-4-16 --out trace.json   # Perfetto export
     python -m repro.cli report 1024-4-16 --out report.md   # markdown run report
     python -m repro.cli obs diff a.jsonl b.jsonl           # regression gate
@@ -17,7 +18,11 @@ Flags of general interest: ``--hours`` (corpus size), ``--iters``
 (simulated HF iterations), ``--seed``.  ``lint`` takes paths plus
 ``--json`` / ``--select`` / ``--rules`` and exits 1 on findings.
 ``perf --json`` writes ``BENCH_sim_vmpi.json`` at the current directory;
-``perf --faults`` runs the fault-injection sweep instead.
+``perf --faults`` runs the fault-injection sweep instead; ``perf
+--serve`` runs the serving saturation sweep and batching tradeoff.
+``serve`` simulates the inference-serving scenario (arrival process,
+bounded admission queue, dynamic batching, optional autoscaler and
+fault plan) and prints its latency/throughput summary.
 ``--obs PATH`` on ``train`` / ``perf`` dumps a JSONL metrics snapshot;
 ``trace`` takes a run shape (or a known example script) and writes a
 Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``.
@@ -296,6 +301,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
 
     if args.faults:
         return _perf_faults(args)
+    if args.serve:
+        return _perf_serve(args)
     ranks = (
         [int(r) for r in args.ranks.split(",") if r] if args.ranks else None
     )
@@ -348,6 +355,101 @@ def _perf_faults(args: argparse.Namespace) -> int:
     )
     if args.obs:
         print(f"wrote per-rate metrics dumps under {args.obs}/")
+    return 0
+
+
+def _perf_serve(args: argparse.Namespace) -> int:
+    """``repro perf --serve``: the serving saturation sweep and batching
+    tradeoff (see :mod:`repro.harness.serving`).  With ``--json``,
+    updates only the ``serve`` section of the BENCH file, leaving the
+    wall-clock sections untouched."""
+    import json
+    from pathlib import Path
+
+    from repro.harness.serving import (
+        render_batching,
+        render_saturation,
+        run_batching_tradeoff,
+        run_saturation_sweep,
+        serve_payload,
+    )
+    from repro.harness.perf import BENCH_FILENAME, write_bench_json
+
+    if args.json:
+        target = Path(args.out or BENCH_FILENAME)
+        payload = json.loads(target.read_text()) if target.exists() else {}
+        payload["serve"] = serve_payload(quick=args.quick)
+        out = write_bench_json(payload, target)
+        print(f"updated serve section of {out}")
+        return 0
+    sat = run_saturation_sweep(quick=args.quick)
+    print("saturation sweep (fixed cluster, offered load x capacity):")
+    print(render_saturation(sat))
+    print()
+    trade = run_batching_tradeoff(quick=args.quick)
+    print("batching tradeoff (fixed load, max-batch x max-wait grid):")
+    print(render_batching(trade))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Simulate inference serving under load (see :mod:`repro.serve`)."""
+    from repro.serve import (
+        ArrivalSpec,
+        AutoscalePolicy,
+        BatchPolicy,
+        ServeConfig,
+        simulate_serving,
+    )
+
+    autoscale = None
+    if args.autoscale:
+        autoscale = AutoscalePolicy(
+            min_replicas=args.min_replicas, warmup_s=args.warmup_s
+        )
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_file(args.fault_plan)
+        try:
+            # rank 0 is the frontend, so the job has replicas + 1 ranks
+            fault_plan.validate_ranks(args.replicas + 1)
+        except ValueError as exc:
+            raise SystemExit(
+                f"repro serve: fault plan {args.fault_plan!r} does not fit "
+                f"the job ({exc}); raise --replicas or edit the plan"
+            ) from None
+    obs = None
+    if args.obs:
+        from repro.obs import MetricsRegistry
+
+        obs = MetricsRegistry()
+    try:
+        cfg = ServeConfig(
+            replicas=args.replicas,
+            arrivals=ArrivalSpec(kind=args.arrival, rate=args.rate),
+            horizon_s=args.horizon,
+            seed=args.seed,
+            queue_capacity=args.queue_cap,
+            request_timeout_s=args.timeout_s if args.timeout_s > 0 else None,
+            batch=BatchPolicy(
+                max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+            ),
+            autoscale=autoscale,
+            fault_plan=fault_plan,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro serve: {exc}") from None
+    result = simulate_serving(cfg, obs=obs, trace=bool(args.trace))
+    print(result.summary())
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        out = write_chrome_trace(result.tracer, args.trace)
+        print(f"wrote {out} ({len(result.tracer.spans)} spans)")
+    if obs is not None:
+        print(f"wrote metrics dump {obs.to_jsonl(args.obs)}")
     return 0
 
 
@@ -547,7 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs",
         default=None,
         metavar="PATH",
-        help="write a JSONL metrics dump to PATH (train; ignored elsewhere)",
+        help="write a JSONL metrics dump to PATH (train, serve; ignored elsewhere)",
     )
     shared.add_argument(
         "--fault-plan",
@@ -661,6 +763,13 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of the hot-path benchmarks",
     )
     perf.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the serving saturation sweep + batching tradeoff instead "
+        "of the hot-path benchmarks (--json updates only the BENCH file's "
+        "serve section)",
+    )
+    perf.add_argument(
         "--ranks",
         default=None,
         metavar="R1,R2,...",
@@ -683,6 +792,77 @@ def build_parser() -> argparse.ArgumentParser:
         "are identical, window stalls drop to actual rollbacks",
     )
     perf.set_defaults(func=cmd_perf, command="perf")
+    serve = sub.add_parser(
+        "serve",
+        help="simulate inference serving under heavy user traffic",
+        parents=[shared],
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=8, help="replica pool size (default 8)"
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=10.0,
+        help="mean offered load, requests/second (default 10)",
+    )
+    serve.add_argument(
+        "--arrival",
+        choices=("poisson", "bursty", "diurnal"),
+        default="poisson",
+        help="arrival process (default poisson)",
+    )
+    serve.add_argument(
+        "--horizon",
+        type=float,
+        default=30.0,
+        help="arrival window, simulated seconds (default 30)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8, help="dynamic-batching size cap"
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=20.0,
+        help="dynamic-batching wait cap, milliseconds",
+    )
+    serve.add_argument(
+        "--queue-cap",
+        type=int,
+        default=256,
+        help="admission queue bound; arrivals beyond it are shed",
+    )
+    serve.add_argument(
+        "--timeout-s",
+        type=float,
+        default=10.0,
+        help="per-request admission deadline, seconds (0 disables)",
+    )
+    serve.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="enable the reactive autoscaler (starts at --min-replicas)",
+    )
+    serve.add_argument(
+        "--min-replicas",
+        type=int,
+        default=2,
+        help="autoscaler floor (with --autoscale; default 2)",
+    )
+    serve.add_argument(
+        "--warmup-s",
+        type=float,
+        default=2.0,
+        help="autoscaler warm-up delay before a new replica takes work",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace (decode spans, fault/exclusion windows)",
+    )
+    serve.set_defaults(func=cmd_serve, command="serve")
     trace = sub.add_parser(
         "trace",
         help="export a simulated run as Chrome trace JSON (Perfetto)",

@@ -11,7 +11,10 @@
 * :mod:`~repro.harness.counterflow` — the Fig-4 per-phase
   compute-vs-comm sweep across partition sizes;
 * :mod:`~repro.harness.runreport` — self-contained markdown run
-  reports (``repro report``).
+  reports (``repro report``);
+* :mod:`~repro.harness.serving` — the inference-serving saturation
+  sweep and batching tradeoff (``repro serve`` / ``repro perf
+  --serve``).
 """
 
 from repro.harness.breakdown import BREAKDOWN_CONFIGS, ConfigBreakdown, run_breakdowns
@@ -46,6 +49,16 @@ from repro.harness.scaling import (
     run_fig1b,
     run_overlap_ablation,
     run_scaling_claim,
+)
+from repro.harness.serving import (
+    DEFAULT_SWEEP_LOADS,
+    SweepPoint,
+    capacity_rps,
+    render_batching,
+    render_saturation,
+    run_batching_tradeoff,
+    run_saturation_sweep,
+    serve_payload,
 )
 from repro.harness.speedup import SpeedupRow, bgq_hours, run_table1, xeon_hours
 
@@ -88,4 +101,12 @@ __all__ = [
     "run_counterflow",
     "build_run_report",
     "report_records",
+    "DEFAULT_SWEEP_LOADS",
+    "SweepPoint",
+    "capacity_rps",
+    "render_batching",
+    "render_saturation",
+    "run_batching_tradeoff",
+    "run_saturation_sweep",
+    "serve_payload",
 ]

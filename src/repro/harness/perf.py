@@ -471,6 +471,12 @@ def run_perf(
                 entry["shard_metrics"] = shard_metrics_block(sink[-1])
             payload["macro"][name] = entry
     payload["shard_windows"] = _shard_window_report(shapes)
+    from repro.harness.serving import serve_payload
+
+    # pure virtual-time sweep (no wall clocks), committed bit-for-bit —
+    # benchmarks/test_serve_saturation.py compares it exactly, unlike
+    # the ratio-gated micro/macro sections
+    payload["serve"] = serve_payload(quick=quick)
     return payload
 
 
@@ -582,4 +588,19 @@ def render_perf_text(payload: dict[str, Any]) -> str:
                 if k in sm
             ]
             lines.append(f"  {mode} (path={r['path']}): {', '.join(parts)}")
+    serve = payload.get("serve")
+    if serve:
+        lines.append(
+            f"serve saturation ({serve['replicas']} replicas, "
+            f"capacity {serve['capacity_rps']:.2f} rps):"
+        )
+        for row in serve["saturation"]:
+            lines.append(
+                f"  load {row['load']:.2f}: {row['completed']} done, "
+                f"{row['dropped']} drop, {row['timed_out']} t/o, "
+                f"thru {row['throughput_rps']:.2f} rps, "
+                f"p50 {1e3 * row['p50_s']:.0f} ms, "
+                f"p99 {1e3 * row['p99_s']:.0f} ms, "
+                f"p99.9 {1e3 * row['p999_s']:.0f} ms"
+            )
     return "\n".join(lines)

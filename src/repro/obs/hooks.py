@@ -32,7 +32,10 @@ from repro.obs.metrics import (
 __all__ = [
     "CollectiveStats",
     "CommStats",
+    "ServeStats",
     "COLLECTIVE_SECONDS_BOUNDS",
+    "LATENCY_SECONDS_BOUNDS",
+    "BATCH_OCCUPANCY_BOUNDS",
     "MESSAGE_SIZE_BOUNDS",
 ]
 
@@ -353,6 +356,111 @@ class CollectiveStats:
         return recs
 
     def attach(self, registry: MetricsRegistry) -> "CollectiveStats":
+        """Register this tracker's records as a collector; returns self."""
+        registry.add_collector(self.records)
+        return self
+
+
+LATENCY_SECONDS_BOUNDS = (
+    0.05,
+    0.1,
+    0.2,
+    0.5,
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+)
+"""Inclusive upper edges (virtual seconds) for the request-latency
+histogram: sub-100 ms healthy responses through timeout-scale stragglers
+near saturation."""
+
+BATCH_OCCUPANCY_BOUNDS = (
+    1.0,
+    2.0,
+    4.0,
+    8.0,
+    16.0,
+    32.0,
+)
+"""Inclusive upper edges (requests per batch) for the batch-occupancy
+histogram; the overflow bucket catches policies beyond ``max_batch=32``."""
+
+
+class ServeStats:
+    """Serving-scenario collector: folds a
+    :class:`~repro.serve.stats.ServeLog` into ``serve.*`` records.
+
+    Unlike :class:`CommStats` there is no hot hook here at all — the
+    scenario keeps its books in the :class:`~repro.serve.stats.ServeLog`
+    whether or not obs is attached (the log *is* the run's result), so
+    attaching a registry adds literally zero events on the simulated
+    path.  All histogram bucketing happens at scrape time from the
+    log's append-ordered lists, which keeps the timeline bit-identical
+    with obs on or off.
+    """
+
+    __slots__ = ("log", "queue")
+
+    def __init__(self, log: Any, queue: Any = None) -> None:
+        self.log = log
+        self.queue = queue
+        """Optional :class:`~repro.serve.queueing.AdmissionQueue` for the
+        instantaneous backlog gauge; the peak comes from the log."""
+
+    def records(self) -> list[dict[str, Any]]:
+        """Snapshot collector: outcome counters, latency/occupancy
+        histograms, queue/replica/autoscale gauges."""
+        log = self.log
+        recs: list[dict[str, Any]] = [
+            counter_record("serve.requests", log.generated, outcome="generated"),
+            counter_record("serve.requests", log.admitted, outcome="admitted"),
+            counter_record("serve.requests", log.completed, outcome="completed"),
+            counter_record("serve.requests", log.dropped, outcome="dropped"),
+            counter_record("serve.requests", log.timed_out, outcome="timed_out"),
+            counter_record("serve.requests", log.failed, outcome="failed"),
+        ]
+        lat = Histogram(LATENCY_SECONDS_BOUNDS)
+        for v in log.latencies:
+            lat.observe(v)
+        recs.append(
+            histogram_record(
+                "serve.latency_seconds", lat.bounds, lat.counts, lat.total
+            )
+        )
+        occ = Histogram(BATCH_OCCUPANCY_BOUNDS)
+        for v in log.batch_sizes:
+            occ.observe(v)
+        recs.append(
+            histogram_record(
+                "serve.batch_occupancy", occ.bounds, occ.counts, occ.total
+            )
+        )
+        backlog = self.queue.backlog() if self.queue is not None else 0
+        recs.append(
+            gauge_record("serve.queue_depth", backlog, peak=log.depth_peak)
+        )
+        recs.append(
+            gauge_record(
+                "serve.replicas.active", log.active_count, peak=log.active_peak
+            )
+        )
+        recs.append(counter_record("serve.replicas.excluded", len(log.excluded)))
+        recs.append(counter_record("serve.autoscale.events", log.scale_ups, dir="up"))
+        recs.append(
+            counter_record("serve.autoscale.events", log.scale_downs, dir="down")
+        )
+        for replica in sorted(log.busy):
+            recs.append(
+                counter_record(
+                    "serve.replica.busy_seconds",
+                    log.busy[replica],
+                    replica=replica,
+                )
+            )
+        return recs
+
+    def attach(self, registry: MetricsRegistry) -> "ServeStats":
         """Register this tracker's records as a collector; returns self."""
         registry.add_collector(self.records)
         return self

@@ -1,0 +1,134 @@
+"""Machine-model decode costs for one serving replica.
+
+A replica is one BG/Q node running the trained acoustic model plus the
+Viterbi decoder of :mod:`repro.speech.decoder`.  Decoding a batch costs:
+
+* **Forward pass** — one GEMM per layer with ``m = `` total batched
+  frames, priced by the :class:`~repro.gemm.perf.GemmPerfModel` exactly
+  like the training workload (:class:`~repro.dist.workload.SimWorkload`
+  uses the same model for its forward/backward passes).  At utterance
+  lengths of hundreds of frames ``m`` is already deep into the GEMM
+  efficiency plateau, so the forward pass is near-linear in frames.
+* **Viterbi search** — the per-frame argmax over transition candidates
+  (``speech/decoder.py``).  A production decoder beam-prunes the state
+  space, so the cost is ``2 * frames * n_states * beam_width`` ops run
+  at a low scalar efficiency (irregular access, compare-heavy — the
+  same style of effective-rate constant as ``SimWorkload``'s
+  sequence-cost term).  This is where the batching tradeoff lives: a
+  *single* stream's max-plus inner loop is branchy scalar code that
+  cannot fill the QPX lanes, but independent utterances decoded side
+  by side vectorize it (one lane per stream, the standard batched
+  beam-search layout) — Viterbi efficiency ramps linearly up to
+  ``simd_lanes`` concurrent streams.  Throughput rises with batch size
+  while per-request latency pays the batching wait.
+
+The model is pure arithmetic over the problem shape — no RNG, no wall
+clock — so every latency derived from it is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dist.workload import GEOMETRY_50HR, ModelGeometry
+from repro.gemm.perf import GemmPerfModel, GemmProblem
+
+__all__ = ["DecodeCostModel"]
+
+
+@dataclass(frozen=True)
+class DecodeCostModel:
+    """Batch decode seconds for one replica node.
+
+    ``cores``/``threads_per_core``/``ranks_per_node`` describe the
+    replica's share of a node (default: a whole 16-core BG/Q chip, the
+    serving analogue of the training runs' per-rank resources).
+    ``framework_efficiency`` derates the modeled kernel time for
+    runtime overheads (feature pipeline, lattice bookkeeping), matching
+    the discipline of :class:`~repro.dist.workload.SimWorkload`.
+    """
+
+    geometry: ModelGeometry = GEOMETRY_50HR
+    gemm: GemmPerfModel = field(default_factory=GemmPerfModel)
+    cores: int = 16
+    threads_per_core: int = 4
+    ranks_per_node: int = 1
+    beam_width: int = 256
+    viterbi_efficiency: float = 0.04
+    simd_lanes: int = 4
+    framework_efficiency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.threads_per_core < 1 or self.ranks_per_node < 1:
+            raise ValueError("cores/threads_per_core/ranks_per_node must be >= 1")
+        if self.beam_width < 1:
+            raise ValueError(f"beam_width must be >= 1, got {self.beam_width}")
+        if self.simd_lanes < 1:
+            raise ValueError(f"simd_lanes must be >= 1, got {self.simd_lanes}")
+        if not 0.0 < self.viterbi_efficiency <= 1.0:
+            raise ValueError(
+                f"viterbi_efficiency must be in (0, 1], got {self.viterbi_efficiency}"
+            )
+        if not 0.0 < self.framework_efficiency <= 1.0:
+            raise ValueError(
+                f"framework_efficiency must be in (0, 1], "
+                f"got {self.framework_efficiency}"
+            )
+
+    # ------------------------------------------------------------ components
+    def forward_seconds(self, frames: int) -> float:
+        """Acoustic-model forward pass over ``frames`` batched frames."""
+        total = 0.0
+        for k, n in self.geometry.layer_pairs():
+            total += self.gemm.seconds(
+                GemmProblem(m=frames, n=n, k=k, precision="sp"),
+                cores=self.cores,
+                threads_per_core=self.threads_per_core,
+                ranks_per_node=self.ranks_per_node,
+            )
+        return total
+
+    def viterbi_seconds(self, frames: int, requests: int = 1) -> float:
+        """Beam-pruned Viterbi search over ``frames`` frames spread across
+        ``requests`` independent streams.
+
+        One stream runs the branchy max-plus loop at scalar efficiency;
+        decoding streams side by side fills the QPX lanes (one lane per
+        stream), so effective efficiency ramps linearly until all
+        ``simd_lanes`` are occupied.
+        """
+        if requests < 1:
+            raise ValueError(f"requests must be >= 1, got {requests}")
+        ops = 2.0 * frames * self.geometry.n_outputs * self.beam_width
+        peak = self.gemm.core.peak_gflops * self.cores * 1e9
+        occupancy = min(requests, self.simd_lanes) / self.simd_lanes
+        return ops / (peak * self.viterbi_efficiency * occupancy)
+
+    # ------------------------------------------------------------- interface
+    def batch_seconds(self, frames: int, requests: int = 1) -> float:
+        """Modeled decode seconds for one batch of ``requests`` requests
+        totaling ``frames`` frames."""
+        if frames < 1:
+            raise ValueError(f"batch must have >= 1 frame, got {frames}")
+        kernel = self.forward_seconds(frames) + self.viterbi_seconds(
+            frames, requests
+        )
+        return kernel / self.framework_efficiency
+
+    def request_bytes(self, frames: int) -> int:
+        """Wire size of a request: single-precision feature vectors."""
+        return frames * self.geometry.layer_dims[0] * 4
+
+    def result_bytes(self, frames: int) -> int:
+        """Wire size of a result: one state id per frame."""
+        return frames * 4
+
+    def service_rate(self, batch_size: int, mean_frames: float) -> float:
+        """Steady-state requests/second of one replica running full
+        batches of ``batch_size`` average-length requests — the
+        capacity anchor the saturation sweep scales its offered load
+        against."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        frames = max(1, int(round(batch_size * mean_frames)))
+        return batch_size / self.batch_seconds(frames, batch_size)

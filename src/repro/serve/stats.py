@@ -1,0 +1,141 @@
+"""Core accounting for one serving run — the single source of truth.
+
+The scenario always keeps its own books here (latencies, outcome
+counts, queue depth, per-replica busy time): the numbers are the run's
+*result*, not an optional observation.  When a
+:class:`~repro.obs.metrics.MetricsRegistry` is attached, a
+:class:`~repro.obs.hooks.ServeStats` collector folds this log into
+``serve.*`` metric records at snapshot time — the same passive,
+fold-lazily discipline as ``CommStats``, with zero extra work on the
+hot path and bit-identical timelines with obs on or off.
+
+All appends happen in DES event order, so every derived statistic
+(including the latency quantiles) is deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ServeLog", "quantile"]
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of pre-sorted ``sorted_values``.
+
+    Index arithmetic only — no interpolation — so the result is always
+    an observed sample and bit-stable across platforms.  Returns NaN
+    for an empty list.
+    """
+    if not sorted_values:
+        return math.nan
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    idx = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[idx]
+
+
+class ServeLog:
+    """Event-ordered accounting shared by every process of a scenario.
+
+    Requests move through exactly one terminal outcome: ``completed``
+    (latency recorded), ``dropped`` (admission queue full),
+    ``timed_out`` (deadline expired while queued), or ``failed`` (in
+    flight on a replica that crashed).  ``drained`` is the shutdown
+    predicate: every admitted request has reached a terminal state and
+    the arrival process has finished.
+    """
+
+    def __init__(self, replicas: int) -> None:
+        self.replicas = replicas
+        self.generated = 0
+        self.admitted = 0
+        self.dropped = 0
+        self.timed_out = 0
+        self.completed = 0
+        self.failed = 0
+        self.latencies: list[float] = []
+        """Per-completed-request latency seconds, in completion order."""
+        self.batch_sizes: list[int] = []
+        """Requests per dispatched batch, in dispatch order."""
+        self.depth_peak = 0
+        self.in_flight = 0
+        """Batches currently on a replica (autoscaler utilization input)."""
+        self.busy: dict[int, float] = {}
+        """Replica index -> accumulated decode-busy virtual seconds."""
+        self.active_count = 0
+        self.active_peak = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.excluded: list[tuple[int, float]] = []
+        """(replica index, detection time) for crash-excluded replicas."""
+        self.arrivals_done = False
+
+    # ------------------------------------------------------------- admission
+    def note_generated(self) -> None:
+        """Count one generated request (admitted or not)."""
+        self.generated += 1
+
+    def note_admitted(self, depth: int) -> None:
+        """Count one admission; ``depth`` is the post-admission backlog."""
+        self.admitted += 1
+        if depth > self.depth_peak:
+            self.depth_peak = depth
+
+    def note_dropped(self) -> None:
+        """Count one admission-queue-full drop."""
+        self.dropped += 1
+
+    # -------------------------------------------------------------- outcomes
+    def note_timed_out(self, n: int = 1) -> None:
+        """Count ``n`` requests whose deadline expired while queued."""
+        self.timed_out += n
+
+    def note_completed(self, latency_s: float) -> None:
+        """Record one completed request's arrival-to-result latency."""
+        self.completed += 1
+        self.latencies.append(latency_s)
+
+    def note_failed(self, n: int) -> None:
+        """Count ``n`` requests lost to a replica crash."""
+        self.failed += n
+
+    # ------------------------------------------------------------- replicas
+    def note_dispatch(self, size: int) -> None:
+        """Record one dispatched batch of ``size`` requests."""
+        self.batch_sizes.append(size)
+        self.in_flight += 1
+
+    def note_batch_done(self, replica: int, busy_s: float) -> None:
+        """Record a batch leaving ``replica`` after ``busy_s`` seconds."""
+        self.in_flight -= 1
+        self.busy[replica] = self.busy.get(replica, 0.0) + busy_s
+
+    def note_excluded(self, replica: int, at: float) -> None:
+        """Mark ``replica`` crash-excluded at virtual time ``at``."""
+        self.in_flight -= 1
+        self.excluded.append((replica, at))
+
+    # ------------------------------------------------------------ autoscale
+    def note_active(self, count: int) -> None:
+        """Track the active-replica count (and its peak)."""
+        self.active_count = count
+        if count > self.active_peak:
+            self.active_peak = count
+
+    def note_scale(self, direction: str, n: int = 1) -> None:
+        """Count an autoscale action (``direction`` is 'up' or 'down')."""
+        if direction == "up":
+            self.scale_ups += n
+        elif direction == "down":
+            self.scale_downs += n
+        else:
+            raise ValueError(f"direction must be 'up' or 'down', got {direction!r}")
+
+    # ------------------------------------------------------------- shutdown
+    def drained(self) -> bool:
+        """True once every admitted request reached a terminal outcome."""
+        return (
+            self.arrivals_done
+            and self.completed + self.timed_out + self.failed >= self.admitted
+        )
